@@ -1,0 +1,338 @@
+//! The Compressed Data-Sparse (CDS) storage format.
+//!
+//! CDS stores every submatrix of the HMatrix in one of three flat, contiguous
+//! buffers, **in exactly the order the generated evaluation code visits
+//! them**:
+//!
+//! * the `U`/`V` generators in coarsenset order (Figure 1g/1h),
+//! * the dense near blocks `D` in near-blockset order,
+//! * the coupling blocks `B` in far-blockset order.
+//!
+//! Offsets are derived from the sranks, so a block's data is found with a
+//! single offset lookup and consecutive blocks in the computation are
+//! consecutive in memory — this is the data-layout half of MatRox's locality
+//! optimization (the loop-structure half is in `matrox-codegen` /
+//! `matrox-exec`).
+
+use crate::blocking::BlockSet;
+use crate::coarsen::CoarsenSet;
+use matrox_compress::Compression;
+use matrox_tree::ClusterTree;
+use std::collections::HashMap;
+
+/// Placement of one stored submatrix inside a CDS value buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdsBlockEntry {
+    /// Target node `i` (rows of the block scatter into this node's output).
+    pub target: usize,
+    /// Source node `j` (columns of the block gather from this node's input).
+    pub source: usize,
+    /// Offset of the block's first element in the value buffer.
+    pub offset: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+/// Range of block entries belonging to one blockset group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRange {
+    /// First entry index (inclusive).
+    pub start: usize,
+    /// Last entry index (exclusive).
+    pub end: usize,
+}
+
+/// Placement of one node's generators inside the generator buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorEntry {
+    /// Offset of `V_i` in [`Cds::gen_values`].
+    pub v_offset: usize,
+    /// Offset of `U_i` in [`Cds::gen_values`].
+    pub u_offset: usize,
+    /// Number of rows of the generator (leaf size or children's combined
+    /// srank).
+    pub rows: usize,
+    /// Number of columns (the node's srank).
+    pub cols: usize,
+}
+
+impl GeneratorEntry {
+    fn absent() -> Self {
+        GeneratorEntry { v_offset: usize::MAX, u_offset: usize::MAX, rows: 0, cols: 0 }
+    }
+
+    /// True when the node has a (non-empty) stored basis.
+    pub fn is_present(&self) -> bool {
+        self.v_offset != usize::MAX && self.rows > 0 && self.cols > 0
+    }
+}
+
+/// The HMatrix stored in the Compressed Data-Sparse format.
+#[derive(Debug, Clone)]
+pub struct Cds {
+    /// Flat buffer holding all `V` and `U` generators in coarsenset order.
+    pub gen_values: Vec<f64>,
+    /// Per-node generator placement, indexed by node id.
+    pub generators: Vec<GeneratorEntry>,
+    /// Per-node sranks (duplicated here so the executor does not need the
+    /// compression object).
+    pub sranks: Vec<usize>,
+    /// Flat buffer of dense near blocks in near-blockset order.
+    pub d_values: Vec<f64>,
+    /// Near-block placements in storage order.
+    pub d_entries: Vec<CdsBlockEntry>,
+    /// One range of `d_entries` per near-blockset group.
+    pub d_groups: Vec<GroupRange>,
+    /// Flat buffer of coupling blocks in far-blockset order.
+    pub b_values: Vec<f64>,
+    /// Coupling-block placements in storage order.
+    pub b_entries: Vec<CdsBlockEntry>,
+    /// One range of `b_entries` per far-blockset group.
+    pub b_groups: Vec<GroupRange>,
+}
+
+impl Cds {
+    /// Total stored bytes (generators + near + far values).
+    pub fn storage_bytes(&self) -> usize {
+        (self.gen_values.len() + self.d_values.len() + self.b_values.len())
+            * std::mem::size_of::<f64>()
+    }
+
+    /// Borrow the `V` generator of node `id` as `(data, rows, cols)`.
+    pub fn v(&self, id: usize) -> (&[f64], usize, usize) {
+        let g = &self.generators[id];
+        if !g.is_present() {
+            return (&[], 0, 0);
+        }
+        (&self.gen_values[g.v_offset..g.v_offset + g.rows * g.cols], g.rows, g.cols)
+    }
+
+    /// Borrow the `U` generator of node `id` as `(data, rows, cols)`.
+    pub fn u(&self, id: usize) -> (&[f64], usize, usize) {
+        let g = &self.generators[id];
+        if !g.is_present() {
+            return (&[], 0, 0);
+        }
+        (&self.gen_values[g.u_offset..g.u_offset + g.rows * g.cols], g.rows, g.cols)
+    }
+
+    /// Borrow the values of near-block entry `e`.
+    pub fn d_block(&self, e: &CdsBlockEntry) -> &[f64] {
+        &self.d_values[e.offset..e.offset + e.rows * e.cols]
+    }
+
+    /// Borrow the values of coupling-block entry `e`.
+    pub fn b_block(&self, e: &CdsBlockEntry) -> &[f64] {
+        &self.b_values[e.offset..e.offset + e.rows * e.cols]
+    }
+}
+
+/// Build the CDS representation from the compression output and the
+/// structure sets (the "data layout construction" step of structure
+/// analysis).
+pub fn build_cds(
+    tree: &ClusterTree,
+    compression: &Compression,
+    near_blockset: &BlockSet,
+    far_blockset: &BlockSet,
+    coarsenset: &CoarsenSet,
+) -> Cds {
+    let n_nodes = tree.num_nodes();
+
+    // ---- generators in coarsenset order --------------------------------
+    let mut gen_values: Vec<f64> = Vec::new();
+    let mut generators = vec![GeneratorEntry::absent(); n_nodes];
+    for cl in &coarsenset.levels {
+        for part in cl {
+            for &id in part {
+                let basis = &compression.bases[id];
+                if basis.srank == 0 || basis.v.is_empty() {
+                    continue;
+                }
+                let (rows, cols) = basis.v.shape();
+                let v_offset = gen_values.len();
+                gen_values.extend_from_slice(basis.v.as_slice());
+                let u_offset = gen_values.len();
+                gen_values.extend_from_slice(basis.u.as_slice());
+                generators[id] = GeneratorEntry { v_offset, u_offset, rows, cols };
+            }
+        }
+    }
+
+    // ---- near blocks in blockset order ----------------------------------
+    let near_map: HashMap<(usize, usize), &matrox_linalg::Matrix> = compression
+        .near_blocks
+        .iter()
+        .map(|((i, j), m)| ((*i, *j), m))
+        .collect();
+    let (d_values, d_entries, d_groups) = pack_blocks(near_blockset, &near_map);
+
+    // ---- far blocks in blockset order ------------------------------------
+    let far_map: HashMap<(usize, usize), &matrox_linalg::Matrix> = compression
+        .far_blocks
+        .iter()
+        .map(|((i, j), m)| ((*i, *j), m))
+        .collect();
+    let (b_values, b_entries, b_groups) = pack_blocks(far_blockset, &far_map);
+
+    Cds {
+        gen_values,
+        generators,
+        sranks: compression.sranks.clone(),
+        d_values,
+        d_entries,
+        d_groups,
+        b_values,
+        b_entries,
+        b_groups,
+    }
+}
+
+/// Pack the blocks referenced by a blockset into a flat buffer, preserving
+/// the blockset iteration order.
+fn pack_blocks(
+    blockset: &BlockSet,
+    blocks: &HashMap<(usize, usize), &matrox_linalg::Matrix>,
+) -> (Vec<f64>, Vec<CdsBlockEntry>, Vec<GroupRange>) {
+    let mut values = Vec::new();
+    let mut entries = Vec::new();
+    let mut groups = Vec::with_capacity(blockset.groups.len());
+    for group in &blockset.groups {
+        let start = entries.len();
+        for &(i, j) in group {
+            let m = blocks
+                .get(&(i, j))
+                .unwrap_or_else(|| panic!("blockset references missing block ({i},{j})"));
+            let offset = values.len();
+            values.extend_from_slice(m.as_slice());
+            entries.push(CdsBlockEntry {
+                target: i,
+                source: j,
+                offset,
+                rows: m.rows(),
+                cols: m.cols(),
+            });
+        }
+        groups.push(GroupRange { start, end: entries.len() });
+    }
+    (values, entries, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::build_blockset;
+    use crate::coarsen::{build_coarsenset, CoarsenParams};
+    use matrox_compress::{compress, CompressionParams};
+    use matrox_points::{generate, DatasetId, Kernel};
+    use matrox_sampling::sample_nodes_exhaustive;
+    use matrox_tree::{ClusterTree, HTree, PartitionMethod, Structure};
+
+    fn setup(structure: Structure) -> (ClusterTree, HTree, Compression, Cds) {
+        let pts = generate(DatasetId::Grid, 512, 17);
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 32, 0);
+        let htree = HTree::build(&tree, structure);
+        let sampling = sample_nodes_exhaustive(&pts, &tree);
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let near_bs = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
+        let far_bs = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
+        let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
+        let cds = build_cds(&tree, &c, &near_bs, &far_bs, &cs);
+        (tree, htree, c, cds)
+    }
+
+    #[test]
+    fn every_interaction_is_stored_exactly_once() {
+        let (_, htree, _, cds) = setup(Structure::Geometric { tau: 0.65 });
+        assert_eq!(cds.d_entries.len(), htree.num_near());
+        assert_eq!(cds.b_entries.len(), htree.num_far());
+        let near_keys: std::collections::HashSet<_> =
+            cds.d_entries.iter().map(|e| (e.target, e.source)).collect();
+        assert_eq!(near_keys.len(), cds.d_entries.len());
+    }
+
+    #[test]
+    fn offsets_are_dense_and_non_overlapping() {
+        let (_, _, _, cds) = setup(Structure::Hss);
+        let mut expected = 0usize;
+        for e in &cds.d_entries {
+            assert_eq!(e.offset, expected);
+            expected += e.rows * e.cols;
+        }
+        assert_eq!(expected, cds.d_values.len());
+        let mut expected = 0usize;
+        for e in &cds.b_entries {
+            assert_eq!(e.offset, expected);
+            expected += e.rows * e.cols;
+        }
+        assert_eq!(expected, cds.b_values.len());
+    }
+
+    #[test]
+    fn stored_blocks_match_compression_blocks() {
+        let (_, _, c, cds) = setup(Structure::Geometric { tau: 0.65 });
+        let map: std::collections::HashMap<_, _> = c
+            .near_blocks
+            .iter()
+            .map(|((i, j), m)| ((*i, *j), m))
+            .collect();
+        for e in &cds.d_entries {
+            let m = map[&(e.target, e.source)];
+            assert_eq!((e.rows, e.cols), m.shape());
+            assert_eq!(cds.d_block(e), m.as_slice());
+        }
+    }
+
+    #[test]
+    fn generators_match_compression_and_have_u_after_v() {
+        let (tree, _, c, cds) = setup(Structure::Hss);
+        for id in 1..tree.num_nodes() {
+            let basis = &c.bases[id];
+            let g = &cds.generators[id];
+            if basis.srank == 0 {
+                assert!(!g.is_present());
+                continue;
+            }
+            assert!(g.is_present(), "node {id} missing generator");
+            assert_eq!((g.rows, g.cols), basis.v.shape());
+            let (vdata, _, _) = cds.v(id);
+            assert_eq!(vdata, basis.v.as_slice());
+            let (udata, _, _) = cds.u(id);
+            assert_eq!(udata, basis.u.as_slice());
+            assert_eq!(g.u_offset, g.v_offset + g.rows * g.cols);
+        }
+    }
+
+    #[test]
+    fn group_ranges_tile_the_entries() {
+        let (_, _, _, cds) = setup(Structure::Geometric { tau: 0.65 });
+        let mut prev_end = 0usize;
+        for g in &cds.d_groups {
+            assert_eq!(g.start, prev_end);
+            assert!(g.end >= g.start);
+            prev_end = g.end;
+        }
+        assert_eq!(prev_end, cds.d_entries.len());
+    }
+
+    #[test]
+    fn storage_matches_compression_payload() {
+        let (tree, _, c, cds) = setup(Structure::Hss);
+        // CDS stores every near/far block and every non-empty generator, so
+        // the total element count must match the compression's payload.
+        let _ = tree;
+        assert_eq!(cds.storage_bytes(), c.storage_bytes());
+    }
+
+    #[test]
+    fn hss_has_no_near_offdiagonal_entries() {
+        let (tree, _, _, cds) = setup(Structure::Hss);
+        for e in &cds.d_entries {
+            assert_eq!(e.target, e.source);
+            assert!(tree.nodes[e.target].is_leaf());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # matrox-analysis
+//!
+//! MatRox structure analysis (Section 3.2 of the paper): the blocking and
+//! coarsening algorithms that turn the structure information produced by
+//! compression into the *structure sets* driving code generation, plus the
+//! Compressed Data-Sparse (CDS) data-layout construction.
+//!
+//! * [`blocking`] — Algorithm 1: groups near/far interactions into a
+//!   `blockset` whose groups can execute in parallel without reductions.
+//! * [`coarsen`] — Algorithm 2: the LBC-based coarsening of the CTree into
+//!   coarsen levels and load-balanced sub-trees (`coarsenset`), using a cost
+//!   model over the sranks.
+//! * [`cds`] — stores every submatrix in flat buffers following the order of
+//!   the blocked and coarsened loops.
+
+pub mod blocking;
+pub mod cds;
+pub mod coarsen;
+
+pub use blocking::{build_blockset, BlockSet};
+pub use cds::{build_cds, Cds, CdsBlockEntry, GeneratorEntry, GroupRange};
+pub use coarsen::{build_coarsenset, CoarsenParams, CoarsenSet};

@@ -1,0 +1,30 @@
+//! # matrox-baselines
+//!
+//! Re-implementations of the evaluation strategies of the libraries MatRox is
+//! compared against — GOFMM, STRUMPACK and SMASH — plus the dense GEMM
+//! comparator.  The actual C++ libraries are not available offline, so each
+//! baseline reproduces the properties the paper attributes to it (storage
+//! layout, scheduling policy, synchronization behaviour, supported scope)
+//! over the *same* compression output and the *same* GEMM kernels as the
+//! MatRox executor.  Performance differences measured by the benchmark
+//! harnesses therefore isolate exactly the effects the paper studies: data
+//! layout (CDS vs. tree-based), loop structure (blocked/coarsened vs.
+//! reduction/level-by-level), and scheduling (static load-balanced partitions
+//! vs. dynamic tasks / per-level barriers).  See DESIGN.md substitution S4.
+//!
+//! | Baseline | Storage | Near/far loops | Tree loops | Scope |
+//! |---|---|---|---|---|
+//! | [`GofmmEvaluator`] | tree-based | parallel over interactions, locked reductions | dynamic `rayon::join` tasks | any structure, any dimension |
+//! | [`StrumpackEvaluator`] | tree-based | parallel per target | level-by-level with barriers | HSS only |
+//! | [`SmashEvaluator`] | tree-based | sequential near | level-by-level | 1–3-d points, matvec only |
+//! | [`DenseBaseline`] | dense `K` | — | — | exact reference / GEMM comparison |
+
+pub mod dense;
+pub mod gofmm;
+pub mod smash;
+pub mod strumpack;
+
+pub use dense::DenseBaseline;
+pub use gofmm::GofmmEvaluator;
+pub use smash::{SmashEvaluator, UnsupportedInput};
+pub use strumpack::{StrumpackEvaluator, UnsupportedStructure};

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 10: re-compressing after an accuracy change
+//! with inspector-p1 reuse (MatRox) vs a full re-inspection (library
+//! behaviour).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrox_bench::*;
+use matrox_core::{inspector, inspector_p1, inspector_p2};
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn bench_fig10(c: &mut Criterion) {
+    let n = 1024;
+    let dataset = DatasetId::Letter;
+    let structure = Structure::h2b();
+    let points = generate(dataset, n, 0);
+    let kernel = kernel_for(dataset);
+    let params = params_for(structure);
+    let p1 = inspector_p1(&points, &kernel, &params);
+
+    let mut group = c.benchmark_group("fig10_reuse");
+    group.sample_size(10);
+    group.bench_function("accuracy_change_with_reuse_p2_only", |b| {
+        b.iter(|| inspector_p2(&points, &p1, &kernel, 1e-4))
+    });
+    group.bench_function("accuracy_change_full_reinspection", |b| {
+        b.iter(|| inspector(&points, &kernel, &params.with_bacc(1e-4)))
+    });
+    group.bench_function("kernel_change_with_reuse_p2_only", |b| {
+        b.iter(|| inspector_p2(&points, &p1, &matrox_points::Kernel::Laplace { bandwidth: 5.0 }, 1e-5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 4: overall (inspector + executor) time of
+//! MatRox vs the GOFMM-style baseline as Q grows, plus inspector-only and
+//! executor-only measurements so the amortization effect is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrox_bench::*;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn bench_fig4(c: &mut Criterion) {
+    let n = 1024;
+    let dataset = DatasetId::Susy;
+    let points = generate(dataset, n, 0);
+    let structure = Structure::h2b();
+
+    let mut group = c.benchmark_group("fig4_overall");
+    group.sample_size(10);
+
+    // Inspector cost (paid once, independent of Q).
+    group.bench_function("matrox_inspector", |b| {
+        b.iter(|| build_hmatrix(dataset, n, structure, 1e-5).1)
+    });
+    group.bench_function("gofmm_compression", |b| {
+        b.iter(|| build_baseline(&points, dataset, structure, 1e-5).compression)
+    });
+
+    // Executor cost for growing Q (this is what amortizes the inspector).
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let setup = build_baseline(&points, dataset, structure, 1e-5);
+    for q in [1usize, 64, 256] {
+        let w = random_w(n, q, q as u64);
+        group.bench_with_input(BenchmarkId::new("matrox_executor", q), &q, |b, _| {
+            b.iter(|| h.matmul(&w))
+        });
+        group.bench_with_input(BenchmarkId::new("gofmm_evaluation", q), &q, |b, _| {
+            b.iter(|| gofmm_evaluate(&setup, &w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

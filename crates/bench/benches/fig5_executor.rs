@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 5: the executor ablation (CDS sequential,
+//! + coarsen, + block, + low-level) against the GOFMM-style tree-based
+//! evaluation, for one HSS and one H²-b configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrox_baselines::GofmmEvaluator;
+use matrox_bench::*;
+use matrox_exec::ExecOptions;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn bench_structure(c: &mut Criterion, dataset: DatasetId, structure: Structure, label: &str) {
+    let n = 1024;
+    let q = 128;
+    let points = generate(dataset, n, 0);
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let setup = build_baseline(&points, dataset, structure, 1e-5);
+    let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);
+    let w = random_w(n, q, 3);
+
+    let mut group = c.benchmark_group(format!("fig5_executor_{label}"));
+    group.sample_size(10);
+    let seq = ExecOptions::sequential();
+    group.bench_function("cds_seq", |b| b.iter(|| h.matmul_with(&w, &seq)));
+    let coarsen = ExecOptions { parallel_tree: true, ..seq };
+    group.bench_function("cds_coarsen", |b| b.iter(|| h.matmul_with(&w, &coarsen)));
+    let block = ExecOptions { parallel_near: true, parallel_far: true, parallel_tree: true, ..seq };
+    group.bench_function("cds_block_coarsen", |b| b.iter(|| h.matmul_with(&w, &block)));
+    group.bench_function("cds_full_lowlevel", |b| b.iter(|| h.matmul_with(&w, &ExecOptions::full())));
+    group.bench_function("gofmm_tb_seq", |b| b.iter(|| gofmm.evaluate_sequential(&w)));
+    group.bench_function("gofmm_tb_ds", |b| b.iter(|| gofmm.evaluate(&w)));
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    bench_structure(c, DatasetId::Unit, Structure::Hss, "hss_unit");
+    bench_structure(c, DatasetId::Covtype, Structure::h2b(), "h2b_covtype");
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 7: executor strong scaling across thread
+//! counts, MatRox vs the GOFMM-style baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrox_baselines::GofmmEvaluator;
+use matrox_bench::*;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn bench_fig7(c: &mut Criterion) {
+    let n = 2048;
+    let q = 128;
+    let dataset = DatasetId::Covtype;
+    let structure = Structure::h2b();
+    let points = generate(dataset, n, 0);
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let setup = build_baseline(&points, dataset, structure, 1e-5);
+    let w = random_w(n, q, 11);
+
+    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let mut threads = vec![1usize, 2, 4];
+    threads.retain(|&t| t <= max_threads);
+    if !threads.contains(&max_threads) {
+        threads.push(max_threads);
+    }
+
+    let mut group = c.benchmark_group("fig7_scalability");
+    group.sample_size(10);
+    for &nt in &threads {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(nt).build().unwrap();
+        group.bench_with_input(BenchmarkId::new("matrox", nt), &nt, |b, _| {
+            b.iter(|| pool.install(|| h.matmul(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("gofmm", nt), &nt, |b, _| {
+            b.iter(|| {
+                pool.install(|| GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression).evaluate(&w))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 10: reusing inspection when the accuracy changes.
+//!
+//! The experiment of Section 5: the block accuracy `bacc` is swept over five
+//! values (1e-1 ... 1e-5) for the H²-b structure.  MatRox runs inspector-p1
+//! once and re-runs only inspector-p2 + the executor per accuracy; the
+//! library baseline (GOFMM-style) re-runs its full compression + evaluation
+//! every time.  The harness prints both totals normalized to the baseline
+//! (the paper reports MatRox at ~2.21x faster on average, with
+//! sampling-heavy datasets like mnist benefiting the most).
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin fig10 [--n 2048] [--q 256] [--datasets mnist,letter]
+//! ```
+
+use matrox_bench::*;
+use matrox_core::{inspector_p1, inspector_p2};
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
+    let datasets = if args.datasets.is_empty() {
+        DatasetId::all().to_vec()
+    } else {
+        args.datasets.clone()
+    };
+    let baccs = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+    let structure = Structure::h2b();
+
+    println!(
+        "Figure 10: 5 accuracy changes with inspector-p1 reuse (H2-b, N = {}, Q = {})\n",
+        args.n, args.q
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>16} {:>9}",
+        "dataset", "p1 (s)", "p2 sum", "exec sum", "gofmm-cmp", "gofmm-ev", "normalized (M/G)", "speedup"
+    );
+
+    let mut speedups = Vec::new();
+    for &dataset in &datasets {
+        let points = generate(dataset, args.n, 0);
+        let kernel = kernel_for(dataset);
+        let params = params_for(structure);
+        let w = random_w(args.n, args.q, 7);
+
+        // MatRox with reuse: p1 once, p2 + executor per bacc.
+        let t0 = Instant::now();
+        let p1 = inspector_p1(&points, &kernel, &params);
+        let p1_time = t0.elapsed().as_secs_f64();
+        let mut p2_sum = 0.0;
+        let mut exec_sum = 0.0;
+        for &bacc in &baccs {
+            let t0 = Instant::now();
+            let h = inspector_p2(&points, &p1, &kernel, bacc);
+            p2_sum += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let _ = h.matmul(&w);
+            exec_sum += t0.elapsed().as_secs_f64();
+        }
+        let matrox_total = p1_time + p2_sum + exec_sum;
+
+        // GOFMM-style: full compression + evaluation per bacc.
+        let mut gofmm_cmp = 0.0;
+        let mut gofmm_ev = 0.0;
+        for &bacc in &baccs {
+            let setup = build_baseline(&points, dataset, structure, bacc);
+            gofmm_cmp += setup.compression_time;
+            let t0 = Instant::now();
+            let _ = gofmm_evaluate(&setup, &w);
+            gofmm_ev += t0.elapsed().as_secs_f64();
+        }
+        let gofmm_total = gofmm_cmp + gofmm_ev;
+        let speedup = gofmm_total / matrox_total;
+        speedups.push(speedup);
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} | {:>10.3} {:>10.3} | {:>16.3} {:>9.2}",
+            dataset.name(),
+            p1_time,
+            p2_sum,
+            exec_sum,
+            gofmm_cmp,
+            gofmm_ev,
+            matrox_total / gofmm_total,
+            speedup
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    println!(
+        "\naverage speedup of MatRox-with-reuse over full re-compression: {avg:.2}x (paper: 2.21x avg, up to 2.64x)"
+    );
+}

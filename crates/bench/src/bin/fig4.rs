@@ -1,0 +1,96 @@
+//! Figure 4: overall time (inspector + executor) of MatRox vs. the GOFMM- and
+//! STRUMPACK-style baselines for growing Q, for both HSS and H²-b.
+//!
+//! The paper uses datasets higgs, susy, letter and grid with Q ∈ {1, 1K, 2K,
+//! 4K}; this harness uses the same datasets with Q scaled in proportion to
+//! the scaled N.  The expected shape: compression dominates at Q = 1 and is
+//! amortized as Q grows, with MatRox's advantage growing with Q; the
+//! structure-analysis + code-generation share of the inspector stays small
+//! (§4.2 reports 8.1% on average).
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin fig4 [--n 2048] [--q 256]
+//! ```
+
+use matrox_baselines::{DenseBaseline, StrumpackEvaluator};
+use matrox_bench::*;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn main() {
+    let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
+    let datasets = if args.datasets.is_empty() {
+        vec![DatasetId::Higgs, DatasetId::Susy, DatasetId::Letter, DatasetId::Grid]
+    } else {
+        args.datasets.clone()
+    };
+    let qs = [1usize, args.q / 2, args.q, 2 * args.q];
+
+    for structure in [Structure::Hss, Structure::h2b()] {
+        println!("\n================ Figure 4 ({}) — N = {} ================", structure.name(), args.n);
+        println!(
+            "{:<12} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+            "dataset", "Q", "mrx-comp", "mrx-SA", "mrx-CG", "mrx-exec", "gofmm-cmp", "gofmm-ev", "strum-cmp", "strum-ev"
+        );
+        for &dataset in &datasets {
+            let points = generate(dataset, args.n, 0);
+            // MatRox inspector (once, reused over all Q).
+            let (h, _p1, _p2) = inspect_split(&points, dataset, structure, 1e-5);
+            let t = &h.timings;
+            // Baseline compression (once).
+            let setup = build_baseline(&points, dataset, structure, 1e-5);
+            let strumpack = if structure == Structure::Hss {
+                StrumpackEvaluator::new(&setup.tree, &setup.htree, &setup.compression).ok()
+            } else {
+                None
+            };
+            for &q in &qs {
+                let w = random_w(args.n, q.max(1), q as u64);
+                let (_, mrx_exec) = time_best(|| h.matmul(&w), 1);
+                let (_, gofmm_ev) = time_best(|| gofmm_evaluate(&setup, &w), 1);
+                let (strum_cmp, strum_ev) = match &strumpack {
+                    Some(s) => {
+                        let (_, t) = time_best(|| s.evaluate(&w), 1);
+                        (format!("{:10.3}", setup.compression_time), format!("{t:10.3}"))
+                    }
+                    None => ("       n/a".to_string(), "       n/a".to_string()),
+                };
+                println!(
+                    "{:<12} {:>6} | {:>10.3} {:>10.3} {:>10.3} {:>10.3} | {:>10.3} {:>10.3} | {} {}",
+                    dataset.name(),
+                    q.max(1),
+                    t.compression().as_secs_f64(),
+                    t.structure_analysis().as_secs_f64(),
+                    t.codegen.as_secs_f64(),
+                    mrx_exec,
+                    setup.compression_time,
+                    gofmm_ev,
+                    strum_cmp,
+                    strum_ev
+                );
+            }
+            let frac = 100.0 * t.analysis_fraction();
+            println!(
+                "  -> structure analysis + codegen = {frac:.1}% of MatRox inspection (paper: ~8.1% average)"
+            );
+        }
+    }
+
+    // GEMM comparison of Section 4.2: overall MatRox vs the dense product at Q.
+    println!("\n---- dense GEMM comparison (Q = {}) ----", args.q);
+    for &dataset in &datasets {
+        let points = generate(dataset, args.n, 0);
+        let (h, p1, p2) = inspect_split(&points, dataset, Structure::h2b(), 1e-5);
+        let w = random_w(args.n, args.q, 3);
+        let (_, exec_t) = time_best(|| h.matmul(&w), 1);
+        let dense = DenseBaseline::new(&points, kernel_for(dataset));
+        let (_, dense_t) = time_best(|| dense.evaluate_implicit(&w), 1);
+        println!(
+            "{:<12} MatRox overall {:>8.3} s   GEMM {:>8.3} s   speedup {:>6.2}x",
+            dataset.name(),
+            p1 + p2 + exec_t,
+            dense_t,
+            dense_t / (p1 + p2 + exec_t)
+        );
+    }
+}

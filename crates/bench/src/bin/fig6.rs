@@ -1,0 +1,222 @@
+//! Figure 6: correlation between MatRox's speedup over GOFMM and the average
+//! memory access latency (locality proxy).
+//!
+//! The paper measures L1/LLC/TLB counters with PAPI and shows that the
+//! speedup of the MatRox-generated code correlates with the reduction in
+//! average memory access latency (R² = 0.81).  Hardware counters are not
+//! available here, so the harness replays the submatrix access pattern of
+//! each evaluation strategy through a software cache model (DESIGN.md
+//! substitution S5):
+//!
+//! * **MatRox / CDS trace** — blocks live in the flat CDS buffers and are
+//!   visited in the blocked/coarsened execution order;
+//! * **GOFMM / TB trace** — every block has its own page-aligned allocation
+//!   scattered through the address space (tree-based storage) and blocks are
+//!   visited in HTree/interaction order.
+//!
+//! For every dataset the harness prints the measured speedup and both
+//! latencies, then the R² between speedup and the latency ratio.
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin fig6 [--n 2048] [--q 256]
+//! ```
+
+use matrox_bench::*;
+use matrox_cachesim::{CacheHierarchy, Trace};
+use matrox_codegen::EvalPlan;
+use matrox_compress::Compression;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::{ClusterTree, HTree, Structure};
+
+const F64: usize = std::mem::size_of::<f64>();
+
+/// Build the access trace of the MatRox executor: CDS buffers are contiguous
+/// and visited in the generated-code order.
+fn cds_trace(plan: &EvalPlan, tree: &ClusterTree, q: usize) -> Trace {
+    let cds = &plan.cds;
+    let mut t = Trace::new();
+    // Synthetic contiguous layout: [d_values | gen_values | b_values | W | Y].
+    let d_base = 0u64;
+    let gen_base = d_base + (cds.d_values.len() * F64) as u64;
+    let b_base = gen_base + (cds.gen_values.len() * F64) as u64;
+    let w_base = b_base + (cds.b_values.len() * F64) as u64;
+    let n = tree.perm.len();
+    let y_base = w_base + (n * q * F64) as u64;
+
+    // Near phase: D blocks in CDS order, plus the W/Y rows they touch.
+    for e in &cds.d_entries {
+        t.record(d_base + (e.offset * F64) as u64, e.rows * e.cols * F64);
+        let sn = &tree.nodes[e.source];
+        let tn = &tree.nodes[e.target];
+        t.record(w_base + (sn.start * q * F64) as u64, sn.num_points() * q * F64);
+        t.record(y_base + (tn.start * q * F64) as u64, tn.num_points() * q * F64);
+    }
+    // Upward + downward: generators in coarsenset order (V then U adjacent).
+    for cl in &plan.coarsenset.levels {
+        for part in cl {
+            for &id in part {
+                let g = &cds.generators[id];
+                if !g.is_present() {
+                    continue;
+                }
+                t.record(gen_base + (g.v_offset * F64) as u64, g.rows * g.cols * F64);
+                if tree.nodes[id].is_leaf() {
+                    let nd = &tree.nodes[id];
+                    t.record(w_base + (nd.start * q * F64) as u64, nd.num_points() * q * F64);
+                }
+            }
+        }
+    }
+    // Coupling: B blocks in CDS order.
+    for e in &cds.b_entries {
+        t.record(b_base + (e.offset * F64) as u64, e.rows * e.cols * F64);
+    }
+    // Downward: U generators (reverse coarsen order) and leaf Y rows.
+    for cl in plan.coarsenset.levels.iter().rev() {
+        for part in cl {
+            for &id in part.iter().rev() {
+                let g = &cds.generators[id];
+                if !g.is_present() {
+                    continue;
+                }
+                t.record(gen_base + (g.u_offset * F64) as u64, g.rows * g.cols * F64);
+                if tree.nodes[id].is_leaf() {
+                    let nd = &tree.nodes[id];
+                    t.record(y_base + (nd.start * q * F64) as u64, nd.num_points() * q * F64);
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Build the access trace of a tree-based evaluator: every block has its own
+/// page-aligned allocation at a scattered address and blocks are visited in
+/// HTree order.
+fn tree_based_trace(
+    compression: &Compression,
+    tree: &ClusterTree,
+    htree: &HTree,
+    q: usize,
+) -> Trace {
+    const PAGE: u64 = 4096;
+    let mut t = Trace::new();
+    // Assign scattered base addresses per block/generator, mimicking
+    // individual heap allocations interleaved with other data.
+    let mut next_slot: u64 = 0;
+    let mut alloc = |elems: usize| -> u64 {
+        // Spread allocations out with a large stride and a hash-based shuffle.
+        let slot = next_slot;
+        next_slot += 1;
+        let hashed = slot.wrapping_mul(2654435761) % (1 << 20);
+        hashed * PAGE + ((elems as u64) % PAGE)
+    };
+    let near_addr: Vec<u64> = compression.near_blocks.iter().map(|(_, m)| alloc(m.len())).collect();
+    let far_addr: Vec<u64> = compression.far_blocks.iter().map(|(_, m)| alloc(m.len())).collect();
+    let gen_addr: Vec<u64> = compression.bases.iter().map(|b| alloc(b.v.len() + b.u.len())).collect();
+    let w_base = 1u64 << 34;
+    let y_base = (1u64 << 34) + (tree.perm.len() * q * F64) as u64;
+
+    // Near loop in interaction order (unordered w.r.t. targets).
+    for (k, ((i, j), m)) in compression.near_blocks.iter().enumerate() {
+        t.record(near_addr[k], m.len() * F64);
+        let sn = &tree.nodes[*j];
+        let tn = &tree.nodes[*i];
+        // Tree-based code gathers W rows by global point index: scattered.
+        for &p in tree.indices(sn.id) {
+            t.record(w_base + (p * q * F64) as u64, q * F64);
+        }
+        for &p in tree.indices(tn.id) {
+            t.record(y_base + (p * q * F64) as u64, q * F64);
+        }
+    }
+    // Upward: level-by-level over nodes (tree order, scattered generators).
+    for level in (1..=tree.height).rev() {
+        for id in tree.nodes_at_level(level) {
+            let b = &compression.bases[id];
+            if b.srank == 0 {
+                continue;
+            }
+            t.record(gen_addr[id], b.v.len() * F64);
+            if tree.nodes[id].is_leaf() {
+                for &p in tree.indices(id) {
+                    t.record(w_base + (p * q * F64) as u64, q * F64);
+                }
+            }
+        }
+    }
+    // Coupling in far-interaction order.
+    for (k, (_, m)) in compression.far_blocks.iter().enumerate() {
+        t.record(far_addr[k], m.len() * F64);
+    }
+    // Downward level-by-level.
+    for level in 1..=tree.height {
+        for id in tree.nodes_at_level(level) {
+            let b = &compression.bases[id];
+            if b.srank == 0 {
+                continue;
+            }
+            t.record(gen_addr[id], b.u.len() * F64);
+            if tree.nodes[id].is_leaf() {
+                for &p in tree.indices(id) {
+                    t.record(y_base + (p * q * F64) as u64, q * F64);
+                }
+            }
+        }
+    }
+    let _ = htree;
+    t
+}
+
+fn main() {
+    let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
+    let datasets = if args.datasets.is_empty() {
+        DatasetId::all().to_vec()
+    } else {
+        args.datasets.clone()
+    };
+
+    println!(
+        "Figure 6: speedup vs average memory access latency (N = {}, Q = {})\n",
+        args.n, args.q
+    );
+    println!(
+        "{:<12} {:<6} {:>9} {:>14} {:>14} {:>12}",
+        "dataset", "struct", "speedup", "AMAL MatRox", "AMAL GOFMM", "AMAL ratio"
+    );
+
+    let mut speedups = Vec::new();
+    let mut ratios = Vec::new();
+    for structure in [Structure::Hss, Structure::h2b()] {
+        for &dataset in &datasets {
+            let points = generate(dataset, args.n, 0);
+            let (_, h) = build_hmatrix(dataset, args.n, structure, 1e-5);
+            let setup = build_baseline(&points, dataset, structure, 1e-5);
+            let w = random_w(args.n, args.q, 13);
+            let (_, t_matrox) = time_best(|| h.matmul(&w), 1);
+            let (_, t_gofmm) = time_best(|| gofmm_evaluate(&setup, &w), 1);
+            let speedup = t_gofmm / t_matrox;
+
+            let trace_cds = cds_trace(&h.plan, &h.tree, args.q);
+            let trace_tb = tree_based_trace(&setup.compression, &setup.tree, &setup.htree, args.q);
+            let amal_cds = trace_cds.replay(CacheHierarchy::haswell()).average_memory_access_latency();
+            let amal_tb = trace_tb.replay(CacheHierarchy::haswell()).average_memory_access_latency();
+
+            println!(
+                "{:<12} {:<6} {:>9.2} {:>14.2} {:>14.2} {:>12.2}",
+                dataset.name(),
+                structure.name(),
+                speedup,
+                amal_cds,
+                amal_tb,
+                amal_tb / amal_cds
+            );
+            speedups.push(speedup);
+            ratios.push(amal_tb / amal_cds);
+        }
+    }
+    let r2 = r_squared(&ratios, &speedups);
+    println!(
+        "\nR^2 between speedup and memory-access-latency improvement: {r2:.2} (paper: 0.81)"
+    );
+}

@@ -1,0 +1,115 @@
+//! Figure 7: strong scalability of the executor on covtype and unit.
+//!
+//! The paper sweeps 1–12 cores on Haswell and 1–68 cores on KNL; this harness
+//! sweeps 1, 2, 4, ... up to the host's available parallelism (DESIGN.md
+//! substitution S6) and reports speedup over the single-thread run for the
+//! MatRox executor, the GOFMM-style baseline, and (HSS / low-d only) the
+//! STRUMPACK- and SMASH-style baselines.  Expected shape: MatRox keeps
+//! scaling; the baselines flatten earlier because of synchronization and
+//! load imbalance.
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin fig7 [--n 4096] [--q 256] [--datasets covtype,unit]
+//! ```
+
+use matrox_baselines::{GofmmEvaluator, SmashEvaluator, StrumpackEvaluator};
+use matrox_bench::*;
+use matrox_core::inspector;
+use matrox_exec::ExecOptions;
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn main() {
+    let args = HarnessArgs::parse(4096, DEFAULT_Q);
+    let datasets = if args.datasets.is_empty() {
+        vec![DatasetId::Covtype, DatasetId::Unit]
+    } else {
+        args.datasets.clone()
+    };
+    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let mut threads = vec![1usize];
+    while threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+
+    for &dataset in &datasets {
+        let structure = Structure::h2b();
+        println!(
+            "\n==== Figure 7: {} (N = {}, Q = {}, structure {}) ====",
+            dataset.name(),
+            args.n,
+            args.q,
+            structure.name()
+        );
+        println!(
+            "{:>8} | {:>11} {:>8} | {:>11} {:>8} | {:>11} {:>8} | {:>11} {:>8}",
+            "threads", "MatRox(s)", "speedup", "GOFMM(s)", "speedup", "STRUM(s)", "speedup", "SMASH(s)", "speedup"
+        );
+        let points = generate(dataset, args.n, 0);
+        let kernel = kernel_for(dataset);
+        let w = random_w(args.n, args.q, 5);
+        let wv: Vec<f64> = (0..args.n).map(|i| w.get(i, 0)).collect();
+
+        let mut base: Option<(f64, f64, Option<f64>, Option<f64>)> = None;
+        for &nt in &threads {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(nt).build().unwrap();
+            let row = pool.install(|| {
+                let params = params_for(structure).with_partitions(nt);
+                let h = inspector(&points, &kernel, &params);
+                let opts = if nt == 1 { ExecOptions::sequential() } else { ExecOptions::from_plan(&h.plan) };
+                let (_, t_matrox) = time_best(|| h.matmul_with(&w, &opts), 1);
+
+                let setup = build_baseline(&points, dataset, structure, 1e-5);
+                let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);
+                let (_, t_gofmm) = time_best(
+                    || if nt == 1 { gofmm.evaluate_sequential(&w) } else { gofmm.evaluate(&w) },
+                    1,
+                );
+
+                // STRUMPACK needs HSS; build that separately (HSS always supported).
+                let hss_setup = build_baseline(&points, dataset, Structure::Hss, 1e-5);
+                let t_strum = StrumpackEvaluator::new(&hss_setup.tree, &hss_setup.htree, &hss_setup.compression)
+                    .ok()
+                    .map(|s| {
+                        time_best(
+                            || if nt == 1 { s.evaluate_sequential(&w) } else { s.evaluate(&w) },
+                            1,
+                        )
+                        .1
+                    });
+
+                // SMASH: 1-3 d only, matvec only.
+                let t_smash = SmashEvaluator::new(&setup.tree, &setup.htree, &setup.compression, points.dim())
+                    .ok()
+                    .map(|s| {
+                        time_best(
+                            || if nt == 1 { s.evaluate_sequential(&wv) } else { s.evaluate(&wv) },
+                            1,
+                        )
+                        .1
+                    });
+                (t_matrox, t_gofmm, t_strum, t_smash)
+            });
+            if nt == 1 {
+                base = Some(row);
+            }
+            let b = base.as_ref().unwrap();
+            let fmt_opt = |t: Option<f64>, b: Option<f64>| match (t, b) {
+                (Some(t), Some(b)) => format!("{t:>11.3} {:>8.2}", b / t),
+                _ => format!("{:>11} {:>8}", "n/a", "-"),
+            };
+            println!(
+                "{nt:>8} | {:>11.3} {:>8.2} | {:>11.3} {:>8.2} | {} | {}",
+                row.0,
+                b.0 / row.0,
+                row.1,
+                b.1 / row.1,
+                fmt_opt(row.2, b.2),
+                fmt_opt(row.3, b.3)
+            );
+        }
+    }
+}

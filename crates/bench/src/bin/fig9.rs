@@ -1,0 +1,63 @@
+//! Figure 9: block accuracy (`bacc`) vs. overall accuracy `eps_f` of the
+//! HMatrix-matrix multiplication for every dataset (H²-b structure).
+//!
+//! The paper's point: `bacc` is only a loose upper bound on the overall
+//! accuracy — with `bacc = 1e-3`, more than half the datasets do not reach an
+//! overall accuracy of `1e-3`, so users have to retune (which motivates the
+//! inspector reuse of Section 5 / Figure 10).
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin fig9 [--n 1024] [--q 16]
+//! ```
+
+use matrox_bench::*;
+use matrox_core::{inspector_p1, inspector_p2};
+use matrox_points::{generate, DatasetId};
+use matrox_tree::Structure;
+
+fn main() {
+    let args = HarnessArgs::parse(1024, 16);
+    let datasets = if args.datasets.is_empty() {
+        DatasetId::all().to_vec()
+    } else {
+        args.datasets.clone()
+    };
+    let baccs = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+
+    println!(
+        "Figure 9: overall accuracy eps_f = ||K~W - KW||_F / ||KW||_F (H2-b, N = {}, Q = {})\n",
+        args.n, args.q
+    );
+    print!("{:<12}", "dataset");
+    for b in baccs {
+        print!(" {:>12}", format!("bacc={b:.0e}"));
+    }
+    println!();
+
+    let mut not_reached = 0usize;
+    let mut total = 0usize;
+    for &dataset in &datasets {
+        let points = generate(dataset, args.n, 0);
+        let kernel = kernel_for(dataset);
+        let params = params_for(Structure::h2b());
+        let p1 = inspector_p1(&points, &kernel, &params);
+        let w = random_w(args.n, args.q, 31);
+        print!("{:<12}", dataset.name());
+        for &bacc in &baccs {
+            let h = inspector_p2(&points, &p1, &kernel, bacc);
+            let eps = h.overall_accuracy(&points, &w);
+            if bacc == 1e-3 {
+                total += 1;
+                if eps > 1e-3 {
+                    not_reached += 1;
+                }
+            }
+            print!(" {:>12.2e}", eps);
+        }
+        println!();
+    }
+    println!(
+        "\nAt bacc = 1e-3, {not_reached}/{total} datasets do not reach an overall accuracy of 1e-3"
+    );
+    println!("(the paper reports more than 50% — this motivates accuracy retuning).");
+}

@@ -1,0 +1,50 @@
+//! Table 1: the dataset collection.
+//!
+//! Prints each dataset with the paper's N and d, the scaled default N used by
+//! this reproduction, and basic statistics of the generated point cloud, so
+//! the substitution (DESIGN.md S2) is auditable.
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin table1
+//! ```
+
+use matrox_points::{generate, TABLE1};
+
+fn main() {
+    println!("Table 1: datasets (paper values vs. synthetic stand-ins)\n");
+    println!(
+        "{:<4} {:<10} {:>9} {:>5} | {:>9} {:>5} {:>12} {:>12}",
+        "ID", "data", "paper N", "d", "gen N", "d", "bbox diag", "mean nn dist"
+    );
+    for spec in TABLE1 {
+        let pts = generate(spec.id, spec.default_n, 0);
+        let idx: Vec<usize> = (0..pts.len()).collect();
+        let (lo, hi) = pts.bounding_box(&idx);
+        let diag: f64 = lo
+            .iter()
+            .zip(&hi)
+            .map(|(a, b)| (b - a) * (b - a))
+            .sum::<f64>()
+            .sqrt();
+        // Mean distance to an arbitrary near neighbour (next point index) as a
+        // cheap density proxy.
+        let mean_nn: f64 = (0..pts.len() - 1)
+            .step_by((pts.len() / 256).max(1))
+            .map(|i| pts.dist(i, i + 1))
+            .sum::<f64>()
+            / ((pts.len() - 1) as f64 / (pts.len() / 256).max(1) as f64);
+        println!(
+            "{:<4} {:<10} {:>9} {:>5} | {:>9} {:>5} {:>12.3} {:>12.4}",
+            spec.problem_id,
+            spec.id.name(),
+            spec.paper_n,
+            spec.dim,
+            pts.len(),
+            pts.dim(),
+            diag,
+            mean_nn
+        );
+    }
+    println!("\nN is scaled down (paper: 11k-102k) so the exact K*W reference products");
+    println!("used by the accuracy experiments stay tractable; every harness accepts --n.");
+}

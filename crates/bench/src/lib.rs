@@ -1,0 +1,254 @@
+//! # matrox-bench
+//!
+//! Shared infrastructure for the benchmark harnesses that regenerate every
+//! table and figure of the MatRox paper's evaluation (Section 4 and 5).
+//!
+//! Each experiment has a binary harness (`cargo run -p matrox-bench --release
+//! --bin figN`) that prints the same rows/series the paper reports, and the
+//! most time-sensitive experiments additionally have Criterion benches under
+//! `benches/`.  Absolute numbers differ from the paper (different machine, no
+//! MKL, scaled-down N — see DESIGN.md substitutions S1/S2/S6); the harnesses
+//! are about reproducing the *shape* of each result.
+
+use matrox_baselines::GofmmEvaluator;
+use matrox_compress::{compress, Compression, CompressionParams};
+use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, MatRoxParams};
+use matrox_linalg::Matrix;
+use matrox_points::{generate, DatasetId, Kernel, PointSet};
+use matrox_sampling::sample_nodes;
+use matrox_tree::{ClusterTree, HTree, Structure};
+use std::time::Instant;
+
+/// Default problem size used by the harnesses (scaled down from the paper's
+/// 10k–100k so that exact reference products stay tractable).
+pub const DEFAULT_N: usize = 2048;
+
+/// Default number of right-hand-side columns, scaled down from the paper's
+/// Q = 2K in the same proportion as N.
+pub const DEFAULT_Q: usize = 256;
+
+/// Parse `--n`, `--q`, `--datasets` style overrides from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Number of points per dataset.
+    pub n: usize,
+    /// Number of right-hand-side columns.
+    pub q: usize,
+    /// Datasets to run (paper names); empty = harness default.
+    pub datasets: Vec<DatasetId>,
+}
+
+impl HarnessArgs {
+    /// Parse the process arguments, falling back to the given defaults.
+    pub fn parse(default_n: usize, default_q: usize) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut out = HarnessArgs { n: default_n, q: default_q, datasets: Vec::new() };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--n" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.n = v;
+                    }
+                    i += 2;
+                }
+                "--q" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.q = v;
+                    }
+                    i += 2;
+                }
+                "--datasets" => {
+                    if let Some(list) = args.get(i + 1) {
+                        out.datasets = list
+                            .split(',')
+                            .filter_map(DatasetId::from_name)
+                            .collect();
+                    }
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        out
+    }
+}
+
+/// The kernel the paper uses for a dataset: Gaussian (bandwidth 5) for the
+/// machine-learning sets, the SMASH inverse-distance kernel for the
+/// scientific sets.
+pub fn kernel_for(dataset: DatasetId) -> Kernel {
+    if dataset.is_scientific() {
+        Kernel::smash_default()
+    } else {
+        Kernel::Gaussian { bandwidth: 5.0 }
+    }
+}
+
+/// MatRox parameters for a structure with the paper's defaults.
+pub fn params_for(structure: Structure) -> MatRoxParams {
+    MatRoxParams { structure, ..MatRoxParams::default() }
+}
+
+/// Generate a dataset and compress it with MatRox, returning both.
+pub fn build_hmatrix(
+    dataset: DatasetId,
+    n: usize,
+    structure: Structure,
+    bacc: f64,
+) -> (PointSet, HMatrix) {
+    let points = generate(dataset, n, 0);
+    let kernel = kernel_for(dataset);
+    let params = params_for(structure).with_bacc(bacc);
+    let h = inspector(&points, &kernel, &params);
+    (points, h)
+}
+
+/// Everything the tree-based baselines need, built from the same settings the
+/// MatRox pipeline uses.
+pub struct BaselineSetup {
+    /// Cluster tree shared by the baselines.
+    pub tree: ClusterTree,
+    /// HTree for the requested structure.
+    pub htree: HTree,
+    /// Compression output in tree-based (per-block) storage.
+    pub compression: Compression,
+    /// Wall-clock time of the compression (the baselines' "compression" bar).
+    pub compression_time: f64,
+}
+
+/// Build the tree-based compression used by the GOFMM/STRUMPACK/SMASH
+/// baselines.
+pub fn build_baseline(
+    points: &PointSet,
+    dataset: DatasetId,
+    structure: Structure,
+    bacc: f64,
+) -> BaselineSetup {
+    let kernel = kernel_for(dataset);
+    let params = params_for(structure);
+    let t0 = Instant::now();
+    let tree = ClusterTree::build(points, params.partition, params.leaf_size, params.seed);
+    let htree = HTree::build(&tree, structure);
+    let sampling = sample_nodes(points, &tree, &kernel, &params.sampling);
+    let compression = compress(
+        points,
+        &tree,
+        &htree,
+        &kernel,
+        &sampling,
+        &CompressionParams { bacc, max_rank: params.max_rank },
+    );
+    BaselineSetup {
+        tree,
+        htree,
+        compression,
+        compression_time: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Time a closure, returning `(result, seconds)` for the best of `reps` runs.
+pub fn time_best<T, F: FnMut() -> T>(mut f: F, reps: usize) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out, best)
+}
+
+/// GFLOP/s given a flop count and seconds.
+pub fn gflops(flops: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        flops as f64 / secs / 1e9
+    }
+}
+
+/// A random `n x q` right-hand-side matrix (the paper multiplies the HMatrix
+/// with a randomly generated dense W).
+pub fn random_w(n: usize, q: usize, seed: u64) -> Matrix {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    Matrix::random_uniform(n, q, &mut rng)
+}
+
+/// Evaluate the GOFMM-style baseline once (parallel, dynamic scheduling).
+pub fn gofmm_evaluate(setup: &BaselineSetup, w: &Matrix) -> Matrix {
+    GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression).evaluate(w)
+}
+
+/// Coefficient of determination (R²) of a least-squares line through the
+/// given points; used by the Figure 6 harness.
+pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 1.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+/// Run a MatRox p1+p2 inspection and return `(HMatrix, p1 seconds, p2 seconds)`.
+pub fn inspect_split(
+    points: &PointSet,
+    dataset: DatasetId,
+    structure: Structure,
+    bacc: f64,
+) -> (HMatrix, f64, f64) {
+    let kernel = kernel_for(dataset);
+    let params = params_for(structure).with_bacc(bacc);
+    let t0 = Instant::now();
+    let p1 = inspector_p1(points, &kernel, &params);
+    let p1_time = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let h = inspector_p2(points, &p1, &kernel, bacc);
+    let p2_time = t0.elapsed().as_secs_f64();
+    (h, p1_time, p2_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_squared_of_perfect_line_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((r_squared(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_of_noise_is_small() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [3.0, -1.0, 4.0, -2.0, 3.5, -0.5];
+        assert!(r_squared(&xs, &ys) < 0.5);
+    }
+
+    #[test]
+    fn harness_pipeline_smoke_test() {
+        let (points, h) = build_hmatrix(DatasetId::Unit, 512, Structure::Hss, 1e-4);
+        let w = random_w(points.len(), 4, 1);
+        let y = h.matmul(&w);
+        assert_eq!(y.shape(), (512, 4));
+        let setup = build_baseline(&points, DatasetId::Unit, Structure::Hss, 1e-4);
+        let yb = gofmm_evaluate(&setup, &w);
+        assert!(matrox_linalg::relative_error(&yb, &y) < 1e-3);
+    }
+
+    #[test]
+    fn kernel_selection_matches_paper_settings() {
+        assert_eq!(kernel_for(DatasetId::Covtype).name(), "gaussian");
+        assert_eq!(kernel_for(DatasetId::Grid).name(), "inverse-distance");
+    }
+}

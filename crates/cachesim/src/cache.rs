@@ -1,0 +1,253 @@
+//! Set-associative LRU cache model.
+//!
+//! The paper measures locality with PAPI hardware counters (L1/LLC/TLB misses
+//! and memory accesses) and condenses them into an *average memory access
+//! latency* (Hennessy–Patterson style).  Hardware counters are not available
+//! in this environment, so Figure 6 is reproduced with a software model: the
+//! submatrix access trace of each evaluation strategy is replayed through a
+//! two-level set-associative LRU cache (sized after the paper's Haswell
+//! testbed) and the same latency formula is applied.  The model preserves the
+//! *ordering* of locality between storage formats and loop structures, which
+//! is what the figure demonstrates (speedup correlates with memory access
+//! latency).
+
+/// One level of set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    /// Line size in bytes.
+    pub line_size: usize,
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    /// Create a cache level with `capacity_bytes` total capacity,
+    /// `ways`-way associativity and `line_size`-byte lines.
+    pub fn new(capacity_bytes: usize, ways: usize, line_size: usize) -> Self {
+        assert!(ways >= 1 && line_size.is_power_of_two());
+        let num_lines = (capacity_bytes / line_size).max(ways);
+        let num_sets = (num_lines / ways).max(1);
+        CacheLevel {
+            line_size,
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one cache line (identified by its line address).  Returns true
+    /// on a hit.
+    pub fn access_line(&mut self, line_addr: u64) -> bool {
+        let set_idx = (line_addr as usize) % self.sets.len();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&l| l == line_addr) {
+            // Move to MRU position.
+            let line = set.remove(pos);
+            set.push(line);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0); // evict LRU
+            }
+            set.push(line_addr);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio (0 when no accesses were made).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Reset counters and contents.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Latency parameters (cycles) for the average-memory-access-latency formula.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// L1 hit latency.
+    pub l1_hit: f64,
+    /// Penalty of an L1 miss that hits in the last-level cache.
+    pub llc_hit: f64,
+    /// Penalty of a last-level-cache miss (memory access).
+    pub memory: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Roughly Haswell-class numbers; only the relative magnitudes matter.
+        LatencyModel { l1_hit: 4.0, llc_hit: 34.0, memory: 200.0 }
+    }
+}
+
+/// Two-level cache hierarchy fed with byte-range accesses.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// First-level cache.
+    pub l1: CacheLevel,
+    /// Last-level cache.
+    pub llc: CacheLevel,
+    /// Latency parameters.
+    pub latency: LatencyModel,
+    accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Haswell-like configuration: 32 KiB 8-way L1, 30 MiB 20-way LLC,
+    /// 64-byte lines (matching the testbed of Section 4.1).
+    pub fn haswell() -> Self {
+        CacheHierarchy {
+            l1: CacheLevel::new(32 * 1024, 8, 64),
+            llc: CacheLevel::new(30 * 1024 * 1024, 20, 64),
+            latency: LatencyModel::default(),
+            accesses: 0,
+        }
+    }
+
+    /// A deliberately tiny hierarchy for unit tests.
+    pub fn tiny(l1_bytes: usize, llc_bytes: usize) -> Self {
+        CacheHierarchy {
+            l1: CacheLevel::new(l1_bytes, 2, 64),
+            llc: CacheLevel::new(llc_bytes, 4, 64),
+            latency: LatencyModel::default(),
+            accesses: 0,
+        }
+    }
+
+    /// Access `len` bytes starting at byte address `addr`.
+    pub fn access(&mut self, addr: u64, len: usize) {
+        let line = self.l1.line_size as u64;
+        let first = addr / line;
+        let last = (addr + len.max(1) as u64 - 1) / line;
+        for l in first..=last {
+            self.accesses += 1;
+            if !self.l1.access_line(l) {
+                self.llc.access_line(l);
+            }
+        }
+    }
+
+    /// Total line accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Average memory access latency:
+    /// `l1_hit + miss1 * (llc_hit + missLLC * memory)` where the miss ratios
+    /// come from the replayed trace.
+    pub fn average_memory_access_latency(&self) -> f64 {
+        let m1 = self.l1.miss_ratio();
+        let m2 = self.llc.miss_ratio();
+        self.latency.l1_hit + m1 * (self.latency.llc_hit + m2 * self.latency.memory)
+    }
+
+    /// Reset both levels and the access counter.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.llc.reset();
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let mut c = CacheLevel::new(1024, 2, 64);
+        assert!(!c.access_line(5));
+        assert!(c.access_line(5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way cache with a single set (128 bytes / 64-byte lines).
+        let mut c = CacheLevel::new(128, 2, 64);
+        // Lines mapping to set 0: choose multiples of the set count (1 set).
+        c.access_line(0);
+        c.access_line(1);
+        c.access_line(0); // 0 becomes MRU
+        c.access_line(2); // evicts 1
+        assert!(c.access_line(0), "0 must still be cached");
+        assert!(!c.access_line(1), "1 must have been evicted");
+    }
+
+    #[test]
+    fn sequential_scan_of_small_buffer_is_cache_friendly() {
+        let mut h = CacheHierarchy::tiny(4 * 1024, 64 * 1024);
+        // Scan a 2 KiB buffer four times: first pass misses, later passes hit.
+        for _ in 0..4 {
+            for off in (0..2048).step_by(8) {
+                h.access(off as u64, 8);
+            }
+        }
+        assert!(h.l1.miss_ratio() < 0.3, "miss ratio {}", h.l1.miss_ratio());
+    }
+
+    #[test]
+    fn random_scatter_over_large_range_is_cache_hostile() {
+        let mut h = CacheHierarchy::tiny(4 * 1024, 16 * 1024);
+        let mut x: u64 = 12345;
+        for _ in 0..20_000 {
+            // Simple LCG over a 16 MiB range.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.access(x % (16 * 1024 * 1024), 8);
+        }
+        assert!(h.l1.miss_ratio() > 0.5);
+        assert!(h.average_memory_access_latency() > CacheHierarchy::tiny(4096, 16384).average_memory_access_latency());
+    }
+
+    #[test]
+    fn latency_grows_with_miss_ratio() {
+        let mut good = CacheHierarchy::haswell();
+        for _ in 0..10 {
+            for off in (0..4096).step_by(8) {
+                good.access(off, 8);
+            }
+        }
+        let mut bad = CacheHierarchy::haswell();
+        let mut x: u64 = 7;
+        for _ in 0..5120 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            bad.access(x % (1 << 30), 8);
+        }
+        assert!(bad.average_memory_access_latency() > good.average_memory_access_latency());
+    }
+
+    #[test]
+    fn access_spanning_lines_touches_all_of_them() {
+        let mut h = CacheHierarchy::tiny(4096, 16384);
+        h.access(0, 256); // 4 lines
+        assert_eq!(h.accesses(), 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! # matrox-cachesim
+//!
+//! Software locality proxy for the MatRox reproduction.
+//!
+//! The paper's Figure 6 correlates MatRox's speedup with the *average memory
+//! access latency* computed from PAPI hardware counters.  This crate provides
+//! the offline substitute (DESIGN.md substitution S5): a two-level
+//! set-associative LRU [`CacheHierarchy`] sized after the Haswell testbed and
+//! a [`Trace`] abstraction that the Figure 6 harness fills by walking the
+//! submatrices of each evaluation strategy in the order that strategy visits
+//! them.  Replaying a trace yields miss ratios and the same latency formula
+//! used in the paper.
+
+pub mod cache;
+pub mod trace;
+
+pub use cache::{CacheHierarchy, CacheLevel, LatencyModel};
+pub use trace::{Access, Trace};

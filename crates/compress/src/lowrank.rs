@@ -1,0 +1,323 @@
+//! Low-rank approximation: the last module of MatRox's modular compression.
+//!
+//! For every cluster-tree node an interpolative decomposition (ID) of the
+//! sampled far-field block selects a set of *skeleton* points and an
+//! interpolation matrix; internal nodes are skeletonized from their
+//! children's skeletons, giving the nested (H²) basis.  The rank of every
+//! block — the paper's `srank` — is chosen adaptively so the ID meets the
+//! requested block-approximation accuracy `bacc`, capped at `max_rank`
+//! (256 in the paper's default configuration).
+//!
+//! The module produces the *structure information* consumed by structure
+//! analysis and the executor:
+//!
+//! * per-node generators `U_i`, `V_i` (leaf interpolation or internal
+//!   transfer matrices) and skeletons,
+//! * the `sranks` vector (used by the coarsening cost model),
+//! * dense near blocks `D_{i,j}` and low-rank coupling blocks
+//!   `B_{i,j} = K(skel_i, skel_j)`.
+
+use matrox_linalg::{row_id, Matrix};
+use matrox_points::{kernel_block, Kernel, PointSet};
+use matrox_sampling::SamplingInfo;
+use matrox_tree::{ClusterTree, HTree};
+use rayon::prelude::*;
+
+/// Parameters of the low-rank approximation module.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionParams {
+    /// Block approximation accuracy `bacc`; the ID of each block stops once
+    /// the relative diagonal of the pivoted QR drops below this value.
+    pub bacc: f64,
+    /// Hard cap on the submatrix rank (the paper's "maximum rank = 256").
+    pub max_rank: usize,
+}
+
+impl Default for CompressionParams {
+    fn default() -> Self {
+        CompressionParams {
+            bacc: 1e-5,
+            max_rank: 256,
+        }
+    }
+}
+
+/// Per-node generators produced by the low-rank approximation.
+#[derive(Debug, Clone)]
+pub struct NodeBasis {
+    /// Rank of this node's basis (`srank`); 0 when the node has no far field.
+    pub srank: usize,
+    /// Global point indices of the node's skeleton, in pivot order.
+    pub skeleton: Vec<usize>,
+    /// Column-basis generator.  For a leaf: `|I_i| x srank` interpolation
+    /// matrix.  For an internal node: `(srank_lc + srank_rc) x srank`
+    /// transfer matrix acting on the children's skeleton coefficients.
+    pub v: Matrix,
+    /// Row-basis generator; equal to `v` for the symmetric kernels used in
+    /// the paper but stored separately to match the CDS layout (Figure 1g/1h
+    /// stores U and V generators independently).
+    pub u: Matrix,
+}
+
+impl NodeBasis {
+    fn empty() -> Self {
+        NodeBasis {
+            srank: 0,
+            skeleton: Vec::new(),
+            v: Matrix::zeros(0, 0),
+            u: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+/// Output of the compression phase: the HMatrix in unordered ("tree-based")
+/// form, before structure analysis reorders it into CDS.
+#[derive(Debug, Clone)]
+pub struct Compression {
+    /// Parameters the blocks were compressed with.
+    pub params: CompressionParams,
+    /// Per-node generators, indexed by node id.
+    pub bases: Vec<NodeBasis>,
+    /// Per-node sranks (copy of `bases[i].srank`, kept separate because the
+    /// coarsening cost model of Algorithm 2 consumes exactly this vector).
+    pub sranks: Vec<usize>,
+    /// Dense near blocks: `((i, j), D_{i,j})` with `D_{i,j} = K(I_i, I_j)`.
+    pub near_blocks: Vec<((usize, usize), Matrix)>,
+    /// Low-rank coupling blocks: `((i, j), B_{i,j})` with
+    /// `B_{i,j} = K(skel_i, skel_j)`.
+    pub far_blocks: Vec<((usize, usize), Matrix)>,
+}
+
+impl Compression {
+    /// Total bytes of submatrix payload (used by reports and to size CDS).
+    pub fn storage_bytes(&self) -> usize {
+        let gen_elems: usize = self
+            .bases
+            .iter()
+            .map(|b| b.u.len() + b.v.len())
+            .sum::<usize>();
+        let near_elems: usize = self.near_blocks.iter().map(|(_, m)| m.len()).sum::<usize>();
+        let far_elems: usize = self.far_blocks.iter().map(|(_, m)| m.len()).sum::<usize>();
+        (gen_elems + near_elems + far_elems) * std::mem::size_of::<f64>()
+    }
+
+    /// Compression ratio versus the dense `N x N` kernel matrix.
+    pub fn compression_ratio(&self, n: usize) -> f64 {
+        let dense = (n * n * std::mem::size_of::<f64>()) as f64;
+        dense / self.storage_bytes().max(1) as f64
+    }
+}
+
+/// Run the low-rank approximation module.
+///
+/// This corresponds to the "low-rank approximation" box of Figure 3: it takes
+/// the HTree, the kernel function, the block accuracy and the sampling
+/// information, and produces the sranks and submatrices.
+pub fn compress(
+    points: &PointSet,
+    tree: &ClusterTree,
+    htree: &HTree,
+    kernel: &Kernel,
+    sampling: &SamplingInfo,
+    params: &CompressionParams,
+) -> Compression {
+    let n_nodes = tree.num_nodes();
+    let mut bases: Vec<NodeBasis> = vec![NodeBasis::empty(); n_nodes];
+
+    // Does any node need a basis at all?  Only nodes that participate in far
+    // interactions, or have an ancestor/descendant chain leading to one, do.
+    // Computing bases for every non-root node is simpler and matches what
+    // GOFMM does; the root never needs one (Figure 1b: "node 0 is not
+    // involved in any computation").
+    //
+    // Bases must be built bottom-up because an internal node's sample rows
+    // are its children's skeletons.
+    for level in (1..=tree.height).rev() {
+        let level_nodes = tree.nodes_at_level(level);
+        let level_bases: Vec<(usize, NodeBasis)> = level_nodes
+            .par_iter()
+            .map(|&id| {
+                let node = &tree.nodes[id];
+                let samples = &sampling.samples[id];
+                if samples.is_empty() {
+                    return (id, NodeBasis::empty());
+                }
+                // Candidate rows: the node's own points for a leaf, or the
+                // union of the children's skeletons for an internal node.
+                let candidate_rows: Vec<usize> = if node.is_leaf() {
+                    tree.indices(id).to_vec()
+                } else {
+                    let (l, r) = node.children.unwrap();
+                    let mut rows = bases[l].skeleton.clone();
+                    rows.extend_from_slice(&bases[r].skeleton);
+                    rows
+                };
+                if candidate_rows.is_empty() {
+                    return (id, NodeBasis::empty());
+                }
+                let sample_block = kernel_block(points, kernel, &candidate_rows, samples);
+                let id_res = row_id(&sample_block, params.bacc, params.max_rank);
+                let skeleton: Vec<usize> =
+                    id_res.skeleton.iter().map(|&r| candidate_rows[r]).collect();
+                let v = id_res.interp;
+                let u = v.clone();
+                (
+                    id,
+                    NodeBasis {
+                        srank: id_res.rank,
+                        skeleton,
+                        v,
+                        u,
+                    },
+                )
+            })
+            .collect();
+        for (id, basis) in level_bases {
+            bases[id] = basis;
+        }
+    }
+
+    let sranks: Vec<usize> = bases.iter().map(|b| b.srank).collect();
+
+    // Dense near blocks D_{i,j} = K(I_i, I_j).
+    let near_pairs = htree.near_pairs();
+    let near_blocks: Vec<((usize, usize), Matrix)> = near_pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let block = kernel_block(points, kernel, tree.indices(i), tree.indices(j));
+            ((i, j), block)
+        })
+        .collect();
+
+    // Coupling blocks B_{i,j} = K(skel_i, skel_j).
+    let far_pairs = htree.far_pairs();
+    let far_blocks: Vec<((usize, usize), Matrix)> = far_pairs
+        .par_iter()
+        .map(|&(i, j)| {
+            let block = kernel_block(points, kernel, &bases[i].skeleton, &bases[j].skeleton);
+            ((i, j), block)
+        })
+        .collect();
+
+    Compression {
+        params: *params,
+        bases,
+        sranks,
+        near_blocks,
+        far_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrox_points::{generate, DatasetId};
+    use matrox_sampling::sample_nodes_exhaustive;
+    use matrox_tree::{PartitionMethod, Structure};
+
+    fn setup(
+        n: usize,
+        structure: Structure,
+    ) -> (PointSet, ClusterTree, HTree, SamplingInfo, Kernel) {
+        let pts = generate(DatasetId::Random, n, 21);
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+        let htree = HTree::build(&tree, structure);
+        let sampling = sample_nodes_exhaustive(&pts, &tree);
+        (pts, tree, htree, sampling, Kernel::Gaussian { bandwidth: 1.0 })
+    }
+
+    #[test]
+    fn sranks_respect_max_rank_and_node_size() {
+        let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
+        let params = CompressionParams { bacc: 1e-5, max_rank: 16 };
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &params);
+        for (id, b) in c.bases.iter().enumerate() {
+            assert!(b.srank <= 16, "node {id} srank {}", b.srank);
+            assert_eq!(b.srank, b.skeleton.len());
+            assert_eq!(c.sranks[id], b.srank);
+        }
+    }
+
+    #[test]
+    fn leaf_skeletons_are_subsets_of_leaf_points() {
+        let (pts, tree, htree, sampling, kernel) = setup(256, Structure::Hss);
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        for node in &tree.nodes {
+            if node.id == 0 {
+                continue;
+            }
+            let members: std::collections::HashSet<_> = tree.indices(node.id).iter().collect();
+            for s in &c.bases[node.id].skeleton {
+                assert!(members.contains(s), "skeleton of node {} leaked", node.id);
+            }
+        }
+    }
+
+    #[test]
+    fn internal_skeletons_come_from_children_skeletons() {
+        let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        for node in &tree.nodes {
+            if node.id == 0 || node.is_leaf() {
+                continue;
+            }
+            let (l, r) = node.children.unwrap();
+            let pool: std::collections::HashSet<_> = c.bases[l]
+                .skeleton
+                .iter()
+                .chain(c.bases[r].skeleton.iter())
+                .collect();
+            for s in &c.bases[node.id].skeleton {
+                assert!(pool.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn near_blocks_match_kernel_entries() {
+        let (pts, tree, htree, sampling, kernel) = setup(256, Structure::Geometric { tau: 0.65 });
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        assert_eq!(c.near_blocks.len(), htree.num_near());
+        for ((i, j), block) in &c.near_blocks {
+            let ri = tree.indices(*i);
+            let cj = tree.indices(*j);
+            assert_eq!(block.shape(), (ri.len(), cj.len()));
+            // Spot-check a few entries.
+            for a in (0..ri.len()).step_by(7.max(1)) {
+                for b in (0..cj.len()).step_by(5.max(1)) {
+                    let expected = kernel.eval(pts.point(ri[a]), pts.point(cj[b]));
+                    assert!((block.get(a, b) - expected).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_block_shapes_match_sranks() {
+        let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        assert_eq!(c.far_blocks.len(), htree.num_far());
+        for ((i, j), block) in &c.far_blocks {
+            assert_eq!(block.shape(), (c.sranks[*i], c.sranks[*j]));
+        }
+    }
+
+    #[test]
+    fn tighter_bacc_gives_larger_or_equal_ranks() {
+        let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
+        let loose = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-2, max_rank: 256 });
+        let tight = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-8, max_rank: 256 });
+        let sl: usize = loose.sranks.iter().sum();
+        let st: usize = tight.sranks.iter().sum();
+        assert!(st >= sl, "tight {st} < loose {sl}");
+    }
+
+    #[test]
+    fn compression_is_much_smaller_than_dense_for_smooth_kernel() {
+        let (pts, tree, htree, sampling, _) = setup(1024, Structure::Hss);
+        let kernel = Kernel::Gaussian { bandwidth: 5.0 };
+        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-5, max_rank: 256 });
+        let ratio = c.compression_ratio(pts.len());
+        assert!(ratio > 2.0, "compression ratio {ratio} too small");
+    }
+}

@@ -1,0 +1,85 @@
+//! The user-facing [`HMatrix`] handle and its evaluation entry points.
+
+use crate::timings::InspectorTimings;
+use matrox_codegen::{emit_source, EvalPlan};
+use matrox_exec::{execute, ExecOptions};
+use matrox_linalg::{relative_error, Matrix};
+use matrox_points::{dense_kernel_matmul, Kernel, PointSet};
+use matrox_tree::{ClusterTree, Structure};
+
+/// A compressed kernel matrix ready for evaluation.
+///
+/// Produced by the inspector ([`crate::inspector`] / [`crate::inspector_p2`]);
+/// consumed by [`matmul`](HMatrix::matmul), which runs the MatRox executor
+/// over the generated plan and CDS storage.
+#[derive(Debug, Clone)]
+pub struct HMatrix {
+    /// The cluster tree the matrix was compressed over.
+    pub tree: ClusterTree,
+    /// The generated evaluation plan (lowering decisions + structure sets +
+    /// CDS payload).
+    pub plan: EvalPlan,
+    /// The structure / admissibility mode used for compression.
+    pub structure: Structure,
+    /// The kernel the submatrices were evaluated with.
+    pub kernel: Kernel,
+    /// Block accuracy the matrix was compressed to.
+    pub bacc: f64,
+    /// Inspector timing breakdown (compression, structure analysis, codegen).
+    pub timings: InspectorTimings,
+}
+
+impl HMatrix {
+    /// Problem size `N` (number of points / matrix dimension).
+    pub fn dim(&self) -> usize {
+        self.tree.perm.len()
+    }
+
+    /// Evaluate `Y = K~ * W` with the generated (optimized) code.
+    pub fn matmul(&self, w: &Matrix) -> Matrix {
+        execute(&self.plan, &self.tree, w, &ExecOptions::from_plan(&self.plan))
+    }
+
+    /// Evaluate with explicit executor options (used by the ablation and
+    /// scalability harnesses).
+    pub fn matmul_with(&self, w: &Matrix, opts: &ExecOptions) -> Matrix {
+        execute(&self.plan, &self.tree, w, opts)
+    }
+
+    /// Evaluate a matrix-vector product (`Q = 1`).
+    pub fn matvec(&self, w: &[f64]) -> Vec<f64> {
+        let wm = Matrix::from_vec(w.len(), 1, w.to_vec());
+        self.matmul(&wm).into_vec()
+    }
+
+    /// Overall accuracy `eps_f = ||K~W - KW||_F / ||KW||_F` against the exact
+    /// kernel product (Figure 9's measure).  `O(N^2 Q)` — intended for the
+    /// scaled-down experiment sizes.
+    pub fn overall_accuracy(&self, points: &PointSet, w: &Matrix) -> f64 {
+        let approx = self.matmul(w);
+        let exact = dense_kernel_matmul(points, &self.kernel, w);
+        relative_error(&approx, &exact)
+    }
+
+    /// Flops of one evaluation with `q` columns (for GFLOP/s reporting).
+    pub fn flops(&self, q: usize) -> u64 {
+        self.plan.flops(q)
+    }
+
+    /// Compression ratio versus the dense `N x N` matrix.
+    pub fn compression_ratio(&self) -> f64 {
+        let dense = (self.dim() * self.dim() * std::mem::size_of::<f64>()) as f64;
+        dense / self.plan.storage_bytes().max(1) as f64
+    }
+
+    /// Render the specialized evaluation code for this matrix (the
+    /// `matmul.h` artifact of Figure 2).
+    pub fn generated_code(&self) -> String {
+        emit_source(&self.plan, "matmul")
+    }
+
+    /// Write the generated code to a file.
+    pub fn write_generated_code(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.generated_code())
+    }
+}

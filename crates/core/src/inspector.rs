@@ -1,0 +1,230 @@
+//! The MatRox inspector, full and split into the reusable phases p1/p2.
+//!
+//! The inspector (Figure 3) runs modular compression, structure analysis and
+//! code generation.  [`inspector`] runs everything; [`inspector_p1`] /
+//! [`inspector_p2`] implement the reuse scheme of Section 5: p1 depends only
+//! on the points and the admissibility/structure selection (tree
+//! construction, interaction computation, sampling, blocking and the code
+//! skeleton), while p2 depends on the kernel function and the block accuracy
+//! (low-rank approximation, coarsening, CDS construction).  When only the
+//! kernel or `bacc` change, re-running p2 alone reuses all of p1's work —
+//! this is what Figure 10 measures.
+
+use crate::config::MatRoxParams;
+use crate::hmatrix::HMatrix;
+use crate::timings::InspectorTimings;
+use matrox_analysis::{build_blockset, build_coarsenset, build_cds, BlockSet};
+use matrox_codegen::generate_plan;
+use matrox_compress::{compress, CompressionParams};
+use matrox_points::{Kernel, PointSet};
+use matrox_sampling::{sample_nodes, SamplingInfo};
+use matrox_tree::{ClusterTree, HTree};
+use std::time::Instant;
+
+/// Output of inspector-p1: everything that does not depend on the kernel
+/// parameters or the requested accuracy.
+#[derive(Debug, Clone)]
+pub struct InspectorP1 {
+    /// The cluster tree (tree-construction module).
+    pub tree: ClusterTree,
+    /// The HTree (interaction-computation module).
+    pub htree: HTree,
+    /// Per-node sampling information (sampling module).
+    pub sampling: SamplingInfo,
+    /// Near-interaction blockset (blocking, structure analysis).
+    pub near_blockset: BlockSet,
+    /// Far-interaction blockset (blocking, structure analysis).
+    pub far_blockset: BlockSet,
+    /// Parameters p1 was run with (p2 reuses them).
+    pub params: MatRoxParams,
+    /// Wall-clock breakdown of the p1 modules.
+    pub timings: InspectorTimings,
+}
+
+/// Run inspector-p1: tree construction, interaction computation, sampling and
+/// blocking.  The kernel passed here is only used to rank sampling
+/// candidates; changing it later does **not** require re-running p1
+/// (GOFMM-style neighbour sampling is geometry-driven).
+pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -> InspectorP1 {
+    let mut timings = InspectorTimings::default();
+
+    let t0 = Instant::now();
+    let tree = ClusterTree::build(points, params.partition, params.leaf_size, params.seed);
+    timings.tree_construction = t0.elapsed();
+
+    let t0 = Instant::now();
+    let htree = HTree::build(&tree, params.structure);
+    timings.interaction = t0.elapsed();
+
+    let t0 = Instant::now();
+    let sampling = sample_nodes(points, &tree, kernel, &params.sampling);
+    timings.sampling = t0.elapsed();
+
+    let t0 = Instant::now();
+    let near_blockset = build_blockset(&htree.near_pairs(), tree.num_nodes(), params.near_blocksize);
+    let far_blockset = build_blockset(&htree.far_pairs(), tree.num_nodes(), params.far_blocksize);
+    timings.blocking = t0.elapsed();
+
+    InspectorP1 {
+        tree,
+        htree,
+        sampling,
+        near_blockset,
+        far_blockset,
+        params: *params,
+        timings,
+    }
+}
+
+/// Run inspector-p2 on top of a p1 result: low-rank approximation with the
+/// given kernel and accuracy, coarsening, CDS construction and code
+/// generation.  Returns the ready-to-evaluate [`HMatrix`].
+pub fn inspector_p2(
+    points: &PointSet,
+    p1: &InspectorP1,
+    kernel: &Kernel,
+    bacc: f64,
+) -> HMatrix {
+    let mut timings = p1.timings;
+    let params = &p1.params;
+
+    let t0 = Instant::now();
+    let compression = compress(
+        points,
+        &p1.tree,
+        &p1.htree,
+        kernel,
+        &p1.sampling,
+        &CompressionParams { bacc, max_rank: params.max_rank },
+    );
+    timings.low_rank = t0.elapsed();
+
+    let t0 = Instant::now();
+    let coarsenset = build_coarsenset(&p1.tree, &compression.sranks, &params.coarsen);
+    timings.coarsening = t0.elapsed();
+
+    let t0 = Instant::now();
+    let cds = build_cds(
+        &p1.tree,
+        &compression,
+        &p1.near_blockset,
+        &p1.far_blockset,
+        &coarsenset,
+    );
+    timings.cds = t0.elapsed();
+
+    let t0 = Instant::now();
+    let plan = generate_plan(
+        p1.near_blockset.clone(),
+        p1.far_blockset.clone(),
+        coarsenset,
+        cds,
+        p1.tree.height,
+        p1.tree.leaves().len(),
+        &params.codegen,
+    );
+    timings.codegen = t0.elapsed();
+
+    HMatrix {
+        tree: p1.tree.clone(),
+        plan,
+        structure: params.structure,
+        kernel: *kernel,
+        bacc,
+        timings,
+    }
+}
+
+/// Run the full inspector (Figure 2): compression, structure analysis and
+/// code generation in one call.
+pub fn inspector(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -> HMatrix {
+    let p1 = inspector_p1(points, kernel, params);
+    inspector_p2(points, &p1, kernel, params.bacc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrox_linalg::Matrix;
+    use matrox_points::{generate, DatasetId};
+    use rand::SeedableRng;
+
+    fn small_points() -> PointSet {
+        generate(DatasetId::Grid, 512, 5)
+    }
+
+    #[test]
+    fn full_inspector_produces_accurate_hmatrix() {
+        let pts = small_points();
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::smash_setting().with_bacc(1e-6).with_leaf_size(32);
+        let h = inspector(&pts, &kernel, &params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = Matrix::random_uniform(pts.len(), 4, &mut rng);
+        let acc = h.overall_accuracy(&pts, &w);
+        assert!(acc < 1e-2, "overall accuracy {acc}");
+        // At this very small N the compressed form is not yet smaller than
+        // the dense matrix (constant overheads dominate); just check the
+        // ratio is sane.  The integration tests check >1 at larger N.
+        assert!(h.compression_ratio() > 0.2);
+        assert!(h.timings.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn p1_plus_p2_equals_full_inspector() {
+        let pts = small_points();
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::hss().with_bacc(1e-5).with_leaf_size(32);
+        let full = inspector(&pts, &kernel, &params);
+        let p1 = inspector_p1(&pts, &kernel, &params);
+        let reused = inspector_p2(&pts, &p1, &kernel, params.bacc);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = Matrix::random_uniform(pts.len(), 3, &mut rng);
+        let a = full.matmul(&w);
+        let b = reused.matmul(&w);
+        assert!(matrox_linalg::relative_error(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn p2_reuse_supports_changing_accuracy_and_kernel() {
+        let pts = small_points();
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::smash_setting().with_leaf_size(32);
+        let p1 = inspector_p1(&pts, &kernel, &params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
+
+        let mut prev_err = f64::INFINITY;
+        for bacc in [1e-2, 1e-4, 1e-6] {
+            let h = inspector_p2(&pts, &p1, &kernel, bacc);
+            let err = h.overall_accuracy(&pts, &w);
+            assert!(err <= prev_err * 10.0, "accuracy did not improve: {err} after {prev_err}");
+            prev_err = err;
+        }
+
+        // Changing the kernel also only needs p2.
+        let laplace = Kernel::Laplace { bandwidth: 1.0 };
+        let h = inspector_p2(&pts, &p1, &laplace, 1e-5);
+        let err = h.overall_accuracy(&pts, &w);
+        assert!(err < 0.3, "kernel change produced error {err}");
+    }
+
+    #[test]
+    fn generated_code_is_rendered() {
+        let pts = small_points();
+        let kernel = Kernel::paper_gaussian();
+        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+        let code = h.generated_code();
+        assert!(code.contains("pub fn matmul"));
+    }
+
+    #[test]
+    fn timings_partition_into_p1_and_p2() {
+        let pts = small_points();
+        let kernel = Kernel::paper_gaussian();
+        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+        let t = &h.timings;
+        assert_eq!(t.inspector_p1() + t.inspector_p2(), t.total());
+        assert!(t.low_rank.as_nanos() > 0);
+    }
+}

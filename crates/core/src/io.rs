@@ -1,0 +1,540 @@
+//! HMatrix serialization (the `hmat.cds` file of Figure 2).
+//!
+//! The MatRox user stores the compressed matrix and the generated code to
+//! disk during inspection and loads them back in the executor process.  This
+//! module provides a compact, self-describing binary format for the full
+//! [`HMatrix`] handle: the cluster tree, the structure sets, the lowering
+//! decisions and the CDS buffers.  The format is little-endian and versioned
+//! by a magic header.
+
+use crate::hmatrix::HMatrix;
+use crate::timings::InspectorTimings;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use matrox_analysis::{BlockSet, Cds, CdsBlockEntry, CoarsenSet, GeneratorEntry, GroupRange};
+use matrox_codegen::{EvalPlan, LoweringDecisions};
+use matrox_points::Kernel;
+use matrox_tree::{ClusterTree, Structure, TreeNode};
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MATROX01";
+
+/// Error type for (de)serialization failures.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The byte stream is not a valid HMatrix file.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+impl std::error::Error for IoError {}
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive helpers
+// ---------------------------------------------------------------------------
+
+fn put_usize(buf: &mut BytesMut, v: usize) {
+    buf.put_u64_le(v as u64);
+}
+
+fn get_usize(buf: &mut Bytes) -> Result<usize, IoError> {
+    if buf.remaining() < 8 {
+        return Err(IoError::Format("unexpected end of stream".into()));
+    }
+    Ok(buf.get_u64_le() as usize)
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_f64_le(v);
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, IoError> {
+    if buf.remaining() < 8 {
+        return Err(IoError::Format("unexpected end of stream".into()));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn put_usize_vec(buf: &mut BytesMut, v: &[usize]) {
+    put_usize(buf, v.len());
+    for &x in v {
+        put_usize(buf, x);
+    }
+}
+
+fn get_usize_vec(buf: &mut Bytes) -> Result<Vec<usize>, IoError> {
+    let len = get_usize(buf)?;
+    let mut v = Vec::with_capacity(len.min(1 << 24));
+    for _ in 0..len {
+        v.push(get_usize(buf)?);
+    }
+    Ok(v)
+}
+
+fn put_f64_vec(buf: &mut BytesMut, v: &[f64]) {
+    put_usize(buf, v.len());
+    for &x in v {
+        put_f64(buf, x);
+    }
+}
+
+fn get_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, IoError> {
+    let len = get_usize(buf)?;
+    let mut v = Vec::with_capacity(len.min(1 << 26));
+    for _ in 0..len {
+        v.push(get_f64(buf)?);
+    }
+    Ok(v)
+}
+
+fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+fn get_bool(buf: &mut Bytes) -> Result<bool, IoError> {
+    if buf.remaining() < 1 {
+        return Err(IoError::Format("unexpected end of stream".into()));
+    }
+    Ok(buf.get_u8() != 0)
+}
+
+// ---------------------------------------------------------------------------
+// component encoders
+// ---------------------------------------------------------------------------
+
+fn put_structure(buf: &mut BytesMut, s: &Structure) {
+    match s {
+        Structure::Hss => {
+            buf.put_u8(0);
+            put_f64(buf, 0.0);
+        }
+        Structure::Geometric { tau } => {
+            buf.put_u8(1);
+            put_f64(buf, *tau);
+        }
+        Structure::Budget { budget } => {
+            buf.put_u8(2);
+            put_f64(buf, *budget);
+        }
+    }
+}
+
+fn get_structure(buf: &mut Bytes) -> Result<Structure, IoError> {
+    if buf.remaining() < 1 {
+        return Err(IoError::Format("unexpected end of stream".into()));
+    }
+    let tag = buf.get_u8();
+    let val = get_f64(buf)?;
+    Ok(match tag {
+        0 => Structure::Hss,
+        1 => Structure::Geometric { tau: val },
+        2 => Structure::Budget { budget: val },
+        t => return Err(IoError::Format(format!("unknown structure tag {t}"))),
+    })
+}
+
+fn put_kernel(buf: &mut BytesMut, k: &Kernel) {
+    match k {
+        Kernel::Gaussian { bandwidth } => {
+            buf.put_u8(0);
+            put_f64(buf, *bandwidth);
+        }
+        Kernel::InverseDistance { diag } => {
+            buf.put_u8(1);
+            put_f64(buf, *diag);
+        }
+        Kernel::Laplace { bandwidth } => {
+            buf.put_u8(2);
+            put_f64(buf, *bandwidth);
+        }
+        Kernel::Cauchy { bandwidth } => {
+            buf.put_u8(3);
+            put_f64(buf, *bandwidth);
+        }
+    }
+}
+
+fn get_kernel(buf: &mut Bytes) -> Result<Kernel, IoError> {
+    if buf.remaining() < 1 {
+        return Err(IoError::Format("unexpected end of stream".into()));
+    }
+    let tag = buf.get_u8();
+    let val = get_f64(buf)?;
+    Ok(match tag {
+        0 => Kernel::Gaussian { bandwidth: val },
+        1 => Kernel::InverseDistance { diag: val },
+        2 => Kernel::Laplace { bandwidth: val },
+        3 => Kernel::Cauchy { bandwidth: val },
+        t => return Err(IoError::Format(format!("unknown kernel tag {t}"))),
+    })
+}
+
+fn put_tree(buf: &mut BytesMut, tree: &ClusterTree) {
+    put_usize(buf, tree.leaf_size);
+    put_usize(buf, tree.height);
+    put_usize_vec(buf, &tree.perm);
+    put_usize(buf, tree.nodes.len());
+    for n in &tree.nodes {
+        put_usize(buf, n.id);
+        put_usize(buf, n.parent.map(|p| p + 1).unwrap_or(0));
+        match n.children {
+            Some((l, r)) => {
+                put_usize(buf, l + 1);
+                put_usize(buf, r + 1);
+            }
+            None => {
+                put_usize(buf, 0);
+                put_usize(buf, 0);
+            }
+        }
+        put_usize(buf, n.level);
+        put_usize(buf, n.start);
+        put_usize(buf, n.end);
+        put_f64_vec(buf, &n.centroid);
+        put_f64(buf, n.diameter);
+    }
+}
+
+fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
+    let leaf_size = get_usize(buf)?;
+    let height = get_usize(buf)?;
+    let perm = get_usize_vec(buf)?;
+    let n_nodes = get_usize(buf)?;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 24));
+    for _ in 0..n_nodes {
+        let id = get_usize(buf)?;
+        let parent_raw = get_usize(buf)?;
+        let l = get_usize(buf)?;
+        let r = get_usize(buf)?;
+        let level = get_usize(buf)?;
+        let start = get_usize(buf)?;
+        let end = get_usize(buf)?;
+        let centroid = get_f64_vec(buf)?;
+        let diameter = get_f64(buf)?;
+        nodes.push(TreeNode {
+            id,
+            parent: if parent_raw == 0 { None } else { Some(parent_raw - 1) },
+            children: if l == 0 { None } else { Some((l - 1, r - 1)) },
+            level,
+            start,
+            end,
+            centroid,
+            diameter,
+        });
+    }
+    Ok(ClusterTree { nodes, perm, leaf_size, height })
+}
+
+fn put_blockset(buf: &mut BytesMut, bs: &BlockSet) {
+    put_usize(buf, bs.blocksize);
+    put_usize(buf, bs.groups.len());
+    for g in &bs.groups {
+        put_usize(buf, g.len());
+        for &(i, j) in g {
+            put_usize(buf, i);
+            put_usize(buf, j);
+        }
+    }
+}
+
+fn get_blockset(buf: &mut Bytes) -> Result<BlockSet, IoError> {
+    let blocksize = get_usize(buf)?;
+    let n_groups = get_usize(buf)?;
+    let mut groups = Vec::with_capacity(n_groups.min(1 << 24));
+    for _ in 0..n_groups {
+        let len = get_usize(buf)?;
+        let mut g = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            let i = get_usize(buf)?;
+            let j = get_usize(buf)?;
+            g.push((i, j));
+        }
+        groups.push(g);
+    }
+    Ok(BlockSet { groups, blocksize })
+}
+
+fn put_coarsenset(buf: &mut BytesMut, cs: &CoarsenSet) {
+    put_usize(buf, cs.agg);
+    put_usize(buf, cs.levels.len());
+    for (cl, parts) in cs.levels.iter().enumerate() {
+        put_usize(buf, parts.len());
+        for (p, part) in parts.iter().enumerate() {
+            put_usize_vec(buf, part);
+            put_usize(buf, cs.costs[cl][p] as usize);
+        }
+    }
+}
+
+fn get_coarsenset(buf: &mut Bytes) -> Result<CoarsenSet, IoError> {
+    let agg = get_usize(buf)?;
+    let n_levels = get_usize(buf)?;
+    let mut levels = Vec::with_capacity(n_levels.min(1 << 16));
+    let mut costs = Vec::with_capacity(n_levels.min(1 << 16));
+    for _ in 0..n_levels {
+        let n_parts = get_usize(buf)?;
+        let mut parts = Vec::with_capacity(n_parts.min(1 << 20));
+        let mut part_costs = Vec::with_capacity(n_parts.min(1 << 20));
+        for _ in 0..n_parts {
+            parts.push(get_usize_vec(buf)?);
+            part_costs.push(get_usize(buf)? as u64);
+        }
+        levels.push(parts);
+        costs.push(part_costs);
+    }
+    Ok(CoarsenSet { levels, agg, costs })
+}
+
+fn put_cds(buf: &mut BytesMut, cds: &Cds) {
+    put_f64_vec(buf, &cds.gen_values);
+    put_usize(buf, cds.generators.len());
+    for g in &cds.generators {
+        if g.is_present() {
+            put_bool(buf, true);
+            put_usize(buf, g.v_offset);
+            put_usize(buf, g.u_offset);
+            put_usize(buf, g.rows);
+            put_usize(buf, g.cols);
+        } else {
+            put_bool(buf, false);
+        }
+    }
+    put_usize_vec(buf, &cds.sranks);
+    put_f64_vec(buf, &cds.d_values);
+    put_block_entries(buf, &cds.d_entries);
+    put_group_ranges(buf, &cds.d_groups);
+    put_f64_vec(buf, &cds.b_values);
+    put_block_entries(buf, &cds.b_entries);
+    put_group_ranges(buf, &cds.b_groups);
+}
+
+fn put_block_entries(buf: &mut BytesMut, entries: &[CdsBlockEntry]) {
+    put_usize(buf, entries.len());
+    for e in entries {
+        put_usize(buf, e.target);
+        put_usize(buf, e.source);
+        put_usize(buf, e.offset);
+        put_usize(buf, e.rows);
+        put_usize(buf, e.cols);
+    }
+}
+
+fn get_block_entries(buf: &mut Bytes) -> Result<Vec<CdsBlockEntry>, IoError> {
+    let n = get_usize(buf)?;
+    let mut v = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        v.push(CdsBlockEntry {
+            target: get_usize(buf)?,
+            source: get_usize(buf)?,
+            offset: get_usize(buf)?,
+            rows: get_usize(buf)?,
+            cols: get_usize(buf)?,
+        });
+    }
+    Ok(v)
+}
+
+fn put_group_ranges(buf: &mut BytesMut, groups: &[GroupRange]) {
+    put_usize(buf, groups.len());
+    for g in groups {
+        put_usize(buf, g.start);
+        put_usize(buf, g.end);
+    }
+}
+
+fn get_group_ranges(buf: &mut Bytes) -> Result<Vec<GroupRange>, IoError> {
+    let n = get_usize(buf)?;
+    let mut v = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        v.push(GroupRange { start: get_usize(buf)?, end: get_usize(buf)? });
+    }
+    Ok(v)
+}
+
+fn get_cds(buf: &mut Bytes) -> Result<Cds, IoError> {
+    let gen_values = get_f64_vec(buf)?;
+    let n_gen = get_usize(buf)?;
+    let mut generators = Vec::with_capacity(n_gen.min(1 << 24));
+    for _ in 0..n_gen {
+        if get_bool(buf)? {
+            generators.push(GeneratorEntry {
+                v_offset: get_usize(buf)?,
+                u_offset: get_usize(buf)?,
+                rows: get_usize(buf)?,
+                cols: get_usize(buf)?,
+            });
+        } else {
+            generators.push(GeneratorEntry {
+                v_offset: usize::MAX,
+                u_offset: usize::MAX,
+                rows: 0,
+                cols: 0,
+            });
+        }
+    }
+    let sranks = get_usize_vec(buf)?;
+    let d_values = get_f64_vec(buf)?;
+    let d_entries = get_block_entries(buf)?;
+    let d_groups = get_group_ranges(buf)?;
+    let b_values = get_f64_vec(buf)?;
+    let b_entries = get_block_entries(buf)?;
+    let b_groups = get_group_ranges(buf)?;
+    Ok(Cds {
+        gen_values,
+        generators,
+        sranks,
+        d_values,
+        d_entries,
+        d_groups,
+        b_values,
+        b_entries,
+        b_groups,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// public API
+// ---------------------------------------------------------------------------
+
+/// Serialize an [`HMatrix`] to bytes.
+pub fn to_bytes(h: &HMatrix) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    put_structure(&mut buf, &h.structure);
+    put_kernel(&mut buf, &h.kernel);
+    put_f64(&mut buf, h.bacc);
+    put_tree(&mut buf, &h.tree);
+    // plan
+    let d = &h.plan.decisions;
+    put_bool(&mut buf, d.block_near);
+    put_bool(&mut buf, d.block_far);
+    put_bool(&mut buf, d.coarsen_tree);
+    put_bool(&mut buf, d.peel_root);
+    put_blockset(&mut buf, &h.plan.near_blockset);
+    put_blockset(&mut buf, &h.plan.far_blockset);
+    put_coarsenset(&mut buf, &h.plan.coarsenset);
+    put_cds(&mut buf, &h.plan.cds);
+    put_usize(&mut buf, h.plan.tree_height);
+    put_usize(&mut buf, h.plan.num_leaves);
+    buf.freeze()
+}
+
+/// Deserialize an [`HMatrix`] from bytes.  Timings are not stored and come
+/// back zeroed.
+pub fn from_bytes(mut data: Bytes) -> Result<HMatrix, IoError> {
+    if data.remaining() < MAGIC.len() || &data.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(IoError::Format("bad magic header".into()));
+    }
+    let structure = get_structure(&mut data)?;
+    let kernel = get_kernel(&mut data)?;
+    let bacc = get_f64(&mut data)?;
+    let tree = get_tree(&mut data)?;
+    let decisions = LoweringDecisions {
+        block_near: get_bool(&mut data)?,
+        block_far: get_bool(&mut data)?,
+        coarsen_tree: get_bool(&mut data)?,
+        peel_root: get_bool(&mut data)?,
+    };
+    let near_blockset = get_blockset(&mut data)?;
+    let far_blockset = get_blockset(&mut data)?;
+    let coarsenset = get_coarsenset(&mut data)?;
+    let cds = get_cds(&mut data)?;
+    let tree_height = get_usize(&mut data)?;
+    let num_leaves = get_usize(&mut data)?;
+    let plan = EvalPlan {
+        decisions,
+        near_blockset,
+        far_blockset,
+        coarsenset,
+        cds,
+        tree_height,
+        num_leaves,
+    };
+    Ok(HMatrix {
+        tree,
+        plan,
+        structure,
+        kernel,
+        bacc,
+        timings: InspectorTimings::default(),
+    })
+}
+
+/// Store an HMatrix to a file (the `hmat.cds` artifact).
+pub fn save(h: &HMatrix, path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, to_bytes(h))?;
+    Ok(())
+}
+
+/// Load an HMatrix from a file previously written by [`save`].
+pub fn load(path: &Path) -> Result<HMatrix, IoError> {
+    let data = std::fs::read(path)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatRoxParams;
+    use crate::inspector::inspector;
+    use matrox_linalg::Matrix;
+    use matrox_points::{generate, DatasetId};
+    use rand::SeedableRng;
+
+    fn sample_hmatrix() -> (matrox_points::PointSet, HMatrix) {
+        let pts = generate(DatasetId::Grid, 256, 5);
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::smash_setting().with_leaf_size(32);
+        let h = inspector(&pts, &kernel, &params);
+        (pts, h)
+    }
+
+    #[test]
+    fn roundtrip_preserves_evaluation() {
+        let (pts, h) = sample_hmatrix();
+        let bytes = to_bytes(&h);
+        let h2 = from_bytes(bytes).expect("deserialize");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w = Matrix::random_uniform(pts.len(), 3, &mut rng);
+        let a = h.matmul(&w);
+        let b = h2.matmul(&w);
+        assert!(matrox_linalg::relative_error(&a, &b) < 1e-14);
+        assert_eq!(h2.bacc, h.bacc);
+        assert_eq!(h2.structure, h.structure);
+    }
+
+    #[test]
+    fn file_roundtrip_works() {
+        let (_, h) = sample_hmatrix();
+        let dir = std::env::temp_dir().join("matrox_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hmat.cds");
+        save(&h, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.dim(), h.dim());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let err = from_bytes(Bytes::from_static(b"NOTMATROX_AT_ALL")).unwrap_err();
+        match err {
+            IoError::Format(_) => {}
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+}

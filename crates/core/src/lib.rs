@@ -1,0 +1,38 @@
+//! # matrox-core
+//!
+//! The user-facing MatRox API: the inspector (modular compression +
+//! structure analysis + code generation), the executor entry points on the
+//! resulting [`HMatrix`], the inspector-p1/p2 split that enables reuse when
+//! the kernel function or the accuracy change (Section 5 of the paper), and
+//! HMatrix serialization (the `hmat.cds` artifact of Figure 2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use matrox_core::{inspector, MatRoxParams};
+//! use matrox_points::{generate, DatasetId, Kernel};
+//! use matrox_linalg::Matrix;
+//!
+//! // Points, kernel, accuracy -> inspector -> HMatrix.
+//! let points = generate(DatasetId::Grid, 512, 0);
+//! let kernel = Kernel::Gaussian { bandwidth: 5.0 };
+//! let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(64);
+//! let h = inspector(&points, &kernel, &params);
+//!
+//! // Executor: multiply the compressed matrix with a dense matrix W.
+//! let w = Matrix::filled(points.len(), 8, 1.0);
+//! let y = h.matmul(&w);
+//! assert_eq!(y.shape(), (points.len(), 8));
+//! ```
+
+pub mod config;
+pub mod hmatrix;
+pub mod inspector;
+pub mod io;
+pub mod timings;
+
+pub use config::MatRoxParams;
+pub use hmatrix::HMatrix;
+pub use inspector::{inspector, inspector_p1, inspector_p2, InspectorP1};
+pub use io::{from_bytes, load, save, to_bytes, IoError};
+pub use timings::InspectorTimings;

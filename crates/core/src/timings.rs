@@ -1,0 +1,105 @@
+//! Inspector timing breakdown.
+//!
+//! Figure 4 and Figure 10 report the inspector time split into compression,
+//! structure analysis, and code generation — and, for the reuse experiments,
+//! into inspector-p1 vs inspector-p2.  The inspector records wall-clock time
+//! per module in this struct so the benchmark harnesses can print the same
+//! breakdown.
+
+use std::time::Duration;
+
+/// Wall-clock time of every inspector module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InspectorTimings {
+    /// Tree construction (compression module 1).
+    pub tree_construction: Duration,
+    /// Interaction computation (compression module 2).
+    pub interaction: Duration,
+    /// Sampling (compression module 3).
+    pub sampling: Duration,
+    /// Low-rank approximation (compression module 4).
+    pub low_rank: Duration,
+    /// Blocking (structure analysis).
+    pub blocking: Duration,
+    /// Coarsening (structure analysis).
+    pub coarsening: Duration,
+    /// CDS data-layout construction (structure analysis).
+    pub cds: Duration,
+    /// Code generation (lowering decisions + source emission).
+    pub codegen: Duration,
+}
+
+impl InspectorTimings {
+    /// Total compression time (the four compression modules).
+    pub fn compression(&self) -> Duration {
+        self.tree_construction + self.interaction + self.sampling + self.low_rank
+    }
+
+    /// Total structure-analysis time.
+    pub fn structure_analysis(&self) -> Duration {
+        self.blocking + self.coarsening + self.cds
+    }
+
+    /// Total inspector time.
+    pub fn total(&self) -> Duration {
+        self.compression() + self.structure_analysis() + self.codegen
+    }
+
+    /// Time attributable to inspector-p1 (kernel/accuracy independent:
+    /// tree construction, interaction computation, sampling, blocking,
+    /// codegen skeleton).
+    pub fn inspector_p1(&self) -> Duration {
+        self.tree_construction + self.interaction + self.sampling + self.blocking + self.codegen
+    }
+
+    /// Time attributable to inspector-p2 (low-rank approximation,
+    /// coarsening, CDS construction).
+    pub fn inspector_p2(&self) -> Duration {
+        self.low_rank + self.coarsening + self.cds
+    }
+
+    /// Fraction of the inspector spent outside compression (the paper reports
+    /// structure analysis + code generation at ~8.1% on average).
+    pub fn analysis_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.structure_analysis() + self.codegen).as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InspectorTimings {
+        InspectorTimings {
+            tree_construction: Duration::from_millis(10),
+            interaction: Duration::from_millis(5),
+            sampling: Duration::from_millis(20),
+            low_rank: Duration::from_millis(100),
+            blocking: Duration::from_millis(1),
+            coarsening: Duration::from_millis(2),
+            cds: Duration::from_millis(3),
+            codegen: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn aggregates_add_up() {
+        let t = sample();
+        assert_eq!(t.compression(), Duration::from_millis(135));
+        assert_eq!(t.structure_analysis(), Duration::from_millis(6));
+        assert_eq!(t.total(), Duration::from_millis(145));
+        assert_eq!(t.inspector_p1() + t.inspector_p2(), t.total());
+    }
+
+    #[test]
+    fn analysis_fraction_is_small_for_compression_heavy_runs() {
+        let t = sample();
+        let f = t.analysis_fraction();
+        assert!(f > 0.0 && f < 0.2, "fraction {f}");
+    }
+}

@@ -1,0 +1,700 @@
+//! The MatRox executor: parallel HMatrix-matrix multiplication over CDS.
+//!
+//! The executor interprets an [`EvalPlan`] (the "generated code") in four
+//! phases, mirroring the specialized loops of Figure 1e:
+//!
+//! 1. **near phase** — the blocked loop over the dense `D` blocks,
+//!    parallel over blockset groups (which by construction never write the
+//!    same output rows, so no reductions/atomics are needed);
+//! 2. **upward phase** — the coarsened loop over the `V` generators,
+//!    sequential over coarsen levels, parallel over load-balanced sub-trees;
+//! 3. **coupling phase** — the blocked loop over the `B` blocks;
+//! 4. **downward phase** — the coarsened loop over the `U` generators in
+//!    reverse coarsen-level order, scattering into the output.
+//!
+//! Each phase has a sequential fallback used (a) when code generation decided
+//! the corresponding lowering is not profitable and (b) by the ablation
+//! harness of Figure 5 (`CDS(seq)`, `CDS + coarsen`, `CDS + block`, ...).
+//! The `peel_root` option applies the paper's low-level specialization: the
+//! root-most coarsen level is executed with block-level (parallel GEMM)
+//! parallelism because task-level parallelism has run out near the root.
+//!
+//! All intermediate state is kept in the permuted (tree) ordering so that a
+//! node's rows of `W` and `Y` are contiguous; the input is permuted on entry
+//! and the output is un-permuted on exit.
+
+use matrox_codegen::EvalPlan;
+use matrox_linalg::{gemm_slices, gemm_tn_slices, par_gemm_slices, Matrix};
+use matrox_tree::ClusterTree;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Which phases run in parallel; derived from the plan's lowering decisions
+/// or overridden for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Run the near loop blocked & parallel (block lowering).
+    pub parallel_near: bool,
+    /// Run the coupling loop blocked & parallel (block lowering, far).
+    pub parallel_far: bool,
+    /// Run the tree loops coarsened & parallel (coarsen lowering).
+    pub parallel_tree: bool,
+    /// Peel the root-most coarsen level and use parallel GEMM inside it
+    /// (low-level specialization).
+    pub peel_root: bool,
+}
+
+impl ExecOptions {
+    /// Follow the lowering decisions recorded in the plan.
+    pub fn from_plan(plan: &EvalPlan) -> Self {
+        ExecOptions {
+            parallel_near: plan.decisions.block_near,
+            parallel_far: plan.decisions.block_far,
+            parallel_tree: plan.decisions.coarsen_tree,
+            peel_root: plan.decisions.peel_root,
+        }
+    }
+
+    /// Fully sequential execution over CDS (the `CDS(seq)` ablation bar).
+    pub fn sequential() -> Self {
+        ExecOptions {
+            parallel_near: false,
+            parallel_far: false,
+            parallel_tree: false,
+            peel_root: false,
+        }
+    }
+
+    /// All optimizations on, regardless of the plan's thresholds.
+    pub fn full() -> Self {
+        ExecOptions {
+            parallel_near: true,
+            parallel_far: true,
+            parallel_tree: true,
+            peel_root: true,
+        }
+    }
+}
+
+/// Evaluate `Y = K~ * W` using the generated plan.
+///
+/// `w` must have one row per point (`N x Q`); the result has the same shape.
+pub fn execute(plan: &EvalPlan, tree: &ClusterTree, w: &Matrix, opts: &ExecOptions) -> Matrix {
+    let n = tree.perm.len();
+    let q = w.cols();
+    assert_eq!(w.rows(), n, "execute: W must have N = {n} rows");
+
+    // Permute W into tree order so every node's rows are contiguous.
+    let mut w_perm = vec![0.0f64; n * q];
+    for p in 0..n {
+        w_perm[p * q..(p + 1) * q].copy_from_slice(w.row(tree.perm[p]));
+    }
+    let mut y_perm = vec![0.0f64; n * q];
+
+    // Phase 1: near (dense) contributions.
+    near_phase(plan, tree, &w_perm, &mut y_perm, q, opts.parallel_near);
+
+    // Phase 2: upward pass producing the skeleton coefficients T.
+    let t = upward_phase(plan, tree, &w_perm, q, opts);
+
+    // Phase 3: coupling through the B blocks.
+    let mut s = coupling_phase(plan, &t, q, opts.parallel_far);
+    drop(t);
+
+    // Phase 4: downward pass scattering U * S into the output.
+    downward_phase(plan, tree, &mut s, &mut y_perm, q, opts);
+
+    // Un-permute the output.
+    let mut y = Matrix::zeros(n, q);
+    for p in 0..n {
+        y.row_mut(tree.perm[p]).copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+    }
+    y
+}
+
+/// Minimum multiply-add count for which the peeled (block-level parallel)
+/// GEMM path is worthwhile; below this the sequential kernel is used even
+/// when peeling is enabled, because thread fan-out costs more than it saves.
+const PEEL_PAR_THRESHOLD: usize = 1 << 20;
+
+/// Split `y_perm` into one mutable slice per leaf node (leaves tile the
+/// permuted row range contiguously).
+fn split_leaf_slices<'a>(
+    tree: &ClusterTree,
+    y_perm: &'a mut [f64],
+    q: usize,
+) -> HashMap<usize, &'a mut [f64]> {
+    let mut leaves = tree.leaves();
+    leaves.sort_by_key(|&l| tree.nodes[l].start);
+    let mut map = HashMap::with_capacity(leaves.len());
+    let mut rest = y_perm;
+    for &l in &leaves {
+        let len = tree.nodes[l].num_points() * q;
+        let (head, tail) = rest.split_at_mut(len);
+        map.insert(l, head);
+        rest = tail;
+    }
+    map
+}
+
+// --------------------------------------------------------------------------
+// Phase 1: near contributions
+// --------------------------------------------------------------------------
+
+fn near_phase(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    w_perm: &[f64],
+    y_perm: &mut [f64],
+    q: usize,
+    parallel: bool,
+) {
+    let cds = &plan.cds;
+    if cds.d_entries.is_empty() {
+        return;
+    }
+    if !parallel {
+        for e in &cds.d_entries {
+            let tn = &tree.nodes[e.target];
+            let dst = &mut y_perm[tn.start * q..tn.end * q];
+            let sn = &tree.nodes[e.source];
+            let src = &w_perm[sn.start * q..sn.end * q];
+            gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
+        }
+        return;
+    }
+
+    // Blocked parallel loop: hand every group exclusive ownership of the
+    // output slices of its target nodes.  Algorithm 1 guarantees disjoint
+    // targets across groups, so this is a partition of the output.
+    let mut leaf_slices = split_leaf_slices(tree, y_perm, q);
+    struct GroupWork<'a> {
+        start: usize,
+        end: usize,
+        targets: HashMap<usize, &'a mut [f64]>,
+    }
+    let mut works: Vec<GroupWork> = Vec::with_capacity(cds.d_groups.len());
+    for g in &cds.d_groups {
+        let mut targets = HashMap::new();
+        for e in &cds.d_entries[g.start..g.end] {
+            if !targets.contains_key(&e.target) {
+                let slice = leaf_slices
+                    .remove(&e.target)
+                    .expect("blockset groups must own disjoint target nodes");
+                targets.insert(e.target, slice);
+            }
+        }
+        works.push(GroupWork {
+            start: g.start,
+            end: g.end,
+            targets,
+        });
+    }
+    works.par_iter_mut().for_each(|work| {
+        for e in &cds.d_entries[work.start..work.end] {
+            let dst = work
+                .targets
+                .get_mut(&e.target)
+                .expect("entry target owned by its group");
+            let sn = &tree.nodes[e.source];
+            let src = &w_perm[sn.start * q..sn.end * q];
+            gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
+        }
+    });
+}
+
+// --------------------------------------------------------------------------
+// Phase 2: upward pass (T = V^T * ...)
+// --------------------------------------------------------------------------
+
+fn compute_t(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    id: usize,
+    w_perm: &[f64],
+    q: usize,
+    global_t: &[Matrix],
+    local_t: Option<&HashMap<usize, Matrix>>,
+    par_gemm: bool,
+) -> Matrix {
+    let cds = &plan.cds;
+    let (v, rows, cols) = cds.v(id);
+    if cols == 0 {
+        return Matrix::zeros(0, q);
+    }
+    let node = &tree.nodes[id];
+    let mut out = Matrix::zeros(cols, q);
+    let par_gemm = par_gemm && rows * cols * q >= PEEL_PAR_THRESHOLD;
+    if node.is_leaf() {
+        debug_assert_eq!(rows, node.num_points());
+        let src = &w_perm[node.start * q..node.end * q];
+        if par_gemm {
+            let vt = transpose_slice(v, rows, cols);
+            par_gemm_slices(&vt, cols, rows, src, q, out.as_mut_slice());
+        } else {
+            gemm_tn_slices(v, rows, cols, src, q, out.as_mut_slice());
+        }
+    } else {
+        let (l, r) = node.children.unwrap();
+        let lookup = |child: usize| -> &Matrix {
+            local_t
+                .and_then(|m| m.get(&child))
+                .unwrap_or(&global_t[child])
+        };
+        let tl = lookup(l);
+        let tr = lookup(r);
+        let rl = tl.rows();
+        let rr = tr.rows();
+        debug_assert_eq!(rows, rl + rr, "transfer matrix rows mismatch at node {id}");
+        if rl > 0 {
+            gemm_tn_slices(&v[0..rl * cols], rl, cols, tl.as_slice(), q, out.as_mut_slice());
+        }
+        if rr > 0 {
+            gemm_tn_slices(&v[rl * cols..], rr, cols, tr.as_slice(), q, out.as_mut_slice());
+        }
+    }
+    out
+}
+
+/// Transpose a row-major `rows x cols` slice into a new `cols x rows` buffer.
+fn transpose_slice(a: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    let mut t = vec![0.0; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            t[j * rows + i] = a[i * cols + j];
+        }
+    }
+    t
+}
+
+fn upward_phase(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    w_perm: &[f64],
+    q: usize,
+    opts: &ExecOptions,
+) -> Vec<Matrix> {
+    let cds = &plan.cds;
+    let mut t: Vec<Matrix> = cds.sranks.iter().map(|_| Matrix::zeros(0, 0)).collect();
+
+    let use_coarsen = opts.parallel_tree && plan.coarsenset.num_levels() > 0;
+    if use_coarsen {
+        let levels = &plan.coarsenset.levels;
+        let nlev = levels.len();
+        for (cl, parts) in levels.iter().enumerate() {
+            let peel_this = opts.peel_root && cl + 1 == nlev;
+            if peel_this {
+                // Root-most coarsen level: little task parallelism left, use
+                // block-level parallelism inside each node instead.
+                for part in parts {
+                    for &id in part {
+                        t[id] = compute_t(plan, tree, id, w_perm, q, &t, None, true);
+                    }
+                }
+            } else {
+                let results: Vec<Vec<(usize, Matrix)>> = parts
+                    .par_iter()
+                    .map(|part| {
+                        let mut local: HashMap<usize, Matrix> = HashMap::with_capacity(part.len());
+                        for &id in part {
+                            let ti =
+                                compute_t(plan, tree, id, w_perm, q, &t, Some(&local), false);
+                            local.insert(id, ti);
+                        }
+                        local.into_iter().collect()
+                    })
+                    .collect();
+                for part_result in results {
+                    for (id, m) in part_result {
+                        t[id] = m;
+                    }
+                }
+            }
+        }
+    } else {
+        // Level-by-level traversal, deepest level first.
+        for level in (1..=tree.height).rev() {
+            for id in tree.nodes_at_level(level) {
+                if cds.sranks[id] == 0 {
+                    t[id] = Matrix::zeros(0, q);
+                    continue;
+                }
+                t[id] = compute_t(plan, tree, id, w_perm, q, &t, None, false);
+            }
+        }
+    }
+    // Normalize: nodes never touched keep a 0 x 0 matrix; give them 0 x q so
+    // later phases can rely on the column count.
+    for (id, m) in t.iter_mut().enumerate() {
+        if m.rows() == 0 && m.cols() != q {
+            *m = Matrix::zeros(0, q);
+        }
+        let _ = id;
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// Phase 3: coupling (S_i += B_{i,j} * T_j)
+// --------------------------------------------------------------------------
+
+fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, parallel: bool) -> Vec<Matrix> {
+    let cds = &plan.cds;
+    let mut s: Vec<Matrix> = cds.sranks.iter().map(|&r| Matrix::zeros(r, q)).collect();
+    if cds.b_entries.is_empty() {
+        return s;
+    }
+    if !parallel {
+        for e in &cds.b_entries {
+            if e.rows == 0 || e.cols == 0 {
+                continue;
+            }
+            let b = cds.b_block(e);
+            let src = t[e.source].as_slice();
+            gemm_slices(b, e.rows, e.cols, src, q, s[e.target].as_mut_slice());
+        }
+        return s;
+    }
+
+    // Blocked parallel loop over far groups; each group takes exclusive
+    // ownership of its target nodes' S accumulators.
+    struct FarWork {
+        start: usize,
+        end: usize,
+        targets: HashMap<usize, Matrix>,
+    }
+    let mut works: Vec<FarWork> = Vec::with_capacity(cds.b_groups.len());
+    for g in &cds.b_groups {
+        let mut targets = HashMap::new();
+        for e in &cds.b_entries[g.start..g.end] {
+            targets
+                .entry(e.target)
+                .or_insert_with(|| std::mem::replace(&mut s[e.target], Matrix::zeros(0, 0)));
+        }
+        works.push(FarWork {
+            start: g.start,
+            end: g.end,
+            targets,
+        });
+    }
+    works.par_iter_mut().for_each(|work| {
+        for e in &cds.b_entries[work.start..work.end] {
+            if e.rows == 0 || e.cols == 0 {
+                continue;
+            }
+            let b = cds.b_block(e);
+            let src = t[e.source].as_slice();
+            let dst = work.targets.get_mut(&e.target).unwrap();
+            gemm_slices(b, e.rows, e.cols, src, q, dst.as_mut_slice());
+        }
+    });
+    for work in works {
+        for (id, m) in work.targets {
+            s[id] = m;
+        }
+    }
+    s
+}
+
+// --------------------------------------------------------------------------
+// Phase 4: downward pass (Y += U * S, pushed through the transfer matrices)
+// --------------------------------------------------------------------------
+
+/// Process one node of the downward pass.
+///
+/// For a leaf node, `U_i * S_i` is added into `y_dst` (the leaf's contiguous
+/// output rows) and an empty vector is returned.  For an internal node the
+/// expanded contribution `U_i * S_i` is split between the two children and
+/// returned as `(child_id, contribution)` pairs; the caller decides whether
+/// each push is local to its partition or must be merged globally.
+fn compute_down_contribution(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    id: usize,
+    s_i: &Matrix,
+    q: usize,
+    par_gemm: bool,
+    y_dst: Option<&mut [f64]>,
+) -> Vec<(usize, Matrix)> {
+    let cds = &plan.cds;
+    let (u, rows, cols) = cds.u(id);
+    if cols == 0 || s_i.rows() == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(s_i.rows(), cols);
+    let par_gemm = par_gemm && rows * cols * q >= PEEL_PAR_THRESHOLD;
+    let node = &tree.nodes[id];
+    if node.is_leaf() {
+        debug_assert_eq!(rows, node.num_points());
+        let dst = y_dst.expect("leaf output slice must be available");
+        if par_gemm {
+            par_gemm_slices(u, rows, cols, s_i.as_slice(), q, dst);
+        } else {
+            gemm_slices(u, rows, cols, s_i.as_slice(), q, dst);
+        }
+        Vec::new()
+    } else {
+        let (l, r) = node.children.unwrap();
+        let rl = cds.sranks[l];
+        let rr = cds.sranks[r];
+        debug_assert_eq!(rows, rl + rr);
+        let mut expanded = Matrix::zeros(rows, q);
+        if par_gemm {
+            par_gemm_slices(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
+        } else {
+            gemm_slices(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
+        }
+        let mut pushes = Vec::with_capacity(2);
+        if rl > 0 {
+            pushes.push((l, expanded.submatrix(0, rl, 0, q)));
+        }
+        if rr > 0 {
+            pushes.push((r, expanded.submatrix(rl, rows, 0, q)));
+        }
+        pushes
+    }
+}
+
+/// Accumulate a downward push into an S accumulator (replacing it when the
+/// accumulator is still the empty placeholder).
+fn merge_push(slot: &mut Matrix, m: Matrix) {
+    if slot.rows() == m.rows() && slot.cols() == m.cols() {
+        slot.add_assign(&m);
+    } else {
+        *slot = m;
+    }
+}
+
+fn downward_phase(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    s: &mut [Matrix],
+    y_perm: &mut [f64],
+    q: usize,
+    opts: &ExecOptions,
+) {
+    let use_coarsen = opts.parallel_tree && plan.coarsenset.num_levels() > 0;
+    if !use_coarsen {
+        // Sequential top-down, level by level.
+        for level in 1..=tree.height {
+            for id in tree.nodes_at_level(level) {
+                let s_i = std::mem::replace(&mut s[id], Matrix::zeros(0, 0));
+                let node = &tree.nodes[id];
+                let dst = if node.is_leaf() {
+                    Some(&mut y_perm[node.start * q..node.end * q])
+                } else {
+                    None
+                };
+                let pushes = compute_down_contribution(plan, tree, id, &s_i, q, false, dst);
+                for (child, m) in pushes {
+                    merge_push(&mut s[child], m);
+                }
+            }
+        }
+        return;
+    }
+
+    let levels = &plan.coarsenset.levels;
+    let nlev = levels.len();
+    for cl in (0..nlev).rev() {
+        let parts = &levels[cl];
+        let peel_this = opts.peel_root && cl + 1 == nlev;
+        if peel_this {
+            // Sequential over the few root-most nodes, parallel inside GEMMs.
+            for part in parts {
+                for &id in part.iter().rev() {
+                    let s_i = std::mem::replace(&mut s[id], Matrix::zeros(0, 0));
+                    let node = &tree.nodes[id];
+                    let dst = if node.is_leaf() {
+                        Some(&mut y_perm[node.start * q..node.end * q])
+                    } else {
+                        None
+                    };
+                    let pushes = compute_down_contribution(plan, tree, id, &s_i, q, true, dst);
+                    for (child, m) in pushes {
+                        merge_push(&mut s[child], m);
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Parallel over partitions: each partition owns its nodes' S values
+        // and its leaves' output slices; pushes to nodes outside the
+        // partition are returned and merged sequentially.
+        let mut leaf_slices = split_leaf_slices(tree, y_perm, q);
+        struct DownWork<'a> {
+            nodes: Vec<usize>,
+            s_local: HashMap<usize, Matrix>,
+            y_local: HashMap<usize, &'a mut [f64]>,
+        }
+        let mut works: Vec<DownWork> = Vec::with_capacity(parts.len());
+        for part in parts {
+            let mut s_local = HashMap::with_capacity(part.len());
+            let mut y_local = HashMap::new();
+            for &id in part {
+                s_local.insert(id, std::mem::replace(&mut s[id], Matrix::zeros(0, 0)));
+                if tree.nodes[id].is_leaf() {
+                    if let Some(slice) = leaf_slices.remove(&id) {
+                        y_local.insert(id, slice);
+                    }
+                }
+            }
+            works.push(DownWork {
+                nodes: part.clone(),
+                s_local,
+                y_local,
+            });
+        }
+        let all_cross: Vec<Vec<(usize, Matrix)>> = works
+            .par_iter_mut()
+            .map(|work| {
+                let mut cross: Vec<(usize, Matrix)> = Vec::new();
+                // Reverse post-order: parents before children.
+                for idx in (0..work.nodes.len()).rev() {
+                    let id = work.nodes[idx];
+                    let s_i = work.s_local.remove(&id).unwrap_or_else(|| Matrix::zeros(0, 0));
+                    let is_leaf = tree.nodes[id].is_leaf();
+                    let pushes = {
+                        let dst: Option<&mut [f64]> = if is_leaf {
+                            work.y_local.get_mut(&id).map(|sl| &mut **sl)
+                        } else {
+                            None
+                        };
+                        compute_down_contribution(plan, tree, id, &s_i, q, false, dst)
+                    };
+                    for (child, m) in pushes {
+                        if let Some(existing) = work.s_local.get_mut(&child) {
+                            merge_push(existing, m);
+                        } else {
+                            cross.push((child, m));
+                        }
+                    }
+                }
+                cross
+            })
+            .collect();
+        drop(works);
+        drop(leaf_slices);
+        for cross in all_cross {
+            for (child, m) in cross {
+                merge_push(&mut s[child], m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrox_analysis::{build_blockset, build_coarsenset, build_cds, CoarsenParams};
+    use matrox_codegen::{generate_plan, CodegenParams};
+    use matrox_compress::{compress, reference_evaluate, CompressionParams};
+    use matrox_linalg::relative_error;
+    use matrox_points::{dense_kernel_matmul, generate, DatasetId, Kernel};
+    use matrox_sampling::sample_nodes_exhaustive;
+    use matrox_tree::{HTree, PartitionMethod, Structure};
+    use rand::SeedableRng;
+
+    struct Fixture {
+        tree: ClusterTree,
+        plan: EvalPlan,
+        y_ref: Matrix,
+        y_exact: Matrix,
+        w: Matrix,
+    }
+
+    fn fixture(dataset: DatasetId, n: usize, structure: Structure, q: usize) -> Fixture {
+        let pts = generate(dataset, n, 77);
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+        let htree = HTree::build(&tree, structure);
+        let sampling = sample_nodes_exhaustive(&pts, &tree);
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams { bacc: 1e-7, max_rank: 256 },
+        );
+        let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
+        let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
+        let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
+        let cds = build_cds(&tree, &c, &near, &far, &cs);
+        let plan = generate_plan(
+            near,
+            far,
+            cs,
+            cds,
+            tree.height,
+            tree.leaves().len(),
+            &CodegenParams::default(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let w = Matrix::random_uniform(n, q, &mut rng);
+        let y_ref = reference_evaluate(&c, &tree, &htree, &w);
+        let y_exact = dense_kernel_matmul(&pts, &kernel, &w);
+        Fixture { tree, plan, y_ref, y_exact, w }
+    }
+
+    #[test]
+    fn executor_matches_reference_hss() {
+        let f = fixture(DatasetId::Grid, 512, Structure::Hss, 6);
+        let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::from_plan(&f.plan));
+        assert!(relative_error(&y, &f.y_ref) < 1e-12);
+        assert!(relative_error(&y, &f.y_exact) < 1e-4);
+    }
+
+    #[test]
+    fn executor_matches_reference_geometric() {
+        let f = fixture(DatasetId::Random, 512, Structure::Geometric { tau: 0.65 }, 5);
+        let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::from_plan(&f.plan));
+        assert!(relative_error(&y, &f.y_ref) < 1e-12);
+        assert!(relative_error(&y, &f.y_exact) < 1e-4);
+    }
+
+    #[test]
+    fn executor_matches_reference_budget_high_dim() {
+        let f = fixture(DatasetId::Susy, 512, Structure::h2b(), 4);
+        let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::from_plan(&f.plan));
+        assert!(relative_error(&y, &f.y_ref) < 1e-12);
+        assert!(relative_error(&y, &f.y_exact) < 1e-3);
+    }
+
+    #[test]
+    fn all_ablation_variants_agree() {
+        let f = fixture(DatasetId::Grid, 512, Structure::Geometric { tau: 0.65 }, 3);
+        let variants = [
+            ExecOptions::sequential(),
+            ExecOptions { parallel_near: true, ..ExecOptions::sequential() },
+            ExecOptions { parallel_tree: true, ..ExecOptions::sequential() },
+            ExecOptions { parallel_tree: true, peel_root: true, ..ExecOptions::sequential() },
+            ExecOptions { parallel_near: true, parallel_far: true, ..ExecOptions::sequential() },
+            ExecOptions::full(),
+        ];
+        let baseline = execute(&f.plan, &f.tree, &f.w, &variants[0]);
+        for v in &variants[1..] {
+            let y = execute(&f.plan, &f.tree, &f.w, v);
+            assert!(
+                relative_error(&y, &baseline) < 1e-12,
+                "variant {v:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn hss_ablations_agree_too() {
+        let f = fixture(DatasetId::Unit, 512, Structure::Hss, 2);
+        let seq = execute(&f.plan, &f.tree, &f.w, &ExecOptions::sequential());
+        let full = execute(&f.plan, &f.tree, &f.w, &ExecOptions::full());
+        assert!(relative_error(&full, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_case_q1_works() {
+        let f = fixture(DatasetId::Sunflower, 384, Structure::Geometric { tau: 0.65 }, 1);
+        let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::full());
+        assert!(relative_error(&y, &f.y_ref) < 1e-12);
+    }
+}

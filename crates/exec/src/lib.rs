@@ -1,0 +1,15 @@
+//! # matrox-exec
+//!
+//! The MatRox executor: it runs the specialized HMatrix-matrix multiplication
+//! described by an evaluation plan (`matrox-codegen`) over the Compressed
+//! Data-Sparse storage (`matrox-analysis`), using rayon for the parallel
+//! blocked and coarsened loops.
+//!
+//! The [`ExecOptions`] switches expose each lowering independently so the
+//! Figure 5 ablation (CDS(seq), CDS + coarsen, CDS + block, CDS + block +
+//! coarsen + low-level) can be reproduced, and so thread-count sweeps
+//! (Figure 7) can pin execution to custom rayon pools.
+
+pub mod executor;
+
+pub use executor::{execute, ExecOptions};

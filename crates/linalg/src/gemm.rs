@@ -1,0 +1,540 @@
+//! Matrix-matrix and matrix-vector products.
+//!
+//! The MatRox executor spends virtually all of its time in small-to-medium
+//! dense products (`D_{i,j} * W_j`, `V_i^T * W_i`, `B_{i,j} * T_j`, ...), and
+//! the dense baseline of the paper is a single large GEMM.  This module
+//! provides:
+//!
+//! * [`gemm_seq`] — a cache-blocked sequential kernel used inside already
+//!   parallel regions (a MatRox sub-tree or a block of near interactions is
+//!   processed by one thread).
+//! * [`par_gemm`] — a rayon-parallel kernel that splits the rows of `C`; used
+//!   for the peeled root iteration ("low-level" lowering in the paper) and the
+//!   dense GEMM baseline.
+//! * [`gemm`] — dispatching front-end that picks the sequential or parallel
+//!   kernel based on the problem size.
+//! * [`gemv`] — matrix-vector product for the SMASH-style (Q = 1) baseline.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// Whether an operand participates as itself or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmOp {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the transpose of the operand.
+    Trans,
+}
+
+/// Blocking factors for the sequential micro-kernel.  Chosen so that one
+/// `MC x KC` panel of `A` plus a `KC x NC` panel of `B` fit comfortably in L2.
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 256;
+
+/// `C += A[i0..i1, :] * B` for the row range `[i0, i1)` of `A`/`C`.
+///
+/// `a`, `b`, `c` are row-major buffers with the given leading dimensions.
+fn gemm_block(
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // Loop ordering i-p-j with blocking keeps B panel reuse high and lets the
+    // innermost loop vectorize over contiguous rows of B and C.
+    for jj in (0..n).step_by(NC) {
+        let jmax = (jj + NC).min(n);
+        for pp in (0..k).step_by(KC) {
+            let pmax = (pp + KC).min(k);
+            for ii in (0..m).step_by(MC) {
+                let imax = (ii + MC).min(m);
+                for i in ii..imax {
+                    let arow = &a[i * lda..i * lda + k];
+                    let crow = &mut c[i * ldc..i * ldc + n];
+                    for p in pp..pmax {
+                        let aval = arow[p];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * ldb..p * ldb + n];
+                        for j in jj..jmax {
+                            crow[j] += aval * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sequential general matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// # Panics
+/// Panics if the operand shapes are incompatible.
+pub fn gemm_seq(
+    alpha: f64,
+    a: &Matrix,
+    op_a: GemmOp,
+    b: &Matrix,
+    op_b: GemmOp,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    // Materialize transposes; operand blocks in MatRox are small enough that
+    // an explicit transpose is cheaper than a strided kernel and keeps the
+    // hot loop contiguous.
+    let at;
+    let bt;
+    let a_eff = match op_a {
+        GemmOp::NoTrans => a,
+        GemmOp::Trans => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let b_eff = match op_b {
+        GemmOp::NoTrans => b,
+        GemmOp::Trans => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+
+    let (m, k) = a_eff.shape();
+    let (k2, n) = b_eff.shape();
+    assert_eq!(k, k2, "gemm: inner dimensions differ ({k} vs {k2})");
+    assert_eq!(c.shape(), (m, n), "gemm: C has wrong shape");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    if alpha == 1.0 {
+        gemm_block(
+            a_eff.as_slice(),
+            k,
+            b_eff.as_slice(),
+            n,
+            c.as_mut_slice(),
+            n,
+            m,
+            k,
+            n,
+        );
+    } else {
+        // Scale A once rather than multiplying inside the hot loop.
+        let mut a_scaled = a_eff.clone();
+        a_scaled.scale(alpha);
+        gemm_block(
+            a_scaled.as_slice(),
+            k,
+            b_eff.as_slice(),
+            n,
+            c.as_mut_slice(),
+            n,
+            m,
+            k,
+            n,
+        );
+    }
+}
+
+/// Rayon-parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// The rows of `C` are split across the current rayon thread pool.  This is
+/// the kernel used for the peeled root iteration of the coarsened loop (the
+/// paper's "low-level" specialization exploits block-level parallelism near
+/// the tree root where task-level parallelism runs out) and for the dense
+/// GEMM baseline.
+pub fn par_gemm(
+    alpha: f64,
+    a: &Matrix,
+    op_a: GemmOp,
+    b: &Matrix,
+    op_b: GemmOp,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let at;
+    let bt;
+    let a_eff = match op_a {
+        GemmOp::NoTrans => a,
+        GemmOp::Trans => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let b_eff = match op_b {
+        GemmOp::NoTrans => b,
+        GemmOp::Trans => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+
+    let (m, k) = a_eff.shape();
+    let (k2, n) = b_eff.shape();
+    assert_eq!(k, k2, "par_gemm: inner dimensions differ ({k} vs {k2})");
+    assert_eq!(c.shape(), (m, n), "par_gemm: C has wrong shape");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let a_buf = a_eff.as_slice();
+    let b_buf = b_eff.as_slice();
+    // Split C into row chunks; each chunk owns a disjoint slice of the output
+    // so no synchronization is needed.
+    let chunk_rows = (m + rayon::current_num_threads() * 4 - 1)
+        / (rayon::current_num_threads() * 4);
+    let chunk_rows = chunk_rows.max(1);
+    c.as_mut_slice()
+        .par_chunks_mut(chunk_rows * n)
+        .enumerate()
+        .for_each(|(ci, c_chunk)| {
+            let i0 = ci * chunk_rows;
+            let rows_here = c_chunk.len() / n;
+            let a_chunk = &a_buf[i0 * k..(i0 + rows_here) * k];
+            if alpha == 1.0 {
+                gemm_block(a_chunk, k, b_buf, n, c_chunk, n, rows_here, k, n);
+            } else {
+                let mut a_scaled = a_chunk.to_vec();
+                a_scaled.iter_mut().for_each(|x| *x *= alpha);
+                gemm_block(&a_scaled, k, b_buf, n, c_chunk, n, rows_here, k, n);
+            }
+        });
+}
+
+/// Size threshold (in multiply-add count) above which [`gemm`] switches from
+/// the sequential to the parallel kernel.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// General matrix multiply that dispatches between [`gemm_seq`] and
+/// [`par_gemm`] based on problem size.
+pub fn gemm(
+    alpha: f64,
+    a: &Matrix,
+    op_a: GemmOp,
+    b: &Matrix,
+    op_b: GemmOp,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let m = match op_a {
+        GemmOp::NoTrans => a.rows(),
+        GemmOp::Trans => a.cols(),
+    };
+    let k = match op_a {
+        GemmOp::NoTrans => a.cols(),
+        GemmOp::Trans => a.rows(),
+    };
+    let n = match op_b {
+        GemmOp::NoTrans => b.cols(),
+        GemmOp::Trans => b.rows(),
+    };
+    if m * k * n >= PAR_FLOP_THRESHOLD {
+        par_gemm(alpha, a, op_a, b, op_b, beta, c);
+    } else {
+        gemm_seq(alpha, a, op_a, b, op_b, beta, c);
+    }
+}
+
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
+pub fn gemv(alpha: f64, a: &Matrix, op_a: GemmOp, x: &[f64], beta: f64, y: &mut [f64]) {
+    match op_a {
+        GemmOp::NoTrans => {
+            assert_eq!(a.cols(), x.len(), "gemv: x length mismatch");
+            assert_eq!(a.rows(), y.len(), "gemv: y length mismatch");
+            for i in 0..a.rows() {
+                let row = a.row(i);
+                let mut acc = 0.0;
+                for (av, xv) in row.iter().zip(x.iter()) {
+                    acc += av * xv;
+                }
+                y[i] = alpha * acc + beta * y[i];
+            }
+        }
+        GemmOp::Trans => {
+            assert_eq!(a.rows(), x.len(), "gemv^T: x length mismatch");
+            assert_eq!(a.cols(), y.len(), "gemv^T: y length mismatch");
+            if beta == 0.0 {
+                y.iter_mut().for_each(|v| *v = 0.0);
+            } else if beta != 1.0 {
+                y.iter_mut().for_each(|v| *v *= beta);
+            }
+            for i in 0..a.rows() {
+                let row = a.row(i);
+                let xv = alpha * x[i];
+                if xv == 0.0 {
+                    continue;
+                }
+                for (yv, av) in y.iter_mut().zip(row.iter()) {
+                    *yv += av * xv;
+                }
+            }
+        }
+    }
+}
+
+/// Raw-slice kernel: `C += A * B` where `A` is `m x k`, `B` is `k x n` and
+/// `C` is `m x n`, all row-major and densely packed.
+///
+/// The MatRox executor operates directly on the flat CDS buffers and on
+/// permuted right-hand-side/output buffers, so it needs a GEMM that does not
+/// require wrapping slices into [`Matrix`] values.
+pub fn gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    gemm_block(a, k, b, n, c, n, m, k, n);
+}
+
+/// Raw-slice kernel: `C += A^T * B` where `A` is `k x m` (so `A^T` is
+/// `m x k`), `B` is `k x n` and `C` is `m x n`, all row-major.
+///
+/// This is the upward-pass kernel `T_i = V_i^T * W_i`: `V_i` is stored
+/// untransposed in CDS and `A^T B` is computed with a rank-1-update loop that
+/// keeps the accesses to `B` and `C` contiguous.
+pub fn gemm_tn_slices(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let aval = arow[i];
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
+/// Rayon-parallel version of [`gemm_slices`], splitting the rows of `C`.
+/// Used for the peeled root iteration where task-level parallelism has run
+/// out and block-level parallelism takes over.
+pub fn par_gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk_rows = ((m + threads - 1) / threads).max(1);
+    c.par_chunks_mut(chunk_rows * n)
+        .enumerate()
+        .for_each(|(ci, c_chunk)| {
+            let i0 = ci * chunk_rows;
+            let rows_here = c_chunk.len() / n;
+            let a_chunk = &a[i0 * k..(i0 + rows_here) * k];
+            gemm_block(a_chunk, k, b, n, c_chunk, n, rows_here, k, n);
+        });
+}
+
+/// Convenience helper: `A * B` as a fresh matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, GemmOp::NoTrans, b, GemmOp::NoTrans, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        if a.shape() != b.shape() {
+            return false;
+        }
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let a = random_matrix(7, 5, 1);
+        let b = random_matrix(5, 9, 2);
+        let mut c = Matrix::zeros(7, 9);
+        gemm_seq(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c);
+        assert!(approx_eq(&c, &naive(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn gemm_matches_naive_blocked_sizes() {
+        let a = random_matrix(130, 140, 3);
+        let b = random_matrix(140, 150, 4);
+        let mut c = Matrix::zeros(130, 150);
+        gemm_seq(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c);
+        assert!(approx_eq(&c, &naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_transposed_a() {
+        let a = random_matrix(5, 7, 5);
+        let b = random_matrix(5, 4, 6);
+        let mut c = Matrix::zeros(7, 4);
+        gemm_seq(1.0, &a, GemmOp::Trans, &b, GemmOp::NoTrans, 0.0, &mut c);
+        assert!(approx_eq(&c, &naive(&a.transpose(), &b), 1e-12));
+    }
+
+    #[test]
+    fn gemm_transposed_b() {
+        let a = random_matrix(6, 7, 7);
+        let b = random_matrix(4, 7, 8);
+        let mut c = Matrix::zeros(6, 4);
+        gemm_seq(1.0, &a, GemmOp::NoTrans, &b, GemmOp::Trans, 0.0, &mut c);
+        assert!(approx_eq(&c, &naive(&a, &b.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = random_matrix(4, 4, 9);
+        let b = random_matrix(4, 4, 10);
+        let mut c = Matrix::filled(4, 4, 1.0);
+        gemm_seq(2.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 3.0, &mut c);
+        let mut expected = naive(&a, &b);
+        expected.scale(2.0);
+        let mut three = Matrix::filled(4, 4, 3.0);
+        three.add_assign(&expected);
+        assert!(approx_eq(&c, &three, 1e-12));
+    }
+
+    #[test]
+    fn par_gemm_matches_seq() {
+        let a = random_matrix(200, 64, 11);
+        let b = random_matrix(64, 96, 12);
+        let mut c1 = Matrix::zeros(200, 96);
+        let mut c2 = Matrix::zeros(200, 96);
+        gemm_seq(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c1);
+        par_gemm(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c2);
+        assert!(approx_eq(&c1, &c2, 1e-12));
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = random_matrix(9, 6, 13);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let mut y = vec![0.0; 9];
+        gemv(1.0, &a, GemmOp::NoTrans, &x, 0.0, &mut y);
+        let xm = Matrix::from_vec(6, 1, x.clone());
+        let expected = matmul(&a, &xm);
+        for i in 0..9 {
+            assert!((y[i] - expected.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_transposed() {
+        let a = random_matrix(9, 6, 14);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; 6];
+        gemv(1.0, &a, GemmOp::Trans, &x, 0.0, &mut y);
+        let xm = Matrix::from_vec(9, 1, x.clone());
+        let expected = matmul(&a.transpose(), &xm);
+        for i in 0..6 {
+            assert!((y[i] - expected.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_slices_matches_matrix_gemm() {
+        let a = random_matrix(13, 9, 21);
+        let b = random_matrix(9, 7, 22);
+        let expected = matmul(&a, &b);
+        let mut c = vec![0.0; 13 * 7];
+        gemm_slices(a.as_slice(), 13, 9, b.as_slice(), 7, &mut c);
+        for (x, y) in c.iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let mut cp = vec![0.0; 13 * 7];
+        par_gemm_slices(a.as_slice(), 13, 9, b.as_slice(), 7, &mut cp);
+        assert_eq!(c, cp);
+    }
+
+    #[test]
+    fn gemm_tn_slices_matches_transposed_gemm() {
+        let a = random_matrix(11, 6, 23); // k x m
+        let b = random_matrix(11, 5, 24); // k x n
+        let expected = matmul(&a.transpose(), &b);
+        let mut c = vec![0.0; 6 * 5];
+        gemm_tn_slices(a.as_slice(), 11, 6, b.as_slice(), 5, &mut c);
+        for (x, y) in c.iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slice_kernels_accumulate() {
+        let a = random_matrix(4, 4, 25);
+        let b = random_matrix(4, 4, 26);
+        let mut c = vec![1.0; 16];
+        gemm_slices(a.as_slice(), 4, 4, b.as_slice(), 4, &mut c);
+        let mut expected = matmul(&a, &b);
+        expected.add_assign(&Matrix::filled(4, 4, 1.0));
+        for (x, y) in c.iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_zero_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(0, 3);
+        gemm(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c);
+        assert!(c.is_empty());
+    }
+}

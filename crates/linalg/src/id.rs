@@ -1,0 +1,227 @@
+//! Interpolative decomposition (ID).
+//!
+//! MatRox (following ASKIT/GOFMM) compresses every low-rank block with an
+//! interpolative decomposition: a subset of the block's own rows (the
+//! *skeleton*) is selected and the remaining rows are expressed as linear
+//! combinations of the skeleton rows.  For a node `i` with index set `I_i`
+//! and a sampled far-field block `A = K(I_i, S_i)` the **row ID**
+//!
+//! ```text
+//! A  ≈  P * A[J, :]          P  (|I_i| x k),  J ⊆ I_i,  |J| = k = srank_i
+//! ```
+//!
+//! gives the interpolation matrix `P` (the paper's `U_i`/`V_i` generators)
+//! and the skeleton indices `J` used to form the coupling blocks
+//! `B_{i,j} = K(skel_i, skel_j)`.
+//!
+//! The rank `k` is chosen adaptively: the column-pivoted QR underlying the ID
+//! stops when the diagonal of `R` falls below `bacc * |R[0,0]|`, exactly the
+//! "srank adaptively tuned to meet the user-requested block approximation
+//! accuracy" behaviour described in Section 2.1 of the paper.
+
+use crate::gemm::{gemm_seq, GemmOp};
+use crate::matrix::Matrix;
+use crate::qr::pivoted_qr;
+use crate::solve::solve_upper_triangular_matrix;
+
+/// Result of a row or column interpolative decomposition.
+#[derive(Debug, Clone)]
+pub struct IdResult {
+    /// Detected rank `k` (the `srank` of the block).
+    pub rank: usize,
+    /// Skeleton indices (row indices for [`row_id`], column indices for
+    /// [`column_id`]) into the original matrix, in pivot order.
+    pub skeleton: Vec<usize>,
+    /// Interpolation matrix: `m x k` for a row ID (`A ≈ interp * A[skeleton, :]`),
+    /// `k x n` for a column ID (`A ≈ A[:, skeleton] * interp`).
+    pub interp: Matrix,
+}
+
+/// Column interpolative decomposition `A ≈ A[:, J] * X`.
+///
+/// * `tol` — relative tolerance controlling the adaptive rank.
+/// * `max_rank` — hard cap on the rank.
+pub fn column_id(a: &Matrix, tol: f64, max_rank: usize) -> IdResult {
+    let n = a.cols();
+    let f = pivoted_qr(a, tol, max_rank);
+    let k = f.rank;
+
+    if k == 0 {
+        return IdResult {
+            rank: 0,
+            skeleton: Vec::new(),
+            interp: Matrix::zeros(0, n),
+        };
+    }
+
+    // R = [R11 R12] with R11 (k x k) upper triangular over the pivoted columns.
+    let r11 = f.r.submatrix(0, k, 0, k);
+    let r12 = f.r.submatrix(0, k, k, n);
+    // T = R11^{-1} R12  (k x (n-k))
+    let t = if n > k {
+        solve_upper_triangular_matrix(&r11, &r12)
+    } else {
+        Matrix::zeros(k, 0)
+    };
+
+    // X (k x n) in *original* column order: X[:, perm[j]] = I_col(j) for j < k,
+    // X[:, perm[j]] = T[:, j-k] for j >= k.
+    let mut x = Matrix::zeros(k, n);
+    for j in 0..k {
+        x.set(j, f.perm[j], 1.0);
+    }
+    for j in k..n {
+        let orig = f.perm[j];
+        for i in 0..k {
+            x.set(i, orig, t.get(i, j - k));
+        }
+    }
+
+    IdResult {
+        rank: k,
+        skeleton: f.perm[..k].to_vec(),
+        interp: x,
+    }
+}
+
+/// Row interpolative decomposition `A ≈ P * A[J, :]`.
+///
+/// Implemented as a column ID of `A^T`: skeleton columns of `A^T` are skeleton
+/// rows of `A`, and the interpolation matrix is the transpose of the column
+/// interpolation factor.
+pub fn row_id(a: &Matrix, tol: f64, max_rank: usize) -> IdResult {
+    let at = a.transpose();
+    let cid = column_id(&at, tol, max_rank);
+    IdResult {
+        rank: cid.rank,
+        skeleton: cid.skeleton,
+        interp: cid.interp.transpose(),
+    }
+}
+
+/// Reconstruct `P * A[J, :]` for a row ID — used by tests and by the accuracy
+/// diagnostics in the benchmark harnesses.
+pub fn reconstruct_row_id(a: &Matrix, id: &IdResult) -> Matrix {
+    let skel_rows = a.gather_rows(&id.skeleton);
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    gemm_seq(
+        1.0,
+        &id.interp,
+        GemmOp::NoTrans,
+        &skel_rows,
+        GemmOp::NoTrans,
+        0.0,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::relative_error;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn low_rank_matrix(m: usize, n: usize, r: usize, seed: u64) -> Matrix {
+        let a = random_matrix(m, r, seed);
+        let b = random_matrix(r, n, seed + 1);
+        crate::gemm::matmul(&a, &b)
+    }
+
+    #[test]
+    fn row_id_exact_on_low_rank() {
+        let a = low_rank_matrix(30, 20, 4, 5);
+        let id = row_id(&a, 1e-10, usize::MAX);
+        assert_eq!(id.rank, 4);
+        let rec = reconstruct_row_id(&a, &id);
+        assert!(relative_error(&rec, &a) < 1e-8);
+    }
+
+    #[test]
+    fn column_id_exact_on_low_rank() {
+        let a = low_rank_matrix(20, 30, 6, 8);
+        let id = column_id(&a, 1e-10, usize::MAX);
+        assert_eq!(id.rank, 6);
+        let skel = a.gather_cols(&id.skeleton);
+        let rec = crate::gemm::matmul(&skel, &id.interp);
+        assert!(relative_error(&rec, &a) < 1e-8);
+    }
+
+    #[test]
+    fn skeleton_indices_are_valid_and_unique() {
+        let a = low_rank_matrix(25, 25, 7, 9);
+        let id = row_id(&a, 1e-8, usize::MAX);
+        let mut seen = std::collections::HashSet::new();
+        for &s in &id.skeleton {
+            assert!(s < 25);
+            assert!(seen.insert(s), "duplicate skeleton index");
+        }
+    }
+
+    #[test]
+    fn interpolation_matrix_has_identity_on_skeleton_rows() {
+        let a = low_rank_matrix(20, 15, 5, 10);
+        let id = row_id(&a, 1e-10, usize::MAX);
+        for (col, &row) in id.skeleton.iter().enumerate() {
+            for c in 0..id.rank {
+                let expected = if c == col { 1.0 } else { 0.0 };
+                assert!(
+                    (id.interp.get(row, c) - expected).abs() < 1e-12,
+                    "interp[{row},{c}] should be {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_rank_caps_the_skeleton() {
+        let a = random_matrix(40, 40, 11);
+        let id = row_id(&a, 0.0, 9);
+        assert_eq!(id.rank, 9);
+        assert_eq!(id.interp.shape(), (40, 9));
+    }
+
+    #[test]
+    fn zero_matrix_gives_rank_zero() {
+        let a = Matrix::zeros(10, 10);
+        let id = row_id(&a, 1e-12, usize::MAX);
+        assert_eq!(id.rank, 0);
+        assert!(id.skeleton.is_empty());
+    }
+
+    #[test]
+    fn tighter_tolerance_never_decreases_rank() {
+        // A kernel-like matrix with decaying spectrum.
+        let n = 48;
+        let pts: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let a = Matrix::from_fn(n, n, |i, j| (-(pts[i] - pts[j]).powi(2) * 40.0).exp());
+        let loose = row_id(&a, 1e-2, usize::MAX);
+        let tight = row_id(&a, 1e-8, usize::MAX);
+        assert!(tight.rank >= loose.rank);
+        let rec_tight = reconstruct_row_id(&a, &tight);
+        let rec_loose = reconstruct_row_id(&a, &loose);
+        assert!(relative_error(&rec_tight, &a) <= relative_error(&rec_loose, &a) + 1e-12);
+    }
+
+    #[test]
+    fn id_error_tracks_tolerance_on_smooth_kernel() {
+        let n = 64;
+        let pts: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let a = Matrix::from_fn(n, n, |i, j| (-(pts[i] - pts[j] + 2.0).powi(2)).exp());
+        for &tol in &[1e-3, 1e-6, 1e-9] {
+            let id = row_id(&a, tol, usize::MAX);
+            let rec = reconstruct_row_id(&a, &id);
+            let err = relative_error(&rec, &a);
+            assert!(
+                err < tol * 1e3,
+                "tol {tol} gave error {err} with rank {}",
+                id.rank
+            );
+        }
+    }
+}

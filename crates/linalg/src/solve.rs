@@ -1,0 +1,125 @@
+//! Triangular solves used by the interpolative decomposition.
+//!
+//! The ID needs `T = R11^{-1} R12` where `R11` is the leading `k x k` upper
+//! triangle of the pivoted-QR factor.  We solve column by column with plain
+//! back-substitution; `k` is bounded by the maximum submatrix rank (256 in the
+//! paper's default configuration), so this is never a bottleneck.
+
+use crate::matrix::Matrix;
+
+/// Solve `U x = b` where `U` is the upper-triangular leading block of `u`
+/// (only entries `u[i][j]` with `j >= i` and `i, j < n` are referenced).
+///
+/// # Panics
+/// Panics on dimension mismatch or on an exactly singular diagonal entry.
+pub fn solve_upper_triangular(u: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert!(u.rows() >= n && u.cols() >= n, "solve: U too small");
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        let row = u.row(i);
+        for j in (i + 1)..n {
+            acc -= row[j] * x[j];
+        }
+        let d = row[i];
+        assert!(d != 0.0, "solve_upper_triangular: singular diagonal at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solve `U X = B` column-by-column, where `U` is `k x k` upper triangular
+/// (taken from the leading block of `u`) and `B` is `k x n`.
+pub fn solve_upper_triangular_matrix(u: &Matrix, b: &Matrix) -> Matrix {
+    let k = b.rows();
+    let n = b.cols();
+    let mut x = Matrix::zeros(k, n);
+    // Back-substitution over all right-hand sides at once, row-major friendly:
+    // process rows bottom-up, updating full rows.
+    let mut work = b.clone();
+    for i in (0..k).rev() {
+        let urow_i = u.row(i).to_vec();
+        let d = urow_i[i];
+        assert!(
+            d != 0.0,
+            "solve_upper_triangular_matrix: singular diagonal at {i}"
+        );
+        // x[i, :] = (work[i, :] - sum_{j>i} U[i,j] * x[j, :]) / d
+        let mut acc = work.row(i).to_vec();
+        for j in (i + 1)..k {
+            let uij = urow_i[j];
+            if uij == 0.0 {
+                continue;
+            }
+            let xrow = x.row(j).to_vec();
+            for c in 0..n {
+                acc[c] -= uij * xrow[c];
+            }
+        }
+        for c in 0..n {
+            acc[c] /= d;
+        }
+        x.row_mut(i).copy_from_slice(&acc);
+        work.row_mut(i).iter_mut().for_each(|v| *v = 0.0);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+
+    fn upper(n: usize, seed: u64) -> Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |i, j| {
+            if j > i {
+                rng.gen_range(-1.0..1.0)
+            } else if j == i {
+                rng.gen_range(1.0..2.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn vector_solve_matches_product() {
+        let u = upper(8, 1);
+        let x_true: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut b = vec![0.0; 8];
+        crate::gemm::gemv(1.0, &u, crate::gemm::GemmOp::NoTrans, &x_true, 0.0, &mut b);
+        let x = solve_upper_triangular(&u, &b);
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matrix_solve_matches_product() {
+        let u = upper(10, 2);
+        let x_true = Matrix::from_fn(10, 4, |i, j| ((i * 4 + j) as f64).sin());
+        let b = matmul(&u, &x_true);
+        let x = solve_upper_triangular_matrix(&u, &b);
+        assert!(relative_error(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn singular_diagonal_panics() {
+        let mut u = upper(4, 3);
+        u.set(2, 2, 0.0);
+        let _ = solve_upper_triangular(&u, &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_solve_is_empty() {
+        let u = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 3);
+        let x = solve_upper_triangular_matrix(&u, &b);
+        assert_eq!(x.shape(), (0, 3));
+    }
+}

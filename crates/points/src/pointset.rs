@@ -1,0 +1,221 @@
+//! The [`PointSet`] type: `N` points in `d` dimensions, stored row-major.
+
+use rand::Rng;
+
+/// A set of `N` points in `R^d`, stored as a flat row-major buffer
+/// (`coords[i * dim + k]` is coordinate `k` of point `i`).
+///
+/// All MatRox structures (cluster tree, HTree, sampling lists, compression)
+/// refer to points by their index into this set; the set itself is never
+/// reordered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointSet {
+    /// Build a point set from a flat row-major coordinate buffer.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn new(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "PointSet: dimension must be positive");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "PointSet: coordinate buffer length {} is not a multiple of dim {}",
+            coords.len(),
+            dim
+        );
+        PointSet { dim, coords }
+    }
+
+    /// Build a point set from a slice of points.
+    pub fn from_points(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "PointSet::from_points: empty input");
+        let dim = points[0].len();
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.len(), dim, "PointSet::from_points: ragged points");
+            coords.extend_from_slice(p);
+        }
+        PointSet { dim, coords }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True if the set contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Point dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.len());
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrow the whole coordinate buffer.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Squared Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        let a = self.point(i);
+        let b = self.point(j);
+        let mut s = 0.0;
+        for k in 0..self.dim {
+            let d = a[k] - b[k];
+            s += d * d;
+        }
+        s
+    }
+
+    /// Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist2(i, j).sqrt()
+    }
+
+    /// Centroid of the points listed in `idx`.
+    pub fn centroid(&self, idx: &[usize]) -> Vec<f64> {
+        let mut c = vec![0.0; self.dim];
+        if idx.is_empty() {
+            return c;
+        }
+        for &i in idx {
+            let p = self.point(i);
+            for k in 0..self.dim {
+                c[k] += p[k];
+            }
+        }
+        let inv = 1.0 / idx.len() as f64;
+        c.iter_mut().for_each(|x| *x *= inv);
+        c
+    }
+
+    /// Squared distance from point `i` to an arbitrary coordinate vector.
+    pub fn dist2_to(&self, i: usize, target: &[f64]) -> f64 {
+        let p = self.point(i);
+        debug_assert_eq!(target.len(), self.dim);
+        let mut s = 0.0;
+        for k in 0..self.dim {
+            let d = p[k] - target[k];
+            s += d * d;
+        }
+        s
+    }
+
+    /// Diameter (max pairwise distance) of the points listed in `idx`.
+    ///
+    /// For index sets larger than `sample_cap` a random-ish deterministic
+    /// subsample is used; the diameter only feeds the admissibility
+    /// condition, which is robust to a small underestimate.
+    pub fn diameter(&self, idx: &[usize], sample_cap: usize) -> f64 {
+        if idx.len() < 2 {
+            return 0.0;
+        }
+        let stride = (idx.len() / sample_cap.max(1)).max(1);
+        let sampled: Vec<usize> = idx.iter().step_by(stride).copied().collect();
+        let mut max2: f64 = 0.0;
+        for (a, &i) in sampled.iter().enumerate() {
+            for &j in &sampled[a + 1..] {
+                max2 = max2.max(self.dist2(i, j));
+            }
+        }
+        max2.sqrt()
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of the points listed in `idx`.
+    pub fn bounding_box(&self, idx: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for &i in idx {
+            let p = self.point(i);
+            for k in 0..self.dim {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Generate `n` points with coordinates drawn uniformly from `[0, 1)^d`.
+    pub fn random_uniform<R: Rng>(n: usize, dim: usize, rng: &mut R) -> Self {
+        let coords = (0..n * dim).map(|_| rng.gen::<f64>()).collect();
+        PointSet { dim, coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let ps = PointSet::from_points(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn distances_are_euclidean() {
+        let ps = PointSet::from_points(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(ps.dist2(0, 1), 25.0);
+        assert_eq!(ps.dist(0, 1), 5.0);
+        assert_eq!(ps.dist(0, 0), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_symmetric_points_is_origin() {
+        let ps = PointSet::from_points(&[vec![1.0, 1.0], vec![-1.0, -1.0]]);
+        let c = ps.centroid(&[0, 1]);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn diameter_matches_exact_for_small_sets() {
+        let ps = PointSet::from_points(&[vec![0.0], vec![1.0], vec![5.0], vec![2.0]]);
+        let idx = [0, 1, 2, 3];
+        assert_eq!(ps.diameter(&idx, 100), 5.0);
+        assert_eq!(ps.diameter(&idx[..1], 100), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_encloses_points() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let ps = PointSet::random_uniform(40, 3, &mut rng);
+        let idx: Vec<usize> = (0..40).collect();
+        let (lo, hi) = ps.bounding_box(&idx);
+        for &i in &idx {
+            let p = ps.point(i);
+            for k in 0..3 {
+                assert!(p[k] >= lo[k] && p[k] <= hi[k]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_points_panic() {
+        let _ = PointSet::from_points(&[vec![0.0, 1.0], vec![2.0]]);
+    }
+}

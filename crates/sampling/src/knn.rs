@@ -1,0 +1,198 @@
+//! Approximate k-nearest-neighbour search with random-projection trees.
+//!
+//! MatRox's sampling module computes a k-nearest-neighbour list for every
+//! point "using a greedy search based on random projection trees that
+//! recursively partitions the points along a random direction" (Section 3.1,
+//! citing Dasgupta & Freund).  Exact k-NN would be `O(N^2 d)`; the RP-tree
+//! approach builds a handful of randomized trees, restricts candidate pairs
+//! to RP-tree leaves, and keeps the best `k` candidates per point.
+
+use matrox_points::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the approximate k-NN search.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnParams {
+    /// Number of neighbours kept per point (the paper's sampling size `k`).
+    pub k: usize,
+    /// Number of random-projection trees to build; more trees improve recall.
+    pub num_trees: usize,
+    /// RP-tree leaf capacity; candidates are scored all-pairs inside a leaf.
+    pub leaf_cap: usize,
+    /// RNG seed for the random projection directions.
+    pub seed: u64,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        KnnParams {
+            k: 32,
+            num_trees: 4,
+            leaf_cap: 96,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Approximate k-nearest neighbours of every point.
+///
+/// Returns, for each point `i`, up to `params.k` neighbour indices sorted by
+/// increasing distance (never containing `i` itself).
+pub fn approximate_knn(points: &PointSet, params: &KnnParams) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n <= 1 {
+        return vec![Vec::new(); n];
+    }
+    let k = params.k.min(n - 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Candidate neighbour sets, grown tree by tree.
+    let mut best: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+
+    for _tree in 0..params.num_trees.max(1) {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut stack: Vec<(usize, usize)> = vec![(0, n)];
+        // In-place recursive partitioning of `idx` along random directions.
+        while let Some((start, end)) = stack.pop() {
+            let len = end - start;
+            if len <= params.leaf_cap.max(2 * k).max(4) {
+                score_leaf(points, &idx[start..end], k, &mut best);
+                continue;
+            }
+            // Random unit-ish direction.
+            let dim = points.dim();
+            let dir: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mid = start + len / 2;
+            idx[start..end].select_nth_unstable_by(len / 2, |&a, &b| {
+                let pa: f64 = points.point(a).iter().zip(&dir).map(|(x, d)| x * d).sum();
+                let pb: f64 = points.point(b).iter().zip(&dir).map(|(x, d)| x * d).sum();
+                pa.partial_cmp(&pb).unwrap()
+            });
+            stack.push((start, mid));
+            stack.push((mid, end));
+        }
+    }
+
+    // Finalize: sort by distance, dedup, truncate to k.
+    best.into_iter()
+        .map(|mut cands| {
+            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut out = Vec::with_capacity(k);
+            let mut seen = std::collections::HashSet::new();
+            for (_, j) in cands {
+                if seen.insert(j) {
+                    out.push(j);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Brute-force candidate scoring inside one RP-tree leaf.
+fn score_leaf(points: &PointSet, leaf: &[usize], k: usize, best: &mut [Vec<(f64, usize)>]) {
+    for (a, &i) in leaf.iter().enumerate() {
+        for &j in &leaf[a + 1..] {
+            let d = points.dist2(i, j);
+            push_candidate(&mut best[i], d, j, 3 * k);
+            push_candidate(&mut best[j], d, i, 3 * k);
+        }
+    }
+}
+
+/// Keep the candidate list bounded: append and, when it grows past `cap`,
+/// retain only the closest `cap` entries.
+fn push_candidate(list: &mut Vec<(f64, usize)>, dist: f64, idx: usize, cap: usize) {
+    list.push((dist, idx));
+    if list.len() > 2 * cap {
+        list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        list.truncate(cap);
+    }
+}
+
+/// Exact k-nearest neighbours (quadratic); used by tests to measure the
+/// recall of the approximate search and usable for tiny point sets.
+pub fn exact_knn(points: &PointSet, k: usize) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let k = k.min(n.saturating_sub(1));
+    (0..n)
+        .map(|i| {
+            let mut dists: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (points.dist2(i, j), j))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            dists.into_iter().take(k).map(|(_, j)| j).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrox_points::{generate, DatasetId};
+
+    #[test]
+    fn knn_lists_have_requested_size_and_no_self() {
+        let pts = generate(DatasetId::Random, 300, 1);
+        let knn = approximate_knn(&pts, &KnnParams { k: 8, ..Default::default() });
+        assert_eq!(knn.len(), 300);
+        for (i, list) in knn.iter().enumerate() {
+            assert_eq!(list.len(), 8, "point {i}");
+            assert!(!list.contains(&i));
+            let unique: std::collections::HashSet<_> = list.iter().collect();
+            assert_eq!(unique.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn recall_against_exact_is_reasonable() {
+        let pts = generate(DatasetId::Grid, 400, 2);
+        let k = 10;
+        let approx = approximate_knn(
+            &pts,
+            &KnnParams { k, num_trees: 6, leaf_cap: 64, seed: 3 },
+        );
+        let exact = exact_knn(&pts, k);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for i in 0..pts.len() {
+            let truth: std::collections::HashSet<_> = exact[i].iter().collect();
+            hit += approx[i].iter().filter(|j| truth.contains(j)).count();
+            total += k;
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.6, "recall {recall} too low");
+    }
+
+    #[test]
+    fn exact_knn_on_line_points_matches_intuition() {
+        let pts = matrox_points::PointSet::from_points(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+        ]);
+        let knn = exact_knn(&pts, 2);
+        assert_eq!(knn[0], vec![1, 2]);
+        assert_eq!(knn[3], vec![2, 1]);
+    }
+
+    #[test]
+    fn tiny_point_sets_do_not_panic() {
+        let pts = matrox_points::PointSet::from_points(&[vec![0.0, 0.0]]);
+        let knn = approximate_knn(&pts, &KnnParams::default());
+        assert_eq!(knn, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn high_dimensional_knn_works() {
+        let pts = generate(DatasetId::Higgs, 256, 4);
+        let knn = approximate_knn(&pts, &KnnParams { k: 16, ..Default::default() });
+        assert!(knn.iter().all(|l| l.len() == 16));
+    }
+}

@@ -1,0 +1,471 @@
+//! Binary cluster tree (CTree) construction.
+//!
+//! The CTree is built by recursively partitioning the point set until a node
+//! owns fewer than `leaf_size` points (the paper's leaf-size constant `m`).
+//! Two partitioning algorithms are provided, matching Section 3.1:
+//!
+//! * **kd-tree** splits (widest bounding-box dimension, median) for
+//!   low-dimensional points (`d <= 3`), and
+//! * **two-means** splits (two far-apart seeds, a few Lloyd iterations, then a
+//!   balanced median split on the distance difference) for high-dimensional
+//!   points (`d > 3`).
+//!
+//! Every node owns a contiguous range of a global permutation of the point
+//! indices, so a node's index set is a slice — no per-node allocation.  Nodes
+//! are numbered in breadth-first order with the root as node 0, matching the
+//! numbering used in Figure 1 of the paper.
+
+use matrox_points::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which partitioning algorithm to use when splitting a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// Median split along the widest bounding-box dimension.
+    KdTree,
+    /// Two-means style split (balanced, on the projected distance difference).
+    TwoMeans,
+    /// Pick automatically: kd-tree for `d <= 3`, two-means otherwise (the
+    /// paper's rule).
+    Auto,
+}
+
+/// One node of the cluster tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Node id (index into [`ClusterTree::nodes`]); the root is 0.
+    pub id: usize,
+    /// Parent id; `None` for the root.
+    pub parent: Option<usize>,
+    /// Children ids `(left, right)`; `None` for leaves.
+    pub children: Option<(usize, usize)>,
+    /// Depth from the root (root has level 0).
+    pub level: usize,
+    /// Start of this node's index range in [`ClusterTree::perm`].
+    pub start: usize,
+    /// One-past-the-end of this node's index range in [`ClusterTree::perm`].
+    pub end: usize,
+    /// Centroid of the owned points.
+    pub centroid: Vec<f64>,
+    /// Diameter estimate (diagonal of the axis-aligned bounding box).
+    pub diameter: f64,
+}
+
+impl TreeNode {
+    /// Number of points owned by this node.
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if this node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// A binary cluster tree over a [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct ClusterTree {
+    /// All nodes in breadth-first order; `nodes[0]` is the root.
+    pub nodes: Vec<TreeNode>,
+    /// Global permutation of point indices; node `x` owns
+    /// `perm[nodes[x].start..nodes[x].end]`.
+    pub perm: Vec<usize>,
+    /// Leaf-size constant `m` used during construction.
+    pub leaf_size: usize,
+    /// Tree height: the maximum node level (root level is 0).
+    pub height: usize,
+}
+
+impl ClusterTree {
+    /// Build a cluster tree over `points` with the given partitioning method
+    /// and leaf size.  `seed` makes the two-means splits deterministic.
+    pub fn build(
+        points: &PointSet,
+        method: PartitionMethod,
+        leaf_size: usize,
+        seed: u64,
+    ) -> ClusterTree {
+        assert!(leaf_size >= 1, "leaf_size must be at least 1");
+        assert!(!points.is_empty(), "cannot build a tree over zero points");
+        let method = match method {
+            PartitionMethod::Auto => {
+                if points.dim() <= 3 {
+                    PartitionMethod::KdTree
+                } else {
+                    PartitionMethod::TwoMeans
+                }
+            }
+            m => m,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..points.len()).collect();
+        let mut nodes: Vec<TreeNode> = Vec::new();
+
+        // Breadth-first construction with an explicit queue so node ids come
+        // out in BFS order (root = 0), matching the paper's numbering.
+        struct Pending {
+            node_id: usize,
+            start: usize,
+            end: usize,
+            level: usize,
+        }
+
+        let root_geom = node_geometry(points, &perm[0..points.len()]);
+        nodes.push(TreeNode {
+            id: 0,
+            parent: None,
+            children: None,
+            level: 0,
+            start: 0,
+            end: points.len(),
+            centroid: root_geom.0,
+            diameter: root_geom.1,
+        });
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(Pending {
+            node_id: 0,
+            start: 0,
+            end: points.len(),
+            level: 0,
+        });
+        let mut height = 0;
+
+        while let Some(p) = queue.pop_front() {
+            let count = p.end - p.start;
+            if count <= leaf_size {
+                continue; // stays a leaf
+            }
+            // Partition perm[start..end] in place into two halves.
+            let mid = {
+                let slice = &mut perm[p.start..p.end];
+                let local_mid = match method {
+                    PartitionMethod::KdTree => kd_split(points, slice),
+                    PartitionMethod::TwoMeans => two_means_split(points, slice, &mut rng),
+                    PartitionMethod::Auto => unreachable!(),
+                };
+                p.start + local_mid
+            };
+            // Guard against degenerate splits (all points identical).
+            let mid = if mid == p.start || mid == p.end {
+                p.start + count / 2
+            } else {
+                mid
+            };
+
+            let left_id = nodes.len();
+            let right_id = nodes.len() + 1;
+            let child_level = p.level + 1;
+            height = height.max(child_level);
+
+            let lgeom = node_geometry(points, &perm[p.start..mid]);
+            nodes.push(TreeNode {
+                id: left_id,
+                parent: Some(p.node_id),
+                children: None,
+                level: child_level,
+                start: p.start,
+                end: mid,
+                centroid: lgeom.0,
+                diameter: lgeom.1,
+            });
+            let rgeom = node_geometry(points, &perm[mid..p.end]);
+            nodes.push(TreeNode {
+                id: right_id,
+                parent: Some(p.node_id),
+                children: None,
+                level: child_level,
+                start: mid,
+                end: p.end,
+                centroid: rgeom.0,
+                diameter: rgeom.1,
+            });
+            nodes[p.node_id].children = Some((left_id, right_id));
+
+            queue.push_back(Pending {
+                node_id: left_id,
+                start: p.start,
+                end: mid,
+                level: child_level,
+            });
+            queue.push_back(Pending {
+                node_id: right_id,
+                start: mid,
+                end: p.end,
+                level: child_level,
+            });
+        }
+
+        ClusterTree {
+            nodes,
+            perm,
+            leaf_size,
+            height,
+        }
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The global point indices owned by node `id`.
+    #[inline]
+    pub fn indices(&self, id: usize) -> &[usize] {
+        let n = &self.nodes[id];
+        &self.perm[n.start..n.end]
+    }
+
+    /// Ids of all leaf nodes, in BFS order.
+    pub fn leaves(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all nodes at the given level.
+    pub fn nodes_at_level(&self, level: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.level == level)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Geometric distance between the centroids of two nodes.
+    pub fn node_distance(&self, a: usize, b: usize) -> f64 {
+        let ca = &self.nodes[a].centroid;
+        let cb = &self.nodes[b].centroid;
+        let mut s = 0.0;
+        for k in 0..ca.len() {
+            let d = ca[k] - cb[k];
+            s += d * d;
+        }
+        s.sqrt()
+    }
+}
+
+/// Compute `(centroid, diameter)` for a set of point indices.  The diameter is
+/// estimated as the diagonal of the axis-aligned bounding box, which is an
+/// upper bound on the true diameter and deterministic.
+fn node_geometry(points: &PointSet, idx: &[usize]) -> (Vec<f64>, f64) {
+    if idx.is_empty() {
+        return (vec![0.0; points.dim()], 0.0);
+    }
+    let centroid = points.centroid(idx);
+    let (lo, hi) = points.bounding_box(idx);
+    let mut diag2 = 0.0;
+    for k in 0..points.dim() {
+        let d = hi[k] - lo[k];
+        diag2 += d * d;
+    }
+    (centroid, diag2.sqrt())
+}
+
+/// kd-tree split: choose the widest bounding-box dimension and split at the
+/// median coordinate.  Returns the split position within `idx`.
+fn kd_split(points: &PointSet, idx: &mut [usize]) -> usize {
+    let (lo, hi) = points.bounding_box(idx);
+    let mut best_dim = 0;
+    let mut best_width = -1.0;
+    for k in 0..points.dim() {
+        let w = hi[k] - lo[k];
+        if w > best_width {
+            best_width = w;
+            best_dim = k;
+        }
+    }
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        points.point(a)[best_dim]
+            .partial_cmp(&points.point(b)[best_dim])
+            .unwrap()
+    });
+    mid
+}
+
+/// Two-means split for high-dimensional points: pick two far-apart seeds, run
+/// two Lloyd iterations, then split at the median of the distance difference
+/// so the two halves are balanced (keeping the binary tree complete, which
+/// the coarsening algorithm relies on for load balance).
+fn two_means_split(points: &PointSet, idx: &mut [usize], rng: &mut StdRng) -> usize {
+    // Seed selection: a random point, then the point farthest from it.
+    let a = idx[rng.gen_range(0..idx.len())];
+    let b = *idx
+        .iter()
+        .max_by(|&&x, &&y| {
+            points
+                .dist2(a, x)
+                .partial_cmp(&points.dist2(a, y))
+                .unwrap()
+        })
+        .unwrap();
+    let mut c1: Vec<f64> = points.point(a).to_vec();
+    let mut c2: Vec<f64> = points.point(b).to_vec();
+
+    // A couple of Lloyd iterations to settle the two centers.
+    for _ in 0..2 {
+        let mut s1 = vec![0.0; points.dim()];
+        let mut s2 = vec![0.0; points.dim()];
+        let mut n1 = 0usize;
+        let mut n2 = 0usize;
+        for &i in idx.iter() {
+            let d1 = points.dist2_to(i, &c1);
+            let d2 = points.dist2_to(i, &c2);
+            let p = points.point(i);
+            if d1 <= d2 {
+                for k in 0..points.dim() {
+                    s1[k] += p[k];
+                }
+                n1 += 1;
+            } else {
+                for k in 0..points.dim() {
+                    s2[k] += p[k];
+                }
+                n2 += 1;
+            }
+        }
+        if n1 > 0 {
+            for k in 0..points.dim() {
+                c1[k] = s1[k] / n1 as f64;
+            }
+        }
+        if n2 > 0 {
+            for k in 0..points.dim() {
+                c2[k] = s2[k] / n2 as f64;
+            }
+        }
+    }
+
+    // Balanced split on the signed distance difference.
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&x, &y| {
+        let dx = points.dist2_to(x, &c1) - points.dist2_to(x, &c2);
+        let dy = points.dist2_to(y, &c1) - points.dist2_to(y, &c2);
+        dx.partial_cmp(&dy).unwrap()
+    });
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrox_points::{generate, DatasetId};
+
+    fn check_tree_invariants(tree: &ClusterTree, n: usize) {
+        // The permutation is a permutation.
+        let mut sorted = tree.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // Root covers everything.
+        assert_eq!(tree.nodes[0].start, 0);
+        assert_eq!(tree.nodes[0].end, n);
+        // Children partition their parent exactly.
+        for node in &tree.nodes {
+            if let Some((l, r)) = node.children {
+                assert_eq!(tree.nodes[l].start, node.start);
+                assert_eq!(tree.nodes[l].end, tree.nodes[r].start);
+                assert_eq!(tree.nodes[r].end, node.end);
+                assert_eq!(tree.nodes[l].parent, Some(node.id));
+                assert_eq!(tree.nodes[r].parent, Some(node.id));
+                assert_eq!(tree.nodes[l].level, node.level + 1);
+            } else {
+                assert!(node.num_points() <= tree.leaf_size || node.id == 0);
+            }
+        }
+        // Leaves tile the permutation.
+        let total: usize = tree
+            .leaves()
+            .iter()
+            .map(|&l| tree.nodes[l].num_points())
+            .sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn kd_tree_on_2d_grid() {
+        let pts = generate(DatasetId::Grid, 256, 1);
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 16, 0);
+        check_tree_invariants(&tree, 256);
+        assert!(tree.height >= 4);
+        for &l in &tree.leaves() {
+            assert!(tree.nodes[l].num_points() <= 16);
+        }
+    }
+
+    #[test]
+    fn two_means_on_high_dim() {
+        let pts = generate(DatasetId::Higgs, 512, 2);
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+        check_tree_invariants(&tree, 512);
+        // Balanced splits give a complete-ish tree: every leaf within one
+        // level of the height.
+        for &l in &tree.leaves() {
+            assert!(tree.nodes[l].level + 1 >= tree.height);
+        }
+    }
+
+    #[test]
+    fn leaf_size_one_gives_singleton_leaves() {
+        let pts = generate(DatasetId::Random, 32, 3);
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 1, 0);
+        check_tree_invariants(&tree, 32);
+        for &l in &tree.leaves() {
+            assert_eq!(tree.nodes[l].num_points(), 1);
+        }
+    }
+
+    #[test]
+    fn small_set_is_single_leaf() {
+        let pts = generate(DatasetId::Random, 10, 4);
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 16, 0);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.height, 0);
+        assert!(tree.nodes[0].is_leaf());
+    }
+
+    #[test]
+    fn node_numbering_is_bfs() {
+        let pts = generate(DatasetId::Grid, 128, 5);
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 8, 0);
+        for node in &tree.nodes {
+            if let Some(p) = node.parent {
+                assert!(p < node.id, "parent id must precede child id");
+            }
+            if let Some((l, r)) = node.children {
+                assert_eq!(r, l + 1, "siblings must be adjacent in BFS order");
+            }
+        }
+        // Levels are non-decreasing with id in BFS order.
+        for w in tree.nodes.windows(2) {
+            assert!(w[0].level <= w[1].level);
+        }
+    }
+
+    #[test]
+    fn centroid_and_diameter_are_sane() {
+        let pts = generate(DatasetId::Unit, 200, 6);
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 16, 0);
+        let root = &tree.nodes[0];
+        // All unit-circle points are within the bounding-box diagonal of each
+        // other.
+        assert!(root.diameter >= 1.9 && root.diameter <= 3.0);
+        assert!(root.centroid.iter().all(|c| c.abs() < 0.2));
+        // Deeper nodes have smaller diameters.
+        let leaf = *tree.leaves().last().unwrap();
+        assert!(tree.nodes[leaf].diameter < root.diameter);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let pts = matrox_points::PointSet::new(2, vec![0.5; 2 * 64]);
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 4, 0);
+        check_tree_invariants(&tree, 64);
+    }
+}

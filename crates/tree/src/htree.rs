@@ -1,0 +1,399 @@
+//! Interaction computation: turning a CTree into an HTree.
+//!
+//! The interaction-computation module of MatRox's compression takes the CTree
+//! and the admissibility parameter and computes which node pairs interact as
+//! *near* (kept dense) and which interact as *far* (low-rank approximated).
+//! The CTree plus these interaction edges is the HTree (Figure 1b).
+//!
+//! Three structure modes are supported, matching the paper's experiments:
+//!
+//! * [`Structure::Geometric`] — the admissibility condition
+//!   `τ·dist(α,β) > diam(α) + diam(β)` (used for the SMASH comparison,
+//!   τ = 0.65 by default);
+//! * [`Structure::Budget`] — GOFMM's budget parameter: each leaf keeps at
+//!   most `budget · #leaves` nearest leaves as near interactions (budget 0.03
+//!   is the paper's "H²-b", budget 0 degenerates to HSS);
+//! * [`Structure::Hss`] — weak admissibility: every off-diagonal block is
+//!   low-rank (STRUMPACK's only supported structure).
+
+use crate::ctree::ClusterTree;
+
+/// HMatrix structure selection (admissibility flavour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Structure {
+    /// Geometric admissibility `τ·dist > diam + diam`.
+    Geometric {
+        /// Admissibility parameter τ.
+        tau: f64,
+    },
+    /// GOFMM-style budget: fraction of leaves each leaf may keep as near.
+    Budget {
+        /// Fraction in `[0, 1]`; 0.03 is the paper's H²-b setting.
+        budget: f64,
+    },
+    /// Weak admissibility / HSS: all off-diagonal blocks are far.
+    Hss,
+}
+
+impl Structure {
+    /// The paper's H²-b configuration (GOFMM budget 0.03).
+    pub fn h2b() -> Self {
+        Structure::Budget { budget: 0.03 }
+    }
+
+    /// Short name used in reports ("hss", "h2-b", "geom").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Structure::Geometric { .. } => "geom",
+            Structure::Budget { .. } => "h2-b",
+            Structure::Hss => "hss",
+        }
+    }
+}
+
+/// The HTree: a CTree plus near/far interaction lists.
+///
+/// `near[i]` is only non-empty for leaf nodes and contains leaf node ids `j`
+/// such that the dense block `D_{i,j}` must be computed.  `far[i]` contains
+/// node ids `j` (at the same tree level as `i`) such that the low-rank
+/// coupling block `B_{i,j}` must be computed.  Both lists are *directed*: if
+/// `(i, j)` is present, `(j, i)` is present as well, mirroring the loop
+/// structure in Figure 1d of the paper.
+#[derive(Debug, Clone)]
+pub struct HTree {
+    /// Near (dense) interaction lists, indexed by node id.
+    pub near: Vec<Vec<usize>>,
+    /// Far (low-rank) interaction lists, indexed by node id.
+    pub far: Vec<Vec<usize>>,
+    /// The structure mode used to build the lists.
+    pub structure: Structure,
+}
+
+impl HTree {
+    /// Compute the HTree for `tree` under the given structure mode.
+    pub fn build(points_tree: &ClusterTree, structure: Structure) -> HTree {
+        let n = points_tree.num_nodes();
+        let mut near = vec![Vec::new(); n];
+        let mut far = vec![Vec::new(); n];
+
+        if n == 1 {
+            // A single-leaf tree: the only block is the dense diagonal.
+            near[0].push(0);
+            return HTree {
+                near,
+                far,
+                structure,
+            };
+        }
+
+        // For budget mode, precompute the leaf-to-leaf "near" relation.
+        let leaf_near = match structure {
+            Structure::Budget { budget } => Some(budget_leaf_near(points_tree, budget)),
+            _ => None,
+        };
+
+        // Dual traversal starting from the root's self pair.
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((a, b)) = stack.pop() {
+            let na = &points_tree.nodes[a];
+            let nb = &points_tree.nodes[b];
+            if a == b {
+                if na.is_leaf() {
+                    near[a].push(a);
+                } else {
+                    let (l, r) = na.children.unwrap();
+                    stack.push((l, l));
+                    stack.push((l, r));
+                    stack.push((r, l));
+                    stack.push((r, r));
+                }
+                continue;
+            }
+            let admissible = match structure {
+                Structure::Hss => true,
+                Structure::Geometric { tau } => {
+                    let dist = points_tree.node_distance(a, b);
+                    tau * dist > na.diameter + nb.diameter
+                }
+                Structure::Budget { .. } => {
+                    !has_near_leaf_pair(points_tree, leaf_near.as_ref().unwrap(), a, b)
+                }
+            };
+            if admissible {
+                far[a].push(b);
+            } else if na.is_leaf() && nb.is_leaf() {
+                near[a].push(b);
+            } else if na.is_leaf() {
+                let (l, r) = nb.children.unwrap();
+                stack.push((a, l));
+                stack.push((a, r));
+            } else if nb.is_leaf() {
+                let (l, r) = na.children.unwrap();
+                stack.push((l, b));
+                stack.push((r, b));
+            } else {
+                let (al, ar) = na.children.unwrap();
+                let (bl, br) = nb.children.unwrap();
+                stack.push((al, bl));
+                stack.push((al, br));
+                stack.push((ar, bl));
+                stack.push((ar, br));
+            }
+        }
+
+        for list in near.iter_mut().chain(far.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        HTree {
+            near,
+            far,
+            structure,
+        }
+    }
+
+    /// Total number of (directed) near interactions.
+    pub fn num_near(&self) -> usize {
+        self.near.iter().map(|v| v.len()).sum()
+    }
+
+    /// Total number of (directed) far interactions.
+    pub fn num_far(&self) -> usize {
+        self.far.iter().map(|v| v.len()).sum()
+    }
+
+    /// All directed near pairs `(i, j)`.
+    pub fn near_pairs(&self) -> Vec<(usize, usize)> {
+        self.near
+            .iter()
+            .enumerate()
+            .flat_map(|(i, js)| js.iter().map(move |&j| (i, j)))
+            .collect()
+    }
+
+    /// All directed far pairs `(i, j)`.
+    pub fn far_pairs(&self) -> Vec<(usize, usize)> {
+        self.far
+            .iter()
+            .enumerate()
+            .flat_map(|(i, js)| js.iter().map(move |&j| (i, j)))
+            .collect()
+    }
+}
+
+/// Budget-mode near relation between leaves: each leaf marks the
+/// `ceil(budget * #leaves)` leaves with the closest centroids (plus itself)
+/// as near; the relation is then symmetrized.
+fn budget_leaf_near(tree: &ClusterTree, budget: f64) -> Vec<Vec<bool>> {
+    let leaves = tree.leaves();
+    let nl = leaves.len();
+    // leaf position lookup by node id
+    let mut pos = vec![usize::MAX; tree.num_nodes()];
+    for (p, &l) in leaves.iter().enumerate() {
+        pos[l] = p;
+    }
+    let keep = ((budget * nl as f64).ceil() as usize).min(nl.saturating_sub(1));
+    let mut near = vec![vec![false; nl]; nl];
+    for (pi, &li) in leaves.iter().enumerate() {
+        near[pi][pi] = true;
+        if keep == 0 {
+            continue;
+        }
+        let mut dists: Vec<(f64, usize)> = leaves
+            .iter()
+            .enumerate()
+            .filter(|&(pj, _)| pj != pi)
+            .map(|(pj, &lj)| (tree.node_distance(li, lj), pj))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(_, pj) in dists.iter().take(keep) {
+            near[pi][pj] = true;
+            near[pj][pi] = true;
+        }
+    }
+    near
+}
+
+/// True when some descendant leaf of `a` is marked near some descendant leaf
+/// of `b` in the budget relation.
+fn has_near_leaf_pair(
+    tree: &ClusterTree,
+    leaf_near: &[Vec<bool>],
+    a: usize,
+    b: usize,
+) -> bool {
+    let leaves = tree.leaves();
+    let ra = (tree.nodes[a].start, tree.nodes[a].end);
+    let rb = (tree.nodes[b].start, tree.nodes[b].end);
+    let under = |range: (usize, usize)| -> Vec<usize> {
+        leaves
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| tree.nodes[l].start >= range.0 && tree.nodes[l].end <= range.1)
+            .map(|(p, _)| p)
+            .collect()
+    };
+    let la = under(ra);
+    let lb = under(rb);
+    la.iter().any(|&pa| lb.iter().any(|&pb| leaf_near[pa][pb]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctree::{ClusterTree, PartitionMethod};
+    use matrox_points::{generate, DatasetId};
+
+    fn build_tree(n: usize, leaf: usize) -> ClusterTree {
+        let pts = generate(DatasetId::Grid, n, 1);
+        ClusterTree::build(&pts, PartitionMethod::KdTree, leaf, 0)
+    }
+
+    fn check_symmetry(h: &HTree) {
+        for (i, js) in h.near.iter().enumerate() {
+            for &j in js {
+                assert!(h.near[j].contains(&i), "near not symmetric: ({i},{j})");
+            }
+        }
+        for (i, js) in h.far.iter().enumerate() {
+            for &j in js {
+                assert!(h.far[j].contains(&i), "far not symmetric: ({i},{j})");
+            }
+        }
+    }
+
+    /// Every ordered leaf pair must be covered exactly once: either by a near
+    /// leaf-leaf interaction or by exactly one far interaction between
+    /// ancestors (including the leaves themselves).
+    fn check_coverage(tree: &ClusterTree, h: &HTree) {
+        let leaves = tree.leaves();
+        let ancestors = |mut x: usize| -> Vec<usize> {
+            let mut v = vec![x];
+            while let Some(p) = tree.nodes[x].parent {
+                v.push(p);
+                x = p;
+            }
+            v
+        };
+        for &la in &leaves {
+            for &lb in &leaves {
+                let mut count = 0;
+                if h.near[la].contains(&lb) {
+                    count += 1;
+                }
+                for &aa in &ancestors(la) {
+                    for &ab in &ancestors(lb) {
+                        if h.far[aa].contains(&ab) {
+                            count += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    count, 1,
+                    "leaf pair ({la},{lb}) covered {count} times instead of once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hss_structure_has_sibling_far_and_diagonal_near() {
+        let tree = build_tree(256, 16);
+        let h = HTree::build(&tree, Structure::Hss);
+        // Near interactions are exactly the leaf diagonal.
+        for (i, js) in h.near.iter().enumerate() {
+            if tree.nodes[i].is_leaf() {
+                assert_eq!(js, &vec![i]);
+            } else {
+                assert!(js.is_empty());
+            }
+        }
+        // Every non-root node is far from exactly its sibling.
+        for node in &tree.nodes {
+            if let Some(p) = node.parent {
+                let (l, r) = tree.nodes[p].children.unwrap();
+                let sib = if node.id == l { r } else { l };
+                assert_eq!(h.far[node.id], vec![sib]);
+            }
+        }
+        check_symmetry(&h);
+        check_coverage(&tree, &h);
+    }
+
+    #[test]
+    fn geometric_structure_covers_all_pairs_once() {
+        let tree = build_tree(256, 16);
+        let h = HTree::build(&tree, Structure::Geometric { tau: 0.65 });
+        check_symmetry(&h);
+        check_coverage(&tree, &h);
+        assert!(h.num_near() > 0);
+        assert!(h.num_far() > 0);
+    }
+
+    #[test]
+    fn budget_structure_covers_all_pairs_once() {
+        let pts = generate(DatasetId::Higgs, 512, 3);
+        let tree = ClusterTree::build(&pts, PartitionMethod::TwoMeans, 32, 0);
+        let h = HTree::build(&tree, Structure::h2b());
+        check_symmetry(&h);
+        check_coverage(&tree, &h);
+    }
+
+    #[test]
+    fn budget_zero_equals_hss_near_count() {
+        let tree = build_tree(256, 16);
+        let h_b0 = HTree::build(&tree, Structure::Budget { budget: 0.0 });
+        let h_hss = HTree::build(&tree, Structure::Hss);
+        assert_eq!(h_b0.num_near(), h_hss.num_near());
+    }
+
+    #[test]
+    fn larger_budget_gives_more_near_interactions() {
+        let tree = build_tree(512, 16);
+        let small = HTree::build(&tree, Structure::Budget { budget: 0.03 });
+        let large = HTree::build(&tree, Structure::Budget { budget: 0.25 });
+        assert!(large.num_near() >= small.num_near());
+    }
+
+    #[test]
+    fn looser_tau_gives_more_far_interactions() {
+        let tree = build_tree(512, 16);
+        // Larger tau admits pairs more easily -> more far blocks at higher
+        // levels and fewer near blocks.
+        let tight = HTree::build(&tree, Structure::Geometric { tau: 0.5 });
+        let loose = HTree::build(&tree, Structure::Geometric { tau: 3.0 });
+        assert!(loose.num_near() <= tight.num_near());
+        check_coverage(&build_tree(512, 16), &tight);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_one_near_block() {
+        let pts = generate(DatasetId::Random, 8, 5);
+        let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 16, 0);
+        let h = HTree::build(&tree, Structure::Hss);
+        assert_eq!(h.num_near(), 1);
+        assert_eq!(h.num_far(), 0);
+    }
+
+    #[test]
+    fn far_interactions_connect_same_level_nodes() {
+        let tree = build_tree(256, 16);
+        for s in [
+            Structure::Hss,
+            Structure::Geometric { tau: 0.65 },
+            Structure::h2b(),
+        ] {
+            let h = HTree::build(&tree, s);
+            for (i, js) in h.far.iter().enumerate() {
+                for &j in js {
+                    assert_eq!(
+                        tree.nodes[i].level, tree.nodes[j].level,
+                        "far pair ({i},{j}) spans levels in {:?}",
+                        s
+                    );
+                }
+            }
+        }
+    }
+}

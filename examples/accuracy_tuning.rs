@@ -1,0 +1,66 @@
+//! Accuracy tuning with inspector reuse (Section 5 / Figure 8 of the paper).
+//!
+//! In practice the block accuracy `bacc` has to be retuned because the
+//! overall accuracy of the HMatrix-matrix product is only loosely bounded by
+//! it.  Libraries re-run the whole compression for every new `bacc`; MatRox
+//! re-runs only inspector-p2 (low-rank approximation, coarsening, CDS) and
+//! reuses inspector-p1 (tree, interactions, sampling, blocking).
+//!
+//! ```bash
+//! cargo run --release --example accuracy_tuning
+//! ```
+
+use matrox::{generate, inspector, inspector_p1, inspector_p2, DatasetId, Kernel, MatRoxParams, Matrix};
+use std::time::Instant;
+
+fn main() {
+    let n = 2048;
+    let points = generate(DatasetId::Letter, n, 3);
+    let kernel = Kernel::Gaussian { bandwidth: 5.0 };
+    let params = MatRoxParams::h2b().with_leaf_size(64);
+    let baccs = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let w = Matrix::random_uniform(n, 16, &mut rng);
+
+    println!("accuracy tuning over bacc = {baccs:?} on letter-like data (N = {n})\n");
+
+    // ---- MatRox with reuse: p1 once, p2 per accuracy -----------------------
+    let t0 = Instant::now();
+    let p1 = inspector_p1(&points, &kernel, &params);
+    let p1_time = t0.elapsed();
+    let mut reuse_total = p1_time;
+    println!("inspector-p1 (reusable): {:.3} s", p1_time.as_secs_f64());
+    println!("{:>8}  {:>12}  {:>12}  {:>10}", "bacc", "p2 time (s)", "eval (s)", "eps_f");
+    for &bacc in &baccs {
+        let t0 = Instant::now();
+        let h = inspector_p2(&points, &p1, &kernel, bacc);
+        let p2_time = t0.elapsed();
+        let t0 = Instant::now();
+        let _y = h.matmul(&w);
+        let eval_time = t0.elapsed();
+        reuse_total += p2_time + eval_time;
+        let acc = h.overall_accuracy(&points, &w);
+        println!(
+            "{bacc:>8.0e}  {:>12.3}  {:>12.3}  {acc:>10.2e}",
+            p2_time.as_secs_f64(),
+            eval_time.as_secs_f64()
+        );
+    }
+
+    // ---- library behaviour: full re-inspection per accuracy ----------------
+    let t0 = Instant::now();
+    for &bacc in &baccs {
+        let h = inspector(&points, &kernel, &params.with_bacc(bacc));
+        let _y = h.matmul(&w);
+    }
+    let full_total = t0.elapsed();
+
+    println!("\ntotal with inspector-p1 reuse : {:.3} s", reuse_total.as_secs_f64());
+    println!("total with full re-inspection : {:.3} s", full_total.as_secs_f64());
+    println!(
+        "reuse speedup over {} accuracy changes: {:.2}x",
+        baccs.len(),
+        full_total.as_secs_f64() / reuse_total.as_secs_f64()
+    );
+}

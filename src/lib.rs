@@ -1,0 +1,43 @@
+//! # matrox
+//!
+//! A Rust reproduction of **MatRox** (Liu, Cheshmi, Soori, Strout, Mehri
+//! Dehnavi — PPoPP 2020): a modular inspector–executor framework for
+//! hierarchical (H²/HSS) kernel-matrix approximation that improves data
+//! locality and load balance of HMatrix-matrix multiplication.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`](matrox_core) — the inspector / executor API ([`inspector`],
+//!   [`HMatrix`], [`inspector_p1`]/[`inspector_p2`] reuse, serialization);
+//! * [`points`](matrox_points) — point sets, kernels and the Table 1 dataset
+//!   generators;
+//! * [`linalg`](matrox_linalg) — the dense kernels (GEMM, pivoted QR, ID);
+//! * [`tree`](matrox_tree), [`sampling`](matrox_sampling),
+//!   [`compress`](matrox_compress), [`analysis`](matrox_analysis),
+//!   [`codegen`](matrox_codegen), [`exec`](matrox_exec) — the pipeline
+//!   stages;
+//! * [`baselines`](matrox_baselines) — GOFMM-, STRUMPACK- and SMASH-style
+//!   evaluators plus the dense GEMM comparator;
+//! * [`cachesim`](matrox_cachesim) — the software locality proxy used by the
+//!   Figure 6 experiment.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use matrox_analysis as analysis;
+pub use matrox_baselines as baselines;
+pub use matrox_cachesim as cachesim;
+pub use matrox_codegen as codegen;
+pub use matrox_compress as compress;
+pub use matrox_core as core;
+pub use matrox_exec as exec;
+pub use matrox_linalg as linalg;
+pub use matrox_points as points;
+pub use matrox_sampling as sampling;
+pub use matrox_tree as tree;
+
+pub use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, InspectorP1, MatRoxParams};
+pub use matrox_exec::ExecOptions;
+pub use matrox_linalg::Matrix;
+pub use matrox_points::{generate, DatasetId, Kernel, PointSet};
+pub use matrox_tree::{PartitionMethod, Structure};

@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the MatRox pipeline.
+
+use matrox::analysis::{build_blockset, build_coarsenset, CoarsenParams};
+use matrox::linalg::{matmul, pivoted_qr, relative_error, row_id, Matrix};
+use matrox::points::PointSet;
+use matrox::tree::{ClusterTree, HTree, PartitionMethod, Structure};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random point set with n in [16, 200] and d in [1, 6].
+fn arb_pointset() -> impl Strategy<Value = PointSet> {
+    (16usize..200, 1usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-10.0f64..10.0, n * d)
+            .prop_map(move |coords| PointSet::new(d, coords))
+    })
+}
+
+/// Strategy: a random low-rank-ish matrix built as an outer product sum.
+fn arb_low_rank() -> impl Strategy<Value = (Matrix, usize)> {
+    (4usize..24, 4usize..24, 1usize..5).prop_flat_map(|(m, n, r)| {
+        let r = r.min(m).min(n);
+        (
+            proptest::collection::vec(-1.0f64..1.0, m * r),
+            proptest::collection::vec(-1.0f64..1.0, r * n),
+        )
+            .prop_map(move |(a, b)| {
+                let a = Matrix::from_vec(m, r, a);
+                let b = Matrix::from_vec(r, n, b);
+                (matmul(&a, &b), r)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn qr_reconstructs_any_matrix((a, _r) in arb_low_rank()) {
+        let f = pivoted_qr(&a, 0.0, usize::MAX);
+        let rec = f.reconstruct();
+        prop_assert!(relative_error(&rec, &a) < 1e-9);
+    }
+
+    #[test]
+    fn qr_rank_never_exceeds_true_rank((a, r) in arb_low_rank()) {
+        let f = pivoted_qr(&a, 1e-9, usize::MAX);
+        prop_assert!(f.rank <= r, "detected rank {} exceeds construction rank {r}", f.rank);
+    }
+
+    #[test]
+    fn row_id_respects_tolerance((a, _r) in arb_low_rank()) {
+        let tol = 1e-8;
+        let id = row_id(&a, tol, usize::MAX);
+        let skel = a.gather_rows(&id.skeleton);
+        let rec = matmul(&id.interp, &skel);
+        prop_assert!(relative_error(&rec, &a) < 1e-5);
+        // Skeleton indices are unique and within bounds.
+        let set: HashSet<_> = id.skeleton.iter().collect();
+        prop_assert_eq!(set.len(), id.skeleton.len());
+        prop_assert!(id.skeleton.iter().all(|&i| i < a.rows()));
+    }
+
+    #[test]
+    fn cluster_tree_is_a_partition(points in arb_pointset(), leaf in 1usize..32) {
+        let tree = ClusterTree::build(&points, PartitionMethod::Auto, leaf, 7);
+        // perm is a permutation of 0..n
+        let mut sorted = tree.perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..points.len()).collect::<Vec<_>>());
+        // leaves tile the point range and respect the leaf size (unless the
+        // whole set is one leaf)
+        let leaves = tree.leaves();
+        let total: usize = leaves.iter().map(|&l| tree.nodes[l].num_points()).sum();
+        prop_assert_eq!(total, points.len());
+        for &l in &leaves {
+            prop_assert!(tree.nodes[l].num_points() <= leaf.max(points.len()));
+        }
+    }
+
+    #[test]
+    fn htree_covers_every_leaf_pair_exactly_once(points in arb_pointset(), tau in 0.3f64..3.0) {
+        let tree = ClusterTree::build(&points, PartitionMethod::Auto, 8, 3);
+        let htree = HTree::build(&tree, Structure::Geometric { tau });
+        let leaves = tree.leaves();
+        let ancestors = |mut x: usize| -> Vec<usize> {
+            let mut v = vec![x];
+            while let Some(p) = tree.nodes[x].parent { v.push(p); x = p; }
+            v
+        };
+        for &la in &leaves {
+            for &lb in &leaves {
+                let mut count = 0;
+                if htree.near[la].contains(&lb) { count += 1; }
+                for &aa in &ancestors(la) {
+                    for &ab in &ancestors(lb) {
+                        if htree.far[aa].contains(&ab) { count += 1; }
+                    }
+                }
+                prop_assert_eq!(count, 1, "pair ({}, {}) covered {} times", la, lb, count);
+            }
+        }
+    }
+
+    #[test]
+    fn blockset_groups_never_share_targets(
+        interactions in proptest::collection::vec((1usize..64, 1usize..64), 1..200),
+        blocksize in 1usize..8,
+    ) {
+        let bs = build_blockset(&interactions, 64, blocksize);
+        // every interaction appears exactly as often as in the input
+        let mut input = interactions.clone();
+        input.sort_unstable();
+        let mut output: Vec<_> = bs.iter().collect();
+        output.sort_unstable();
+        prop_assert_eq!(input, output);
+        // no target node is split across groups
+        let mut owner = std::collections::HashMap::new();
+        for (g, group) in bs.groups.iter().enumerate() {
+            for &(i, _) in group {
+                let prev = owner.insert(i, g);
+                if let Some(p) = prev { prop_assert_eq!(p, g); }
+            }
+        }
+    }
+
+    #[test]
+    fn coarsenset_is_a_topological_partition(points in arb_pointset(), p in 1usize..9, agg in 1usize..4) {
+        let tree = ClusterTree::build(&points, PartitionMethod::Auto, 4, 11);
+        let sranks: Vec<usize> = tree.nodes.iter().map(|n| if n.is_leaf() { n.num_points() } else { 4 }).collect();
+        let cs = build_coarsenset(&tree, &sranks, &CoarsenParams { p, agg });
+        if tree.num_nodes() > 1 {
+            // every non-root node appears exactly once
+            let all = cs.all_nodes();
+            let set: HashSet<_> = all.iter().copied().collect();
+            prop_assert_eq!(all.len(), set.len());
+            prop_assert_eq!(set.len(), tree.num_nodes() - 1);
+            // children never live in a higher coarsen level than their parent
+            let mut level_of = vec![usize::MAX; tree.num_nodes()];
+            for (cl, parts) in cs.levels.iter().enumerate() {
+                for part in parts { for &n in part { level_of[n] = cl; } }
+            }
+            for id in 1..tree.num_nodes() {
+                if let Some((l, r)) = tree.nodes[id].children {
+                    prop_assert!(level_of[l] <= level_of[id]);
+                    prop_assert!(level_of[r] <= level_of[id]);
+                }
+            }
+            // partitions per level bounded by p
+            for parts in &cs.levels { prop_assert!(parts.len() <= p.max(1)); }
+        }
+    }
+}
