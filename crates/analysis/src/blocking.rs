@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn groups_partition_the_interactions() {
         let interactions: Vec<(usize, usize)> = (1..40)
-            .flat_map(|i| (1..40).filter(move |&j| (i + j) % 7 == 0).map(move |j| (i, j)))
+            .flat_map(|i| {
+                (1..40)
+                    .filter(move |&j| (i + j) % 7 == 0)
+                    .map(move |j| (i, j))
+            })
             .collect();
         let bs = build_blockset(&interactions, 40, 3);
         let flat: Vec<_> = bs.iter().collect();
@@ -152,7 +156,11 @@ mod tests {
     #[test]
     fn no_target_node_spans_two_groups() {
         let interactions: Vec<(usize, usize)> = (1..60)
-            .flat_map(|i| (1..60).filter(move |&j| (i * j) % 11 == 1).map(move |j| (i, j)))
+            .flat_map(|i| {
+                (1..60)
+                    .filter(move |&j| (i * j) % 11 == 1)
+                    .map(move |j| (i, j))
+            })
             .collect();
         let bs = build_blockset(&interactions, 60, 4);
         let mut owner: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();

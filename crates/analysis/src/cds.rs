@@ -60,7 +60,12 @@ pub struct GeneratorEntry {
 
 impl GeneratorEntry {
     fn absent() -> Self {
-        GeneratorEntry { v_offset: usize::MAX, u_offset: usize::MAX, rows: 0, cols: 0 }
+        GeneratorEntry {
+            v_offset: usize::MAX,
+            u_offset: usize::MAX,
+            rows: 0,
+            cols: 0,
+        }
     }
 
     /// True when the node has a (non-empty) stored basis.
@@ -106,7 +111,11 @@ impl Cds {
         if !g.is_present() {
             return (&[], 0, 0);
         }
-        (&self.gen_values[g.v_offset..g.v_offset + g.rows * g.cols], g.rows, g.cols)
+        (
+            &self.gen_values[g.v_offset..g.v_offset + g.rows * g.cols],
+            g.rows,
+            g.cols,
+        )
     }
 
     /// Borrow the `U` generator of node `id` as `(data, rows, cols)`.
@@ -115,7 +124,11 @@ impl Cds {
         if !g.is_present() {
             return (&[], 0, 0);
         }
-        (&self.gen_values[g.u_offset..g.u_offset + g.rows * g.cols], g.rows, g.cols)
+        (
+            &self.gen_values[g.u_offset..g.u_offset + g.rows * g.cols],
+            g.rows,
+            g.cols,
+        )
     }
 
     /// Borrow the values of near-block entry `e`.
@@ -156,7 +169,12 @@ pub fn build_cds(
                 gen_values.extend_from_slice(basis.v.as_slice());
                 let u_offset = gen_values.len();
                 gen_values.extend_from_slice(basis.u.as_slice());
-                generators[id] = GeneratorEntry { v_offset, u_offset, rows, cols };
+                generators[id] = GeneratorEntry {
+                    v_offset,
+                    u_offset,
+                    rows,
+                    cols,
+                };
             }
         }
     }
@@ -215,7 +233,10 @@ fn pack_blocks(
                 cols: m.cols(),
             });
         }
-        groups.push(GroupRange { start, end: entries.len() });
+        groups.push(GroupRange {
+            start,
+            end: entries.len(),
+        });
     }
     (values, entries, groups)
 }
@@ -236,7 +257,14 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 32, 0);
         let htree = HTree::build(&tree, structure);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let near_bs = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
         let far_bs = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
         let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });

@@ -77,7 +77,10 @@ pub struct CoarsenParams {
 
 impl Default for CoarsenParams {
     fn default() -> Self {
-        CoarsenParams { p: rayon::current_num_threads().max(1), agg: 2 }
+        CoarsenParams {
+            p: rayon::current_num_threads().max(1),
+            agg: 2,
+        }
     }
 }
 
@@ -115,12 +118,20 @@ fn node_heights(tree: &ClusterTree) -> Vec<usize> {
 ///
 /// The root (node 0) is excluded — it is "not involved in any computation"
 /// (Figure 1b) because it has no basis of its own.
-pub fn build_coarsenset(tree: &ClusterTree, sranks: &[usize], params: &CoarsenParams) -> CoarsenSet {
+pub fn build_coarsenset(
+    tree: &ClusterTree,
+    sranks: &[usize],
+    params: &CoarsenParams,
+) -> CoarsenSet {
     assert_eq!(sranks.len(), tree.num_nodes());
     let agg = params.agg.max(1);
     let heights = node_heights(tree);
     if tree.num_nodes() <= 1 {
-        return CoarsenSet { levels: Vec::new(), agg, costs: Vec::new() };
+        return CoarsenSet {
+            levels: Vec::new(),
+            agg,
+            costs: Vec::new(),
+        };
     }
     // l = ceil(height / agg) coarsen levels (line 1); heights of non-root
     // nodes range over 0..tree-height-1, but use the root height to stay
@@ -144,7 +155,15 @@ pub fn build_coarsenset(tree: &ClusterTree, sranks: &[usize], params: &CoarsenPa
         // Collect the sub-tree rooted at `id` restricted to coarsen level cl.
         let mut order = Vec::new();
         let mut cost = 0u64;
-        collect_postorder(tree, sranks, coarsen_level_of, cl, id, &mut order, &mut cost);
+        collect_postorder(
+            tree,
+            sranks,
+            coarsen_level_of,
+            cl,
+            id,
+            &mut order,
+            &mut cost,
+        );
         levels[cl].push(order);
         subtree_costs[cl].push(cost);
     }
@@ -172,7 +191,11 @@ pub fn build_coarsenset(tree: &ClusterTree, sranks: &[usize], params: &CoarsenPa
         packed_costs.push(bin_costs);
     }
 
-    CoarsenSet { levels: packed_levels, agg, costs: packed_costs }
+    CoarsenSet {
+        levels: packed_levels,
+        agg,
+        costs: packed_costs,
+    }
 }
 
 /// Depth-first post-order collection of the sub-tree rooted at `id`,
@@ -243,7 +266,13 @@ mod tests {
         let sranks: Vec<usize> = tree
             .nodes
             .iter()
-            .map(|nd| if nd.is_leaf() { nd.num_points().min(16) } else { 12 })
+            .map(|nd| {
+                if nd.is_leaf() {
+                    nd.num_points().min(16)
+                } else {
+                    12
+                }
+            })
             .collect();
         (tree, sranks)
     }

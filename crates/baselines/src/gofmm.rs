@@ -73,10 +73,14 @@ impl<'a> GofmmEvaluator<'a> {
 
         // ---- upward pass: dynamic task recursion over the tree -----------
         let t: Vec<Matrix> = if parallel {
-            let slots: Vec<Mutex<Matrix>> =
-                (0..n_nodes).map(|_| Mutex::new(Matrix::zeros(0, q))).collect();
+            let slots: Vec<Mutex<Matrix>> = (0..n_nodes)
+                .map(|_| Mutex::new(Matrix::zeros(0, q)))
+                .collect();
             if let Some((l, r)) = tree.nodes[0].children {
-                rayon::join(|| self.upward_task(l, w, &slots), || self.upward_task(r, w, &slots));
+                rayon::join(
+                    || self.upward_task(l, w, &slots),
+                    || self.upward_task(r, w, &slots),
+                );
             }
             slots.into_iter().map(|m| m.into_inner()).collect()
         } else {
@@ -102,7 +106,15 @@ impl<'a> GofmmEvaluator<'a> {
                     return;
                 }
                 let mut contrib = Matrix::zeros(b.rows(), q);
-                gemm_seq(1.0, b, GemmOp::NoTrans, &t[*j], GemmOp::NoTrans, 0.0, &mut contrib);
+                gemm_seq(
+                    1.0,
+                    b,
+                    GemmOp::NoTrans,
+                    &t[*j],
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut contrib,
+                );
                 slots[*i].lock().add_assign(&contrib);
             });
             slots.into_iter().map(|m| m.into_inner()).collect()
@@ -118,7 +130,15 @@ impl<'a> GofmmEvaluator<'a> {
                     continue;
                 }
                 let mut si = std::mem::replace(&mut s[*i], Matrix::zeros(0, 0));
-                gemm_seq(1.0, b, GemmOp::NoTrans, &t[*j], GemmOp::NoTrans, 1.0, &mut si);
+                gemm_seq(
+                    1.0,
+                    b,
+                    GemmOp::NoTrans,
+                    &t[*j],
+                    GemmOp::NoTrans,
+                    1.0,
+                    &mut si,
+                );
                 s[*i] = si;
             }
             s
@@ -145,7 +165,15 @@ impl<'a> GofmmEvaluator<'a> {
             self.near.par_iter().for_each(|((i, j), d)| {
                 let wj = w.gather_rows(tree.indices(*j));
                 let mut contrib = Matrix::zeros(d.rows(), q);
-                gemm_seq(1.0, d, GemmOp::NoTrans, &wj, GemmOp::NoTrans, 0.0, &mut contrib);
+                gemm_seq(
+                    1.0,
+                    d,
+                    GemmOp::NoTrans,
+                    &wj,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut contrib,
+                );
                 leaf_acc[i].lock().add_assign(&contrib);
             });
             for (leaf, acc) in leaf_acc {
@@ -162,7 +190,15 @@ impl<'a> GofmmEvaluator<'a> {
             for ((i, j), d) in &self.near {
                 let wj = w.gather_rows(tree.indices(*j));
                 let mut contrib = Matrix::zeros(d.rows(), q);
-                gemm_seq(1.0, d, GemmOp::NoTrans, &wj, GemmOp::NoTrans, 0.0, &mut contrib);
+                gemm_seq(
+                    1.0,
+                    d,
+                    GemmOp::NoTrans,
+                    &wj,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut contrib,
+                );
                 y.scatter_add_rows(tree.indices(*i), &contrib);
             }
         }
@@ -188,17 +224,26 @@ impl<'a> GofmmEvaluator<'a> {
             }
         };
         let mut ti = Matrix::zeros(basis.srank, q);
-        gemm_seq(1.0, &basis.v, GemmOp::Trans, &input, GemmOp::NoTrans, 0.0, &mut ti);
+        gemm_seq(
+            1.0,
+            &basis.v,
+            GemmOp::Trans,
+            &input,
+            GemmOp::NoTrans,
+            0.0,
+            &mut ti,
+        );
         ti
     }
 
     fn upward_task(&self, id: usize, w: &Matrix, slots: &[Mutex<Matrix>]) {
         if let Some((l, r)) = self.tree.nodes[id].children {
-            rayon::join(|| self.upward_task(l, w, slots), || self.upward_task(r, w, slots));
+            rayon::join(
+                || self.upward_task(l, w, slots),
+                || self.upward_task(r, w, slots),
+            );
         }
         // Children are complete (join is a barrier for this subtree).
-        let t_snapshot: Vec<Matrix> = Vec::new();
-        let _ = t_snapshot;
         let ti = {
             // Read children's T values from their slots.
             let node = &self.tree.nodes[id];
@@ -209,7 +254,15 @@ impl<'a> GofmmEvaluator<'a> {
             } else if node.is_leaf() {
                 let input = w.gather_rows(self.tree.indices(id));
                 let mut ti = Matrix::zeros(basis.srank, q);
-                gemm_seq(1.0, &basis.v, GemmOp::Trans, &input, GemmOp::NoTrans, 0.0, &mut ti);
+                gemm_seq(
+                    1.0,
+                    &basis.v,
+                    GemmOp::Trans,
+                    &input,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut ti,
+                );
                 ti
             } else {
                 let (l, r) = node.children.unwrap();
@@ -222,7 +275,15 @@ impl<'a> GofmmEvaluator<'a> {
                     _ => tl.vstack(&tr),
                 };
                 let mut ti = Matrix::zeros(basis.srank, q);
-                gemm_seq(1.0, &basis.v, GemmOp::Trans, &input, GemmOp::NoTrans, 0.0, &mut ti);
+                gemm_seq(
+                    1.0,
+                    &basis.v,
+                    GemmOp::Trans,
+                    &input,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut ti,
+                );
                 ti
             }
         };
@@ -242,19 +303,39 @@ impl<'a> GofmmEvaluator<'a> {
         if basis.srank != 0 && s_i.rows() == basis.srank {
             if node.is_leaf() {
                 let mut contrib = Matrix::zeros(node.num_points(), q);
-                gemm_seq(1.0, &basis.u, GemmOp::NoTrans, &s_i, GemmOp::NoTrans, 0.0, &mut contrib);
+                gemm_seq(
+                    1.0,
+                    &basis.u,
+                    GemmOp::NoTrans,
+                    &s_i,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut contrib,
+                );
                 leaf_acc[&id].lock().add_assign(&contrib);
             } else {
                 let (l, r) = node.children.unwrap();
                 let rl = self.compression.bases[l].srank;
                 let rr = self.compression.bases[r].srank;
                 let mut expanded = Matrix::zeros(rl + rr, q);
-                gemm_seq(1.0, &basis.u, GemmOp::NoTrans, &s_i, GemmOp::NoTrans, 0.0, &mut expanded);
+                gemm_seq(
+                    1.0,
+                    &basis.u,
+                    GemmOp::NoTrans,
+                    &s_i,
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut expanded,
+                );
                 if rl > 0 {
-                    s_cells[l].lock().add_assign(&expanded.submatrix(0, rl, 0, q));
+                    s_cells[l]
+                        .lock()
+                        .add_assign(&expanded.submatrix(0, rl, 0, q));
                 }
                 if rr > 0 {
-                    s_cells[r].lock().add_assign(&expanded.submatrix(rl, rl + rr, 0, q));
+                    s_cells[r]
+                        .lock()
+                        .add_assign(&expanded.submatrix(rl, rl + rr, 0, q));
                 }
             }
         }
@@ -274,14 +355,30 @@ impl<'a> GofmmEvaluator<'a> {
         let node = &self.tree.nodes[id];
         if node.is_leaf() {
             let mut contrib = Matrix::zeros(node.num_points(), q);
-            gemm_seq(1.0, &basis.u, GemmOp::NoTrans, s_i, GemmOp::NoTrans, 0.0, &mut contrib);
+            gemm_seq(
+                1.0,
+                &basis.u,
+                GemmOp::NoTrans,
+                s_i,
+                GemmOp::NoTrans,
+                0.0,
+                &mut contrib,
+            );
             y.scatter_add_rows(self.tree.indices(id), &contrib);
         } else {
             let (l, r) = node.children.unwrap();
             let rl = self.compression.bases[l].srank;
             let rr = self.compression.bases[r].srank;
             let mut expanded = Matrix::zeros(rl + rr, q);
-            gemm_seq(1.0, &basis.u, GemmOp::NoTrans, s_i, GemmOp::NoTrans, 0.0, &mut expanded);
+            gemm_seq(
+                1.0,
+                &basis.u,
+                GemmOp::NoTrans,
+                s_i,
+                GemmOp::NoTrans,
+                0.0,
+                &mut expanded,
+            );
             if rl > 0 {
                 let top = expanded.submatrix(0, rl, 0, q);
                 if s[l].rows() == rl {
@@ -318,7 +415,14 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 32, 0);
         let htree = HTree::build(&tree, structure);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let w = Matrix::random_uniform(512, 4, &mut rng);
         let y_ref = reference_evaluate(&c, &tree, &htree, &w);

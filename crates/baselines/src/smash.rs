@@ -127,8 +127,10 @@ impl<'a> SmashEvaluator<'a> {
             acc
         };
         if parallel {
-            let results: Vec<(usize, Vec<f64>)> =
-                (0..n_nodes).into_par_iter().map(|id| (id, coupling(id))).collect();
+            let results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
+                .into_par_iter()
+                .map(|id| (id, coupling(id)))
+                .collect();
             for (id, v) in results {
                 s[id] = v;
             }
@@ -213,7 +215,14 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 32, 0);
         let htree = HTree::build(&tree, Structure::Geometric { tau: 0.65 });
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let w = Matrix::random_uniform(512, 1, &mut rng);
         let y_ref = reference_evaluate(&c, &tree, &htree, &w);

@@ -91,9 +91,13 @@ impl<'a> StrumpackEvaluator<'a> {
         for level in (1..=tree.height).rev() {
             let ids = tree.nodes_at_level(level);
             let level_t: Vec<(usize, Matrix)> = if parallel {
-                ids.par_iter().map(|&id| (id, self.compute_t(id, w, &t))).collect()
+                ids.par_iter()
+                    .map(|&id| (id, self.compute_t(id, w, &t)))
+                    .collect()
             } else {
-                ids.iter().map(|&id| (id, self.compute_t(id, w, &t))).collect()
+                ids.iter()
+                    .map(|&id| (id, self.compute_t(id, w, &t)))
+                    .collect()
             };
             for (id, m) in level_t {
                 t[id] = m;
@@ -111,7 +115,15 @@ impl<'a> StrumpackEvaluator<'a> {
                     if b.rows() == 0 || b.cols() == 0 {
                         continue;
                     }
-                    gemm_seq(1.0, b, GemmOp::NoTrans, &t[*j], GemmOp::NoTrans, 1.0, &mut s_i);
+                    gemm_seq(
+                        1.0,
+                        b,
+                        GemmOp::NoTrans,
+                        &t[*j],
+                        GemmOp::NoTrans,
+                        1.0,
+                        &mut s_i,
+                    );
                 }
             }
             (id, s_i)
@@ -133,9 +145,13 @@ impl<'a> StrumpackEvaluator<'a> {
             // Compute expansions in parallel, then apply pushes/outputs
             // sequentially (the barrier).
             let expansions: Vec<(usize, Matrix)> = if parallel {
-                ids.par_iter().map(|&id| (id, self.expand(id, &s[id], q))).collect()
+                ids.par_iter()
+                    .map(|&id| (id, self.expand(id, &s[id], q)))
+                    .collect()
             } else {
-                ids.iter().map(|&id| (id, self.expand(id, &s[id], q))).collect()
+                ids.iter()
+                    .map(|&id| (id, self.expand(id, &s[id], q)))
+                    .collect()
             };
             for (id, expanded) in expansions {
                 if expanded.is_empty() {
@@ -165,7 +181,15 @@ impl<'a> StrumpackEvaluator<'a> {
                 .map(|(i, d)| {
                     let wj = w.gather_rows(tree.indices(*i));
                     let mut contrib = Matrix::zeros(d.rows(), q);
-                    gemm_seq(1.0, d, GemmOp::NoTrans, &wj, GemmOp::NoTrans, 0.0, &mut contrib);
+                    gemm_seq(
+                        1.0,
+                        d,
+                        GemmOp::NoTrans,
+                        &wj,
+                        GemmOp::NoTrans,
+                        0.0,
+                        &mut contrib,
+                    );
                     (*i, contrib)
                 })
                 .collect()
@@ -175,7 +199,15 @@ impl<'a> StrumpackEvaluator<'a> {
                 .map(|(i, d)| {
                     let wj = w.gather_rows(tree.indices(*i));
                     let mut contrib = Matrix::zeros(d.rows(), q);
-                    gemm_seq(1.0, d, GemmOp::NoTrans, &wj, GemmOp::NoTrans, 0.0, &mut contrib);
+                    gemm_seq(
+                        1.0,
+                        d,
+                        GemmOp::NoTrans,
+                        &wj,
+                        GemmOp::NoTrans,
+                        0.0,
+                        &mut contrib,
+                    );
                     (*i, contrib)
                 })
                 .collect()
@@ -205,7 +237,15 @@ impl<'a> StrumpackEvaluator<'a> {
             }
         };
         let mut ti = Matrix::zeros(basis.srank, q);
-        gemm_seq(1.0, &basis.v, GemmOp::Trans, &input, GemmOp::NoTrans, 0.0, &mut ti);
+        gemm_seq(
+            1.0,
+            &basis.v,
+            GemmOp::Trans,
+            &input,
+            GemmOp::NoTrans,
+            0.0,
+            &mut ti,
+        );
         ti
     }
 
@@ -222,7 +262,15 @@ impl<'a> StrumpackEvaluator<'a> {
             self.compression.sranks[l] + self.compression.sranks[r]
         };
         let mut expanded = Matrix::zeros(rows, q);
-        gemm_seq(1.0, &basis.u, GemmOp::NoTrans, s_i, GemmOp::NoTrans, 0.0, &mut expanded);
+        gemm_seq(
+            1.0,
+            &basis.u,
+            GemmOp::NoTrans,
+            s_i,
+            GemmOp::NoTrans,
+            0.0,
+            &mut expanded,
+        );
         expanded
     }
 }
@@ -261,7 +309,14 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 32, 0);
         let htree = HTree::build(&tree, Structure::Hss);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let w = Matrix::random_uniform(512, 5, &mut rng);
         let y_ref = reference_evaluate(&c, &tree, &htree, &w);

@@ -26,7 +26,14 @@ fn bench_fig10(c: &mut Criterion) {
         b.iter(|| inspector(&points, &kernel, &params.with_bacc(1e-4)))
     });
     group.bench_function("kernel_change_with_reuse_p2_only", |b| {
-        b.iter(|| inspector_p2(&points, &p1, &matrox_points::Kernel::Laplace { bandwidth: 5.0 }, 1e-5))
+        b.iter(|| {
+            inspector_p2(
+                &points,
+                &p1,
+                &matrox_points::Kernel::Laplace { bandwidth: 5.0 },
+                1e-5,
+            )
+        })
     });
     group.finish();
 }

@@ -1,6 +1,6 @@
-//! Criterion bench for Figure 5: the executor ablation (CDS sequential,
-//! + coarsen, + block, + low-level) against the GOFMM-style tree-based
-//! evaluation, for one HSS and one H²-b configuration.
+//! Criterion bench for Figure 5: the executor ablation (CDS sequential, then
+//! adding coarsen, block, and low-level optimizations) against the
+//! GOFMM-style tree-based evaluation, for one HSS and one H²-b configuration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matrox_baselines::GofmmEvaluator;
@@ -22,11 +22,23 @@ fn bench_structure(c: &mut Criterion, dataset: DatasetId, structure: Structure, 
     group.sample_size(10);
     let seq = ExecOptions::sequential();
     group.bench_function("cds_seq", |b| b.iter(|| h.matmul_with(&w, &seq)));
-    let coarsen = ExecOptions { parallel_tree: true, ..seq };
+    let coarsen = ExecOptions {
+        parallel_tree: true,
+        ..seq
+    };
     group.bench_function("cds_coarsen", |b| b.iter(|| h.matmul_with(&w, &coarsen)));
-    let block = ExecOptions { parallel_near: true, parallel_far: true, parallel_tree: true, ..seq };
-    group.bench_function("cds_block_coarsen", |b| b.iter(|| h.matmul_with(&w, &block)));
-    group.bench_function("cds_full_lowlevel", |b| b.iter(|| h.matmul_with(&w, &ExecOptions::full())));
+    let block = ExecOptions {
+        parallel_near: true,
+        parallel_far: true,
+        parallel_tree: true,
+        ..seq
+    };
+    group.bench_function("cds_block_coarsen", |b| {
+        b.iter(|| h.matmul_with(&w, &block))
+    });
+    group.bench_function("cds_full_lowlevel", |b| {
+        b.iter(|| h.matmul_with(&w, &ExecOptions::full()))
+    });
     group.bench_function("gofmm_tb_seq", |b| b.iter(|| gofmm.evaluate_sequential(&w)));
     group.bench_function("gofmm_tb_ds", |b| b.iter(|| gofmm.evaluate(&w)));
     group.finish();

@@ -17,7 +17,9 @@ fn bench_fig7(c: &mut Criterion) {
     let setup = build_baseline(&points, dataset, structure, 1e-5);
     let w = random_w(n, q, 11);
 
-    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
     let mut threads = vec![1usize, 2, 4];
     threads.retain(|&t| t <= max_threads);
     if !threads.contains(&max_threads) {
@@ -27,13 +29,18 @@ fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_scalability");
     group.sample_size(10);
     for &nt in &threads {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(nt).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nt)
+            .build()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("matrox", nt), &nt, |b, _| {
             b.iter(|| pool.install(|| h.matmul(&w)))
         });
         group.bench_with_input(BenchmarkId::new("gofmm", nt), &nt, |b, _| {
             b.iter(|| {
-                pool.install(|| GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression).evaluate(&w))
+                pool.install(|| {
+                    GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression).evaluate(&w)
+                })
             })
         });
     }

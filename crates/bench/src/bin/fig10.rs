@@ -34,7 +34,14 @@ fn main() {
     );
     println!(
         "{:<12} {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>16} {:>9}",
-        "dataset", "p1 (s)", "p2 sum", "exec sum", "gofmm-cmp", "gofmm-ev", "normalized (M/G)", "speedup"
+        "dataset",
+        "p1 (s)",
+        "p2 sum",
+        "exec sum",
+        "gofmm-cmp",
+        "gofmm-ev",
+        "normalized (M/G)",
+        "speedup"
     );
 
     let mut speedups = Vec::new();

@@ -20,17 +20,35 @@ use matrox_tree::Structure;
 fn main() {
     let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
     let datasets = if args.datasets.is_empty() {
-        vec![DatasetId::Higgs, DatasetId::Susy, DatasetId::Letter, DatasetId::Grid]
+        vec![
+            DatasetId::Higgs,
+            DatasetId::Susy,
+            DatasetId::Letter,
+            DatasetId::Grid,
+        ]
     } else {
         args.datasets.clone()
     };
     let qs = [1usize, args.q / 2, args.q, 2 * args.q];
 
     for structure in [Structure::Hss, Structure::h2b()] {
-        println!("\n================ Figure 4 ({}) — N = {} ================", structure.name(), args.n);
+        println!(
+            "\n================ Figure 4 ({}) — N = {} ================",
+            structure.name(),
+            args.n
+        );
         println!(
             "{:<12} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
-            "dataset", "Q", "mrx-comp", "mrx-SA", "mrx-CG", "mrx-exec", "gofmm-cmp", "gofmm-ev", "strum-cmp", "strum-ev"
+            "dataset",
+            "Q",
+            "mrx-comp",
+            "mrx-SA",
+            "mrx-CG",
+            "mrx-exec",
+            "gofmm-cmp",
+            "gofmm-ev",
+            "strum-cmp",
+            "strum-ev"
         );
         for &dataset in &datasets {
             let points = generate(dataset, args.n, 0);
@@ -51,7 +69,10 @@ fn main() {
                 let (strum_cmp, strum_ev) = match &strumpack {
                     Some(s) => {
                         let (_, t) = time_best(|| s.evaluate(&w), 1);
-                        (format!("{:10.3}", setup.compression_time), format!("{t:10.3}"))
+                        (
+                            format!("{:10.3}", setup.compression_time),
+                            format!("{t:10.3}"),
+                        )
                     }
                     None => ("       n/a".to_string(), "       n/a".to_string()),
                 };

@@ -35,7 +35,14 @@ fn main() {
         );
         println!(
             "{:<12} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-            "dataset", "CDS(seq)", "+coarsen", "+block", "+lowlvl", "gofmm-sq", "gofmm-DS", "strum-DS"
+            "dataset",
+            "CDS(seq)",
+            "+coarsen",
+            "+block",
+            "+lowlvl",
+            "gofmm-sq",
+            "gofmm-DS",
+            "strum-DS"
         );
         for &dataset in &datasets {
             let points = generate(dataset, args.n, 0);
@@ -48,8 +55,16 @@ fn main() {
             let flops = h.flops(args.q);
 
             let seq = ExecOptions::sequential();
-            let coarsen = ExecOptions { parallel_tree: true, ..seq };
-            let block = ExecOptions { parallel_near: true, parallel_far: true, parallel_tree: true, ..seq };
+            let coarsen = ExecOptions {
+                parallel_tree: true,
+                ..seq
+            };
+            let block = ExecOptions {
+                parallel_near: true,
+                parallel_far: true,
+                parallel_tree: true,
+                ..seq
+            };
             let full = ExecOptions::full();
 
             let (_, t_seq) = time_best(|| h.matmul_with(&w, &seq), 1);

@@ -48,8 +48,14 @@ fn cds_trace(plan: &EvalPlan, tree: &ClusterTree, q: usize) -> Trace {
         t.record(d_base + (e.offset * F64) as u64, e.rows * e.cols * F64);
         let sn = &tree.nodes[e.source];
         let tn = &tree.nodes[e.target];
-        t.record(w_base + (sn.start * q * F64) as u64, sn.num_points() * q * F64);
-        t.record(y_base + (tn.start * q * F64) as u64, tn.num_points() * q * F64);
+        t.record(
+            w_base + (sn.start * q * F64) as u64,
+            sn.num_points() * q * F64,
+        );
+        t.record(
+            y_base + (tn.start * q * F64) as u64,
+            tn.num_points() * q * F64,
+        );
     }
     // Upward + downward: generators in coarsenset order (V then U adjacent).
     for cl in &plan.coarsenset.levels {
@@ -62,7 +68,10 @@ fn cds_trace(plan: &EvalPlan, tree: &ClusterTree, q: usize) -> Trace {
                 t.record(gen_base + (g.v_offset * F64) as u64, g.rows * g.cols * F64);
                 if tree.nodes[id].is_leaf() {
                     let nd = &tree.nodes[id];
-                    t.record(w_base + (nd.start * q * F64) as u64, nd.num_points() * q * F64);
+                    t.record(
+                        w_base + (nd.start * q * F64) as u64,
+                        nd.num_points() * q * F64,
+                    );
                 }
             }
         }
@@ -82,7 +91,10 @@ fn cds_trace(plan: &EvalPlan, tree: &ClusterTree, q: usize) -> Trace {
                 t.record(gen_base + (g.u_offset * F64) as u64, g.rows * g.cols * F64);
                 if tree.nodes[id].is_leaf() {
                     let nd = &tree.nodes[id];
-                    t.record(y_base + (nd.start * q * F64) as u64, nd.num_points() * q * F64);
+                    t.record(
+                        y_base + (nd.start * q * F64) as u64,
+                        nd.num_points() * q * F64,
+                    );
                 }
             }
         }
@@ -111,9 +123,21 @@ fn tree_based_trace(
         let hashed = slot.wrapping_mul(2654435761) % (1 << 20);
         hashed * PAGE + ((elems as u64) % PAGE)
     };
-    let near_addr: Vec<u64> = compression.near_blocks.iter().map(|(_, m)| alloc(m.len())).collect();
-    let far_addr: Vec<u64> = compression.far_blocks.iter().map(|(_, m)| alloc(m.len())).collect();
-    let gen_addr: Vec<u64> = compression.bases.iter().map(|b| alloc(b.v.len() + b.u.len())).collect();
+    let near_addr: Vec<u64> = compression
+        .near_blocks
+        .iter()
+        .map(|(_, m)| alloc(m.len()))
+        .collect();
+    let far_addr: Vec<u64> = compression
+        .far_blocks
+        .iter()
+        .map(|(_, m)| alloc(m.len()))
+        .collect();
+    let gen_addr: Vec<u64> = compression
+        .bases
+        .iter()
+        .map(|b| alloc(b.v.len() + b.u.len()))
+        .collect();
     let w_base = 1u64 << 34;
     let y_base = (1u64 << 34) + (tree.perm.len() * q * F64) as u64;
 
@@ -199,8 +223,12 @@ fn main() {
 
             let trace_cds = cds_trace(&h.plan, &h.tree, args.q);
             let trace_tb = tree_based_trace(&setup.compression, &setup.tree, &setup.htree, args.q);
-            let amal_cds = trace_cds.replay(CacheHierarchy::haswell()).average_memory_access_latency();
-            let amal_tb = trace_tb.replay(CacheHierarchy::haswell()).average_memory_access_latency();
+            let amal_cds = trace_cds
+                .replay(CacheHierarchy::haswell())
+                .average_memory_access_latency();
+            let amal_tb = trace_tb
+                .replay(CacheHierarchy::haswell())
+                .average_memory_access_latency();
 
             println!(
                 "{:<12} {:<6} {:>9.2} {:>14.2} {:>14.2} {:>12.2}",
@@ -216,7 +244,5 @@ fn main() {
         }
     }
     let r2 = r_squared(&ratios, &speedups);
-    println!(
-        "\nR^2 between speedup and memory-access-latency improvement: {r2:.2} (paper: 0.81)"
-    );
+    println!("\nR^2 between speedup and memory-access-latency improvement: {r2:.2} (paper: 0.81)");
 }

@@ -21,12 +21,19 @@ use matrox_tree::Structure;
 
 fn main() {
     let args = HarnessArgs::parse(4096, DEFAULT_Q);
+    println!(
+        "note: speedup columns are only meaningful with a real parallel runtime; \
+         with the vendored sequential rayon stub (DESIGN.md, vendor/rayon) every \
+         thread count measures the same sequential run."
+    );
     let datasets = if args.datasets.is_empty() {
         vec![DatasetId::Covtype, DatasetId::Unit]
     } else {
         args.datasets.clone()
     };
-    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
     let mut threads = vec![1usize];
     while threads.last().unwrap() * 2 <= max_threads {
         threads.push(threads.last().unwrap() * 2);
@@ -46,7 +53,15 @@ fn main() {
         );
         println!(
             "{:>8} | {:>11} {:>8} | {:>11} {:>8} | {:>11} {:>8} | {:>11} {:>8}",
-            "threads", "MatRox(s)", "speedup", "GOFMM(s)", "speedup", "STRUM(s)", "speedup", "SMASH(s)", "speedup"
+            "threads",
+            "MatRox(s)",
+            "speedup",
+            "GOFMM(s)",
+            "speedup",
+            "STRUM(s)",
+            "speedup",
+            "SMASH(s)",
+            "speedup"
         );
         let points = generate(dataset, args.n, 0);
         let kernel = kernel_for(dataset);
@@ -55,42 +70,76 @@ fn main() {
 
         let mut base: Option<(f64, f64, Option<f64>, Option<f64>)> = None;
         for &nt in &threads {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(nt).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(nt)
+                .build()
+                .unwrap();
             let row = pool.install(|| {
                 let params = params_for(structure).with_partitions(nt);
                 let h = inspector(&points, &kernel, &params);
-                let opts = if nt == 1 { ExecOptions::sequential() } else { ExecOptions::from_plan(&h.plan) };
+                let opts = if nt == 1 {
+                    ExecOptions::sequential()
+                } else {
+                    ExecOptions::from_plan(&h.plan)
+                };
                 let (_, t_matrox) = time_best(|| h.matmul_with(&w, &opts), 1);
 
                 let setup = build_baseline(&points, dataset, structure, 1e-5);
                 let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);
                 let (_, t_gofmm) = time_best(
-                    || if nt == 1 { gofmm.evaluate_sequential(&w) } else { gofmm.evaluate(&w) },
+                    || {
+                        if nt == 1 {
+                            gofmm.evaluate_sequential(&w)
+                        } else {
+                            gofmm.evaluate(&w)
+                        }
+                    },
                     1,
                 );
 
                 // STRUMPACK needs HSS; build that separately (HSS always supported).
                 let hss_setup = build_baseline(&points, dataset, Structure::Hss, 1e-5);
-                let t_strum = StrumpackEvaluator::new(&hss_setup.tree, &hss_setup.htree, &hss_setup.compression)
-                    .ok()
-                    .map(|s| {
-                        time_best(
-                            || if nt == 1 { s.evaluate_sequential(&w) } else { s.evaluate(&w) },
-                            1,
-                        )
-                        .1
-                    });
+                let t_strum = StrumpackEvaluator::new(
+                    &hss_setup.tree,
+                    &hss_setup.htree,
+                    &hss_setup.compression,
+                )
+                .ok()
+                .map(|s| {
+                    time_best(
+                        || {
+                            if nt == 1 {
+                                s.evaluate_sequential(&w)
+                            } else {
+                                s.evaluate(&w)
+                            }
+                        },
+                        1,
+                    )
+                    .1
+                });
 
                 // SMASH: 1-3 d only, matvec only.
-                let t_smash = SmashEvaluator::new(&setup.tree, &setup.htree, &setup.compression, points.dim())
-                    .ok()
-                    .map(|s| {
-                        time_best(
-                            || if nt == 1 { s.evaluate_sequential(&wv) } else { s.evaluate(&wv) },
-                            1,
-                        )
-                        .1
-                    });
+                let t_smash = SmashEvaluator::new(
+                    &setup.tree,
+                    &setup.htree,
+                    &setup.compression,
+                    points.dim(),
+                )
+                .ok()
+                .map(|s| {
+                    time_best(
+                        || {
+                            if nt == 1 {
+                                s.evaluate_sequential(&wv)
+                            } else {
+                                s.evaluate(&wv)
+                            }
+                        },
+                        1,
+                    )
+                    .1
+                });
                 (t_matrox, t_gofmm, t_strum, t_smash)
             });
             if nt == 1 {

@@ -42,7 +42,11 @@ impl HarnessArgs {
     /// Parse the process arguments, falling back to the given defaults.
     pub fn parse(default_n: usize, default_q: usize) -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut out = HarnessArgs { n: default_n, q: default_q, datasets: Vec::new() };
+        let mut out = HarnessArgs {
+            n: default_n,
+            q: default_q,
+            datasets: Vec::new(),
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -60,10 +64,7 @@ impl HarnessArgs {
                 }
                 "--datasets" => {
                     if let Some(list) = args.get(i + 1) {
-                        out.datasets = list
-                            .split(',')
-                            .filter_map(DatasetId::from_name)
-                            .collect();
+                        out.datasets = list.split(',').filter_map(DatasetId::from_name).collect();
                     }
                     i += 2;
                 }
@@ -87,7 +88,10 @@ pub fn kernel_for(dataset: DatasetId) -> Kernel {
 
 /// MatRox parameters for a structure with the paper's defaults.
 pub fn params_for(structure: Structure) -> MatRoxParams {
-    MatRoxParams { structure, ..MatRoxParams::default() }
+    MatRoxParams {
+        structure,
+        ..MatRoxParams::default()
+    }
 }
 
 /// Generate a dataset and compress it with MatRox, returning both.
@@ -137,7 +141,10 @@ pub fn build_baseline(
         &htree,
         &kernel,
         &sampling,
-        &CompressionParams { bacc, max_rank: params.max_rank },
+        &CompressionParams {
+            bacc,
+            max_rank: params.max_rank,
+        },
     );
     BaselineSetup {
         tree,

@@ -103,7 +103,11 @@ pub struct LatencyModel {
 impl Default for LatencyModel {
     fn default() -> Self {
         // Roughly Haswell-class numbers; only the relative magnitudes matter.
-        LatencyModel { l1_hit: 4.0, llc_hit: 34.0, memory: 200.0 }
+        LatencyModel {
+            l1_hit: 4.0,
+            llc_hit: 34.0,
+            memory: 200.0,
+        }
     }
 }
 
@@ -224,7 +228,10 @@ mod tests {
             h.access(x % (16 * 1024 * 1024), 8);
         }
         assert!(h.l1.miss_ratio() > 0.5);
-        assert!(h.average_memory_access_latency() > CacheHierarchy::tiny(4096, 16384).average_memory_access_latency());
+        assert!(
+            h.average_memory_access_latency()
+                > CacheHierarchy::tiny(4096, 16384).average_memory_access_latency()
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub struct Trace {
 impl Trace {
     /// Create an empty trace.
     pub fn new() -> Self {
-        Trace { accesses: Vec::new() }
+        Trace {
+            accesses: Vec::new(),
+        }
     }
 
     /// Record an access of `len` bytes at `addr`.

@@ -16,50 +16,113 @@ use std::fmt::Write as _;
 pub fn emit_source(plan: &EvalPlan, name: &str) -> String {
     let d = &plan.decisions;
     let mut s = String::new();
-    let _ = writeln!(s, "// ---------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        "// ---------------------------------------------------------------"
+    );
     let _ = writeln!(s, "// MatRox generated evaluation code: {name}");
-    let _ = writeln!(s, "// near interactions : {:6}  (blocked: {})", plan.near_blockset.num_interactions(), d.block_near);
-    let _ = writeln!(s, "// far  interactions : {:6}  (blocked: {})", plan.far_blockset.num_interactions(), d.block_far);
-    let _ = writeln!(s, "// tree height       : {:6}  (coarsened: {}, agg = {})", plan.tree_height, d.coarsen_tree, plan.coarsenset.agg);
-    let _ = writeln!(s, "// coarsen levels    : {:6}  (root peeling: {})", plan.coarsenset.num_levels(), d.peel_root);
+    let _ = writeln!(
+        s,
+        "// near interactions : {:6}  (blocked: {})",
+        plan.near_blockset.num_interactions(),
+        d.block_near
+    );
+    let _ = writeln!(
+        s,
+        "// far  interactions : {:6}  (blocked: {})",
+        plan.far_blockset.num_interactions(),
+        d.block_far
+    );
+    let _ = writeln!(
+        s,
+        "// tree height       : {:6}  (coarsened: {}, agg = {})",
+        plan.tree_height, d.coarsen_tree, plan.coarsenset.agg
+    );
+    let _ = writeln!(
+        s,
+        "// coarsen levels    : {:6}  (root peeling: {})",
+        plan.coarsenset.num_levels(),
+        d.peel_root
+    );
     let _ = writeln!(s, "// leaves            : {:6}", plan.num_leaves);
     let _ = writeln!(s, "// CDS payload       : {:6} bytes", plan.storage_bytes());
-    let _ = writeln!(s, "// ---------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        "// ---------------------------------------------------------------"
+    );
     let _ = writeln!(s, "pub fn {name}(h: &HMatrix, w: &Dense) -> Dense {{");
     let _ = writeln!(s, "    let mut y = Dense::zeros(h.dim, w.cols);");
 
     // Near loop.
     if d.block_near {
-        let _ = writeln!(s, "    // Blocked near loop: {} groups, no reductions", plan.near_blockset.num_groups());
-        let _ = writeln!(s, "    par_for b in 0..{} {{", plan.near_blockset.num_groups());
-        let _ = writeln!(s, "        for (i, j) in nblockset[b] {{ y[i] += D[i,j] * w[j]; }}");
+        let _ = writeln!(
+            s,
+            "    // Blocked near loop: {} groups, no reductions",
+            plan.near_blockset.num_groups()
+        );
+        let _ = writeln!(
+            s,
+            "    par_for b in 0..{} {{",
+            plan.near_blockset.num_groups()
+        );
+        let _ = writeln!(
+            s,
+            "        for (i, j) in nblockset[b] {{ y[i] += D[i,j] * w[j]; }}"
+        );
         let _ = writeln!(s, "    }}");
     } else {
-        let _ = writeln!(s, "    // Near loop (not block-lowered: {} interactions <= block-threshold)", plan.near_blockset.num_interactions());
+        let _ = writeln!(
+            s,
+            "    // Near loop (not block-lowered: {} interactions <= block-threshold)",
+            plan.near_blockset.num_interactions()
+        );
         let _ = writeln!(s, "    for (i, j) in near {{ y[i] += D[i,j] * w[j]; }}");
     }
 
     // Upward tree loop.
     if d.coarsen_tree {
-        let _ = writeln!(s, "    // Coarsened upward loop over {} coarsen levels", plan.coarsenset.num_levels());
+        let _ = writeln!(
+            s,
+            "    // Coarsened upward loop over {} coarsen levels",
+            plan.coarsenset.num_levels()
+        );
         let _ = writeln!(s, "    for cl in 0..{} {{", plan.coarsenset.num_levels());
         let _ = writeln!(s, "        par_for st in coarsenset[cl] {{");
         let _ = writeln!(s, "            for i in st {{ t[i] = V[i]^T * (leaf(i) ? w[i] : [t[lc(i)]; t[rc(i)]]); }}");
         let _ = writeln!(s, "        }}");
         let _ = writeln!(s, "    }}");
     } else {
-        let _ = writeln!(s, "    // Level-by-level upward loop ({} levels, coarsening not applied)", plan.tree_height);
+        let _ = writeln!(
+            s,
+            "    // Level-by-level upward loop ({} levels, coarsening not applied)",
+            plan.tree_height
+        );
         let _ = writeln!(s, "    for l in ({}..=1).rev() {{ par_for i in level(l) {{ t[i] = V[i]^T * ...; }} barrier; }}", plan.tree_height);
     }
 
     // Coupling loop.
     if d.block_far {
-        let _ = writeln!(s, "    // Blocked coupling loop: {} groups", plan.far_blockset.num_groups());
-        let _ = writeln!(s, "    par_for b in 0..{} {{", plan.far_blockset.num_groups());
-        let _ = writeln!(s, "        for (i, j) in fblockset[b] {{ s[i] += B[i,j] * t[j]; }}");
+        let _ = writeln!(
+            s,
+            "    // Blocked coupling loop: {} groups",
+            plan.far_blockset.num_groups()
+        );
+        let _ = writeln!(
+            s,
+            "    par_for b in 0..{} {{",
+            plan.far_blockset.num_groups()
+        );
+        let _ = writeln!(
+            s,
+            "        for (i, j) in fblockset[b] {{ s[i] += B[i,j] * t[j]; }}"
+        );
         let _ = writeln!(s, "    }}");
     } else {
-        let _ = writeln!(s, "    // Coupling loop ({} far interactions)", plan.far_blockset.num_interactions());
+        let _ = writeln!(
+            s,
+            "    // Coupling loop ({} far interactions)",
+            plan.far_blockset.num_interactions()
+        );
         let _ = writeln!(s, "    for (i, j) in far {{ s[i] += B[i,j] * t[j]; }}");
     }
 
@@ -68,17 +131,32 @@ pub fn emit_source(plan: &EvalPlan, name: &str) -> String {
         let peel = if d.peel_root { 1 } else { 0 };
         let _ = writeln!(s, "    // Coarsened downward loop (reverse coarsen levels)");
         if d.peel_root {
-            let _ = writeln!(s, "    // peeled root level: executed with block-level (parallel GEMM) parallelism");
-            let _ = writeln!(s, "    for i in coarsenset[{}] {{ par_gemm!(u_push(i)); }}", plan.coarsenset.num_levels() - 1);
+            let _ = writeln!(
+                s,
+                "    // peeled root level: executed with block-level (parallel GEMM) parallelism"
+            );
+            let _ = writeln!(
+                s,
+                "    for i in coarsenset[{}] {{ par_gemm!(u_push(i)); }}",
+                plan.coarsenset.num_levels() - 1
+            );
         }
-        let _ = writeln!(s, "    for cl in ({}..=0).rev() {{", plan.coarsenset.num_levels().saturating_sub(1 + peel));
+        let _ = writeln!(
+            s,
+            "    for cl in ({}..=0).rev() {{",
+            plan.coarsenset.num_levels().saturating_sub(1 + peel)
+        );
         let _ = writeln!(s, "        par_for st in coarsenset[cl] {{");
         let _ = writeln!(s, "            for i in st.rev() {{ leaf(i) ? y[i] += U[i] * s[i] : push(U[i] * s[i], children(i)); }}");
         let _ = writeln!(s, "        }}");
         let _ = writeln!(s, "    }}");
     } else {
         let _ = writeln!(s, "    // Level-by-level downward loop");
-        let _ = writeln!(s, "    for l in 1..={} {{ par_for i in level(l) {{ ... }} barrier; }}", plan.tree_height);
+        let _ = writeln!(
+            s,
+            "    for l in 1..={} {{ par_for i in level(l) {{ ... }} barrier; }}",
+            plan.tree_height
+        );
     }
 
     let _ = writeln!(s, "    y");
@@ -90,7 +168,7 @@ pub fn emit_source(plan: &EvalPlan, name: &str) -> String {
 mod tests {
     use super::*;
     use crate::plan::{generate_plan, CodegenParams};
-    use matrox_analysis::{build_blockset, build_coarsenset, build_cds, CoarsenParams};
+    use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
     use matrox_compress::{compress, CompressionParams};
     use matrox_points::{generate, DatasetId, Kernel};
     use matrox_sampling::sample_nodes_exhaustive;
@@ -102,12 +180,27 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 16, 0);
         let htree = HTree::build(&tree, structure);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
         let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
         let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
         let cds = build_cds(&tree, &c, &near, &far, &cs);
-        generate_plan(near, far, cs, cds, tree.height, tree.leaves().len(), &CodegenParams::default())
+        generate_plan(
+            near,
+            far,
+            cs,
+            cds,
+            tree.height,
+            tree.leaves().len(),
+            &CodegenParams::default(),
+        )
     }
 
     #[test]

@@ -122,8 +122,7 @@ pub fn lower(
     let block_near = near_blockset.num_interactions() > block_threshold;
     let block_far = far_blockset.num_interactions() > block_threshold;
     // Coarsen lowering: needs enough levels to amortize thread launch.
-    let coarsen_tree =
-        tree_height > params.coarsen_threshold && coarsenset.num_levels() > 0;
+    let coarsen_tree = tree_height > params.coarsen_threshold && coarsenset.num_levels() > 0;
     let peel_root = params.enable_peeling && coarsenset.num_levels() > 1;
     LoweringDecisions {
         block_near,
@@ -166,7 +165,7 @@ pub fn generate_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matrox_analysis::{build_blockset, build_coarsenset, build_cds, CoarsenParams};
+    use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
     use matrox_compress::{compress, CompressionParams};
     use matrox_points::{generate, DatasetId, Kernel};
     use matrox_sampling::sample_nodes_exhaustive;
@@ -178,7 +177,14 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::KdTree, 16, 0);
         let htree = HTree::build(&tree, structure);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
         let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
         let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
@@ -189,13 +195,19 @@ mod tests {
     #[test]
     fn hss_never_activates_near_block_lowering() {
         let plan = make_plan(Structure::Hss, &CodegenParams::default());
-        assert!(!plan.decisions.block_near, "HSS must not block-lower the near loop");
+        assert!(
+            !plan.decisions.block_near,
+            "HSS must not block-lower the near loop"
+        );
         assert!(plan.decisions.coarsen_tree);
     }
 
     #[test]
     fn geometric_structure_activates_block_lowering() {
-        let plan = make_plan(Structure::Geometric { tau: 0.65 }, &CodegenParams::default());
+        let plan = make_plan(
+            Structure::Geometric { tau: 0.65 },
+            &CodegenParams::default(),
+        );
         assert!(
             plan.decisions.block_near,
             "geometric admissibility has off-diagonal near blocks and must block-lower"
@@ -204,7 +216,10 @@ mod tests {
 
     #[test]
     fn coarsen_threshold_disables_coarsening_for_shallow_trees() {
-        let params = CodegenParams { coarsen_threshold: 1000, ..Default::default() };
+        let params = CodegenParams {
+            coarsen_threshold: 1000,
+            ..Default::default()
+        };
         let plan = make_plan(Structure::Hss, &params);
         assert!(!plan.decisions.coarsen_tree);
     }
@@ -213,14 +228,20 @@ mod tests {
     fn peeling_requires_multiple_coarsen_levels() {
         let plan = make_plan(Structure::Hss, &CodegenParams::default());
         assert_eq!(plan.decisions.peel_root, plan.coarsenset.num_levels() > 1);
-        let no_peel = CodegenParams { enable_peeling: false, ..Default::default() };
+        let no_peel = CodegenParams {
+            enable_peeling: false,
+            ..Default::default()
+        };
         let plan2 = make_plan(Structure::Hss, &no_peel);
         assert!(!plan2.decisions.peel_root);
     }
 
     #[test]
     fn flop_count_is_positive_and_scales_with_q() {
-        let plan = make_plan(Structure::Geometric { tau: 0.65 }, &CodegenParams::default());
+        let plan = make_plan(
+            Structure::Geometric { tau: 0.65 },
+            &CodegenParams::default(),
+        );
         let f1 = plan.flops(1);
         let f4 = plan.flops(4);
         assert!(f1 > 0);
@@ -229,8 +250,14 @@ mod tests {
 
     #[test]
     fn explicit_block_threshold_overrides_default() {
-        let params = CodegenParams { block_threshold: Some(0), ..Default::default() };
+        let params = CodegenParams {
+            block_threshold: Some(0),
+            ..Default::default()
+        };
         let plan = make_plan(Structure::Hss, &params);
-        assert!(plan.decisions.block_near, "threshold 0 must force block lowering");
+        assert!(
+            plan.decisions.block_near,
+            "threshold 0 must force block lowering"
+        );
     }
 }

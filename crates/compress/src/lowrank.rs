@@ -223,13 +223,22 @@ mod tests {
         let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
         let htree = HTree::build(&tree, structure);
         let sampling = sample_nodes_exhaustive(&pts, &tree);
-        (pts, tree, htree, sampling, Kernel::Gaussian { bandwidth: 1.0 })
+        (
+            pts,
+            tree,
+            htree,
+            sampling,
+            Kernel::Gaussian { bandwidth: 1.0 },
+        )
     }
 
     #[test]
     fn sranks_respect_max_rank_and_node_size() {
         let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
-        let params = CompressionParams { bacc: 1e-5, max_rank: 16 };
+        let params = CompressionParams {
+            bacc: 1e-5,
+            max_rank: 16,
+        };
         let c = compress(&pts, &tree, &htree, &kernel, &sampling, &params);
         for (id, b) in c.bases.iter().enumerate() {
             assert!(b.srank <= 16, "node {id} srank {}", b.srank);
@@ -241,7 +250,14 @@ mod tests {
     #[test]
     fn leaf_skeletons_are_subsets_of_leaf_points() {
         let (pts, tree, htree, sampling, kernel) = setup(256, Structure::Hss);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         for node in &tree.nodes {
             if node.id == 0 {
                 continue;
@@ -256,7 +272,14 @@ mod tests {
     #[test]
     fn internal_skeletons_come_from_children_skeletons() {
         let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         for node in &tree.nodes {
             if node.id == 0 || node.is_leaf() {
                 continue;
@@ -276,15 +299,22 @@ mod tests {
     #[test]
     fn near_blocks_match_kernel_entries() {
         let (pts, tree, htree, sampling, kernel) = setup(256, Structure::Geometric { tau: 0.65 });
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         assert_eq!(c.near_blocks.len(), htree.num_near());
         for ((i, j), block) in &c.near_blocks {
             let ri = tree.indices(*i);
             let cj = tree.indices(*j);
             assert_eq!(block.shape(), (ri.len(), cj.len()));
             // Spot-check a few entries.
-            for a in (0..ri.len()).step_by(7.max(1)) {
-                for b in (0..cj.len()).step_by(5.max(1)) {
+            for a in (0..ri.len()).step_by(7) {
+                for b in (0..cj.len()).step_by(5) {
                     let expected = kernel.eval(pts.point(ri[a]), pts.point(cj[b]));
                     assert!((block.get(a, b) - expected).abs() < 1e-14);
                 }
@@ -295,7 +325,14 @@ mod tests {
     #[test]
     fn far_block_shapes_match_sranks() {
         let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams::default());
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams::default(),
+        );
         assert_eq!(c.far_blocks.len(), htree.num_far());
         for ((i, j), block) in &c.far_blocks {
             assert_eq!(block.shape(), (c.sranks[*i], c.sranks[*j]));
@@ -305,8 +342,28 @@ mod tests {
     #[test]
     fn tighter_bacc_gives_larger_or_equal_ranks() {
         let (pts, tree, htree, sampling, kernel) = setup(512, Structure::Hss);
-        let loose = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-2, max_rank: 256 });
-        let tight = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-8, max_rank: 256 });
+        let loose = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams {
+                bacc: 1e-2,
+                max_rank: 256,
+            },
+        );
+        let tight = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams {
+                bacc: 1e-8,
+                max_rank: 256,
+            },
+        );
         let sl: usize = loose.sranks.iter().sum();
         let st: usize = tight.sranks.iter().sum();
         assert!(st >= sl, "tight {st} < loose {sl}");
@@ -316,7 +373,17 @@ mod tests {
     fn compression_is_much_smaller_than_dense_for_smooth_kernel() {
         let (pts, tree, htree, sampling, _) = setup(1024, Structure::Hss);
         let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-        let c = compress(&pts, &tree, &htree, &kernel, &sampling, &CompressionParams { bacc: 1e-5, max_rank: 256 });
+        let c = compress(
+            &pts,
+            &tree,
+            &htree,
+            &kernel,
+            &sampling,
+            &CompressionParams {
+                bacc: 1e-5,
+                max_rank: 256,
+            },
+        );
         let ratio = c.compression_ratio(pts.len());
         assert!(ratio > 2.0, "compression ratio {ratio} too small");
     }

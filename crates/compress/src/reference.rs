@@ -45,7 +45,15 @@ pub fn evaluate(
                 stack_children(&t[l], &t[r], q)
             };
             let mut ti = Matrix::zeros(basis.srank, q);
-            gemm_seq(1.0, &basis.v, GemmOp::Trans, &input, GemmOp::NoTrans, 0.0, &mut ti);
+            gemm_seq(
+                1.0,
+                &basis.v,
+                GemmOp::Trans,
+                &input,
+                GemmOp::NoTrans,
+                0.0,
+                &mut ti,
+            );
             t[id] = ti;
         }
     }
@@ -61,7 +69,15 @@ pub fn evaluate(
             continue;
         }
         let mut si = std::mem::replace(&mut s[*i], Matrix::zeros(0, 0));
-        gemm_seq(1.0, b, GemmOp::NoTrans, &t[*j], GemmOp::NoTrans, 1.0, &mut si);
+        gemm_seq(
+            1.0,
+            b,
+            GemmOp::NoTrans,
+            &t[*j],
+            GemmOp::NoTrans,
+            1.0,
+            &mut si,
+        );
         s[*i] = si;
     }
 
@@ -75,7 +91,15 @@ pub fn evaluate(
             let node = &tree.nodes[id];
             if node.is_leaf() {
                 let mut contrib = Matrix::zeros(node.num_points(), q);
-                gemm_seq(1.0, &basis.u, GemmOp::NoTrans, &s[id], GemmOp::NoTrans, 0.0, &mut contrib);
+                gemm_seq(
+                    1.0,
+                    &basis.u,
+                    GemmOp::NoTrans,
+                    &s[id],
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut contrib,
+                );
                 y.scatter_add_rows(tree.indices(id), &contrib);
             } else {
                 let (l, r) = node.children.unwrap();
@@ -84,7 +108,15 @@ pub fn evaluate(
                 // U_i is (rl + rr) x srank_i; its top rows push into the left
                 // child, the bottom rows into the right child.
                 let mut expanded = Matrix::zeros(rl + rr, q);
-                gemm_seq(1.0, &basis.u, GemmOp::NoTrans, &s[id], GemmOp::NoTrans, 0.0, &mut expanded);
+                gemm_seq(
+                    1.0,
+                    &basis.u,
+                    GemmOp::NoTrans,
+                    &s[id],
+                    GemmOp::NoTrans,
+                    0.0,
+                    &mut expanded,
+                );
                 if rl > 0 {
                     let top = expanded.submatrix(0, rl, 0, q);
                     s[l].add_assign(&top);
@@ -101,7 +133,15 @@ pub fn evaluate(
     for ((i, j), d) in &compression.near_blocks {
         let wj = w.gather_rows(tree.indices(*j));
         let mut contrib = Matrix::zeros(d.rows(), q);
-        gemm_seq(1.0, d, GemmOp::NoTrans, &wj, GemmOp::NoTrans, 0.0, &mut contrib);
+        gemm_seq(
+            1.0,
+            d,
+            GemmOp::NoTrans,
+            &wj,
+            GemmOp::NoTrans,
+            0.0,
+            &mut contrib,
+        );
         y.scatter_add_rows(tree.indices(*i), &contrib);
     }
 
@@ -151,7 +191,10 @@ mod tests {
             &htree,
             &kernel,
             &sampling,
-            &CompressionParams { bacc, max_rank: 256 },
+            &CompressionParams {
+                bacc,
+                max_rank: 256,
+            },
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let w = matrox_linalg::Matrix::random_uniform(n, 8, &mut rng);
@@ -186,7 +229,13 @@ mod tests {
 
     #[test]
     fn neighbor_sampling_is_close_to_exhaustive() {
-        let err = accuracy_for(DatasetId::Grid, 512, Structure::Geometric { tau: 0.65 }, 1e-6, false);
+        let err = accuracy_for(
+            DatasetId::Grid,
+            512,
+            Structure::Geometric { tau: 0.65 },
+            1e-6,
+            false,
+        );
         assert!(err < 1e-2, "sampled compression error {err}");
     }
 

@@ -51,7 +51,10 @@ impl Default for MatRoxParams {
             max_rank: 256,
             near_blocksize: 2,
             far_blocksize: 4,
-            coarsen: CoarsenParams { p: rayon::current_num_threads().max(1), agg: 2 },
+            coarsen: CoarsenParams {
+                p: rayon::current_num_threads().max(1),
+                agg: 2,
+            },
             codegen: CodegenParams::default(),
             seed: 0,
         }
@@ -61,17 +64,26 @@ impl Default for MatRoxParams {
 impl MatRoxParams {
     /// The paper's HSS configuration (STRUMPACK comparison).
     pub fn hss() -> Self {
-        MatRoxParams { structure: Structure::Hss, ..Default::default() }
+        MatRoxParams {
+            structure: Structure::Hss,
+            ..Default::default()
+        }
     }
 
     /// The paper's H²-b configuration (GOFMM budget 0.03).
     pub fn h2b() -> Self {
-        MatRoxParams { structure: Structure::h2b(), ..Default::default() }
+        MatRoxParams {
+            structure: Structure::h2b(),
+            ..Default::default()
+        }
     }
 
     /// The SMASH comparison configuration (geometric admissibility τ = 0.65).
     pub fn smash_setting() -> Self {
-        MatRoxParams { structure: Structure::Geometric { tau: 0.65 }, ..Default::default() }
+        MatRoxParams {
+            structure: Structure::Geometric { tau: 0.65 },
+            ..Default::default()
+        }
     }
 
     /// Builder-style override of the block accuracy.
@@ -110,7 +122,10 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let p = MatRoxParams::hss().with_bacc(1e-3).with_leaf_size(128).with_partitions(7);
+        let p = MatRoxParams::hss()
+            .with_bacc(1e-3)
+            .with_leaf_size(128)
+            .with_partitions(7);
         assert_eq!(p.structure, Structure::Hss);
         assert_eq!(p.bacc, 1e-3);
         assert_eq!(p.leaf_size, 128);

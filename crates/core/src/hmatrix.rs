@@ -37,7 +37,12 @@ impl HMatrix {
 
     /// Evaluate `Y = K~ * W` with the generated (optimized) code.
     pub fn matmul(&self, w: &Matrix) -> Matrix {
-        execute(&self.plan, &self.tree, w, &ExecOptions::from_plan(&self.plan))
+        execute(
+            &self.plan,
+            &self.tree,
+            w,
+            &ExecOptions::from_plan(&self.plan),
+        )
     }
 
     /// Evaluate with explicit executor options (used by the ablation and

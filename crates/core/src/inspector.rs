@@ -13,7 +13,7 @@
 use crate::config::MatRoxParams;
 use crate::hmatrix::HMatrix;
 use crate::timings::InspectorTimings;
-use matrox_analysis::{build_blockset, build_coarsenset, build_cds, BlockSet};
+use matrox_analysis::{build_blockset, build_cds, build_coarsenset, BlockSet};
 use matrox_codegen::generate_plan;
 use matrox_compress::{compress, CompressionParams};
 use matrox_points::{Kernel, PointSet};
@@ -61,7 +61,8 @@ pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -
     timings.sampling = t0.elapsed();
 
     let t0 = Instant::now();
-    let near_blockset = build_blockset(&htree.near_pairs(), tree.num_nodes(), params.near_blocksize);
+    let near_blockset =
+        build_blockset(&htree.near_pairs(), tree.num_nodes(), params.near_blocksize);
     let far_blockset = build_blockset(&htree.far_pairs(), tree.num_nodes(), params.far_blocksize);
     timings.blocking = t0.elapsed();
 
@@ -79,12 +80,7 @@ pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -
 /// Run inspector-p2 on top of a p1 result: low-rank approximation with the
 /// given kernel and accuracy, coarsening, CDS construction and code
 /// generation.  Returns the ready-to-evaluate [`HMatrix`].
-pub fn inspector_p2(
-    points: &PointSet,
-    p1: &InspectorP1,
-    kernel: &Kernel,
-    bacc: f64,
-) -> HMatrix {
+pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: f64) -> HMatrix {
     let mut timings = p1.timings;
     let params = &p1.params;
 
@@ -95,7 +91,10 @@ pub fn inspector_p2(
         &p1.htree,
         kernel,
         &p1.sampling,
-        &CompressionParams { bacc, max_rank: params.max_rank },
+        &CompressionParams {
+            bacc,
+            max_rank: params.max_rank,
+        },
     );
     timings.low_rank = t0.elapsed();
 
@@ -157,7 +156,9 @@ mod tests {
     fn full_inspector_produces_accurate_hmatrix() {
         let pts = small_points();
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
-        let params = MatRoxParams::smash_setting().with_bacc(1e-6).with_leaf_size(32);
+        let params = MatRoxParams::smash_setting()
+            .with_bacc(1e-6)
+            .with_leaf_size(32);
         let h = inspector(&pts, &kernel, &params);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let w = Matrix::random_uniform(pts.len(), 4, &mut rng);
@@ -198,7 +199,10 @@ mod tests {
         for bacc in [1e-2, 1e-4, 1e-6] {
             let h = inspector_p2(&pts, &p1, &kernel, bacc);
             let err = h.overall_accuracy(&pts, &w);
-            assert!(err <= prev_err * 10.0, "accuracy did not improve: {err} after {prev_err}");
+            assert!(
+                err <= prev_err * 10.0,
+                "accuracy did not improve: {err} after {prev_err}"
+            );
             prev_err = err;
         }
 

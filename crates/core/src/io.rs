@@ -227,7 +227,11 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
         let diameter = get_f64(buf)?;
         nodes.push(TreeNode {
             id,
-            parent: if parent_raw == 0 { None } else { Some(parent_raw - 1) },
+            parent: if parent_raw == 0 {
+                None
+            } else {
+                Some(parent_raw - 1)
+            },
             children: if l == 0 { None } else { Some((l - 1, r - 1)) },
             level,
             start,
@@ -236,7 +240,12 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
             diameter,
         });
     }
-    Ok(ClusterTree { nodes, perm, leaf_size, height })
+    Ok(ClusterTree {
+        nodes,
+        perm,
+        leaf_size,
+        height,
+    })
 }
 
 fn put_blockset(buf: &mut BytesMut, bs: &BlockSet) {
@@ -360,7 +369,10 @@ fn get_group_ranges(buf: &mut Bytes) -> Result<Vec<GroupRange>, IoError> {
     let n = get_usize(buf)?;
     let mut v = Vec::with_capacity(n.min(1 << 24));
     for _ in 0..n {
-        v.push(GroupRange { start: get_usize(buf)?, end: get_usize(buf)? });
+        v.push(GroupRange {
+            start: get_usize(buf)?,
+            end: get_usize(buf)?,
+        });
     }
     Ok(v)
 }

@@ -1,0 +1,110 @@
+//! Integration coverage for HMatrix serialization (`io::{to_bytes,
+//! from_bytes, save, load}`) across all three hierarchical structures the
+//! inspector can produce: HSS, H²-b, and the geometric (tau-based) H².
+//!
+//! For each structure the round-trip must (a) succeed, (b) preserve the
+//! executor's output to machine precision, (c) preserve the structural
+//! metadata, and (d) be byte-stable (serialize → deserialize → serialize
+//! yields identical bytes).
+
+use matrox_core::io::{from_bytes, load, save, to_bytes};
+use matrox_core::{inspector, HMatrix, MatRoxParams};
+use matrox_linalg::{relative_error, Matrix};
+use matrox_points::{generate, DatasetId, Kernel, PointSet};
+use matrox_tree::Structure;
+use rand::SeedableRng;
+
+const N: usize = 384;
+
+fn build(structure: Structure) -> (PointSet, HMatrix) {
+    let pts = generate(DatasetId::Grid, N, 17);
+    let kernel = Kernel::Gaussian { bandwidth: 2.0 };
+    let params = MatRoxParams {
+        structure,
+        bacc: 1e-6,
+        ..MatRoxParams::default()
+    }
+    .with_leaf_size(32);
+    let h = inspector(&pts, &kernel, &params);
+    (pts, h)
+}
+
+fn all_structures() -> [Structure; 3] {
+    [
+        Structure::Hss,
+        Structure::h2b(),
+        Structure::Geometric { tau: 0.7 },
+    ]
+}
+
+#[test]
+fn roundtrip_preserves_evaluation_on_all_structures() {
+    for structure in all_structures() {
+        let (pts, h) = build(structure);
+        let h2 = from_bytes(to_bytes(&h))
+            .unwrap_or_else(|e| panic!("{}: deserialize failed: {e:?}", structure.name()));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let w = Matrix::random_uniform(pts.len(), 4, &mut rng);
+        let err = relative_error(&h2.matmul(&w), &h.matmul(&w));
+        assert!(
+            err < 1e-14,
+            "{}: round-tripped evaluation differs (err = {err})",
+            structure.name()
+        );
+
+        assert_eq!(h2.structure, h.structure, "{}", structure.name());
+        assert_eq!(h2.bacc, h.bacc, "{}", structure.name());
+        assert_eq!(h2.dim(), h.dim(), "{}", structure.name());
+    }
+}
+
+#[test]
+fn roundtrip_is_byte_stable_on_all_structures() {
+    for structure in all_structures() {
+        let (_, h) = build(structure);
+        let bytes = to_bytes(&h);
+        let h2 = from_bytes(bytes.clone()).expect("deserialize");
+        assert_eq!(
+            to_bytes(&h2),
+            bytes,
+            "{}: serialize(deserialize(b)) != b",
+            structure.name()
+        );
+    }
+}
+
+#[test]
+fn file_roundtrip_on_all_structures() {
+    let dir = std::env::temp_dir().join("matrox_serialization_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, structure) in all_structures().into_iter().enumerate() {
+        let (pts, h) = build(structure);
+        let path = dir.join(format!("hmat_{i}.cds"));
+        save(&h, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
+        assert!(
+            relative_error(&loaded.matmul(&w), &h.matmul(&w)) < 1e-14,
+            "{}: file round-trip changed the evaluation",
+            structure.name()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn truncated_payload_is_an_error_not_a_panic() {
+    let (_, h) = build(Structure::Hss);
+    let bytes = to_bytes(&h);
+    // Keep the magic header but drop the tail: must surface as Err, and the
+    // error must be reported before any panic-prone buffer read.
+    let truncated: Vec<u8> = bytes[..bytes.len() / 2].to_vec();
+    let result = std::panic::catch_unwind(|| from_bytes(bytes::Bytes::from(truncated)));
+    match result {
+        Ok(Err(_)) => {}
+        Ok(Ok(_)) => panic!("truncated payload deserialized successfully"),
+        Err(_) => panic!("truncated payload caused a panic instead of an IoError"),
+    }
+}

@@ -107,7 +107,8 @@ pub fn execute(plan: &EvalPlan, tree: &ClusterTree, w: &Matrix, opts: &ExecOptio
     // Un-permute the output.
     let mut y = Matrix::zeros(n, q);
     for p in 0..n {
-        y.row_mut(tree.perm[p]).copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+        y.row_mut(tree.perm[p])
+            .copy_from_slice(&y_perm[p * q..(p + 1) * q]);
     }
     y
 }
@@ -177,11 +178,11 @@ fn near_phase(
     for g in &cds.d_groups {
         let mut targets = HashMap::new();
         for e in &cds.d_entries[g.start..g.end] {
-            if !targets.contains_key(&e.target) {
+            if let std::collections::hash_map::Entry::Vacant(entry) = targets.entry(e.target) {
                 let slice = leaf_slices
                     .remove(&e.target)
                     .expect("blockset groups must own disjoint target nodes");
-                targets.insert(e.target, slice);
+                entry.insert(slice);
             }
         }
         works.push(GroupWork {
@@ -247,10 +248,24 @@ fn compute_t(
         let rr = tr.rows();
         debug_assert_eq!(rows, rl + rr, "transfer matrix rows mismatch at node {id}");
         if rl > 0 {
-            gemm_tn_slices(&v[0..rl * cols], rl, cols, tl.as_slice(), q, out.as_mut_slice());
+            gemm_tn_slices(
+                &v[0..rl * cols],
+                rl,
+                cols,
+                tl.as_slice(),
+                q,
+                out.as_mut_slice(),
+            );
         }
         if rr > 0 {
-            gemm_tn_slices(&v[rl * cols..], rr, cols, tr.as_slice(), q, out.as_mut_slice());
+            gemm_tn_slices(
+                &v[rl * cols..],
+                rr,
+                cols,
+                tr.as_slice(),
+                q,
+                out.as_mut_slice(),
+            );
         }
     }
     out
@@ -297,8 +312,7 @@ fn upward_phase(
                     .map(|part| {
                         let mut local: HashMap<usize, Matrix> = HashMap::with_capacity(part.len());
                         for &id in part {
-                            let ti =
-                                compute_t(plan, tree, id, w_perm, q, &t, Some(&local), false);
+                            let ti = compute_t(plan, tree, id, w_perm, q, &t, Some(&local), false);
                             local.insert(id, ti);
                         }
                         local.into_iter().collect()
@@ -553,7 +567,10 @@ fn downward_phase(
                 // Reverse post-order: parents before children.
                 for idx in (0..work.nodes.len()).rev() {
                     let id = work.nodes[idx];
-                    let s_i = work.s_local.remove(&id).unwrap_or_else(|| Matrix::zeros(0, 0));
+                    let s_i = work
+                        .s_local
+                        .remove(&id)
+                        .unwrap_or_else(|| Matrix::zeros(0, 0));
                     let is_leaf = tree.nodes[id].is_leaf();
                     let pushes = {
                         let dst: Option<&mut [f64]> = if is_leaf {
@@ -587,7 +604,7 @@ fn downward_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matrox_analysis::{build_blockset, build_coarsenset, build_cds, CoarsenParams};
+    use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
     use matrox_codegen::{generate_plan, CodegenParams};
     use matrox_compress::{compress, reference_evaluate, CompressionParams};
     use matrox_linalg::relative_error;
@@ -616,7 +633,10 @@ mod tests {
             &htree,
             &kernel,
             &sampling,
-            &CompressionParams { bacc: 1e-7, max_rank: 256 },
+            &CompressionParams {
+                bacc: 1e-7,
+                max_rank: 256,
+            },
         );
         let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
         let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
@@ -635,7 +655,13 @@ mod tests {
         let w = Matrix::random_uniform(n, q, &mut rng);
         let y_ref = reference_evaluate(&c, &tree, &htree, &w);
         let y_exact = dense_kernel_matmul(&pts, &kernel, &w);
-        Fixture { tree, plan, y_ref, y_exact, w }
+        Fixture {
+            tree,
+            plan,
+            y_ref,
+            y_exact,
+            w,
+        }
     }
 
     #[test]
@@ -648,7 +674,12 @@ mod tests {
 
     #[test]
     fn executor_matches_reference_geometric() {
-        let f = fixture(DatasetId::Random, 512, Structure::Geometric { tau: 0.65 }, 5);
+        let f = fixture(
+            DatasetId::Random,
+            512,
+            Structure::Geometric { tau: 0.65 },
+            5,
+        );
         let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::from_plan(&f.plan));
         assert!(relative_error(&y, &f.y_ref) < 1e-12);
         assert!(relative_error(&y, &f.y_exact) < 1e-4);
@@ -667,10 +698,24 @@ mod tests {
         let f = fixture(DatasetId::Grid, 512, Structure::Geometric { tau: 0.65 }, 3);
         let variants = [
             ExecOptions::sequential(),
-            ExecOptions { parallel_near: true, ..ExecOptions::sequential() },
-            ExecOptions { parallel_tree: true, ..ExecOptions::sequential() },
-            ExecOptions { parallel_tree: true, peel_root: true, ..ExecOptions::sequential() },
-            ExecOptions { parallel_near: true, parallel_far: true, ..ExecOptions::sequential() },
+            ExecOptions {
+                parallel_near: true,
+                ..ExecOptions::sequential()
+            },
+            ExecOptions {
+                parallel_tree: true,
+                ..ExecOptions::sequential()
+            },
+            ExecOptions {
+                parallel_tree: true,
+                peel_root: true,
+                ..ExecOptions::sequential()
+            },
+            ExecOptions {
+                parallel_near: true,
+                parallel_far: true,
+                ..ExecOptions::sequential()
+            },
             ExecOptions::full(),
         ];
         let baseline = execute(&f.plan, &f.tree, &f.w, &variants[0]);
@@ -693,7 +738,12 @@ mod tests {
 
     #[test]
     fn matvec_case_q1_works() {
-        let f = fixture(DatasetId::Sunflower, 384, Structure::Geometric { tau: 0.65 }, 1);
+        let f = fixture(
+            DatasetId::Sunflower,
+            384,
+            Structure::Geometric { tau: 0.65 },
+            1,
+        );
         let y = execute(&f.plan, &f.tree, &f.w, &ExecOptions::full());
         assert!(relative_error(&y, &f.y_ref) < 1e-12);
     }

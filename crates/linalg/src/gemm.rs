@@ -207,9 +207,7 @@ pub fn par_gemm(
     let b_buf = b_eff.as_slice();
     // Split C into row chunks; each chunk owns a disjoint slice of the output
     // so no synchronization is needed.
-    let chunk_rows = (m + rayon::current_num_threads() * 4 - 1)
-        / (rayon::current_num_threads() * 4);
-    let chunk_rows = chunk_rows.max(1);
+    let chunk_rows = m.div_ceil(rayon::current_num_threads() * 4).max(1);
     c.as_mut_slice()
         .par_chunks_mut(chunk_rows * n)
         .enumerate()
@@ -351,7 +349,7 @@ pub fn par_gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &m
         return;
     }
     let threads = rayon::current_num_threads().max(1);
-    let chunk_rows = ((m + threads - 1) / threads).max(1);
+    let chunk_rows = m.div_ceil(threads).max(1);
     c.par_chunks_mut(chunk_rows * n)
         .enumerate()
         .for_each(|(ci, c_chunk)| {

@@ -238,8 +238,7 @@ impl Matrix {
         assert!(c0 <= c1 && c1 <= self.cols);
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
-            out.row_mut(i - r0)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
         }
         out
     }

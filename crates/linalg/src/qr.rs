@@ -166,9 +166,7 @@ pub fn pivoted_qr(a: &Matrix, tol: f64, max_rank: usize) -> PivotedQr {
         }
         let mut v = vec![0.0; m - k];
         v[0] = v0s[k];
-        for i in 1..(m - k) {
-            v[i] = col[k][k + i];
-        }
+        v[1..].copy_from_slice(&col[k][k + 1..m]);
         // Q <- (I - tau v v^T) Q, affecting rows k..m.
         for j in 0..rank {
             let mut dot = 0.0;

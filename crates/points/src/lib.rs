@@ -30,12 +30,7 @@ use rayon::prelude::*;
 /// Evaluate the dense kernel block `K(rows, cols)` for the given global point
 /// indices.  This is the only way the rest of the workspace touches kernel
 /// entries, mirroring the "implicit" kernel matrix of the paper.
-pub fn kernel_block(
-    points: &PointSet,
-    kernel: &Kernel,
-    rows: &[usize],
-    cols: &[usize],
-) -> Matrix {
+pub fn kernel_block(points: &PointSet, kernel: &Kernel, rows: &[usize], cols: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(rows.len(), cols.len());
     for (ri, &i) in rows.iter().enumerate() {
         let pi = points.point(i);

@@ -139,7 +139,13 @@ mod tests {
     #[test]
     fn knn_lists_have_requested_size_and_no_self() {
         let pts = generate(DatasetId::Random, 300, 1);
-        let knn = approximate_knn(&pts, &KnnParams { k: 8, ..Default::default() });
+        let knn = approximate_knn(
+            &pts,
+            &KnnParams {
+                k: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(knn.len(), 300);
         for (i, list) in knn.iter().enumerate() {
             assert_eq!(list.len(), 8, "point {i}");
@@ -155,7 +161,12 @@ mod tests {
         let k = 10;
         let approx = approximate_knn(
             &pts,
-            &KnnParams { k, num_trees: 6, leaf_cap: 64, seed: 3 },
+            &KnnParams {
+                k,
+                num_trees: 6,
+                leaf_cap: 64,
+                seed: 3,
+            },
         );
         let exact = exact_knn(&pts, k);
         let mut hit = 0usize;
@@ -171,12 +182,8 @@ mod tests {
 
     #[test]
     fn exact_knn_on_line_points_matches_intuition() {
-        let pts = matrox_points::PointSet::from_points(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![10.0],
-        ]);
+        let pts =
+            matrox_points::PointSet::from_points(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]]);
         let knn = exact_knn(&pts, 2);
         assert_eq!(knn[0], vec![1, 2]);
         assert_eq!(knn[3], vec![2, 1]);
@@ -192,7 +199,13 @@ mod tests {
     #[test]
     fn high_dimensional_knn_works() {
         let pts = generate(DatasetId::Higgs, 256, 4);
-        let knn = approximate_knn(&pts, &KnnParams { k: 16, ..Default::default() });
+        let knn = approximate_knn(
+            &pts,
+            &KnnParams {
+                k: 16,
+                ..Default::default()
+            },
+        );
         assert!(knn.iter().all(|l| l.len() == 16));
     }
 }

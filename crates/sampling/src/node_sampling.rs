@@ -85,7 +85,9 @@ pub fn sample_nodes(
         .nodes
         .par_iter()
         .map(|node| {
-            let mut rng = StdRng::seed_from_u64(params.seed ^ (node.id as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut rng = StdRng::seed_from_u64(
+                params.seed ^ (node.id as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            );
             let inside = |q: usize| pos[q] >= node.start && pos[q] < node.end;
 
             // Merge member-point neighbour lists, excluding points inside the
@@ -120,7 +122,9 @@ pub fn sample_nodes(
             // Top up with uniform samples from outside the node so the ID
             // sample also represents the weak, distant interactions.
             let outside_count = points.len() - node.num_points();
-            let want_uniform = params.uniform_samples.min(outside_count.saturating_sub(chosen.len()));
+            let want_uniform = params
+                .uniform_samples
+                .min(outside_count.saturating_sub(chosen.len()));
             let mut guard = 0;
             while chosen.len() < params.sampling_size.min(outside_count) + want_uniform
                 && guard < 20 * (want_uniform + 1)
@@ -176,13 +180,22 @@ mod tests {
     #[test]
     fn samples_exclude_node_members() {
         let (pts, tree) = setup(512);
-        let info = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &SamplingParams::default());
+        let info = sample_nodes(
+            &pts,
+            &tree,
+            &Kernel::paper_gaussian(),
+            &SamplingParams::default(),
+        );
         assert_eq!(info.samples.len(), tree.num_nodes());
         for node in &tree.nodes {
             let members: std::collections::HashSet<_> =
                 tree.perm[node.start..node.end].iter().collect();
             for q in &info.samples[node.id] {
-                assert!(!members.contains(q), "node {} sampled its own member", node.id);
+                assert!(
+                    !members.contains(q),
+                    "node {} sampled its own member",
+                    node.id
+                );
             }
         }
     }
@@ -190,7 +203,12 @@ mod tests {
     #[test]
     fn samples_are_unique_per_node() {
         let (pts, tree) = setup(400);
-        let info = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &SamplingParams::default());
+        let info = sample_nodes(
+            &pts,
+            &tree,
+            &Kernel::paper_gaussian(),
+            &SamplingParams::default(),
+        );
         for s in &info.samples {
             let set: std::collections::HashSet<_> = s.iter().collect();
             assert_eq!(set.len(), s.len());
@@ -200,14 +218,26 @@ mod tests {
     #[test]
     fn root_node_has_no_far_field() {
         let (pts, tree) = setup(300);
-        let info = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &SamplingParams::default());
-        assert!(info.samples[0].is_empty(), "the root has no far field to sample");
+        let info = sample_nodes(
+            &pts,
+            &tree,
+            &Kernel::paper_gaussian(),
+            &SamplingParams::default(),
+        );
+        assert!(
+            info.samples[0].is_empty(),
+            "the root has no far field to sample"
+        );
     }
 
     #[test]
     fn sample_counts_are_bounded() {
         let (pts, tree) = setup(600);
-        let p = SamplingParams { sampling_size: 16, uniform_samples: 8, ..Default::default() };
+        let p = SamplingParams {
+            sampling_size: 16,
+            uniform_samples: 8,
+            ..Default::default()
+        };
         let info = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &p);
         for (i, s) in info.samples.iter().enumerate() {
             assert!(
@@ -223,18 +253,25 @@ mod tests {
         let (pts, tree) = setup(128);
         let info = sample_nodes_exhaustive(&pts, &tree);
         for node in &tree.nodes {
-            assert_eq!(
-                info.samples[node.id].len(),
-                pts.len() - node.num_points()
-            );
+            assert_eq!(info.samples[node.id].len(), pts.len() - node.num_points());
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (pts, tree) = setup(256);
-        let a = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &SamplingParams::default());
-        let b = sample_nodes(&pts, &tree, &Kernel::paper_gaussian(), &SamplingParams::default());
+        let a = sample_nodes(
+            &pts,
+            &tree,
+            &Kernel::paper_gaussian(),
+            &SamplingParams::default(),
+        );
+        let b = sample_nodes(
+            &pts,
+            &tree,
+            &Kernel::paper_gaussian(),
+            &SamplingParams::default(),
+        );
         assert_eq!(a.samples, b.samples);
     }
 }

@@ -299,12 +299,7 @@ fn two_means_split(points: &PointSet, idx: &mut [usize], rng: &mut StdRng) -> us
     let a = idx[rng.gen_range(0..idx.len())];
     let b = *idx
         .iter()
-        .max_by(|&&x, &&y| {
-            points
-                .dist2(a, x)
-                .partial_cmp(&points.dist2(a, y))
-                .unwrap()
-        })
+        .max_by(|&&x, &&y| points.dist2(a, x).partial_cmp(&points.dist2(a, y)).unwrap())
         .unwrap();
     let mut c1: Vec<f64> = points.point(a).to_vec();
     let mut c2: Vec<f64> = points.point(b).to_vec();

@@ -217,12 +217,7 @@ fn budget_leaf_near(tree: &ClusterTree, budget: f64) -> Vec<Vec<bool>> {
 
 /// True when some descendant leaf of `a` is marked near some descendant leaf
 /// of `b` in the budget relation.
-fn has_near_leaf_pair(
-    tree: &ClusterTree,
-    leaf_near: &[Vec<bool>],
-    a: usize,
-    b: usize,
-) -> bool {
+fn has_near_leaf_pair(tree: &ClusterTree, leaf_near: &[Vec<bool>], a: usize, b: usize) -> bool {
     let leaves = tree.leaves();
     let ra = (tree.nodes[a].start, tree.nodes[a].end);
     let rb = (tree.nodes[b].start, tree.nodes[b].end);

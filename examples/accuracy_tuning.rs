@@ -10,7 +10,9 @@
 //! cargo run --release --example accuracy_tuning
 //! ```
 
-use matrox::{generate, inspector, inspector_p1, inspector_p2, DatasetId, Kernel, MatRoxParams, Matrix};
+use matrox::{
+    generate, inspector, inspector_p1, inspector_p2, DatasetId, Kernel, MatRoxParams, Matrix,
+};
 use std::time::Instant;
 
 fn main() {
@@ -31,7 +33,10 @@ fn main() {
     let p1_time = t0.elapsed();
     let mut reuse_total = p1_time;
     println!("inspector-p1 (reusable): {:.3} s", p1_time.as_secs_f64());
-    println!("{:>8}  {:>12}  {:>12}  {:>10}", "bacc", "p2 time (s)", "eval (s)", "eps_f");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}",
+        "bacc", "p2 time (s)", "eval (s)", "eps_f"
+    );
     for &bacc in &baccs {
         let t0 = Instant::now();
         let h = inspector_p2(&points, &p1, &kernel, bacc);
@@ -56,8 +61,14 @@ fn main() {
     }
     let full_total = t0.elapsed();
 
-    println!("\ntotal with inspector-p1 reuse : {:.3} s", reuse_total.as_secs_f64());
-    println!("total with full re-inspection : {:.3} s", full_total.as_secs_f64());
+    println!(
+        "\ntotal with inspector-p1 reuse : {:.3} s",
+        reuse_total.as_secs_f64()
+    );
+    println!(
+        "total with full re-inspection : {:.3} s",
+        full_total.as_secs_f64()
+    );
     println!(
         "reuse speedup over {} accuracy changes: {:.2}x",
         baccs.len(),

@@ -53,13 +53,21 @@ fn main() {
     );
 
     // MatRox pipeline.
-    let params = MatRoxParams { structure, ..MatRoxParams::default() };
+    let params = MatRoxParams {
+        structure,
+        ..MatRoxParams::default()
+    };
     let h = inspector(&points, &kernel, &params);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let w = Matrix::random_uniform(n, q, &mut rng);
     let (y_matrox, t_matrox) = time(|| h.matmul(&w), 2);
     let gflops = |secs: f64| h.flops(q) as f64 / secs / 1e9;
-    println!("{:<28} {:>9.3} s  {:>8.1} GFLOP/s", "MatRox (CDS + generated code)", t_matrox, gflops(t_matrox));
+    println!(
+        "{:<28} {:>9.3} s  {:>8.1} GFLOP/s",
+        "MatRox (CDS + generated code)",
+        t_matrox,
+        gflops(t_matrox)
+    );
 
     // Shared compression for the baselines (tree-based storage).
     let tree = ClusterTree::build(&points, params.partition, params.leaf_size, params.seed);
@@ -71,16 +79,25 @@ fn main() {
         &htree,
         &kernel,
         &sampling,
-        &CompressionParams { bacc: params.bacc, max_rank: params.max_rank },
+        &CompressionParams {
+            bacc: params.bacc,
+            max_rank: params.max_rank,
+        },
     );
 
     let gofmm = GofmmEvaluator::new(&tree, &htree, &c);
     let (y_gofmm, t_gofmm) = time(|| gofmm.evaluate(&w), 2);
     println!(
         "{:<28} {:>9.3} s  {:>8.1} GFLOP/s   (MatRox speedup {:.2}x)",
-        "GOFMM-style (TB + DS)", t_gofmm, gflops(t_gofmm), t_gofmm / t_matrox
+        "GOFMM-style (TB + DS)",
+        t_gofmm,
+        gflops(t_gofmm),
+        t_gofmm / t_matrox
     );
-    println!("  agreement with MatRox: {:.2e}", relative_error(&y_gofmm, &y_matrox));
+    println!(
+        "  agreement with MatRox: {:.2e}",
+        relative_error(&y_gofmm, &y_matrox)
+    );
 
     // STRUMPACK only supports HSS; build a second, HSS compression for it.
     let htree_hss = HTree::build(&tree, Structure::Hss);
@@ -90,7 +107,10 @@ fn main() {
         &htree_hss,
         &kernel,
         &sampling,
-        &CompressionParams { bacc: params.bacc, max_rank: params.max_rank },
+        &CompressionParams {
+            bacc: params.bacc,
+            max_rank: params.max_rank,
+        },
     );
     let strumpack = StrumpackEvaluator::new(&tree, &htree_hss, &c_hss).expect("HSS");
     let (_y_s, t_strumpack) = time(|| strumpack.evaluate(&w), 2);
@@ -121,7 +141,9 @@ fn main() {
     let t_dense = t0.elapsed().as_secs_f64();
     println!(
         "{:<28} {:>9.3} s   (un-approximated, MatRox speedup {:.1}x)",
-        "dense GEMM (K * W)", t_dense, t_dense / t_matrox
+        "dense GEMM (K * W)",
+        t_dense,
+        t_dense / t_matrox
     );
     println!(
         "\noverall accuracy of MatRox vs dense product: {:.2e}",

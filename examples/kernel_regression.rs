@@ -70,7 +70,10 @@ fn main() {
         })
         .collect();
 
-    println!("kernel ridge regression: N = {n}, d = {}, lambda = {lambda}", points.dim());
+    println!(
+        "kernel ridge regression: N = {n}, d = {}, lambda = {lambda}",
+        points.dim()
+    );
 
     // ---- compress once, evaluate many times -------------------------------
     let params = MatRoxParams::h2b().with_bacc(1e-6).with_leaf_size(64);
@@ -82,7 +85,10 @@ fn main() {
     let t0 = Instant::now();
     let alpha_h = cg_solve(|v| h.matvec(v), &targets, lambda, cg_iters);
     let hmatrix_time = t0.elapsed();
-    println!("CG with HMatrix products: {:.3} s ({cg_iters} iterations)", hmatrix_time.as_secs_f64());
+    println!(
+        "CG with HMatrix products: {:.3} s ({cg_iters} iterations)",
+        hmatrix_time.as_secs_f64()
+    );
 
     // ---- same solve with exact dense products ------------------------------
     let t0 = Instant::now();
@@ -96,8 +102,14 @@ fn main() {
         cg_iters,
     );
     let dense_time = t0.elapsed();
-    println!("CG with dense products:   {:.3} s", dense_time.as_secs_f64());
-    println!("speedup: {:.2}x", dense_time.as_secs_f64() / hmatrix_time.as_secs_f64());
+    println!(
+        "CG with dense products:   {:.3} s",
+        dense_time.as_secs_f64()
+    );
+    println!(
+        "speedup: {:.2}x",
+        dense_time.as_secs_f64() / hmatrix_time.as_secs_f64()
+    );
 
     // ---- compare the fitted weights ---------------------------------------
     let diff: f64 = alpha_h
@@ -107,7 +119,10 @@ fn main() {
         .sum::<f64>()
         .sqrt();
     let base: f64 = alpha_exact.iter().map(|a| a * a).sum::<f64>().sqrt();
-    println!("relative difference between weight vectors: {:.2e}", diff / base);
+    println!(
+        "relative difference between weight vectors: {:.2e}",
+        diff / base
+    );
 
     // ---- training error with the HMatrix weights --------------------------
     let pred = h.matvec(&alpha_h);

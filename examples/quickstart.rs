@@ -21,7 +21,11 @@ fn main() {
         .with_leaf_size(64);
 
     println!("dataset: covtype-like, N = {n}, d = {}", points.dim());
-    println!("structure: {}, bacc = {:.0e}", params.structure.name(), params.bacc);
+    println!(
+        "structure: {}, bacc = {:.0e}",
+        params.structure.name(),
+        params.bacc
+    );
 
     // ---- inspector: compression + structure analysis + code generation ----
     let t0 = Instant::now();
@@ -29,10 +33,19 @@ fn main() {
     let inspect_time = t0.elapsed();
     let t = &h.timings;
     println!("\ninspector: {:.3} s", inspect_time.as_secs_f64());
-    println!("  compression        {:.3} s", t.compression().as_secs_f64());
-    println!("  structure analysis {:.3} s", t.structure_analysis().as_secs_f64());
+    println!(
+        "  compression        {:.3} s",
+        t.compression().as_secs_f64()
+    );
+    println!(
+        "  structure analysis {:.3} s",
+        t.structure_analysis().as_secs_f64()
+    );
     println!("  code generation    {:.3} s", t.codegen.as_secs_f64());
-    println!("  compression ratio  {:.1}x vs dense", h.compression_ratio());
+    println!(
+        "  compression ratio  {:.1}x vs dense",
+        h.compression_ratio()
+    );
 
     // The generated specialized code (the `matmul.h` artifact).
     let out = std::env::temp_dir().join("matrox_quickstart_matmul.rs");
@@ -47,11 +60,17 @@ fn main() {
     let y = h.matmul(&w);
     let eval_time = t0.elapsed();
     let gflops = h.flops(q) as f64 / eval_time.as_secs_f64() / 1e9;
-    println!("\nexecutor: Q = {q}, {:.3} s ({gflops:.1} GFLOP/s)", eval_time.as_secs_f64());
+    println!(
+        "\nexecutor: Q = {q}, {:.3} s ({gflops:.1} GFLOP/s)",
+        eval_time.as_secs_f64()
+    );
     println!("  Y shape = {:?}", y.shape());
 
     // ---- accuracy check against the exact product -------------------------
     let wq = Matrix::random_uniform(n, 8, &mut rng);
     let acc = h.overall_accuracy(&points, &wq);
-    println!("\noverall accuracy eps_f = {acc:.2e} (bacc = {:.0e})", h.bacc);
+    println!(
+        "\noverall accuracy eps_f = {acc:.2e} (bacc = {:.0e})",
+        h.bacc
+    );
 }

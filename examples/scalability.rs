@@ -26,12 +26,19 @@ fn main() {
 
     let points = generate(dataset, n, 0);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
 
     println!(
-        "strong scaling on {} (N = {n}, d = {}, Q = {q}), up to {max_threads} threads\n",
+        "strong scaling on {} (N = {n}, d = {}, Q = {q}), up to {max_threads} threads",
         dataset.name(),
         points.dim()
+    );
+    println!(
+        "note: speedups are only meaningful with a real parallel runtime; with the \
+         vendored sequential rayon stub (DESIGN.md, vendor/rayon) every thread \
+         count measures the same sequential run.\n"
     );
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
@@ -45,16 +52,26 @@ fn main() {
         threads.push(max_threads);
     }
 
-    println!("{:>8}  {:>12}  {:>10}  {:>12}  {:>10}", "threads", "MatRox (s)", "speedup", "GOFMM (s)", "speedup");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>12}  {:>10}",
+        "threads", "MatRox (s)", "speedup", "GOFMM (s)", "speedup"
+    );
     let mut matrox_t1 = 0.0;
     let mut gofmm_t1 = 0.0;
     for &nt in &threads {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(nt).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nt)
+            .build()
+            .unwrap();
         let (t_matrox, t_gofmm) = pool.install(|| {
             // Inspector inside the pool so `p` matches the thread count.
             let params = MatRoxParams::h2b().with_partitions(nt);
             let h = inspector(&points, &kernel, &params);
-            let opts = if nt == 1 { ExecOptions::sequential() } else { ExecOptions::from_plan(&h.plan) };
+            let opts = if nt == 1 {
+                ExecOptions::sequential()
+            } else {
+                ExecOptions::from_plan(&h.plan)
+            };
             let t0 = Instant::now();
             let _ = h.matmul_with(&w, &opts);
             let t_matrox = t0.elapsed().as_secs_f64();
@@ -68,11 +85,18 @@ fn main() {
                 &htree,
                 &kernel,
                 &sampling,
-                &CompressionParams { bacc: params.bacc, max_rank: params.max_rank },
+                &CompressionParams {
+                    bacc: params.bacc,
+                    max_rank: params.max_rank,
+                },
             );
             let gofmm = GofmmEvaluator::new(&tree, &htree, &c);
             let t0 = Instant::now();
-            let _ = if nt == 1 { gofmm.evaluate_sequential(&w) } else { gofmm.evaluate(&w) };
+            let _ = if nt == 1 {
+                gofmm.evaluate_sequential(&w)
+            } else {
+                gofmm.evaluate(&w)
+            };
             (t_matrox, t0.elapsed().as_secs_f64())
         });
         if nt == 1 {

@@ -26,9 +26,17 @@ fn hmatrix_matches_dense_product_on_all_structures() {
     let kernel = Kernel::Gaussian { bandwidth: 1.0 };
     let w = rhs(n, 8, 1);
     let exact = dense_kernel_matmul(&points, &kernel, &w);
-    for structure in [Structure::Hss, Structure::h2b(), Structure::Geometric { tau: 0.65 }] {
-        let params = MatRoxParams { structure, bacc: 1e-6, ..MatRoxParams::default() }
-            .with_leaf_size(64);
+    for structure in [
+        Structure::Hss,
+        Structure::h2b(),
+        Structure::Geometric { tau: 0.65 },
+    ] {
+        let params = MatRoxParams {
+            structure,
+            bacc: 1e-6,
+            ..MatRoxParams::default()
+        }
+        .with_leaf_size(64);
         let h = inspector(&points, &kernel, &params);
         let y = h.matmul(&w);
         let err = relative_error(&y, &exact);
@@ -53,7 +61,10 @@ fn all_evaluation_strategies_agree_exactly() {
         &htree,
         &kernel,
         &sampling,
-        &CompressionParams { bacc: 1e-6, max_rank: 256 },
+        &CompressionParams {
+            bacc: 1e-6,
+            max_rank: 256,
+        },
     );
     let w = rhs(n, 4, 2);
     let y_ref = reference_evaluate(&c, &tree, &htree, &w);
@@ -102,7 +113,10 @@ fn strumpack_baseline_agrees_on_hss() {
         &htree,
         &kernel,
         &sampling,
-        &CompressionParams { bacc: 1e-6, max_rank: 256 },
+        &CompressionParams {
+            bacc: 1e-6,
+            max_rank: 256,
+        },
     );
     let w = rhs(n, 3, 5);
     let y_ref = reference_evaluate(&c, &tree, &htree, &w);
@@ -184,8 +198,9 @@ fn q_column_counts_from_one_to_many_work() {
     let w = rhs(n, 1, 99);
     let y1 = h.matmul(&w);
     let yv = h.matvec(w.as_slice());
-    for i in 0..n {
-        assert!((y1.get(i, 0) - yv[i]).abs() < 1e-12);
+    assert_eq!(yv.len(), n);
+    for (i, &yvi) in yv.iter().enumerate() {
+        assert!((y1.get(i, 0) - yvi).abs() < 1e-12);
     }
 }
 
@@ -194,7 +209,11 @@ fn dense_baseline_matches_hmatrix_within_accuracy() {
     let n = 768;
     let points = generate(DatasetId::Hepmass, n, 12);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-    let h = inspector(&points, &kernel, &MatRoxParams::h2b().with_bacc(1e-7).with_leaf_size(64));
+    let h = inspector(
+        &points,
+        &kernel,
+        &MatRoxParams::h2b().with_bacc(1e-7).with_leaf_size(64),
+    );
     let dense = DenseBaseline::new(&points, kernel);
     let w = rhs(n, 4, 17);
     let err = relative_error(&h.matmul(&w), &dense.evaluate_assembled(&w));

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the cursor-style [`Buf`]/[`BufMut`] reader/writer pair plus the
+//! [`Bytes`]/[`BytesMut`] buffer types, over a plain `Vec<u8>` instead of the
+//! real crate's ref-counted storage. Only the little-endian accessors the
+//! MatRox serializer uses are provided; reads past the end panic, exactly as
+//! the real crate's `get_*` methods do.
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow");
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// An immutable byte buffer with an internal read position.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer for serialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u64_le(0xDEAD_BEEF);
+        buf.put_f64_le(-1.25);
+        buf.put_slice(b"tail");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_f64_le(), -1.25);
+        assert_eq!(&b.copy_to_bytes(4)[..], b"tail");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"ab");
+        let _ = b.get_u64_le();
+    }
+}

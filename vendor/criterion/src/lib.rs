@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros and the
+//! `Criterion` → `BenchmarkGroup` → `Bencher` object chain with the same
+//! shapes as the real crate (so benches compile unchanged, with
+//! `harness = false`), but measures with a plain wall-clock loop: each
+//! `iter` routine is warmed up once and then timed for `sample_size`
+//! iterations, reporting mean and minimum per-iteration time. No statistical
+//! analysis, HTML reports, or command-line filtering.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total_nanos, iterations, min_nanos) recorded by the last `iter` call.
+    result: Option<(u128, u64, u128)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also forces lazy setup
+        let mut total = 0u128;
+        let mut min = u128::MAX;
+        let iters = self.sample_size.max(1) as u64;
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed().as_nanos();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some((total, iters, min));
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    fn report(&self, id: &str, result: Option<(u128, u64, u128)>) {
+        match result {
+            Some((total, iters, min)) => {
+                let mean = total as f64 / iters as f64;
+                println!(
+                    "{}/{id}: mean {} min {} ({iters} iters)",
+                    self.name,
+                    fmt_nanos(mean),
+                    fmt_nanos(min as f64),
+                );
+            }
+            None => println!("{}/{id}: no measurement (iter was not called)", self.name),
+        }
+        let _ = &self.criterion; // group borrows Criterion for its lifetime, like the real crate
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level driver object passed to every bench target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        group.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+}
