@@ -1,5 +1,9 @@
 //! Criterion bench for Figure 7: executor strong scaling across thread
 //! counts, MatRox vs the GOFMM-style baseline.
+//!
+//! Prints the pool self-check (observed width + trivial-region speedup)
+//! before measuring, so a host where the sweep cannot scale is flagged in
+//! the bench output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use matrox_baselines::GofmmEvaluator;
@@ -8,6 +12,7 @@ use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 
 fn bench_fig7(c: &mut Criterion) {
+    println!("{}", pool_self_check().report());
     let n = 2048;
     let q = 128;
     let dataset = DatasetId::Covtype;

@@ -8,6 +8,15 @@
 //! scaling; the baselines flatten earlier because of synchronization and
 //! load imbalance.
 //!
+//! Before sweeping, the harness runs a pool self-check (a trivially parallel
+//! region timed at 1 vs N threads) and reports the observed pool width, so a
+//! misconfigured or oversubscribed host is visible in the output instead of
+//! silently flattening every curve.
+//!
+//! Besides the table, the sweep is written to `BENCH_fig7.json` in the
+//! working directory (threads -> wall-clock -> speedup per dataset) so later
+//! performance work has a machine-readable trajectory to compare against.
+//!
 //! ```bash
 //! cargo run -p matrox-bench --release --bin fig7 [--n 4096] [--q 256] [--datasets covtype,unit]
 //! ```
@@ -18,14 +27,33 @@ use matrox_core::inspector;
 use matrox_exec::ExecOptions;
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
+use std::fmt::Write as _;
+
+struct SweepRow {
+    threads: usize,
+    matrox: f64,
+    gofmm: f64,
+    strumpack: Option<f64>,
+    smash: Option<f64>,
+}
+
+struct Sweep {
+    dataset: String,
+    structure: String,
+    rows: Vec<SweepRow>,
+}
 
 fn main() {
     let args = HarnessArgs::parse(4096, DEFAULT_Q);
-    println!(
-        "note: speedup columns are only meaningful with a real parallel runtime; \
-         with the vendored sequential rayon stub (DESIGN.md, vendor/rayon) every \
-         thread count measures the same sequential run."
-    );
+    let check = pool_self_check();
+    println!("{}", check.report());
+    if check.speedup < 1.1 && check.configured_threads > 1 {
+        println!(
+            "warning: parallel speedup not observed despite {} configured threads; \
+             speedup columns below will understate scalability (oversubscribed host?)",
+            check.configured_threads
+        );
+    }
     let datasets = if args.datasets.is_empty() {
         vec![DatasetId::Covtype, DatasetId::Unit]
     } else {
@@ -42,6 +70,7 @@ fn main() {
         threads.push(max_threads);
     }
 
+    let mut sweeps: Vec<Sweep> = Vec::new();
     for &dataset in &datasets {
         let structure = Structure::h2b();
         println!(
@@ -68,6 +97,11 @@ fn main() {
         let w = random_w(args.n, args.q, 5);
         let wv: Vec<f64> = (0..args.n).map(|i| w.get(i, 0)).collect();
 
+        let mut sweep = Sweep {
+            dataset: dataset.name().to_string(),
+            structure: structure.name().to_string(),
+            rows: Vec::new(),
+        };
         let mut base: Option<(f64, f64, Option<f64>, Option<f64>)> = None;
         for &nt in &threads {
             let pool = rayon::ThreadPoolBuilder::new()
@@ -159,6 +193,91 @@ fn main() {
                 fmt_opt(row.2, b.2),
                 fmt_opt(row.3, b.3)
             );
+            sweep.rows.push(SweepRow {
+                threads: nt,
+                matrox: row.0,
+                gofmm: row.1,
+                strumpack: row.2,
+                smash: row.3,
+            });
         }
+        sweeps.push(sweep);
     }
+
+    let json = render_json(&check, args.n, args.q, &sweeps);
+    match std::fs::write("BENCH_fig7.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_fig7.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_fig7.json: {e}"),
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+/// Hand-rolled JSON (no serde in the offline vendor set).  Schema:
+/// `{self_check, n, q, sweeps: [{dataset, structure, rows: [{threads,
+/// <series>_s, <series>_speedup}]}]}` with `null` for unsupported baselines.
+fn render_json(check: &PoolSelfCheck, n: usize, q: usize, sweeps: &[Sweep]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"self_check\": {{\"configured_threads\": {}, \"observed_width\": {}, \
+         \"t1_s\": {}, \"tn_s\": {}, \"speedup\": {}}},",
+        check.configured_threads,
+        check.observed_width,
+        json_f64(check.t1),
+        json_f64(check.tn),
+        json_f64(check.speedup)
+    );
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"q\": {q},");
+    out.push_str("  \"sweeps\": [\n");
+    for (si, sweep) in sweeps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"structure\": \"{}\", \"rows\": [",
+            sweep.dataset, sweep.structure
+        );
+        let base = sweep.rows.first();
+        for (ri, row) in sweep.rows.iter().enumerate() {
+            let speedup = |t: f64, b: Option<f64>| json_opt(b.map(|b| b / t));
+            let opt_speedup = |t: Option<f64>, b: Option<Option<f64>>| {
+                json_opt(t.and_then(|t| b.flatten().map(|b| b / t)))
+            };
+            let _ = write!(
+                out,
+                "      {{\"threads\": {}, \"matrox_s\": {}, \"matrox_speedup\": {}, \
+                 \"gofmm_s\": {}, \"gofmm_speedup\": {}, \"strumpack_s\": {}, \
+                 \"strumpack_speedup\": {}, \"smash_s\": {}, \"smash_speedup\": {}}}",
+                row.threads,
+                json_f64(row.matrox),
+                speedup(row.matrox, base.map(|b| b.matrox)),
+                json_f64(row.gofmm),
+                speedup(row.gofmm, base.map(|b| b.gofmm)),
+                json_opt(row.strumpack),
+                opt_speedup(row.strumpack, base.map(|b| b.strumpack)),
+                json_opt(row.smash),
+                opt_speedup(row.smash, base.map(|b| b.smash)),
+            );
+            out.push_str(if ri + 1 < sweep.rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ]}");
+        out.push_str(if si + 1 < sweeps.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -240,9 +240,18 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
             diameter,
         });
     }
+    // `pos` is derived, not serialized; validate before inverting so a
+    // corrupt stream yields an error instead of an out-of-bounds panic.
+    if perm.iter().any(|&i| i >= perm.len()) {
+        return Err(IoError::Format(
+            "tree permutation entry out of range".into(),
+        ));
+    }
+    let pos = matrox_tree::invert_permutation(&perm);
     Ok(ClusterTree {
         nodes,
         perm,
+        pos,
         leaf_size,
         height,
     })

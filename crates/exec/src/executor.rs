@@ -42,6 +42,29 @@ pub struct ExecOptions {
     /// Peel the root-most coarsen level and use parallel GEMM inside it
     /// (low-level specialization).
     pub peel_root: bool,
+    /// Minimum number of work items (blockset groups, coarsen partitions) a
+    /// parallel task may own; `0` means auto (the pool's own split heuristic,
+    /// overridable process-wide via the `MATROX_GRAIN` env var).  Larger
+    /// grains trade load balance for lower scheduling overhead — useful when
+    /// groups are many and tiny.
+    pub grain: usize,
+}
+
+/// Resolve the effective grain for the executor's parallel loops: an explicit
+/// per-call setting wins, then the `MATROX_GRAIN` environment variable, then
+/// auto (1, letting the pool's width-scaled heuristic decide).
+fn effective_grain(opts: &ExecOptions) -> usize {
+    if opts.grain > 0 {
+        return opts.grain;
+    }
+    static ENV_GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let env = *ENV_GRAIN.get_or_init(|| {
+        std::env::var("MATROX_GRAIN")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    });
+    env.max(1)
 }
 
 impl ExecOptions {
@@ -52,6 +75,7 @@ impl ExecOptions {
             parallel_far: plan.decisions.block_far,
             parallel_tree: plan.decisions.coarsen_tree,
             peel_root: plan.decisions.peel_root,
+            grain: 0,
         }
     }
 
@@ -62,6 +86,7 @@ impl ExecOptions {
             parallel_far: false,
             parallel_tree: false,
             peel_root: false,
+            grain: 0,
         }
     }
 
@@ -72,7 +97,14 @@ impl ExecOptions {
             parallel_far: true,
             parallel_tree: true,
             peel_root: true,
+            grain: 0,
         }
+    }
+
+    /// Set the minimum work items per parallel task (see [`ExecOptions::grain`]).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain;
+        self
     }
 }
 
@@ -84,39 +116,74 @@ pub fn execute(plan: &EvalPlan, tree: &ClusterTree, w: &Matrix, opts: &ExecOptio
     let q = w.cols();
     assert_eq!(w.rows(), n, "execute: W must have N = {n} rows");
 
-    // Permute W into tree order so every node's rows are contiguous.
+    // Permute W into tree order so every node's rows are contiguous.  The
+    // gather writes disjoint contiguous destination rows, so it parallelizes
+    // over row blocks; below ~PERM_PAR_ELEMS elements the copy is too
+    // memory-bound and short for a fork to pay off.
+    let any_parallel = opts.parallel_near || opts.parallel_far || opts.parallel_tree;
+    let perm_rows_per_task = PERM_PAR_ELEMS.div_ceil(q.max(1)).max(1);
     let mut w_perm = vec![0.0f64; n * q];
-    for p in 0..n {
-        w_perm[p * q..(p + 1) * q].copy_from_slice(w.row(tree.perm[p]));
+    if any_parallel && n * q >= PERM_PAR_ELEMS {
+        w_perm
+            .par_chunks_mut(q.max(1))
+            .with_min_len(perm_rows_per_task)
+            .enumerate()
+            .for_each(|(p, row)| row.copy_from_slice(w.row(tree.perm[p])));
+    } else {
+        for p in 0..n {
+            w_perm[p * q..(p + 1) * q].copy_from_slice(w.row(tree.perm[p]));
+        }
     }
     let mut y_perm = vec![0.0f64; n * q];
 
     // Phase 1: near (dense) contributions.
-    near_phase(plan, tree, &w_perm, &mut y_perm, q, opts.parallel_near);
+    near_phase(plan, tree, &w_perm, &mut y_perm, q, opts);
 
     // Phase 2: upward pass producing the skeleton coefficients T.
     let t = upward_phase(plan, tree, &w_perm, q, opts);
 
     // Phase 3: coupling through the B blocks.
-    let mut s = coupling_phase(plan, &t, q, opts.parallel_far);
+    let mut s = coupling_phase(plan, &t, q, opts);
     drop(t);
 
     // Phase 4: downward pass scattering U * S into the output.
     downward_phase(plan, tree, &mut s, &mut y_perm, q, opts);
 
-    // Un-permute the output.
+    // Un-permute the output.  Iterate over the *destination* rows (each task
+    // owns a contiguous block of `y`) and gather from the permuted buffer via
+    // the inverse permutation, so the parallel copy needs no synchronization.
     let mut y = Matrix::zeros(n, q);
-    for p in 0..n {
-        y.row_mut(tree.perm[p])
-            .copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+    if any_parallel && n * q >= PERM_PAR_ELEMS {
+        y.as_mut_slice()
+            .par_chunks_mut(q.max(1))
+            .with_min_len(perm_rows_per_task)
+            .enumerate()
+            .for_each(|(i, row)| {
+                let p = tree.pos[i];
+                row.copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+            });
+    } else {
+        for p in 0..n {
+            y.row_mut(tree.perm[p])
+                .copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+        }
     }
     y
 }
 
+/// Element count below which the entry/exit permutation copies stay
+/// sequential: the copies are pure memory traffic, so small problems gain
+/// nothing from forking.
+const PERM_PAR_ELEMS: usize = 64 * 1024;
+
 /// Minimum multiply-add count for which the peeled (block-level parallel)
 /// GEMM path is worthwhile; below this the sequential kernel is used even
 /// when peeling is enabled, because thread fan-out costs more than it saves.
-const PEEL_PAR_THRESHOLD: usize = 1 << 20;
+/// Retuned for the real work-stealing pool: the peeled GEMM runs while the
+/// rest of the pool is idle (task parallelism has run out at the root), so a
+/// fork is profitable already at ~256k multiply-adds, a quarter of the value
+/// assumed under the sequential stub.
+const PEEL_PAR_THRESHOLD: usize = 1 << 18;
 
 /// Split `y_perm` into one mutable slice per leaf node (leaves tile the
 /// permuted row range contiguously).
@@ -148,13 +215,13 @@ fn near_phase(
     w_perm: &[f64],
     y_perm: &mut [f64],
     q: usize,
-    parallel: bool,
+    opts: &ExecOptions,
 ) {
     let cds = &plan.cds;
     if cds.d_entries.is_empty() {
         return;
     }
-    if !parallel {
+    if !opts.parallel_near {
         for e in &cds.d_entries {
             let tn = &tree.nodes[e.target];
             let dst = &mut y_perm[tn.start * q..tn.end * q];
@@ -191,17 +258,20 @@ fn near_phase(
             targets,
         });
     }
-    works.par_iter_mut().for_each(|work| {
-        for e in &cds.d_entries[work.start..work.end] {
-            let dst = work
-                .targets
-                .get_mut(&e.target)
-                .expect("entry target owned by its group");
-            let sn = &tree.nodes[e.source];
-            let src = &w_perm[sn.start * q..sn.end * q];
-            gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
-        }
-    });
+    works
+        .par_iter_mut()
+        .with_min_len(effective_grain(opts))
+        .for_each(|work| {
+            for e in &cds.d_entries[work.start..work.end] {
+                let dst = work
+                    .targets
+                    .get_mut(&e.target)
+                    .expect("entry target owned by its group");
+                let sn = &tree.nodes[e.source];
+                let src = &w_perm[sn.start * q..sn.end * q];
+                gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
+            }
+        });
 }
 
 // --------------------------------------------------------------------------
@@ -309,6 +379,7 @@ fn upward_phase(
             } else {
                 let results: Vec<Vec<(usize, Matrix)>> = parts
                     .par_iter()
+                    .with_min_len(effective_grain(opts))
                     .map(|part| {
                         let mut local: HashMap<usize, Matrix> = HashMap::with_capacity(part.len());
                         for &id in part {
@@ -352,13 +423,13 @@ fn upward_phase(
 // Phase 3: coupling (S_i += B_{i,j} * T_j)
 // --------------------------------------------------------------------------
 
-fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, parallel: bool) -> Vec<Matrix> {
+fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, opts: &ExecOptions) -> Vec<Matrix> {
     let cds = &plan.cds;
     let mut s: Vec<Matrix> = cds.sranks.iter().map(|&r| Matrix::zeros(r, q)).collect();
     if cds.b_entries.is_empty() {
         return s;
     }
-    if !parallel {
+    if !opts.parallel_far {
         for e in &cds.b_entries {
             if e.rows == 0 || e.cols == 0 {
                 continue;
@@ -391,17 +462,20 @@ fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, parallel: bool) -> Ve
             targets,
         });
     }
-    works.par_iter_mut().for_each(|work| {
-        for e in &cds.b_entries[work.start..work.end] {
-            if e.rows == 0 || e.cols == 0 {
-                continue;
+    works
+        .par_iter_mut()
+        .with_min_len(effective_grain(opts))
+        .for_each(|work| {
+            for e in &cds.b_entries[work.start..work.end] {
+                if e.rows == 0 || e.cols == 0 {
+                    continue;
+                }
+                let b = cds.b_block(e);
+                let src = t[e.source].as_slice();
+                let dst = work.targets.get_mut(&e.target).unwrap();
+                gemm_slices(b, e.rows, e.cols, src, q, dst.as_mut_slice());
             }
-            let b = cds.b_block(e);
-            let src = t[e.source].as_slice();
-            let dst = work.targets.get_mut(&e.target).unwrap();
-            gemm_slices(b, e.rows, e.cols, src, q, dst.as_mut_slice());
-        }
-    });
+        });
     for work in works {
         for (id, m) in work.targets {
             s[id] = m;
@@ -562,6 +636,7 @@ fn downward_phase(
         }
         let all_cross: Vec<Vec<(usize, Matrix)>> = works
             .par_iter_mut()
+            .with_min_len(effective_grain(opts))
             .map(|work| {
                 let mut cross: Vec<(usize, Matrix)> = Vec::new();
                 // Reverse post-order: parents before children.

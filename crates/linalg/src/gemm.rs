@@ -206,8 +206,14 @@ pub fn par_gemm(
     let a_buf = a_eff.as_slice();
     let b_buf = b_eff.as_slice();
     // Split C into row chunks; each chunk owns a disjoint slice of the output
-    // so no synchronization is needed.
-    let chunk_rows = m.div_ceil(rayon::current_num_threads() * 4).max(1);
+    // so no synchronization is needed.  Aim for ~4 chunks per worker so the
+    // stealing discipline can balance uneven chunk costs, but keep at least
+    // MIN_PAR_ROWS rows per chunk — below that the fork/steal handoff costs
+    // more than the chunk's multiply-adds.
+    let chunk_rows = m
+        .div_ceil(rayon::current_num_threads() * 4)
+        .max(MIN_PAR_ROWS)
+        .min(m.max(1));
     c.as_mut_slice()
         .par_chunks_mut(chunk_rows * n)
         .enumerate()
@@ -225,9 +231,18 @@ pub fn par_gemm(
         });
 }
 
+/// Fewest rows of `C` a parallel GEMM task should own.  A row of a typical
+/// MatRox block is a few hundred multiply-adds; eight rows comfortably
+/// amortize one deque push + steal (~a microsecond under the vendored pool).
+const MIN_PAR_ROWS: usize = 8;
+
 /// Size threshold (in multiply-add count) above which [`gemm`] switches from
-/// the sequential to the parallel kernel.
-const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+/// the sequential to the parallel kernel.  Retuned for the real work-stealing
+/// pool: forking now costs a deque push (not a no-op as under the sequential
+/// stub, but far from the old conservative 4M-madd assumption), so the
+/// crossover sits at ~1M multiply-adds — roughly where one thread's share at
+/// 4 threads still dwarfs the handoff cost.
+const PAR_FLOP_THRESHOLD: usize = 1 << 20;
 
 /// General matrix multiply that dispatches between [`gemm_seq`] and
 /// [`par_gemm`] based on problem size.
@@ -348,8 +363,12 @@ pub fn par_gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &m
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // Oversplit relative to the pool width (and respect the minimum rows per
+    // task) so a worker that drew a cheap chunk can steal another instead of
+    // idling at the barrier; exactly-one-chunk-per-thread left the pool
+    // tail-bound by its slowest chunk.
     let threads = rayon::current_num_threads().max(1);
-    let chunk_rows = m.div_ceil(threads).max(1);
+    let chunk_rows = m.div_ceil(threads * 2).max(MIN_PAR_ROWS).min(m.max(1));
     c.par_chunks_mut(chunk_rows * n)
         .enumerate()
         .for_each(|(ci, c_chunk)| {

@@ -76,10 +76,7 @@ pub fn sample_nodes(
 
     // Inverse permutation: position of each point in the tree ordering, used
     // to test node membership in O(1).
-    let mut pos = vec![0usize; points.len()];
-    for (p, &i) in tree.perm.iter().enumerate() {
-        pos[i] = p;
-    }
+    let pos = &tree.pos;
 
     let samples: Vec<Vec<usize>> = tree
         .nodes

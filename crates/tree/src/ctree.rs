@@ -74,10 +74,24 @@ pub struct ClusterTree {
     /// Global permutation of point indices; node `x` owns
     /// `perm[nodes[x].start..nodes[x].end]`.
     pub perm: Vec<usize>,
+    /// Inverse of [`ClusterTree::perm`]: `pos[i]` is the position of point
+    /// `i` in the permuted (tree) ordering, so `pos[perm[p]] == p`.  Derived
+    /// from `perm` at construction; consumers use it for O(1) membership
+    /// tests and permutation-free scatters instead of re-inverting `perm`.
+    pub pos: Vec<usize>,
     /// Leaf-size constant `m` used during construction.
     pub leaf_size: usize,
     /// Tree height: the maximum node level (root level is 0).
     pub height: usize,
+}
+
+/// Invert a permutation: `out[perm[p]] == p`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0usize; perm.len()];
+    for (p, &i) in perm.iter().enumerate() {
+        pos[i] = p;
+    }
+    pos
 }
 
 impl ClusterTree {
@@ -199,9 +213,11 @@ impl ClusterTree {
             });
         }
 
+        let pos = invert_permutation(&perm);
         ClusterTree {
             nodes,
             perm,
+            pos,
             leaf_size,
             height,
         }

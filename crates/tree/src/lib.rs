@@ -19,5 +19,5 @@
 pub mod ctree;
 pub mod htree;
 
-pub use ctree::{ClusterTree, PartitionMethod, TreeNode};
+pub use ctree::{invert_permutation, ClusterTree, PartitionMethod, TreeNode};
 pub use htree::{HTree, Structure};

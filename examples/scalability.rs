@@ -35,11 +35,10 @@ fn main() {
         dataset.name(),
         points.dim()
     );
-    println!(
-        "note: speedups are only meaningful with a real parallel runtime; with the \
-         vendored sequential rayon stub (DESIGN.md, vendor/rayon) every thread \
-         count measures the same sequential run.\n"
-    );
+    // Measured self-check (observed pool width + 1-vs-N timing of a
+    // trivially parallel region) so the header shows what the pool actually
+    // delivers on this host instead of assuming it.
+    println!("{}\n", matrox_bench::pool_self_check().report());
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
     let w = Matrix::random_uniform(n, q, &mut rng);

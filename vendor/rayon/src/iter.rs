@@ -1,0 +1,676 @@
+//! Indexed parallel iterators, bridged onto the pool with recursive `join`.
+//!
+//! Everything the workspace iterates in parallel is indexed (slices, `Vec`s,
+//! ranges, chunked slices), so the design is a simplified version of rayon's
+//! `Producer` model: a [`ParallelIterator`] knows its exact length, can split
+//! itself at an index, and can degrade into an ordinary sequential iterator
+//! at the leaves.  Terminal operations ([`ParallelIterator::for_each`],
+//! [`ParallelIterator::collect`], [`ParallelIterator::sum`]) recursively
+//! split the iterator down to a grain size scaled to the current pool width
+//! and hand the halves to [`crate::join`], so splitting adapts to whichever
+//! pool is installed when the terminal runs.  All terminals preserve the
+//! sequential order of elements (`collect` concatenates leaf results in
+//! order), which keeps the executor's conflict-free phases bitwise
+//! deterministic across thread counts.
+//!
+//! Closures in adapters are shared across splits behind an `Arc`, so they
+//! need `Send + Sync` but not `Clone`.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// How many splittable pieces to aim for per pool thread.  More pieces than
+/// threads gives the stealing discipline room to balance uneven leaf costs;
+/// the executor's `ExecOptions::grain` / `with_min_len` bounds the pieces
+/// from below when leaves are too small to be worth a steal.
+const PIECES_PER_THREAD: usize = 4;
+
+/// An exactly-sized, splittable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Sequential iterator a leaf degrades into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining items.
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn par_split_at(self, index: usize) -> (Self, Self);
+
+    /// Degrade into a sequential iterator over the remaining items.
+    fn par_seq(self) -> Self::Seq;
+
+    /// Minimum number of items a leaf should keep (see `with_min_len`).
+    fn par_min_len(&self) -> usize {
+        1
+    }
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterate two parallel iterators in lockstep (shorter one wins).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Never split below `min` items per task; the tunable grain size for
+    /// consumers whose per-item work is small.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(
+            self,
+            &|iter| {
+                for item in iter {
+                    f(item);
+                }
+            },
+            &|(), ()| (),
+        );
+    }
+
+    /// Collect into any `FromIterator` container, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts: Vec<Vec<Self::Item>> = drive(
+            self,
+            &|iter| vec![iter.collect::<Vec<Self::Item>>()],
+            &|mut left, right| {
+                left.extend(right);
+                left
+            },
+        );
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sum the items in parallel.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self, &|iter| iter.sum::<S>(), &|a, b| {
+            [a, b].into_iter().sum::<S>()
+        })
+    }
+
+    /// Count the items (exact, from the length).
+    fn count(self) -> usize {
+        self.par_len()
+    }
+}
+
+/// Recursive fork-join bridge: split down to a pool-width-scaled grain, run
+/// `leaf` sequentially at the bottom, combine with `merge` on the way up.
+fn drive<P, T, LEAF, MERGE>(iterator: P, leaf: &LEAF, merge: &MERGE) -> T
+where
+    P: ParallelIterator,
+    T: Send,
+    LEAF: Fn(P::Seq) -> T + Sync,
+    MERGE: Fn(T, T) -> T + Sync,
+{
+    let len = iterator.par_len();
+    let grain = grain_for(len, iterator.par_min_len());
+    drive_rec(iterator, grain, leaf, merge)
+}
+
+/// Grain for a parallel region of `len` items: recursion halves regions
+/// until leaves land in `[grain, 2*grain)`, giving ~2-4 pieces per worker —
+/// enough slack for stealing to balance uneven leaf costs.  Never below the
+/// consumer's `min_len`, and no splitting at all on a single-thread pool.
+fn grain_for(len: usize, min_len: usize) -> usize {
+    let threads = crate::current_num_threads().max(1);
+    if threads == 1 {
+        return len.max(1);
+    }
+    len.div_ceil(threads * PIECES_PER_THREAD)
+        .max(min_len)
+        .max(1)
+}
+
+fn drive_rec<P, T, LEAF, MERGE>(iterator: P, grain: usize, leaf: &LEAF, merge: &MERGE) -> T
+where
+    P: ParallelIterator,
+    T: Send,
+    LEAF: Fn(P::Seq) -> T + Sync,
+    MERGE: Fn(T, T) -> T + Sync,
+{
+    let len = iterator.par_len();
+    // Leaf when a halving split would drop below the grain: every leaf ends
+    // up in `[grain, 2*grain)` items, so `with_min_len`'s "never below `min`
+    // items per task" contract holds exactly.
+    if len < grain.saturating_mul(2) {
+        return leaf(iterator.par_seq());
+    }
+    let (left, right) = iterator.par_split_at(len / 2);
+    let (a, b) = crate::join(
+        || drive_rec(left, grain, leaf, merge),
+        || drive_rec(right, grain, leaf, merge),
+    );
+    merge(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Base iterators
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Iter { slice: l }, Iter { slice: r })
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (IterMut { slice: l }, IterMut { slice: r })
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>`.
+pub struct IntoIter<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn par_split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, IntoIter { vec: right })
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = Range<usize>;
+
+    fn par_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeIter {
+                range: self.range.start..mid,
+            },
+            RangeIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice (see `par_chunks`).
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> Chunks<'a, T> {
+    pub(crate) fn new(slice: &'a [T], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        Chunks { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (
+            Chunks {
+                slice: l,
+                chunk_size: self.chunk_size,
+            },
+            Chunks {
+                slice: r,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice (see `par_chunks_mut`).
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], chunk_size: usize) -> Self {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        ChunksMut { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ChunksMut {
+                slice: l,
+                chunk_size: self.chunk_size,
+            },
+            ChunksMut {
+                slice: r,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Mapping adapter; the closure is shared across splits via `Arc`.
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = SeqMap<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.par_split_at(index);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        SeqMap {
+            iter: self.base.par_seq(),
+            f: self.f,
+        }
+    }
+
+    fn par_min_len(&self) -> usize {
+        self.base.par_min_len()
+    }
+}
+
+/// Sequential tail of [`Map`].
+pub struct SeqMap<I, F> {
+    iter: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for SeqMap<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.iter.next().map(|item| (self.f)(item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// Enumerating adapter: items become `(index, item)`.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = SeqEnumerate<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.par_split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        SeqEnumerate {
+            iter: self.base.par_seq(),
+            next: self.offset,
+        }
+    }
+
+    fn par_min_len(&self) -> usize {
+        self.base.par_min_len()
+    }
+}
+
+/// Sequential tail of [`Enumerate`], carrying the split offset.
+pub struct SeqEnumerate<I> {
+    iter: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for SeqEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.iter.next()?;
+        let index = self.next;
+        self.next += 1;
+        Some((index, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// Lockstep adapter over two parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.par_split_at(index);
+        let (bl, br) = self.b.par_split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.a.par_seq().zip(self.b.par_seq())
+    }
+
+    fn par_min_len(&self) -> usize {
+        self.a.par_min_len().max(self.b.par_min_len())
+    }
+}
+
+/// Grain-size adapter (see [`ParallelIterator::with_min_len`]).
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.par_split_at(index);
+        (
+            MinLen {
+                base: l,
+                min: self.min,
+            },
+            MinLen {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+
+    fn par_seq(self) -> Self::Seq {
+        self.base.par_seq()
+    }
+
+    fn par_min_len(&self) -> usize {
+        self.min.max(self.base.par_min_len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Types that can be turned into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoIter { vec: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = IterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = IterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter { range: self }
+    }
+}
+
+/// `par_iter()` for any `&T` that converts into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoParallelIterator,
+{
+    type Iter = <&'data T as IntoParallelIterator>::Iter;
+    type Item = <&'data T as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` for any `&mut T` that converts into a parallel iterator.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a mutable reference).
+    type Item: Send + 'data;
+    /// Borrowing mutable parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoParallelIterator,
+{
+    type Iter = <&'data mut T as IntoParallelIterator>::Iter;
+    type Item = <&'data mut T as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

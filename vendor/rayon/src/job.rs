@@ -1,0 +1,124 @@
+//! Type-erased jobs that live on the stack of the thread that spawned them.
+//!
+//! Every unit of work the pool schedules is a [`StackJob`]: a closure plus a
+//! result slot and a latch, allocated in the stack frame of `join` or
+//! `ThreadPool::install`.  The spawning frame never returns before the job's
+//! latch is set, so the raw pointer inside a [`JobRef`] is valid for exactly
+//! as long as any queue or thief can hold it.  This is the one place the crate
+//! relies on `unsafe`; everything above it (iterators, `join`, pools) is safe
+//! code built on these invariants.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// A type-erased pointer to a [`Job`] plus its vtable entry.
+///
+/// Safety contract: the pointee must outlive every copy of this `JobRef`,
+/// and `execute` must be called at most once.  Both are guaranteed by the
+/// blocking discipline of `join`/`install` (the owner waits on the latch
+/// before its frame unwinds).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// The pointee is shared across threads by design; synchronization is provided
+// by the deque mutexes (handoff) and the latch (completion).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: <T as Job>::execute,
+        }
+    }
+
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// A unit of work that can be executed exactly once through a raw pointer.
+pub(crate) trait Job {
+    /// # Safety
+    /// `this` must point to a live instance of the implementing type and must
+    /// not be executed more than once.
+    unsafe fn execute(this: *const ());
+}
+
+/// Result slot of a job: not run yet, a value, or a captured panic.
+pub(crate) enum JobResult<R> {
+    None,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job embedded in a stack frame that outlives its execution.
+pub(crate) struct StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive (and its address stable) until the
+    /// latch is set, and must ensure the returned ref is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Consume the job after its latch has been set, yielding the closure's
+    /// result or resuming the panic it exited with.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::None => unreachable!("job taken before execution completed"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get())
+            .take()
+            .expect("StackJob executed more than once");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        // Last access: after this store the owner may free the job.
+        this.latch.set();
+    }
+}

@@ -1,0 +1,76 @@
+//! Latches: one-shot completion signals for jobs.
+//!
+//! Two flavours, matching the two kinds of waiters in the pool:
+//!
+//! * [`SpinLatch`] — probed by a *worker* thread that keeps stealing and
+//!   executing other jobs while it waits (see `WorkerThread::wait_until`).
+//!   Setting it is a single atomic store; the waker side is handled by the
+//!   registry-wide sleep protocol, not by the latch itself.
+//! * [`LockLatch`] — blocks an *external* thread (one that is not part of the
+//!   pool) on a mutex/condvar pair.  Used by `ThreadPool::install` and by
+//!   `join` when called from outside any pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Something a job can set exactly once when it finishes executing.
+pub(crate) trait Latch {
+    /// Signal completion.  Must be the last access the executing thread makes
+    /// to the job that owns this latch: once set, the owner's stack frame may
+    /// be unwound and the job freed.
+    fn set(&self);
+}
+
+/// Latch probed by an actively-stealing worker.
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::SeqCst)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.set.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Latch that blocks a non-pool thread until set.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Block the calling thread until another thread calls `set`.
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            done = self.cond.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = true;
+        self.cond.notify_all();
+    }
+}

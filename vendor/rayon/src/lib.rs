@@ -1,36 +1,113 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a **real work-stealing thread pool**.
 //!
 //! crates.io is unreachable from the build environment, so this vendored
-//! crate provides the `rayon` API surface the workspace uses with
-//! **sequential** execution: `par_iter()` and friends hand back the ordinary
-//! `std` iterators, so every adapter chain (`map`, `zip`, `enumerate`,
-//! `for_each`, `collect`, …) type-checks and runs unchanged, just on one
-//! thread. `join` runs its closures back to back; `ThreadPool::install`
-//! simply calls the closure.
+//! crate implements the `rayon` API surface the workspace uses from scratch:
 //!
-//! Numerical results are identical to a parallel run (the executor's
-//! conflict-free scheduling makes iteration order irrelevant), which keeps
-//! tests deterministic. Swapping the real rayon back in is a one-line change
-//! in the workspace manifest.
+//! * a work-stealing runtime ([`registry`]): one LIFO deque per worker, FIFO
+//!   stealing, a global injector for external submissions, and an
+//!   epoch-guarded sleep protocol so idle workers park without polling;
+//! * [`join`] with genuine fork-join semantics: the second closure is pushed
+//!   onto the calling worker's deque where any thread may steal it, and the
+//!   caller *works while waiting* (executing other pending jobs), which makes
+//!   arbitrarily nested joins deadlock-free on any pool width.  Panics in
+//!   either closure propagate to the caller after both sides have completed,
+//!   matching rayon;
+//! * true [`ThreadPool`]s: `ThreadPoolBuilder::new().num_threads(n).build()`
+//!   spawns `n` OS threads, `install` runs a closure inside the pool (the
+//!   scalability harnesses pin each sweep point to its own pool this way),
+//!   and dropping the pool joins its workers;
+//! * parallel iterator bridges ([`iter`], [`slice`]): `par_iter`,
+//!   `par_iter_mut`, `into_par_iter` and `par_chunks{,_mut}` split index
+//!   ranges recursively over `join` down to a grain scaled to the installed
+//!   pool's width (tunable per call-site via `with_min_len`).
+//!
+//! Terminal operations preserve sequential element order, and the MatRox
+//! executor's phases are conflict-free by construction, so numerical results
+//! are identical across thread counts (see `crates/exec/tests/determinism.rs`).
+//! The global pool honours `RAYON_NUM_THREADS`; swapping the real rayon back
+//! in remains a one-line change in the workspace manifest.
 
-/// Run two closures and return both results (sequentially, `a` first).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+mod job;
+mod latch;
+mod registry;
+
+pub mod iter;
+pub mod slice;
+
+use std::panic::{self, AssertUnwindSafe};
+
+use job::StackJob;
+use latch::SpinLatch;
+use registry::{global_registry, WorkerThread};
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// The call blocks until both closures have finished.  If either closure
+/// panics, the panic is propagated to the caller — but only after the other
+/// closure has completed, so no work is left dangling in the pool.  If `a`
+/// and `b` both panic, `a`'s payload wins.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
     RA: Send,
     RB: Send,
 {
-    (a(), b())
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        // Not on a pool thread: enter the global pool and fork from there.
+        global_registry().in_worker(|| join(oper_a, oper_b))
+    } else {
+        join_worker(unsafe { &*worker }, oper_a, oper_b)
+    }
 }
 
-/// Number of threads a real pool would use; used by heuristics only.
+fn join_worker<A, B, RA, RB>(worker: &WorkerThread, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    // Fork: publish `b` on our deque so any idle worker can steal it, then
+    // run `a` ourselves (the work-first principle — `a` is executed with the
+    // hot stack, `b` is what migrates).
+    let job_b = StackJob::new(SpinLatch::new(), oper_b);
+    unsafe {
+        worker.push(job_b.as_job_ref());
+    }
+
+    // Catch a panic from `a` so we still wait for `b` — its StackJob points
+    // into this frame and must not outlive it.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    // Join: execute pending work (often popping `b` right back) until `b`'s
+    // latch is set.
+    worker.wait_until(&job_b.latch);
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        Err(payload) => {
+            // `a` panicked; `b` has completed (its result or panic payload is
+            // dropped here) and the pool is quiescent for this frame.
+            drop(job_b);
+            panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// Number of threads in the pool the current thread runs in, or in the
+/// global pool when called from outside any pool.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let worker = WorkerThread::current();
+    if worker.is_null() {
+        registry::global_threads_hint()
+    } else {
+        unsafe { &*worker }.registry().num_threads()
+    }
 }
 
+/// Error building a thread pool (e.g. the global pool was already started).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
@@ -42,26 +119,48 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A "pool" that executes inline on the calling thread.
-#[derive(Debug)]
+/// A dedicated work-stealing pool with its own worker threads.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: std::sync::Arc<registry::Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
+    /// Run `op` inside the pool: `join` and the parallel iterators invoked
+    /// from `op` fork onto this pool's workers.  Blocks until `op` returns;
+    /// panics from `op` propagate to the caller.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        op()
+        self.registry.in_worker(op)
     }
 
+    /// Number of worker threads in this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
     }
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Builder for [`ThreadPool`]s (and for configuring the global pool).
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -72,105 +171,40 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Worker count; `0` (the default) means one per available core.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let num_threads = if self.num_threads == 0 {
-            current_num_threads()
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.num_threads
-        };
-        Ok(ThreadPool { num_threads })
+        }
     }
 
+    /// Spawn a dedicated pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, handles) = registry::Registry::new(self.resolved_threads());
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Build the global pool eagerly with this configuration.  Fails if it
+    /// has already started (first use of `join`/`par_iter` outside any pool
+    /// starts it with `RAYON_NUM_THREADS` or one worker per core).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        Ok(())
-    }
-}
-
-pub mod iter {
-    /// `into_par_iter()` for any owned collection — plain `into_iter()`.
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter()` for any `&T` that is iterable by reference.
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
-    where
-        &'data T: IntoIterator,
-    {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
-        type Item = <&'data T as IntoIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` for any `&mut T` that is iterable by mutable reference.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
-    where
-        &'data mut T: IntoIterator,
-    {
-        type Iter = <&'data mut T as IntoIterator>::IntoIter;
-        type Item = <&'data mut T as IntoIterator>::Item;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
-
-pub mod slice {
-    /// Parallel chunking of shared slices — sequential `chunks()` here.
-    pub trait ParallelSlice<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Parallel chunking of mutable slices — sequential `chunks_mut()` here.
-    pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
+        let threads = self.resolved_threads();
+        registry::build_global_pool(threads).map_err(|()| ThreadPoolBuildError)
     }
 }
 
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -206,12 +240,43 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
+    fn pool_installs_on_pool_threads() {
         let pool = super::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
         assert_eq!(pool.current_num_threads(), 4);
         assert_eq!(pool.install(|| 7), 7);
+        // Work really runs on a pool worker, not on the calling thread, and
+        // the pool's width is visible from inside.
+        let caller = std::thread::current().id();
+        let (width, ran_on) =
+            pool.install(|| (super::current_num_threads(), std::thread::current().id()));
+        assert_eq!(width, 4);
+        assert_ne!(ran_on, caller);
+    }
+
+    #[test]
+    fn range_and_zip_adapters() {
+        let idx: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx[33], 99);
+        let a = vec![1i64, 2, 3, 4, 5];
+        let mut out = vec![0i64; 5];
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(o, &x)| *o = x * x);
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn with_min_len_preserves_results() {
+        let v: Vec<usize> = (0..1000).collect();
+        let s1: usize = v.par_iter().map(|&x| x).sum();
+        let s2: usize = v.par_iter().with_min_len(128).map(|&x| x).sum();
+        let s3: usize = v.par_iter().with_min_len(100_000).map(|&x| x).sum();
+        assert_eq!(s1, 499_500);
+        assert_eq!(s2, 499_500);
+        assert_eq!(s3, 499_500);
     }
 }

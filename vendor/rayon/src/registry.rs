@@ -1,0 +1,375 @@
+//! The work-stealing registry: worker threads, deques, injector and sleep.
+//!
+//! A [`Registry`] owns one mutex-protected deque per worker plus a global
+//! injector queue for jobs arriving from outside the pool.  Workers treat
+//! their own deque as a LIFO stack (good locality for the job they just
+//! forked) and steal from the *front* of a victim's deque (FIFO — the oldest,
+//! and therefore typically largest, pending subtree).  This is the classic
+//! Blumofe–Leiserson discipline; the deques are `Mutex<VecDeque>` rather than
+//! lock-free Chase–Lev deques, which measures within noise for MatRox's
+//! coarse task granularity (thousands of GEMM-sized tasks, not millions of
+//! nanosecond tasks) and keeps the vendored crate free of `unsafe` beyond the
+//! stack-job handoff in `job.rs`.
+//!
+//! Idle workers park on a condvar guarded by an epoch counter: a worker reads
+//! the epoch, registers itself as a sleeper, re-checks for work, and only
+//! then sleeps if the epoch is unchanged.  Every push and every latch-set
+//! bumps the epoch when sleepers are registered, which closes the
+//! lost-wakeup race without timed polling (an idle pool consumes no CPU).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::job::{JobRef, StackJob};
+use crate::latch::{LockLatch, SpinLatch};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Jobs catch panics before they can poison a queue lock; recover anyway
+    // so a bug in the pool itself cannot cascade into every consumer.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Sleep protocol
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Sleep {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Sleep {
+            epoch: Mutex::new(0),
+            cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Read the current epoch; pass it back to [`Sleep::sleep`] so the pair
+    /// detects events that happen in between.
+    pub(crate) fn epoch(&self) -> u64 {
+        *lock(&self.epoch)
+    }
+
+    /// Register as a sleeper.  Must happen *before* the caller's final check
+    /// for work: a notifier that reads `sleepers == 0` is then guaranteed to
+    /// have published its work before our check (SeqCst total order), so we
+    /// find it instead of sleeping.
+    pub(crate) fn start_sleep(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deregister without sleeping (work or termination was found).
+    pub(crate) fn cancel_sleep(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Park until the epoch moves past `seen`.  Caller must have called
+    /// `start_sleep` and re-checked for work; returns with the sleeper
+    /// deregistered.  Spurious wakeups are fine — callers loop.
+    pub(crate) fn sleep(&self, seen: u64) {
+        let guard = lock(&self.epoch);
+        if *guard == seen {
+            drop(
+                self.cond
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake sleepers if any are registered (new work or a latch was set).
+    pub(crate) fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut guard = lock(&self.epoch);
+            *guard = guard.wrapping_add(1);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Unconditional wake-up; used for termination.
+    pub(crate) fn notify_all_force(&self) {
+        let mut guard = lock(&self.epoch);
+        *guard = guard.wrapping_add(1);
+        self.cond.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    pub(crate) sleep: Sleep,
+    terminating: AtomicBool,
+    num_threads: usize,
+}
+
+impl Registry {
+    /// Build a registry and spawn its worker threads.
+    pub(crate) fn new(num_threads: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
+        let num_threads = num_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep::new(),
+            terminating: AtomicBool::new(false),
+            num_threads,
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("matrox-rayon-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn thread-pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Queue a job from outside the pool (or from a worker of another pool).
+    pub(crate) fn inject(&self, job: JobRef) {
+        lock(&self.injector).push_back(job);
+        self.sleep.notify();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        lock(&self.injector).pop_front()
+    }
+
+    fn steal_from(&self, victim: usize) -> Option<JobRef> {
+        lock(&self.deques[victim]).pop_front()
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminating.store(true, Ordering::SeqCst);
+        self.sleep.notify_all_force();
+    }
+
+    fn is_terminating(&self) -> bool {
+        self.terminating.load(Ordering::SeqCst)
+    }
+
+    /// Run `op` on a worker thread of this registry and return its result,
+    /// propagating panics.  If the calling thread already *is* a worker of
+    /// this registry, `op` runs inline.
+    pub(crate) fn in_worker<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let current = WorkerThread::current();
+        if !current.is_null() {
+            let worker = unsafe { &*current };
+            if Arc::ptr_eq(&worker.registry, self) {
+                return op();
+            }
+        }
+        // External thread (or a worker of a different pool): inject the op
+        // and block until a worker completes it.  The StackJob lives in this
+        // frame, which cannot unwind before the latch is set.
+        let job = StackJob::new(LockLatch::new(), op);
+        unsafe {
+            self.inject(job.as_job_ref());
+        }
+        job.latch.wait();
+        job.into_result()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------------
+
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    /// Rotating start position for steal attempts, so thieves don't all
+    /// hammer victim 0.
+    steal_start: Cell<usize>,
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+impl WorkerThread {
+    /// The `WorkerThread` of the calling thread, or null if the caller is not
+    /// a pool worker.  The pointer is valid for the lifetime of the worker's
+    /// main loop (it points into that stack frame).
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(Cell::get)
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Push a forked job onto our own deque (LIFO end).
+    pub(crate) fn push(&self, job: JobRef) {
+        lock(&self.registry.deques[self.index]).push_back(job);
+        self.registry.sleep.notify();
+    }
+
+    fn pop(&self) -> Option<JobRef> {
+        lock(&self.registry.deques[self.index]).pop_back()
+    }
+
+    /// Find something to run: own deque first (LIFO), then steal from the
+    /// other workers (FIFO), then the injector.
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.pop() {
+            return Some(job);
+        }
+        let n = self.registry.num_threads;
+        let start = self.steal_start.get();
+        self.steal_start.set(start.wrapping_add(1));
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            if let Some(job) = self.registry.steal_from(victim) {
+                return Some(job);
+            }
+        }
+        self.registry.pop_injected()
+    }
+
+    /// Work-stealing wait: execute pending jobs until `latch` is set.  This
+    /// is what keeps nested `join`s deadlock-free — a worker whose forked job
+    /// was stolen makes progress on other work (possibly executing the forked
+    /// job itself if it is still in our deque) instead of blocking.
+    pub(crate) fn wait_until(&self, latch: &SpinLatch) {
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                // The job may have set a latch someone is sleeping on.
+                self.registry.sleep.notify();
+                continue;
+            }
+            // Nothing runnable: park until an event (push or latch-set).
+            let epoch = self.registry.sleep.epoch();
+            self.registry.sleep.start_sleep();
+            if latch.probe() {
+                self.registry.sleep.cancel_sleep();
+                return;
+            }
+            if let Some(job) = self.find_work() {
+                self.registry.sleep.cancel_sleep();
+                unsafe { job.execute() };
+                self.registry.sleep.notify();
+                continue;
+            }
+            self.registry.sleep.sleep(epoch);
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    let worker = WorkerThread {
+        registry: Arc::clone(&registry),
+        index,
+        steal_start: Cell::new(index.wrapping_add(1)),
+    };
+    WORKER.with(|cell| cell.set(&worker as *const WorkerThread));
+
+    loop {
+        if let Some(job) = worker.find_work() {
+            unsafe { job.execute() };
+            registry.sleep.notify();
+            continue;
+        }
+        if registry.is_terminating() {
+            break;
+        }
+        let epoch = registry.sleep.epoch();
+        registry.sleep.start_sleep();
+        if registry.is_terminating() {
+            registry.sleep.cancel_sleep();
+            break;
+        }
+        if let Some(job) = worker.find_work() {
+            registry.sleep.cancel_sleep();
+            unsafe { job.execute() };
+            registry.sleep.notify();
+            continue;
+        }
+        registry.sleep.sleep(epoch);
+    }
+
+    WORKER.with(|cell| cell.set(std::ptr::null()));
+}
+
+// ---------------------------------------------------------------------------
+// The global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Thread count the global pool uses (or will use on first use):
+/// `RAYON_NUM_THREADS`, else the number of available cores.
+pub(crate) fn global_threads_hint() -> usize {
+    if let Some(registry) = GLOBAL.get() {
+        return registry.num_threads();
+    }
+    default_global_threads()
+}
+
+fn default_global_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn init_global(num_threads: usize) -> Arc<Registry> {
+    let (registry, handles) = Registry::new(num_threads);
+    drop(handles); // detach; workers sleep (no polling) while the pool idles
+    registry
+}
+
+/// The global registry, spawning its workers on first use.  Its threads are
+/// detached and live for the rest of the process.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| init_global(default_global_threads()))
+}
+
+/// Eagerly build the global pool with the given width.  Going through the
+/// `OnceLock` initializer makes the build-vs-first-use race benign: either
+/// our initializer runs (the pool has exactly the requested width, `Ok`) or
+/// someone else's did (the pool is already running, `Err`) — `Ok` can never
+/// be returned for a pool of a different width.
+pub(crate) fn build_global_pool(num_threads: usize) -> Result<(), ()> {
+    let mut built_here = false;
+    GLOBAL.get_or_init(|| {
+        built_here = true;
+        init_global(num_threads)
+    });
+    if built_here {
+        Ok(())
+    } else {
+        Err(())
+    }
+}

@@ -1,0 +1,31 @@
+//! Parallel chunking of slices.
+
+use crate::iter::{Chunks, ChunksMut};
+
+/// Parallel chunking of shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Split into `&[T]` chunks of at most `chunk_size` items, iterated in
+    /// parallel.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        Chunks::new(self, chunk_size)
+    }
+}
+
+/// Parallel chunking of mutable slices.  The chunks partition the slice, so
+/// each task owns a disjoint region of the output — this is the primitive the
+/// GEMM kernels and the executor's permuted output buffers are built on.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into `&mut [T]` chunks of at most `chunk_size` items, iterated
+    /// in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        ChunksMut::new(self, chunk_size)
+    }
+}

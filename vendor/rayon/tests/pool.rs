@@ -1,0 +1,254 @@
+//! Unit, stress and property tests for the vendored work-stealing pool.
+
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("failed to build test pool")
+}
+
+/// Recursive fork-join sum of `range`, splitting all the way down to single
+/// elements — exercises deeply nested `join` (depth ~log2(len), thousands of
+/// forks) and the pop-back/steal paths.
+fn nested_sum(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 1 {
+        return lo;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = rayon::join(|| nested_sum(lo, mid), || nested_sum(mid, hi));
+    a + b
+}
+
+#[test]
+fn nested_join_on_every_pool_width() {
+    for width in [1, 2, 4, 8] {
+        let p = pool(width);
+        let total = p.install(|| nested_sum(0, 4096));
+        assert_eq!(total, 4096 * 4095 / 2, "wrong sum on a {width}-wide pool");
+    }
+}
+
+#[test]
+fn join_runs_closures_in_parallel_workers() {
+    // Both closures observe the pool from inside; on a >1 pool the forked
+    // side may run on a different worker, but results always come back.
+    let p = pool(2);
+    let ((wa, ra), (wb, rb)) = p.install(|| {
+        rayon::join(
+            || (rayon::current_num_threads(), nested_sum(0, 512)),
+            || (rayon::current_num_threads(), nested_sum(512, 1024)),
+        )
+    });
+    assert_eq!(wa, 2);
+    assert_eq!(wb, 2);
+    assert_eq!(ra + rb, 1024 * 1023 / 2);
+}
+
+#[test]
+fn panic_in_join_a_propagates() {
+    let p = pool(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        p.install(|| rayon::join(|| panic!("boom-a"), || 42))
+    }));
+    let payload = result.unwrap_err();
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "boom-a");
+    // The pool survives a propagated panic.
+    assert_eq!(p.install(|| nested_sum(0, 100)), 100 * 99 / 2);
+}
+
+#[test]
+fn panic_in_join_b_propagates() {
+    let p = pool(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        p.install(|| rayon::join(|| 42, || panic!("boom-b")))
+    }));
+    let payload = result.unwrap_err();
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "boom-b");
+    assert_eq!(p.install(|| nested_sum(0, 100)), 100 * 99 / 2);
+}
+
+#[test]
+fn panic_from_parallel_iterator_worker_propagates_to_install_caller() {
+    let p = pool(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        p.install(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                if i == 637 {
+                    panic!("worker exploded at {i}");
+                }
+            })
+        })
+    }));
+    assert!(result.is_err(), "panic was swallowed by the pool");
+    // Pool must remain functional for subsequent work.
+    let sum: usize = p.install(|| (0..100usize).into_par_iter().sum());
+    assert_eq!(sum, 4950);
+}
+
+#[test]
+fn par_chunks_mut_is_a_disjoint_complete_partition() {
+    let p = pool(4);
+    let len = 10_007usize; // prime: ragged final chunk
+    let chunk = 23;
+    let mut buf = vec![usize::MAX; len];
+    let touched = AtomicUsize::new(0);
+    p.install(|| {
+        buf.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
+            touched.fetch_add(c.len(), Ordering::Relaxed);
+            for x in c {
+                // Each element must still hold the sentinel: no other
+                // task may have written it.
+                assert_eq!(*x, usize::MAX, "chunk {ci} saw an overwritten element");
+                *x = ci;
+            }
+        })
+    });
+    // Complete: every element written exactly once with its chunk index.
+    assert_eq!(touched.load(Ordering::Relaxed), len);
+    for (i, &v) in buf.iter().enumerate() {
+        assert_eq!(v, i / chunk, "element {i} written by the wrong chunk");
+    }
+}
+
+#[test]
+fn stress_at_least_ten_thousand_tiny_tasks() {
+    let p = pool(4);
+    // ~12k leaf tasks plus ~12k interior joins, each doing almost no work:
+    // stresses deque handoff, stealing and the sleep protocol rather than
+    // compute.
+    let count = AtomicUsize::new(0);
+    fn fan_out(lo: usize, hi: usize, count: &AtomicUsize) {
+        if hi - lo <= 1 {
+            if hi > lo {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        rayon::join(|| fan_out(lo, mid, count), || fan_out(mid, hi, count));
+    }
+    p.install(|| fan_out(0, 12_345, &count));
+    assert_eq!(count.load(Ordering::Relaxed), 12_345);
+
+    // Same scale through the iterator bridge, forced to tiny leaves.
+    let total: u64 = p.install(|| {
+        (0..20_000u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|x| x % 7)
+            .sum()
+    });
+    let expected: u64 = (0..20_000u64).map(|x| x % 7).sum();
+    assert_eq!(total, expected);
+}
+
+#[test]
+fn collect_preserves_sequential_order() {
+    let p = pool(4);
+    let v: Vec<usize> = (0..5000).collect();
+    let out: Vec<usize> = p.install(|| v.par_iter().map(|&x| x * 2).collect());
+    let expected: Vec<usize> = v.iter().map(|&x| x * 2).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn install_from_inside_the_pool_runs_inline() {
+    let p = pool(2);
+    let r = p.install(|| {
+        // `install` on the same pool from one of its own workers must not
+        // deadlock waiting for a free worker.
+        p.install(|| nested_sum(0, 256))
+    });
+    assert_eq!(r, 256 * 255 / 2);
+}
+
+#[test]
+fn free_functions_use_the_global_pool_outside_any_install() {
+    // Exercise join/par_iter from a non-pool thread (global pool path).
+    let (a, b) = rayon::join(|| 2 + 2, || "ok");
+    assert_eq!((a, b), (4, "ok"));
+    let sum: usize = (0..1000usize).into_par_iter().sum();
+    assert_eq!(sum, 499_500);
+    assert!(rayon::current_num_threads() >= 1);
+}
+
+#[test]
+fn build_global_is_exclusive_and_never_lies() {
+    // Whether or not another test won the race to start the global pool,
+    // at most one build_global in the process can report Ok, and a second
+    // call must always fail.  Either way the pool is usable afterwards.
+    let first = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build_global();
+    let second = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build_global();
+    assert!(second.is_err(), "two build_global calls both succeeded");
+    if first.is_ok() {
+        // Our width was the one installed — Ok may not be returned for a
+        // pool of a different width.
+        assert_eq!(rayon::current_num_threads(), 2);
+    }
+    let (a, b) = rayon::join(|| 20, || 22);
+    assert_eq!(a + b, 42);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Parallel map/collect equals sequential map/collect for arbitrary
+        /// inputs, grain settings and pool widths.
+        #[test]
+        fn par_map_collect_matches_seq(
+            v in proptest::collection::vec(-1_000_000i64..1_000_000, 0..2000),
+            min_len in 1usize..512,
+            width in 1usize..5,
+        ) {
+            let p = pool(width);
+            let par: Vec<i64> = p.install(|| {
+                v.par_iter().with_min_len(min_len).map(|&x| x.wrapping_mul(3) - 1).collect()
+            });
+            let seq: Vec<i64> = v.iter().map(|&x| x.wrapping_mul(3) - 1).collect();
+            prop_assert_eq!(par, seq);
+        }
+
+        /// Every element of a `par_chunks_mut` partition is written exactly
+        /// once, for arbitrary lengths and chunk sizes.
+        #[test]
+        fn par_chunks_mut_partition_property(
+            len in 0usize..4000,
+            chunk in 1usize..600,
+            width in 1usize..5,
+        ) {
+            let p = pool(width);
+            let mut buf = vec![0u32; len];
+            p.install(|| {
+                buf.par_chunks_mut(chunk).for_each(|c| {
+                    for x in c {
+                        *x += 1;
+                    }
+                })
+            });
+            prop_assert!(buf.iter().all(|&x| x == 1));
+        }
+
+        /// `join` computes the same pair as calling the closures directly.
+        #[test]
+        fn join_is_transparent(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let p = pool(2);
+            let (ra, rb) = p.install(|| rayon::join(move || a * 2, move || b - 7));
+            prop_assert_eq!((ra, rb), (a * 2, b - 7));
+        }
+    }
+}
