@@ -18,12 +18,15 @@
 //! | [`StrumpackEvaluator`] | tree-based | parallel per target | level-by-level with barriers | HSS only |
 //! | [`SmashEvaluator`] | tree-based | sequential near | level-by-level | 1–3-d points, matvec only |
 //! | [`DenseBaseline`] | dense `K` | — | — | exact reference / GEMM comparison |
+//! | [`DenseCholeskyBaseline`] | dense `K = L L^T` | — | — | exact direct solve (`K x = b` comparison) |
 
+pub mod cholesky;
 pub mod dense;
 pub mod gofmm;
 pub mod smash;
 pub mod strumpack;
 
+pub use cholesky::DenseCholeskyBaseline;
 pub use dense::DenseBaseline;
 pub use gofmm::GofmmEvaluator;
 pub use smash::{SmashEvaluator, UnsupportedInput};

@@ -1,0 +1,37 @@
+//! Criterion bench for the solve scenario: ULV factorization and the
+//! forward/backward sweeps on an HSS-compressed SPD Gaussian kernel matrix,
+//! against the dense Cholesky baseline built from the same kernels.
+//! Compiled by `cargo bench --no-run` on every CI run so the solve path can
+//! never bit-rot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrox_baselines::DenseCholeskyBaseline;
+use matrox_bench::{random_w, solve_setting};
+use matrox_core::inspector;
+use matrox_points::{generate, DatasetId};
+
+fn bench_solve(c: &mut Criterion) {
+    let n = 1024;
+    let q = 16;
+    let points = generate(DatasetId::Grid, n, 0);
+    let (kernel, params) = solve_setting(n, 1e-7);
+    let h = inspector(&points, &kernel, &params);
+    let fh = h.factorize().expect("HSS SPD matrix must factor");
+    let b1: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
+    let bq = random_w(n, q, 5);
+
+    let mut group = c.benchmark_group("fig_solve");
+    group.sample_size(10);
+    group.bench_function("ulv_factor", |b| b.iter(|| h.factorize().expect("factor")));
+    group.bench_function("ulv_solve_q1", |b| b.iter(|| fh.solve(&b1)));
+    group.bench_function("ulv_solve_q16", |b| b.iter(|| fh.solve_matrix(&bq)));
+    group.bench_function("dense_cholesky_factor", |b| {
+        b.iter(|| DenseCholeskyBaseline::new(&points, &kernel).expect("SPD"))
+    });
+    let dense = DenseCholeskyBaseline::new(&points, &kernel).expect("SPD");
+    group.bench_function("dense_cholesky_solve_q1", |b| b.iter(|| dense.solve(&b1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

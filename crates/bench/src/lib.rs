@@ -97,6 +97,31 @@ pub fn params_for(structure: Structure) -> MatRoxParams {
     }
 }
 
+/// The canonical *solve* scenario setting shared by the `fig_solve`
+/// harness, the criterion bench and the acceptance tests: a kernel-ridge
+/// Gaussian matrix `K + lambda I` over the 2-d grid, compressed with HSS.
+///
+/// The knobs balance two opposing pressures (measured in BENCH_solve.json):
+/// the bandwidth must be large enough relative to the grid spacing
+/// (`8x`) that the sampled interpolative decompositions capture the far
+/// field accurately, while the ridge (`lambda = 32`) keeps the otherwise
+/// numerically rank-deficient Gaussian matrix SPD with margin — exactly the
+/// kernel-ridge-regression workload structured solvers target.  The enlarged
+/// sampling size (256) buys roughly an order of magnitude of end-to-end
+/// residual over the matmul default of 32.  With `bacc = 1e-7` this setting
+/// achieves a relative residual around `1e-7` at `N = 4096`.
+pub fn solve_setting(n: usize, bacc: f64) -> (Kernel, MatRoxParams) {
+    let spacing = 1.0 / (n as f64).sqrt();
+    let kernel = Kernel::GaussianRidge {
+        bandwidth: 8.0 * spacing,
+        ridge: 32.0,
+    };
+    let mut params = params_for(Structure::Hss).with_bacc(bacc);
+    params.sampling.sampling_size = 256;
+    params.sampling.uniform_samples = 256;
+    (kernel, params)
+}
+
 /// Generate a dataset and compress it with MatRox, returning both.
 pub fn build_hmatrix(
     dataset: DatasetId,

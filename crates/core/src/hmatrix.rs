@@ -3,7 +3,8 @@
 use crate::timings::InspectorTimings;
 use matrox_codegen::{emit_source, EvalPlan};
 use matrox_exec::{execute, ExecOptions};
-use matrox_linalg::{relative_error, Matrix};
+use matrox_factor::{factor, FactorError, HssFactor};
+use matrox_linalg::{frobenius_norm, relative_error, Matrix};
 use matrox_points::{dense_kernel_matmul, Kernel, PointSet};
 use matrox_tree::{ClusterTree, Structure};
 
@@ -86,5 +87,98 @@ impl HMatrix {
     /// Write the generated code to a file.
     pub fn write_generated_code(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.generated_code())
+    }
+
+    /// Compute the ULV-style factorization of this (HSS-compressed, SPD)
+    /// matrix, enabling direct solves of `K~ x = b`.
+    ///
+    /// Fails with [`FactorError::UnsupportedStructure`] for non-HSS
+    /// structures and [`FactorError::NotPositiveDefinite`] when a leaf
+    /// diagonal block has a non-positive pivot.
+    pub fn factorize(&self) -> Result<FactoredHMatrix, FactorError> {
+        self.factorize_with(&ExecOptions::from_plan(&self.plan))
+    }
+
+    /// [`factorize`](HMatrix::factorize) with explicit executor options
+    /// (parallel sweeps + grain; results are bitwise identical either way).
+    pub fn factorize_with(&self, opts: &ExecOptions) -> Result<FactoredHMatrix, FactorError> {
+        let factor = factor(&self.plan, &self.tree, opts)?;
+        Ok(FactoredHMatrix {
+            hmatrix: self.clone(),
+            factor,
+        })
+    }
+
+    /// Solve `K~ x = b` for one right-hand-side vector.
+    ///
+    /// Convenience entry that factors on every call; factor once with
+    /// [`factorize`](HMatrix::factorize) when solving repeatedly.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        Ok(self.factorize()?.solve(b))
+    }
+
+    /// Solve `K~ X = B` for a multi-column right-hand side (see
+    /// [`solve`](HMatrix::solve) for the factorization caveat).
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, FactorError> {
+        Ok(self.factorize()?.solve_matrix(b))
+    }
+}
+
+/// An [`HMatrix`] together with its ULV-style factorization: the handle the
+/// solver scenarios (regression, kernel ridge, preconditioning) hold on to.
+///
+/// Produced by [`HMatrix::factorize`]; solved with
+/// [`solve`](FactoredHMatrix::solve) / [`solve_matrix`](FactoredHMatrix::solve_matrix);
+/// stored and reloaded with [`crate::io::save_factored`] /
+/// [`crate::io::load_factored`].
+#[derive(Debug, Clone)]
+pub struct FactoredHMatrix {
+    /// The compressed matrix (tree + plan + CDS buffers the sweeps read).
+    pub hmatrix: HMatrix,
+    /// The factorization (leaf Cholesky factors + sibling merge systems).
+    pub factor: HssFactor,
+}
+
+impl FactoredHMatrix {
+    /// Problem size `N`.
+    pub fn dim(&self) -> usize {
+        self.hmatrix.dim()
+    }
+
+    /// Solve `K~ x = b` for one right-hand-side vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.factor.solve(
+            &self.hmatrix.plan,
+            &self.hmatrix.tree,
+            b,
+            &ExecOptions::from_plan(&self.hmatrix.plan),
+        )
+    }
+
+    /// Solve `K~ X = B` for a multi-column right-hand side.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        self.solve_matrix_with(b, &ExecOptions::from_plan(&self.hmatrix.plan))
+    }
+
+    /// [`solve_matrix`](FactoredHMatrix::solve_matrix) with explicit
+    /// executor options (used by the ablation and determinism harnesses).
+    pub fn solve_matrix_with(&self, b: &Matrix, opts: &ExecOptions) -> Matrix {
+        self.factor
+            .solve_matrix(&self.hmatrix.plan, &self.hmatrix.tree, b, opts)
+    }
+
+    /// Relative residual `||K x - b||_F / ||b||_F` of a solution against the
+    /// *exact* kernel matrix (`O(N^2 Q)`, like
+    /// [`HMatrix::overall_accuracy`]): the solver's end-to-end accuracy
+    /// measure.
+    pub fn relative_residual(&self, points: &PointSet, x: &Matrix, b: &Matrix) -> f64 {
+        let mut r = dense_kernel_matmul(points, &self.hmatrix.kernel, x);
+        r.sub_assign(b);
+        let denom = frobenius_norm(b);
+        if denom == 0.0 {
+            frobenius_norm(&r)
+        } else {
+            frobenius_norm(&r) / denom
+        }
     }
 }

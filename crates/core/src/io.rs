@@ -7,17 +7,22 @@
 //! decisions and the CDS buffers.  The format is little-endian and versioned
 //! by a magic header.
 
-use crate::hmatrix::HMatrix;
+use crate::hmatrix::{FactoredHMatrix, HMatrix};
 use crate::timings::InspectorTimings;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use matrox_analysis::{BlockSet, Cds, CdsBlockEntry, CoarsenSet, GeneratorEntry, GroupRange};
 use matrox_codegen::{EvalPlan, LoweringDecisions};
+use matrox_factor::{FactorTimings, HssFactor, LeafFactor, MergeFactor};
+use matrox_linalg::{LuFactors, Matrix};
 use matrox_points::Kernel;
 use matrox_tree::{ClusterTree, Structure, TreeNode};
 use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MATROX01";
+/// Magic header of a *factored* HMatrix file (`hmat.ulv`): the compressed
+/// matrix followed by its ULV-style factorization.
+const MAGIC_FACTORED: &[u8; 8] = b"MATROXF1";
 
 /// Error type for (de)serialization failures.
 #[derive(Debug)]
@@ -165,6 +170,11 @@ fn put_kernel(buf: &mut BytesMut, k: &Kernel) {
             buf.put_u8(3);
             put_f64(buf, *bandwidth);
         }
+        Kernel::GaussianRidge { bandwidth, ridge } => {
+            buf.put_u8(4);
+            put_f64(buf, *bandwidth);
+            put_f64(buf, *ridge);
+        }
     }
 }
 
@@ -179,6 +189,10 @@ fn get_kernel(buf: &mut Bytes) -> Result<Kernel, IoError> {
         1 => Kernel::InverseDistance { diag: val },
         2 => Kernel::Laplace { bandwidth: val },
         3 => Kernel::Cauchy { bandwidth: val },
+        4 => Kernel::GaussianRidge {
+            bandwidth: val,
+            ridge: get_f64(buf)?,
+        },
         t => return Err(IoError::Format(format!("unknown kernel tag {t}"))),
     })
 }
@@ -431,26 +445,30 @@ fn get_cds(buf: &mut Bytes) -> Result<Cds, IoError> {
 // public API
 // ---------------------------------------------------------------------------
 
+fn put_hmatrix_body(buf: &mut BytesMut, h: &HMatrix) {
+    put_structure(buf, &h.structure);
+    put_kernel(buf, &h.kernel);
+    put_f64(buf, h.bacc);
+    put_tree(buf, &h.tree);
+    // plan
+    let d = &h.plan.decisions;
+    put_bool(buf, d.block_near);
+    put_bool(buf, d.block_far);
+    put_bool(buf, d.coarsen_tree);
+    put_bool(buf, d.peel_root);
+    put_blockset(buf, &h.plan.near_blockset);
+    put_blockset(buf, &h.plan.far_blockset);
+    put_coarsenset(buf, &h.plan.coarsenset);
+    put_cds(buf, &h.plan.cds);
+    put_usize(buf, h.plan.tree_height);
+    put_usize(buf, h.plan.num_leaves);
+}
+
 /// Serialize an [`HMatrix`] to bytes.
 pub fn to_bytes(h: &HMatrix) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
-    put_structure(&mut buf, &h.structure);
-    put_kernel(&mut buf, &h.kernel);
-    put_f64(&mut buf, h.bacc);
-    put_tree(&mut buf, &h.tree);
-    // plan
-    let d = &h.plan.decisions;
-    put_bool(&mut buf, d.block_near);
-    put_bool(&mut buf, d.block_far);
-    put_bool(&mut buf, d.coarsen_tree);
-    put_bool(&mut buf, d.peel_root);
-    put_blockset(&mut buf, &h.plan.near_blockset);
-    put_blockset(&mut buf, &h.plan.far_blockset);
-    put_coarsenset(&mut buf, &h.plan.coarsenset);
-    put_cds(&mut buf, &h.plan.cds);
-    put_usize(&mut buf, h.plan.tree_height);
-    put_usize(&mut buf, h.plan.num_leaves);
+    put_hmatrix_body(&mut buf, h);
     buf.freeze()
 }
 
@@ -460,22 +478,26 @@ pub fn from_bytes(mut data: Bytes) -> Result<HMatrix, IoError> {
     if data.remaining() < MAGIC.len() || &data.copy_to_bytes(MAGIC.len())[..] != MAGIC {
         return Err(IoError::Format("bad magic header".into()));
     }
-    let structure = get_structure(&mut data)?;
-    let kernel = get_kernel(&mut data)?;
-    let bacc = get_f64(&mut data)?;
-    let tree = get_tree(&mut data)?;
+    get_hmatrix_body(&mut data)
+}
+
+fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
+    let structure = get_structure(data)?;
+    let kernel = get_kernel(data)?;
+    let bacc = get_f64(data)?;
+    let tree = get_tree(data)?;
     let decisions = LoweringDecisions {
-        block_near: get_bool(&mut data)?,
-        block_far: get_bool(&mut data)?,
-        coarsen_tree: get_bool(&mut data)?,
-        peel_root: get_bool(&mut data)?,
+        block_near: get_bool(data)?,
+        block_far: get_bool(data)?,
+        coarsen_tree: get_bool(data)?,
+        peel_root: get_bool(data)?,
     };
-    let near_blockset = get_blockset(&mut data)?;
-    let far_blockset = get_blockset(&mut data)?;
-    let coarsenset = get_coarsenset(&mut data)?;
-    let cds = get_cds(&mut data)?;
-    let tree_height = get_usize(&mut data)?;
-    let num_leaves = get_usize(&mut data)?;
+    let near_blockset = get_blockset(data)?;
+    let far_blockset = get_blockset(data)?;
+    let coarsenset = get_coarsenset(data)?;
+    let cds = get_cds(data)?;
+    let tree_height = get_usize(data)?;
+    let num_leaves = get_usize(data)?;
     let plan = EvalPlan {
         decisions,
         near_blockset,
@@ -505,6 +527,143 @@ pub fn save(h: &HMatrix, path: &Path) -> Result<(), IoError> {
 pub fn load(path: &Path) -> Result<HMatrix, IoError> {
     let data = std::fs::read(path)?;
     from_bytes(Bytes::from(data))
+}
+
+// ---------------------------------------------------------------------------
+// factored HMatrix (the `hmat.ulv` artifact)
+// ---------------------------------------------------------------------------
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    put_usize(buf, m.rows());
+    put_usize(buf, m.cols());
+    for &x in m.as_slice() {
+        put_f64(buf, x);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes) -> Result<Matrix, IoError> {
+    let rows = get_usize(buf)?;
+    let cols = get_usize(buf)?;
+    let len = rows
+        .checked_mul(cols)
+        .ok_or_else(|| IoError::Format("matrix shape overflow".into()))?;
+    let mut data = Vec::with_capacity(len.min(1 << 26));
+    for _ in 0..len {
+        data.push(get_f64(buf)?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn put_factor(buf: &mut BytesMut, f: &HssFactor) {
+    put_usize(buf, f.n);
+    put_usize(buf, f.leaves.len());
+    for leaf in &f.leaves {
+        match leaf {
+            Some(lf) => {
+                put_bool(buf, true);
+                put_usize(buf, lf.node);
+                put_matrix(buf, &lf.chol);
+                put_matrix(buf, &lf.e);
+            }
+            None => put_bool(buf, false),
+        }
+    }
+    put_usize(buf, f.merges.len());
+    for merge in &f.merges {
+        match merge {
+            Some(mf) => {
+                put_bool(buf, true);
+                put_usize(buf, mf.node);
+                put_matrix(buf, &mf.lu.lu);
+                put_usize_vec(buf, &mf.lu.piv);
+                put_matrix(buf, &mf.t);
+            }
+            None => put_bool(buf, false),
+        }
+    }
+}
+
+fn get_factor(buf: &mut Bytes) -> Result<HssFactor, IoError> {
+    let n = get_usize(buf)?;
+    let n_leaves = get_usize(buf)?;
+    let mut leaves = Vec::with_capacity(n_leaves.min(1 << 24));
+    for _ in 0..n_leaves {
+        if get_bool(buf)? {
+            leaves.push(Some(LeafFactor {
+                node: get_usize(buf)?,
+                chol: get_matrix(buf)?,
+                e: get_matrix(buf)?,
+            }));
+        } else {
+            leaves.push(None);
+        }
+    }
+    let n_merges = get_usize(buf)?;
+    let mut merges = Vec::with_capacity(n_merges.min(1 << 24));
+    for _ in 0..n_merges {
+        if get_bool(buf)? {
+            merges.push(Some(MergeFactor {
+                node: get_usize(buf)?,
+                lu: LuFactors {
+                    lu: get_matrix(buf)?,
+                    piv: get_usize_vec(buf)?,
+                },
+                t: get_matrix(buf)?,
+            }));
+        } else {
+            merges.push(None);
+        }
+    }
+    Ok(HssFactor {
+        n,
+        leaves,
+        merges,
+        timings: FactorTimings::default(),
+    })
+}
+
+/// Serialize a [`FactoredHMatrix`] (compressed matrix + ULV factors) to
+/// bytes.
+pub fn to_bytes_factored(fh: &FactoredHMatrix) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC_FACTORED);
+    put_hmatrix_body(&mut buf, &fh.hmatrix);
+    put_factor(&mut buf, &fh.factor);
+    buf.freeze()
+}
+
+/// Deserialize a [`FactoredHMatrix`] from bytes.  Timings (inspector and
+/// factor) are not stored and come back zeroed.
+pub fn from_bytes_factored(mut data: Bytes) -> Result<FactoredHMatrix, IoError> {
+    if data.remaining() < MAGIC_FACTORED.len()
+        || &data.copy_to_bytes(MAGIC_FACTORED.len())[..] != MAGIC_FACTORED
+    {
+        return Err(IoError::Format("bad factored magic header".into()));
+    }
+    let hmatrix = get_hmatrix_body(&mut data)?;
+    let factor = get_factor(&mut data)?;
+    if factor.n != hmatrix.dim() {
+        return Err(IoError::Format(format!(
+            "factor dimension {} does not match matrix dimension {}",
+            factor.n,
+            hmatrix.dim()
+        )));
+    }
+    Ok(FactoredHMatrix { hmatrix, factor })
+}
+
+/// Store a factored HMatrix to a file (the `hmat.ulv` artifact: solve-ready
+/// across processes, no re-factorization needed).
+pub fn save_factored(fh: &FactoredHMatrix, path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, to_bytes_factored(fh))?;
+    Ok(())
+}
+
+/// Load a factored HMatrix from a file previously written by
+/// [`save_factored`].
+pub fn load_factored(path: &Path) -> Result<FactoredHMatrix, IoError> {
+    let data = std::fs::read(path)?;
+    from_bytes_factored(Bytes::from(data))
 }
 
 #[cfg(test)]
@@ -557,5 +716,62 @@ mod tests {
             IoError::Format(_) => {}
             other => panic!("expected format error, got {other}"),
         }
+    }
+
+    fn factored_hmatrix() -> (matrox_points::PointSet, crate::hmatrix::FactoredHMatrix) {
+        // HSS structure + bandwidth at the grid spacing: a well-conditioned
+        // SPD kernel matrix the ULV factorization accepts.
+        let pts = generate(DatasetId::Grid, 256, 5);
+        let kernel = Kernel::Gaussian {
+            bandwidth: 1.0 / 16.0,
+        };
+        let params = MatRoxParams::hss().with_leaf_size(32).with_bacc(1e-7);
+        let h = inspector(&pts, &kernel, &params);
+        let fh = h.factorize().expect("HSS SPD matrix must factor");
+        (pts, fh)
+    }
+
+    #[test]
+    fn factored_roundtrip_solves_bitwise_identically() {
+        let (pts, fh) = factored_hmatrix();
+        let bytes = to_bytes_factored(&fh);
+        let fh2 = from_bytes_factored(bytes).expect("deserialize factored");
+        let b: Vec<f64> = (0..pts.len()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x1 = fh.solve(&b);
+        let x2 = fh2.solve(&b);
+        assert_eq!(x1, x2, "reloaded factors must solve bit-for-bit equally");
+    }
+
+    #[test]
+    fn factored_magic_is_distinct_from_plain() {
+        let (_, fh) = factored_hmatrix();
+        let bytes = to_bytes_factored(&fh);
+        assert!(
+            from_bytes(bytes.clone()).is_err(),
+            "plain loader must reject"
+        );
+        let plain = to_bytes(&fh.hmatrix);
+        assert!(
+            from_bytes_factored(plain).is_err(),
+            "factored loader must reject plain files"
+        );
+    }
+
+    #[test]
+    fn factored_file_roundtrip_works() {
+        let (pts, fh) = factored_hmatrix();
+        let dir = std::env::temp_dir().join("matrox_io_factored_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hmat.ulv");
+        save_factored(&fh, &path).unwrap();
+        let loaded = load_factored(&path).unwrap();
+        assert_eq!(loaded.dim(), fh.dim());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let b = Matrix::random_uniform(pts.len(), 3, &mut rng);
+        assert_eq!(
+            loaded.solve_matrix(&b).as_slice(),
+            fh.solve_matrix(&b).as_slice()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -24,6 +24,27 @@
 //! let y = h.matmul(&w);
 //! assert_eq!(y.shape(), (points.len(), 8));
 //! ```
+//!
+//! ## Solving
+//!
+//! An SPD kernel matrix compressed with the HSS structure can be
+//! ULV-factored and solved directly (`K~ x = b`); the `GaussianRidge`
+//! kernel is the standard `K + lambda I` kernel-ridge workload:
+//!
+//! ```
+//! use matrox_core::{inspector, MatRoxParams};
+//! use matrox_points::{generate, DatasetId, Kernel};
+//!
+//! let points = generate(DatasetId::Grid, 256, 0);
+//! let kernel = Kernel::GaussianRidge { bandwidth: 0.125, ridge: 8.0 };
+//! let params = MatRoxParams::hss().with_bacc(1e-6).with_leaf_size(32);
+//! let factored = inspector(&points, &kernel, &params)
+//!     .factorize()
+//!     .expect("HSS + SPD: factorization succeeds");
+//! let b = vec![1.0; points.len()];
+//! let x = factored.solve(&b);
+//! assert_eq!(x.len(), points.len());
+//! ```
 
 pub mod config;
 pub mod hmatrix;
@@ -32,7 +53,11 @@ pub mod io;
 pub mod timings;
 
 pub use config::MatRoxParams;
-pub use hmatrix::HMatrix;
+pub use hmatrix::{FactoredHMatrix, HMatrix};
 pub use inspector::{inspector, inspector_p1, inspector_p2, InspectorP1};
-pub use io::{from_bytes, load, save, to_bytes, IoError};
-pub use timings::InspectorTimings;
+pub use io::{
+    from_bytes, from_bytes_factored, load, load_factored, save, save_factored, to_bytes,
+    to_bytes_factored, IoError,
+};
+pub use matrox_factor::FactorError;
+pub use timings::{FactorTimings, InspectorTimings};

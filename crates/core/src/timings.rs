@@ -8,6 +8,11 @@
 
 use std::time::Duration;
 
+/// Wall-clock breakdown of the ULV-style factorization (leaf Cholesky vs
+/// sibling merges), re-exported here so `matrox_core::timings` is the one
+/// stop for every phase breakdown the harnesses report (inspector, factor).
+pub use matrox_factor::FactorTimings;
+
 /// Wall-clock time of every inspector module.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InspectorTimings {

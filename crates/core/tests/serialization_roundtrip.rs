@@ -7,8 +7,11 @@
 //! metadata, and (d) be byte-stable (serialize → deserialize → serialize
 //! yields identical bytes).
 
-use matrox_core::io::{from_bytes, load, save, to_bytes};
-use matrox_core::{inspector, HMatrix, MatRoxParams};
+use matrox_core::io::{
+    from_bytes, from_bytes_factored, load, load_factored, save, save_factored, to_bytes,
+    to_bytes_factored,
+};
+use matrox_core::{inspector, FactoredHMatrix, HMatrix, MatRoxParams};
 use matrox_linalg::{relative_error, Matrix};
 use matrox_points::{generate, DatasetId, Kernel, PointSet};
 use matrox_tree::Structure;
@@ -91,6 +94,85 @@ fn file_roundtrip_on_all_structures() {
             structure.name()
         );
         std::fs::remove_file(&path).ok();
+    }
+}
+
+/// An HSS compression of a well-conditioned SPD Gaussian kernel (bandwidth
+/// at the grid spacing), factored with the ULV subsystem.
+fn build_factored() -> (PointSet, FactoredHMatrix) {
+    let pts = generate(DatasetId::Grid, N, 17);
+    let spacing = 1.0 / (N as f64).sqrt();
+    let kernel = Kernel::Gaussian { bandwidth: spacing };
+    let params = MatRoxParams::hss().with_bacc(1e-7).with_leaf_size(32);
+    let h = inspector(&pts, &kernel, &params);
+    let fh = h.factorize().expect("HSS SPD kernel matrix must factor");
+    (pts, fh)
+}
+
+#[test]
+fn factored_roundtrip_preserves_solutions_bitwise() {
+    let (pts, fh) = build_factored();
+    let fh2 = from_bytes_factored(to_bytes_factored(&fh)).expect("deserialize factored");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let b = Matrix::random_uniform(pts.len(), 4, &mut rng);
+    // The solve after reload must be bitwise identical: serialization stores
+    // every factor value exactly (little-endian f64), and the sweeps are
+    // deterministic.
+    assert_eq!(
+        fh.solve_matrix(&b).as_slice(),
+        fh2.solve_matrix(&b).as_slice(),
+        "reloaded factorization changed the solution"
+    );
+    // The embedded HMatrix must round-trip too (evaluation unchanged).
+    let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
+    assert!(relative_error(&fh2.hmatrix.matmul(&w), &fh.hmatrix.matmul(&w)) < 1e-14);
+}
+
+#[test]
+fn factored_roundtrip_is_byte_stable() {
+    let (_, fh) = build_factored();
+    let bytes = to_bytes_factored(&fh);
+    let fh2 = from_bytes_factored(bytes.clone()).expect("deserialize");
+    assert_eq!(
+        to_bytes_factored(&fh2),
+        bytes,
+        "serialize(deserialize(b)) != b for the factored format"
+    );
+}
+
+#[test]
+fn factored_file_roundtrip_solves_after_reload() {
+    let (pts, fh) = build_factored();
+    let dir = std::env::temp_dir().join("matrox_serialization_roundtrip_factored");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hmat.ulv");
+    save_factored(&fh, &path).unwrap();
+    let loaded = load_factored(&path).unwrap();
+    let b: Vec<f64> = (0..pts.len())
+        .map(|i| ((i % 13) as f64 - 6.0) * 0.5)
+        .collect();
+    assert_eq!(
+        loaded.solve(&b),
+        fh.solve(&b),
+        "solution after file reload is not bitwise equal"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_factored_payload_is_an_error_not_a_panic() {
+    let (_, fh) = build_factored();
+    let bytes = to_bytes_factored(&fh);
+    for keep in [9, bytes.len() / 2, bytes.len() - 8] {
+        let truncated: Vec<u8> = bytes[..keep].to_vec();
+        let result =
+            std::panic::catch_unwind(|| from_bytes_factored(bytes::Bytes::from(truncated)));
+        match result {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("truncated factored payload deserialized successfully"),
+            Err(_) => panic!("truncated factored payload panicked instead of erroring"),
+        }
     }
 }
 

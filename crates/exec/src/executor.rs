@@ -52,8 +52,9 @@ pub struct ExecOptions {
 
 /// Resolve the effective grain for the executor's parallel loops: an explicit
 /// per-call setting wins, then the `MATROX_GRAIN` environment variable, then
-/// auto (1, letting the pool's width-scaled heuristic decide).
-fn effective_grain(opts: &ExecOptions) -> usize {
+/// auto (1, letting the pool's width-scaled heuristic decide).  Public so the
+/// factor/solve sweeps (`matrox-factor`) honor the same knob.
+pub fn effective_grain(opts: &ExecOptions) -> usize {
     if opts.grain > 0 {
         return opts.grain;
     }

@@ -12,4 +12,4 @@
 
 pub mod executor;
 
-pub use executor::{execute, ExecOptions};
+pub use executor::{effective_grain, execute, ExecOptions};

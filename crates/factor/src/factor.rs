@@ -1,0 +1,396 @@
+//! The ULV-style HSS factorization (leaf Cholesky + sibling merges).
+
+use matrox_analysis::CdsBlockEntry;
+use matrox_codegen::EvalPlan;
+use matrox_exec::{effective_grain, ExecOptions};
+use matrox_linalg::{
+    cholesky, cholesky_solve_matrix, gemm_slices, gemm_tn_slices, lu_factor, lu_solve_matrix,
+    LuFactors, Matrix,
+};
+use matrox_tree::ClusterTree;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Error raised while factoring a compressed matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// The plan was not built with the HSS (weak admissibility) structure:
+    /// the merge step can only fold sibling coupling blocks, not arbitrary
+    /// off-diagonal dense blocks.
+    UnsupportedStructure(String),
+    /// A leaf diagonal block is not (numerically) positive definite; the
+    /// factorization requires an SPD kernel matrix.
+    NotPositiveDefinite {
+        /// Cluster-tree node whose diagonal block failed.
+        node: usize,
+        /// Failing pivot index within the block.
+        pivot: usize,
+        /// Failing pivot value.
+        value: f64,
+    },
+    /// A sibling-merge system was singular (the compressed operator is not
+    /// invertible at the requested accuracy).
+    SingularMerge {
+        /// Internal node whose merge system broke down.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::UnsupportedStructure(m) => write!(f, "unsupported structure: {m}"),
+            FactorError::NotPositiveDefinite { node, pivot, value } => write!(
+                f,
+                "leaf block of node {node} is not positive definite (pivot {pivot} = {value:e})"
+            ),
+            FactorError::SingularMerge { node } => {
+                write!(f, "sibling merge system at node {node} is singular")
+            }
+        }
+    }
+}
+impl std::error::Error for FactorError {}
+
+/// Wall-clock breakdown of the factorization, mirroring
+/// `InspectorTimings` for the inspector phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FactorTimings {
+    /// Leaf phase: dense Cholesky of every diagonal block plus the
+    /// `E_i = D_i^{-1} U_i` solves.
+    pub leaf_cholesky: Duration,
+    /// Merge phase: assembling and LU-factoring the sibling systems and
+    /// propagating the reduced matrices `G_i` up the tree.
+    pub merge: Duration,
+}
+
+impl FactorTimings {
+    /// Total factorization time.
+    pub fn total(&self) -> Duration {
+        self.leaf_cholesky + self.merge
+    }
+}
+
+/// Per-leaf factors: the Cholesky factor of the diagonal block and the
+/// pre-solved basis `E_i = D_i^{-1} U_i` reused by every solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafFactor {
+    /// Leaf node id.
+    pub node: usize,
+    /// Lower Cholesky factor `L_i` of the leaf diagonal block.
+    pub chol: Matrix,
+    /// `E_i = D_i^{-1} U_i` (`n_i x srank_i`).
+    pub e: Matrix,
+}
+
+/// Per-internal-node factors of the sibling merge system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeFactor {
+    /// Internal node id `p` (children `l`, `r`).
+    pub node: usize,
+    /// Packed LU of `M_p = [I, G_l B_{l,r}; G_r B_{r,l}, I]`
+    /// (`(k_l + k_r)` square).
+    pub lu: LuFactors,
+    /// `T_p = M_p^{-1} [G_l R_l; G_r R_r]` (`(k_l + k_r) x k_p`): maps the
+    /// outer skeleton load `s_p` to the correction of the children's
+    /// skeleton coefficients during the downward sweep.
+    pub t: Matrix,
+}
+
+/// The ULV-style factorization of an HSS-compressed SPD kernel matrix.
+///
+/// Produced by [`factor`]; consumed by
+/// [`solve_matrix`](HssFactor::solve_matrix) /
+/// [`solve`](HssFactor::solve) together with the plan and tree it was
+/// factored from.
+#[derive(Debug, Clone)]
+pub struct HssFactor {
+    /// Problem size `N`.
+    pub n: usize,
+    /// Leaf factors, indexed by node id (`None` for internal nodes).
+    pub leaves: Vec<Option<LeafFactor>>,
+    /// Merge factors, indexed by node id (`None` for leaves).
+    pub merges: Vec<Option<MergeFactor>>,
+    /// Wall-clock breakdown of the factorization (zeroed after
+    /// deserialization, like the inspector timings).
+    pub timings: FactorTimings,
+}
+
+impl HssFactor {
+    /// Bytes of factor payload (Cholesky factors, pre-solved bases, merge
+    /// systems) — the storage the solver adds on top of the CDS buffers.
+    pub fn storage_bytes(&self) -> usize {
+        let leaf: usize = self
+            .leaves
+            .iter()
+            .flatten()
+            .map(|l| l.chol.len() + l.e.len())
+            .sum();
+        let merge: usize = self
+            .merges
+            .iter()
+            .flatten()
+            .map(|m| m.lu.lu.len() + m.lu.piv.len() + m.t.len())
+            .sum();
+        (leaf + merge) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Index the leaf diagonal blocks and sibling coupling blocks of an HSS
+/// plan, rejecting plans whose structure the merge recursion cannot fold.
+pub(crate) struct HssBlocks<'a> {
+    /// Leaf diagonal entries by node id.
+    pub diag: HashMap<usize, &'a CdsBlockEntry>,
+    /// Coupling entries by `(target, source)` node pair.
+    pub coupling: HashMap<(usize, usize), &'a CdsBlockEntry>,
+}
+
+pub(crate) fn index_hss_blocks<'a>(
+    plan: &'a EvalPlan,
+    tree: &ClusterTree,
+) -> Result<HssBlocks<'a>, FactorError> {
+    let cds = &plan.cds;
+    let mut diag = HashMap::with_capacity(cds.d_entries.len());
+    for e in &cds.d_entries {
+        if e.target != e.source || !tree.nodes[e.target].is_leaf() {
+            return Err(FactorError::UnsupportedStructure(format!(
+                "near block ({}, {}) is off-diagonal; the ULV factorization requires the \
+                 HSS (weak admissibility) structure",
+                e.target, e.source
+            )));
+        }
+        diag.insert(e.target, e);
+    }
+    for &leaf in &tree.leaves() {
+        if !diag.contains_key(&leaf) {
+            return Err(FactorError::UnsupportedStructure(format!(
+                "leaf node {leaf} has no stored diagonal block"
+            )));
+        }
+    }
+    let mut coupling = HashMap::with_capacity(cds.b_entries.len());
+    for e in &cds.b_entries {
+        let sib = |a: usize, b: usize| {
+            tree.nodes[a].parent.is_some() && tree.nodes[a].parent == tree.nodes[b].parent
+        };
+        if !sib(e.target, e.source) {
+            return Err(FactorError::UnsupportedStructure(format!(
+                "coupling block ({}, {}) links non-sibling nodes; the merge recursion \
+                 requires HSS sibling coupling only",
+                e.target, e.source
+            )));
+        }
+        coupling.insert((e.target, e.source), e);
+    }
+    Ok(HssBlocks { diag, coupling })
+}
+
+/// Borrow a coupling block `B_{i,j}` as a slice (empty when either srank is
+/// zero and the pair was therefore never stored).
+pub(crate) fn coupling_block<'a>(
+    plan: &'a EvalPlan,
+    blocks: &HssBlocks<'a>,
+    i: usize,
+    j: usize,
+) -> &'a [f64] {
+    match blocks.coupling.get(&(i, j)) {
+        Some(e) => plan.cds.b_block(e),
+        None => &[],
+    }
+}
+
+/// Compute the ULV-style factorization of an HSS-compressed SPD matrix.
+///
+/// `opts.parallel_tree` selects the level-parallel sweeps (the per-node
+/// arithmetic is identical either way, so results are bitwise independent of
+/// the choice and of the pool width); `opts.grain` is honored exactly as in
+/// the executor.
+pub fn factor(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    opts: &ExecOptions,
+) -> Result<HssFactor, FactorError> {
+    let blocks = index_hss_blocks(plan, tree)?;
+    let n_nodes = tree.num_nodes();
+    let parallel = opts.parallel_tree;
+    let grain = effective_grain(opts);
+
+    let mut leaves: Vec<Option<LeafFactor>> = vec![None; n_nodes];
+    let mut merges: Vec<Option<MergeFactor>> = vec![None; n_nodes];
+    // Reduced matrices G_i = V_i^T K_i^{-1} U_i, alive only during the
+    // factorization (the solve never needs them: they are folded into the
+    // merge systems and T_p maps).
+    let mut g: Vec<Matrix> = vec![Matrix::zeros(0, 0); n_nodes];
+
+    // ---- leaf phase -------------------------------------------------------
+    let t0 = Instant::now();
+    let leaf_ids = tree.leaves();
+    let leaf_results: Vec<Result<(usize, LeafFactor, Matrix), FactorError>> = if parallel {
+        leaf_ids
+            .par_iter()
+            .with_min_len(grain)
+            .map(|&id| factor_leaf(plan, tree, &blocks, id))
+            .collect()
+    } else {
+        leaf_ids
+            .iter()
+            .map(|&id| factor_leaf(plan, tree, &blocks, id))
+            .collect()
+    };
+    for r in leaf_results {
+        let (id, lf, gi) = r?;
+        leaves[id] = Some(lf);
+        g[id] = gi;
+    }
+    let leaf_cholesky = t0.elapsed();
+
+    // ---- merge phase: internal levels bottom-up ---------------------------
+    let t0 = Instant::now();
+    for level in (0..tree.height).rev() {
+        let ids: Vec<usize> = tree
+            .nodes_at_level(level)
+            .into_iter()
+            .filter(|&id| !tree.nodes[id].is_leaf())
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let results: Vec<Result<(usize, MergeFactor, Matrix), FactorError>> = if parallel {
+            ids.par_iter()
+                .with_min_len(grain)
+                .map(|&id| factor_internal(plan, tree, &blocks, &g, id))
+                .collect()
+        } else {
+            ids.iter()
+                .map(|&id| factor_internal(plan, tree, &blocks, &g, id))
+                .collect()
+        };
+        for r in results {
+            let (id, mf, gp) = r?;
+            merges[id] = Some(mf);
+            g[id] = gp;
+        }
+    }
+    let merge = t0.elapsed();
+
+    Ok(HssFactor {
+        n: tree.perm.len(),
+        leaves,
+        merges,
+        timings: FactorTimings {
+            leaf_cholesky,
+            merge,
+        },
+    })
+}
+
+/// Leaf step: Cholesky of the diagonal block, `E_i = D_i^{-1} U_i`,
+/// `G_i = V_i^T E_i`.
+fn factor_leaf(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    blocks: &HssBlocks<'_>,
+    id: usize,
+) -> Result<(usize, LeafFactor, Matrix), FactorError> {
+    let cds = &plan.cds;
+    let node = &tree.nodes[id];
+    let ni = node.num_points();
+    let entry = blocks.diag[&id];
+    debug_assert_eq!((entry.rows, entry.cols), (ni, ni));
+    let d = Matrix::from_vec(ni, ni, cds.d_block(entry).to_vec());
+    let chol = cholesky(&d).map_err(|e| FactorError::NotPositiveDefinite {
+        node: id,
+        pivot: e.pivot,
+        value: e.value,
+    })?;
+    let (u, urows, ucols) = cds.u(id);
+    let (e, gi) = if ucols == 0 {
+        (Matrix::zeros(ni, 0), Matrix::zeros(0, 0))
+    } else {
+        debug_assert_eq!(urows, ni, "leaf basis rows must match leaf size");
+        let um = Matrix::from_vec(urows, ucols, u.to_vec());
+        let e = cholesky_solve_matrix(&chol, &um);
+        let (v, vrows, vcols) = cds.v(id);
+        let mut gi = Matrix::zeros(vcols, ucols);
+        gemm_tn_slices(v, vrows, vcols, e.as_slice(), ucols, gi.as_mut_slice());
+        (e, gi)
+    };
+    Ok((id, LeafFactor { node: id, chol, e }, gi))
+}
+
+/// Merge step for internal node `p`: assemble and LU-factor
+/// `M_p = [I, G_l B_{l,r}; G_r B_{r,l}, I]`, then push the reduced matrix
+/// through the transfer matrices: `G_p = W_p^T M_p^{-1} [G_l R_l; G_r R_r]`.
+fn factor_internal(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    blocks: &HssBlocks<'_>,
+    g: &[Matrix],
+    id: usize,
+) -> Result<(usize, MergeFactor, Matrix), FactorError> {
+    let cds = &plan.cds;
+    let (l, r) = tree.nodes[id].children.expect("internal node has children");
+    let kl = cds.sranks[l];
+    let kr = cds.sranks[r];
+    let m = kl + kr;
+
+    let mut mm = Matrix::identity(m);
+    if kl > 0 && kr > 0 {
+        let b_lr = coupling_block(plan, blocks, l, r);
+        let b_rl = coupling_block(plan, blocks, r, l);
+        debug_assert_eq!(b_lr.len(), kl * kr);
+        debug_assert_eq!(b_rl.len(), kr * kl);
+        // Top-right block: G_l * B_{l,r}.
+        let mut tr = Matrix::zeros(kl, kr);
+        gemm_slices(g[l].as_slice(), kl, kl, b_lr, kr, tr.as_mut_slice());
+        for i in 0..kl {
+            mm.row_mut(i)[kl..m].copy_from_slice(tr.row(i));
+        }
+        // Bottom-left block: G_r * B_{r,l}.
+        let mut bl = Matrix::zeros(kr, kl);
+        gemm_slices(g[r].as_slice(), kr, kr, b_rl, kl, bl.as_mut_slice());
+        for i in 0..kr {
+            mm.row_mut(kl + i)[0..kl].copy_from_slice(bl.row(i));
+        }
+    }
+    let lu = lu_factor(&mm).map_err(|_| FactorError::SingularMerge { node: id })?;
+
+    let kp = cds.sranks[id];
+    let (t, gp) = if kp == 0 {
+        (Matrix::zeros(m, 0), Matrix::zeros(0, 0))
+    } else {
+        let (rgen, rrows, rcols) = cds.u(id);
+        debug_assert_eq!(rrows, m, "transfer rows must equal children sranks");
+        debug_assert_eq!(rcols, kp);
+        // RHS = [G_l R_l; G_r R_r] stacked by child.
+        let mut rhs = Matrix::zeros(m, kp);
+        if kl > 0 {
+            gemm_slices(
+                g[l].as_slice(),
+                kl,
+                kl,
+                &rgen[0..kl * kp],
+                kp,
+                &mut rhs.as_mut_slice()[0..kl * kp],
+            );
+        }
+        if kr > 0 {
+            gemm_slices(
+                g[r].as_slice(),
+                kr,
+                kr,
+                &rgen[kl * kp..],
+                kp,
+                &mut rhs.as_mut_slice()[kl * kp..],
+            );
+        }
+        let t = lu_solve_matrix(&lu, &rhs);
+        let (w, wrows, wcols) = cds.v(id);
+        debug_assert_eq!((wrows, wcols), (m, kp));
+        let mut gp = Matrix::zeros(kp, kp);
+        gemm_tn_slices(w, wrows, wcols, t.as_slice(), kp, gp.as_mut_slice());
+        (t, gp)
+    };
+    Ok((id, MergeFactor { node: id, lu, t }, gp))
+}

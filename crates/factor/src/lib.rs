@@ -1,0 +1,48 @@
+//! # matrox-factor
+//!
+//! A structured **factor + solve** subsystem over the inspector's compressed
+//! representation: given an SPD kernel matrix compressed with the HSS (weak
+//! admissibility) structure, [`factor`] computes a ULV-style factorization
+//! and [`HssFactor::solve_matrix`] runs forward/backward sweeps so
+//! `K~ x = b` is solved directly — the workload STRUMPACK exists for, and
+//! the scenario family (kernel regression, preconditioning) the executor's
+//! `Y = K~ W` product alone cannot express.
+//!
+//! ## Algorithm
+//!
+//! The compressed matrix is exactly the telescoping HSS form the inspector
+//! already stores in CDS: dense leaf diagonal blocks `D_i`, nested bases
+//! `U_i = V_i` (leaf interpolation / internal transfer matrices) and sibling
+//! coupling blocks `B_{l,r} = K(skel_l, skel_r)`.  Writing `K_i` for the
+//! subtree operator of node `i` (its diagonal block including all coupling
+//! *below* `i`), the factorization computes bottom-up, per node, the small
+//! reduced matrix `G_i = V_i^T K_i^{-1} U_i` (`srank x srank`):
+//!
+//! * **leaf** — Cholesky `D_i = L_i L_i^T`, then `E_i = D_i^{-1} U_i` and
+//!   `G_i = V_i^T E_i`;
+//! * **merge (internal node `p`, children `l`, `r`)** — eliminating both
+//!   children's interiors reduces `K_p z = c` to the `(k_l + k_r)`-square
+//!   system `M_p = [I, G_l B_{l,r}; G_r B_{r,l}, I]` in the children's
+//!   skeleton coefficients; `M_p` is factored with partial-pivoted LU, and
+//!   `G_p = W_p^T M_p^{-1} [G_l R_l; G_r R_r]` follows from the transfer
+//!   matrices alone — no large dense algebra above the leaves.
+//!
+//! The solve is two tree sweeps: an **upward sweep** (leaf forward/backward
+//! substitutions, then one small `M_p` solve per internal node) and a
+//! **downward sweep** that propagates outer skeleton loads `s_i` back down
+//! with nothing but small GEMMs, finishing with `x_i = y_i - E_i s_i` at the
+//! leaves.  Both sweeps are parallel over nodes within a tree level on the
+//! workspace's work-stealing pool; every node's arithmetic is sequential and
+//! identical at any pool width, so factor and solve are *bitwise
+//! deterministic* across thread counts, mirroring the executor's
+//! conflict-free-scheduling guarantee.
+//!
+//! Non-HSS structures (geometric or budget admissibility produce
+//! off-diagonal dense blocks the merge step cannot fold) are rejected with
+//! [`FactorError::UnsupportedStructure`], exactly like the STRUMPACK
+//! baseline's scope.
+
+pub mod factor;
+pub mod solve;
+
+pub use factor::{factor, FactorError, FactorTimings, HssFactor, LeafFactor, MergeFactor};

@@ -1,0 +1,119 @@
+//! Cross-thread-width determinism of factor + solve, mirroring
+//! `crates/exec/tests/determinism.rs`.
+//!
+//! The factorization and both solve sweeps parallelize over nodes within a
+//! tree level, and every node's arithmetic is sequential and independent of
+//! the pool width.  So — exactly like the executor's conflict-free
+//! schedules — the factors and the solutions must be *bitwise identical* at
+//! every pool width, and the grain knob may change scheduling only, never
+//! results.
+
+use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
+use matrox_codegen::{generate_plan, CodegenParams, EvalPlan};
+use matrox_compress::{compress, CompressionParams};
+use matrox_exec::ExecOptions;
+use matrox_factor::factor;
+use matrox_linalg::Matrix;
+use matrox_points::{generate, DatasetId, Kernel};
+use matrox_sampling::sample_nodes_exhaustive;
+use matrox_tree::{ClusterTree, HTree, PartitionMethod, Structure};
+use rand::SeedableRng;
+
+fn fixture(n: usize) -> (ClusterTree, EvalPlan, Matrix) {
+    let pts = generate(DatasetId::Grid, n, 77);
+    let spacing = 1.0 / (n as f64).sqrt();
+    let kernel = Kernel::GaussianRidge {
+        bandwidth: 4.0 * spacing,
+        ridge: 1.0,
+    };
+    let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+    let htree = HTree::build(&tree, Structure::Hss);
+    let sampling = sample_nodes_exhaustive(&pts, &tree);
+    let c = compress(
+        &pts,
+        &tree,
+        &htree,
+        &kernel,
+        &sampling,
+        &CompressionParams {
+            bacc: 1e-7,
+            max_rank: 256,
+        },
+    );
+    let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
+    let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
+    let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
+    let cds = build_cds(&tree, &c, &near, &far, &cs);
+    let plan = generate_plan(
+        near,
+        far,
+        cs,
+        cds,
+        tree.height,
+        tree.leaves().len(),
+        &CodegenParams::default(),
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let b = Matrix::random_uniform(n, 5, &mut rng);
+    (tree, plan, b)
+}
+
+#[test]
+fn factor_and_solve_are_deterministic_across_thread_counts() {
+    let (tree, plan, b) = fixture(512);
+
+    // Sequential reference (no pool involvement at all).
+    let f_ref = factor(&plan, &tree, &ExecOptions::sequential()).expect("factor");
+    let x_ref = f_ref.solve_matrix(&plan, &tree, &b, &ExecOptions::sequential());
+
+    for &nt in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nt)
+            .build()
+            .unwrap();
+        let (f, x) = pool.install(|| {
+            let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
+            let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+            (f, x)
+        });
+        assert_eq!(
+            f.leaves, f_ref.leaves,
+            "leaf factors at {nt} threads differ from sequential"
+        );
+        assert_eq!(
+            f.merges, f_ref.merges,
+            "merge factors at {nt} threads differ from sequential"
+        );
+        assert_eq!(
+            x.as_slice(),
+            x_ref.as_slice(),
+            "solution at {nt} threads is not bitwise identical to sequential"
+        );
+    }
+}
+
+/// The grain knob must change scheduling only, never results.
+#[test]
+fn grain_settings_do_not_change_solutions() {
+    let (tree, plan, b) = fixture(512);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let base = pool.install(|| {
+        let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
+        f.solve_matrix(&plan, &tree, &b, &ExecOptions::full())
+    });
+    for grain in [1usize, 2, 7, 64] {
+        let opts = ExecOptions::full().with_grain(grain);
+        let x = pool.install(|| {
+            let f = factor(&plan, &tree, &opts).expect("factor");
+            f.solve_matrix(&plan, &tree, &b, &opts)
+        });
+        assert_eq!(
+            x.as_slice(),
+            base.as_slice(),
+            "grain {grain} changed the solution"
+        );
+    }
+}

@@ -13,6 +13,10 @@
 //!   products (`C ← αAB + βC`), plus `gemv` and transposed variants.
 //! * [`qr`] — Householder column-pivoted QR (Businger–Golub) with adaptive
 //!   rank detection.
+//! * [`chol`] — blocked dense Cholesky with a symmetric rank-`k` trailing
+//!   update; factors the ULV leaf blocks and the dense solver baseline.
+//! * [`lu`] — partial-pivoted LU for the small nonsymmetric sibling-merge
+//!   systems of the HSS factorization.
 //! * [`id`] — row/column interpolative decompositions built on top of the
 //!   pivoted QR; this is the compression workhorse of MatRox.
 //! * [`norms`] — Frobenius norms and relative-error helpers used by the
@@ -23,18 +27,25 @@
 //! relative performance comparisons reported by the benchmark harnesses are
 //! not skewed by different BLAS backends.
 
+pub mod chol;
 pub mod gemm;
 pub mod id;
+pub mod lu;
 pub mod matrix;
 pub mod norms;
 pub mod qr;
 pub mod solve;
 
+pub use chol::{cholesky, cholesky_solve, cholesky_solve_matrix, syrk_lower, NotPositiveDefinite};
 pub use gemm::{
     gemm, gemm_seq, gemm_slices, gemm_tn_slices, gemv, matmul, par_gemm, par_gemm_slices, GemmOp,
 };
 pub use id::{column_id, row_id, IdResult};
+pub use lu::{lu_factor, lu_solve, lu_solve_matrix, LuFactors, SingularMatrix};
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, relative_error};
 pub use qr::{pivoted_qr, PivotedQr};
-pub use solve::{solve_upper_triangular, solve_upper_triangular_matrix};
+pub use solve::{
+    solve_lower_transpose_matrix, solve_lower_triangular, solve_lower_triangular_matrix,
+    solve_upper_triangular, solve_upper_triangular_matrix,
+};

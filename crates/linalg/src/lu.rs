@@ -1,0 +1,192 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The ULV-style HSS factorization reduces every sibling merge to a small
+//! `(k_l + k_r)`-square system `[I, G_l B_lr; G_r B_rl, I]` coupling the two
+//! children's skeleton coefficients.  That system is square and well
+//! conditioned for SPD inputs but *not* symmetric, so it is factored once
+//! here (LAPACK `dgetrf`/`dgetrs` territory) and re-solved during every
+//! upward sweep.  Sizes are bounded by twice the maximum srank (2 x 256 in
+//! the paper's configuration), so an unblocked kernel is sufficient.
+
+use crate::matrix::Matrix;
+
+/// Error returned when elimination finds no usable pivot: the matrix is
+/// exactly (or numerically) singular.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingularMatrix {
+    /// Column at which elimination broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+impl std::error::Error for SingularMatrix {}
+
+/// Packed LU factorization `P A = L U` (unit lower `L` and upper `U` share
+/// one matrix, LAPACK-style; `piv[k]` is the row swapped with row `k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactors {
+    /// `L` (strict lower, unit diagonal implied) and `U` (upper) packed.
+    pub lu: Matrix,
+    /// Row interchanges: at step `k`, rows `k` and `piv[k]` were swapped.
+    pub piv: Vec<usize>,
+}
+
+/// Factor a square matrix with partial pivoting.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn lu_factor(a: &Matrix) -> Result<LuFactors, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu_factor: matrix must be square");
+    let mut lu = a.clone();
+    let mut piv = Vec::with_capacity(n);
+    let data = lu.as_mut_slice();
+    for k in 0..n {
+        // Partial pivot: the largest magnitude in column k at or below row k.
+        let mut p = k;
+        let mut best = data[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = data[i * n + k].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 || !best.is_finite() {
+            return Err(SingularMatrix { column: k });
+        }
+        piv.push(p);
+        if p != k {
+            for j in 0..n {
+                data.swap(k * n + j, p * n + j);
+            }
+        }
+        let pivot = data[k * n + k];
+        for i in (k + 1)..n {
+            let lik = data[i * n + k] / pivot;
+            data[i * n + k] = lik;
+            if lik == 0.0 {
+                continue;
+            }
+            for j in (k + 1)..n {
+                data[i * n + j] -= lik * data[k * n + j];
+            }
+        }
+    }
+    Ok(LuFactors { lu, piv })
+}
+
+/// Solve `A X = B` (matrix right-hand side) from the packed factors.
+///
+/// # Panics
+/// Panics if `b.rows()` does not match the factored dimension.
+pub fn lu_solve_matrix(f: &LuFactors, b: &Matrix) -> Matrix {
+    let n = f.lu.rows();
+    assert_eq!(b.rows(), n, "lu_solve_matrix: dimension mismatch");
+    let q = b.cols();
+    let mut x = b.clone();
+    // Apply the recorded interchanges in factorization order.
+    for (k, &p) in f.piv.iter().enumerate() {
+        if p != k {
+            for c in 0..q {
+                let a = x.get(k, c);
+                let bv = x.get(p, c);
+                x.set(k, c, bv);
+                x.set(p, c, a);
+            }
+        }
+    }
+    // Forward substitution with the unit-lower factor.
+    for i in 1..n {
+        let lrow = f.lu.row(i).to_vec();
+        let mut acc = x.row(i).to_vec();
+        for j in 0..i {
+            let lij = lrow[j];
+            if lij == 0.0 {
+                continue;
+            }
+            let xrow = x.row(j);
+            for c in 0..q {
+                acc[c] -= lij * xrow[c];
+            }
+        }
+        x.row_mut(i).copy_from_slice(&acc);
+    }
+    // Back substitution with the upper factor.
+    for i in (0..n).rev() {
+        let urow = f.lu.row(i).to_vec();
+        let mut acc = x.row(i).to_vec();
+        for j in (i + 1)..n {
+            let uij = urow[j];
+            if uij == 0.0 {
+                continue;
+            }
+            let xrow = x.row(j);
+            for c in 0..q {
+                acc[c] -= uij * xrow[c];
+            }
+        }
+        let d = urow[i];
+        for c in 0..q {
+            acc[c] /= d;
+        }
+        x.row_mut(i).copy_from_slice(&acc);
+    }
+    x
+}
+
+/// Solve `A x = b` (vector right-hand side) from the packed factors.
+pub fn lu_solve(f: &LuFactors, b: &[f64]) -> Vec<f64> {
+    let bm = Matrix::from_vec(b.len(), 1, b.to_vec());
+    lu_solve_matrix(f, &bm).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_recovers_true_solution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for n in [1usize, 2, 7, 20] {
+            let mut a = Matrix::random_uniform(n, n, &mut rng);
+            for i in 0..n {
+                a[(i, i)] += 3.0; // keep comfortably nonsingular
+            }
+            let x_true = Matrix::from_fn(n, 3, |i, j| ((i + 2 * j) as f64 * 0.37).cos());
+            let b = matmul(&a, &x_true);
+            let f = lu_factor(&a).unwrap();
+            let x = lu_solve_matrix(&f, &b);
+            assert!(relative_error(&x, &x_true) < 1e-11, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let f = lu_factor(&a).unwrap();
+        let x = lu_solve(&f, &[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(lu_factor(&a).is_err());
+    }
+
+    #[test]
+    fn empty_system_solves_trivially() {
+        let f = lu_factor(&Matrix::zeros(0, 0)).unwrap();
+        let x = lu_solve_matrix(&f, &Matrix::zeros(0, 4));
+        assert_eq!(x.shape(), (0, 4));
+    }
+}

@@ -1,9 +1,15 @@
-//! Triangular solves used by the interpolative decomposition.
+//! Triangular solves used by the interpolative decomposition and the
+//! ULV-style HSS factorization.
 //!
 //! The ID needs `T = R11^{-1} R12` where `R11` is the leading `k x k` upper
 //! triangle of the pivoted-QR factor.  We solve column by column with plain
 //! back-substitution; `k` is bounded by the maximum submatrix rank (256 in the
 //! paper's default configuration), so this is never a bottleneck.
+//!
+//! The lower-triangular variants are the forward/backward substitution
+//! kernels of the Cholesky-based solves (`crate::chol`, `matrox-factor`):
+//! the ULV sweeps solve `L y = b` on the way up and `L^T x = y` on the way
+//! down, both against the same stored lower factor.
 
 use crate::matrix::Matrix;
 
@@ -36,8 +42,8 @@ pub fn solve_upper_triangular_matrix(u: &Matrix, b: &Matrix) -> Matrix {
     let n = b.cols();
     let mut x = Matrix::zeros(k, n);
     // Back-substitution over all right-hand sides at once, row-major friendly:
-    // process rows bottom-up, updating full rows.
-    let mut work = b.clone();
+    // process rows bottom-up, updating full rows.  Each row of `b` is read
+    // exactly once (at its own iteration), so no work buffer is needed.
     for i in (0..k).rev() {
         let urow_i = u.row(i).to_vec();
         let d = urow_i[i];
@@ -45,8 +51,8 @@ pub fn solve_upper_triangular_matrix(u: &Matrix, b: &Matrix) -> Matrix {
             d != 0.0,
             "solve_upper_triangular_matrix: singular diagonal at {i}"
         );
-        // x[i, :] = (work[i, :] - sum_{j>i} U[i,j] * x[j, :]) / d
-        let mut acc = work.row(i).to_vec();
+        // x[i, :] = (b[i, :] - sum_{j>i} U[i,j] * x[j, :]) / d
+        let mut acc = b.row(i).to_vec();
         for j in (i + 1)..k {
             let uij = urow_i[j];
             if uij == 0.0 {
@@ -61,7 +67,97 @@ pub fn solve_upper_triangular_matrix(u: &Matrix, b: &Matrix) -> Matrix {
             acc[c] /= d;
         }
         x.row_mut(i).copy_from_slice(&acc);
-        work.row_mut(i).iter_mut().for_each(|v| *v = 0.0);
+    }
+    x
+}
+
+/// Solve `L x = b` where `L` is the lower-triangular leading block of `l`
+/// (only entries `l[i][j]` with `j <= i` and `i, j < b.len()` are
+/// referenced).
+///
+/// # Panics
+/// Panics on dimension mismatch or on an exactly singular diagonal entry.
+pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert!(l.rows() >= n && l.cols() >= n, "solve: L too small");
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= row[j] * x[j];
+        }
+        let d = row[i];
+        assert!(d != 0.0, "solve_lower_triangular: singular diagonal at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solve `L X = B` by forward substitution over all right-hand sides at
+/// once, where `L` is `k x k` lower triangular (taken from the leading block
+/// of `l`) and `B` is `k x n`.  This is the upward half of the ULV leaf
+/// solves.
+pub fn solve_lower_triangular_matrix(l: &Matrix, b: &Matrix) -> Matrix {
+    let k = b.rows();
+    let n = b.cols();
+    assert!(l.rows() >= k && l.cols() >= k, "solve: L too small");
+    let mut x = Matrix::zeros(k, n);
+    for i in 0..k {
+        let lrow_i = l.row(i).to_vec();
+        let d = lrow_i[i];
+        assert!(
+            d != 0.0,
+            "solve_lower_triangular_matrix: singular diagonal at {i}"
+        );
+        let mut acc = b.row(i).to_vec();
+        for j in 0..i {
+            let lij = lrow_i[j];
+            if lij == 0.0 {
+                continue;
+            }
+            let xrow = x.row(j).to_vec();
+            for c in 0..n {
+                acc[c] -= lij * xrow[c];
+            }
+        }
+        for c in 0..n {
+            acc[c] /= d;
+        }
+        x.row_mut(i).copy_from_slice(&acc);
+    }
+    x
+}
+
+/// Solve `L^T X = B` against the *stored lower* factor `L` (the backward
+/// half of a Cholesky solve, without materializing the transpose).
+pub fn solve_lower_transpose_matrix(l: &Matrix, b: &Matrix) -> Matrix {
+    let k = b.rows();
+    let n = b.cols();
+    assert!(l.rows() >= k && l.cols() >= k, "solve: L too small");
+    let mut x = Matrix::zeros(k, n);
+    for i in (0..k).rev() {
+        let d = l.get(i, i);
+        assert!(
+            d != 0.0,
+            "solve_lower_transpose_matrix: singular diagonal at {i}"
+        );
+        let mut acc = b.row(i).to_vec();
+        for j in (i + 1)..k {
+            // (L^T)[i, j] = L[j, i]
+            let lji = l.get(j, i);
+            if lji == 0.0 {
+                continue;
+            }
+            let xrow = x.row(j).to_vec();
+            for c in 0..n {
+                acc[c] -= lji * xrow[c];
+            }
+        }
+        for c in 0..n {
+            acc[c] /= d;
+        }
+        x.row_mut(i).copy_from_slice(&acc);
     }
     x
 }
@@ -121,5 +217,56 @@ mod tests {
         let b = Matrix::zeros(0, 3);
         let x = solve_upper_triangular_matrix(&u, &b);
         assert_eq!(x.shape(), (0, 3));
+    }
+
+    fn lower(n: usize, seed: u64) -> Matrix {
+        upper(n, seed).transpose()
+    }
+
+    #[test]
+    fn lower_vector_solve_matches_product() {
+        let l = lower(9, 4);
+        let x_true: Vec<f64> = (0..9).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut b = vec![0.0; 9];
+        crate::gemm::gemv(1.0, &l, crate::gemm::GemmOp::NoTrans, &x_true, 0.0, &mut b);
+        let x = solve_lower_triangular(&l, &b);
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lower_matrix_solve_matches_product() {
+        let l = lower(12, 5);
+        let x_true = Matrix::from_fn(12, 3, |i, j| ((i * 3 + j) as f64 * 0.2).cos());
+        let b = matmul(&l, &x_true);
+        let x = solve_lower_triangular_matrix(&l, &b);
+        assert!(relative_error(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn lower_transpose_solve_matches_explicit_transpose() {
+        let l = lower(10, 6);
+        let x_true = Matrix::from_fn(10, 2, |i, j| ((i + j) as f64 * 0.4).sin());
+        let b = matmul(&l.transpose(), &x_true);
+        let x = solve_lower_transpose_matrix(&l, &b);
+        assert!(relative_error(&x, &x_true) < 1e-10);
+        // Must agree with solving the materialized transpose as an upper system.
+        let x2 = solve_upper_triangular_matrix(&l.transpose(), &b);
+        assert!(relative_error(&x, &x2) < 1e-13);
+    }
+
+    #[test]
+    fn lower_empty_solves_are_empty() {
+        let l = Matrix::zeros(0, 0);
+        assert_eq!(
+            solve_lower_triangular_matrix(&l, &Matrix::zeros(0, 2)).shape(),
+            (0, 2)
+        );
+        assert_eq!(
+            solve_lower_transpose_matrix(&l, &Matrix::zeros(0, 2)).shape(),
+            (0, 2)
+        );
+        assert!(solve_lower_triangular(&l, &[]).is_empty());
     }
 }

@@ -14,6 +14,26 @@ pub enum Kernel {
         /// Bandwidth `h`.
         bandwidth: f64,
     },
+    /// Diagonally regularized Gaussian kernel: `exp(-||x - y||^2 / (2 h^2))
+    /// + lambda * [dist(x, y) == 0]` — the kernel-ridge matrix
+    /// `K + lambda I` for point sets without duplicates.
+    ///
+    /// This is the standard SPD *solver* workload: plain Gaussian kernel
+    /// matrices are numerically rank deficient once the bandwidth exceeds a
+    /// few point spacings, so direct factorizations need the shift.
+    ///
+    /// Like [`Kernel::InverseDistance`]'s `diag`, the shift keys on *zero
+    /// distance*, not on point identity (the kernel only ever sees
+    /// coordinates), so two coincident **distinct** points both receive it
+    /// and their 2x2 block is exactly singular.  Deduplicate inputs before
+    /// factoring; coincident duplicates are rejected by the Cholesky pivot
+    /// check rather than silently regularized.
+    GaussianRidge {
+        /// Bandwidth `h`.
+        bandwidth: f64,
+        /// Diagonal shift `lambda > 0`.
+        ridge: f64,
+    },
     /// Inverse-distance kernel `1 / ||x - y||` with a regularized diagonal
     /// (SMASH's default setting).  `K(x, x)` is defined as `diag`.
     InverseDistance {
@@ -61,6 +81,14 @@ impl Kernel {
     pub fn eval_dist2(&self, d2: f64) -> f64 {
         match *self {
             Kernel::Gaussian { bandwidth } => (-d2 / (2.0 * bandwidth * bandwidth)).exp(),
+            Kernel::GaussianRidge { bandwidth, ridge } => {
+                let g = (-d2 / (2.0 * bandwidth * bandwidth)).exp();
+                if d2 == 0.0 {
+                    g + ridge
+                } else {
+                    g
+                }
+            }
             Kernel::InverseDistance { diag } => {
                 if d2 == 0.0 {
                     diag
@@ -77,6 +105,7 @@ impl Kernel {
     pub fn name(&self) -> &'static str {
         match self {
             Kernel::Gaussian { .. } => "gaussian",
+            Kernel::GaussianRidge { .. } => "gaussian-ridge",
             Kernel::InverseDistance { .. } => "inverse-distance",
             Kernel::Laplace { .. } => "laplace",
             Kernel::Cauchy { .. } => "cauchy",
@@ -104,6 +133,19 @@ mod tests {
     }
 
     #[test]
+    fn gaussian_ridge_shifts_the_diagonal_only() {
+        let g = Kernel::Gaussian { bandwidth: 2.0 };
+        let r = Kernel::GaussianRidge {
+            bandwidth: 2.0,
+            ridge: 3.5,
+        };
+        assert_eq!(r.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0 + 3.5);
+        let x = [0.0, 0.0];
+        let y = [0.7, -0.3];
+        assert_eq!(r.eval(&x, &y), g.eval(&x, &y));
+    }
+
+    #[test]
     fn inverse_distance_uses_diag_value() {
         let k = Kernel::InverseDistance { diag: 7.5 };
         assert_eq!(k.eval(&[1.0], &[1.0]), 7.5);
@@ -114,6 +156,10 @@ mod tests {
     fn kernels_are_symmetric() {
         let kernels = [
             Kernel::Gaussian { bandwidth: 2.0 },
+            Kernel::GaussianRidge {
+                bandwidth: 2.0,
+                ridge: 0.5,
+            },
             Kernel::InverseDistance { diag: 1.0 },
             Kernel::Laplace { bandwidth: 1.5 },
             Kernel::Cauchy { bandwidth: 0.7 },

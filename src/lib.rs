@@ -16,6 +16,8 @@
 //!   [`compress`](matrox_compress), [`analysis`](matrox_analysis),
 //!   [`codegen`](matrox_codegen), [`exec`](matrox_exec) — the pipeline
 //!   stages;
+//! * [`factor`](matrox_factor) — the ULV-style HSS factor + solve
+//!   subsystem behind [`HMatrix::factorize`] / `solve` (`K x = b`);
 //! * [`baselines`](matrox_baselines) — GOFMM-, STRUMPACK- and SMASH-style
 //!   evaluators plus the dense GEMM comparator;
 //! * [`cachesim`](matrox_cachesim) — the software locality proxy used by the
@@ -31,12 +33,16 @@ pub use matrox_codegen as codegen;
 pub use matrox_compress as compress;
 pub use matrox_core as core;
 pub use matrox_exec as exec;
+pub use matrox_factor as factor;
 pub use matrox_linalg as linalg;
 pub use matrox_points as points;
 pub use matrox_sampling as sampling;
 pub use matrox_tree as tree;
 
-pub use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, InspectorP1, MatRoxParams};
+pub use matrox_core::{
+    inspector, inspector_p1, inspector_p2, FactorError, FactoredHMatrix, HMatrix, InspectorP1,
+    MatRoxParams,
+};
 pub use matrox_exec::ExecOptions;
 pub use matrox_linalg::Matrix;
 pub use matrox_points::{generate, DatasetId, Kernel, PointSet};

@@ -1,0 +1,93 @@
+//! Golden accuracy-regression suite: pins upper bounds on the overall
+//! accuracy `eps_f = ||K~W - KW||_F / ||KW||_F` (Figure 9's measure) for
+//! every structure at fixed seeds and two block-accuracy settings, so a
+//! future performance PR that silently degrades approximation quality —
+//! a sloppier sampling pass, a broken ID tolerance, a CDS packing bug —
+//! fails loudly here instead of shipping.
+//!
+//! The bounds are pinned at roughly 10x the values measured on the seed
+//! implementation (recorded in the table below), leaving room for benign
+//! cross-platform floating-point drift while still catching order-of-
+//! magnitude regressions.  The pipeline is deterministic at fixed seeds, so
+//! on any one platform the measured values are exactly reproducible.
+
+use matrox::core::{inspector, MatRoxParams};
+use matrox::linalg::Matrix;
+use matrox::points::{generate, DatasetId, Kernel};
+use matrox::tree::Structure;
+use rand::SeedableRng;
+
+const N: usize = 1024;
+const Q: usize = 4;
+
+/// One golden entry: structure, block accuracy, pinned eps_f upper bound
+/// (and, as a comment anchor, the value measured when the bound was set).
+struct Golden {
+    name: &'static str,
+    structure: Structure,
+    bacc: f64,
+    max_eps: f64,
+    measured: f64,
+}
+
+#[rustfmt::skip]
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden { name: "hss/bacc=1e-3",  structure: Structure::Hss,                    bacc: 1e-3, max_eps: 6e-3, measured: 6.19e-4 },
+        Golden { name: "hss/bacc=1e-7",  structure: Structure::Hss,                    bacc: 1e-7, max_eps: 4e-6, measured: 4.17e-7 },
+        Golden { name: "h2b/bacc=1e-3",  structure: Structure::h2b(),                  bacc: 1e-3, max_eps: 4e-3, measured: 4.24e-4 },
+        Golden { name: "h2b/bacc=1e-7",  structure: Structure::h2b(),                  bacc: 1e-7, max_eps: 2e-6, measured: 1.85e-7 },
+        Golden { name: "geom/bacc=1e-3", structure: Structure::Geometric { tau: 0.65 }, bacc: 1e-3, max_eps: 1e-3, measured: 9.61e-5 },
+        Golden { name: "geom/bacc=1e-7", structure: Structure::Geometric { tau: 0.65 }, bacc: 1e-7, max_eps: 1e-7, measured: 1.14e-8 },
+    ]
+}
+
+fn measure(structure: Structure, bacc: f64) -> f64 {
+    let pts = generate(DatasetId::Grid, N, 0);
+    let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+    let params = MatRoxParams {
+        structure,
+        bacc,
+        ..MatRoxParams::default()
+    };
+    let h = inspector(&pts, &kernel, &params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let w = Matrix::random_uniform(N, Q, &mut rng);
+    h.overall_accuracy(&pts, &w)
+}
+
+#[test]
+fn overall_accuracy_stays_within_golden_bounds() {
+    for g in goldens() {
+        let eps = measure(g.structure, g.bacc);
+        println!(
+            "{}: eps_f = {eps:.3e} (bound {:.1e}, measured-at-pin {:.1e})",
+            g.name, g.max_eps, g.measured
+        );
+        assert!(
+            eps <= g.max_eps,
+            "{}: overall accuracy regressed: eps_f = {eps:.3e} exceeds golden bound {:.1e} \
+             (was {:.1e} when pinned)",
+            g.name,
+            g.max_eps,
+            g.measured
+        );
+    }
+}
+
+#[test]
+fn tighter_bacc_strictly_improves_golden_accuracy() {
+    for structure in [
+        Structure::Hss,
+        Structure::h2b(),
+        Structure::Geometric { tau: 0.65 },
+    ] {
+        let loose = measure(structure, 1e-3);
+        let tight = measure(structure, 1e-7);
+        assert!(
+            tight < loose,
+            "{}: bacc 1e-7 (eps {tight:.3e}) not better than 1e-3 (eps {loose:.3e})",
+            structure.name()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end acceptance for the HSS ULV factor + solve subsystem.
+//!
+//! On the canonical solve setting (kernel-ridge Gaussian over the 2-d grid,
+//! HSS structure, `bacc = 1e-7` — see `matrox_bench::solve_setting`) the
+//! solver must:
+//!
+//! 1. achieve a relative residual `||K x~ - b|| / ||b|| <= 1e-6` against the
+//!    *exact* kernel matrix,
+//! 2. match the dense Cholesky baseline's solution to the same tolerance
+//!    (both factorizations share the `matrox_linalg` kernels, so the
+//!    difference isolates the rank structure), and
+//! 3. produce bitwise-identical solutions at 1, 2 and 4 threads.
+//!
+//! The full `N = 4096` configuration runs in release builds only (the dense
+//! `O(N^3)` baseline is minutes-slow unoptimized); debug builds run the
+//! identical checks at `N = 1024` so `cargo test` keeps the whole path
+//! covered on every commit.
+
+use matrox::baselines::DenseCholeskyBaseline;
+use matrox::linalg::{frobenius_norm, Matrix};
+use matrox::points::{generate, DatasetId};
+use matrox::{inspector, ExecOptions};
+use matrox_bench::solve_setting;
+
+fn acceptance_at(n: usize) {
+    let points = generate(DatasetId::Grid, n, 0);
+    let (kernel, params) = solve_setting(n, 1e-7);
+    let h = inspector(&points, &kernel, &params);
+    let fh = h
+        .factorize()
+        .expect("HSS SPD kernel-ridge matrix must factor");
+
+    let b = Matrix::from_fn(n, 1, |i, _| ((i % 17) as f64 - 8.0) * 0.25);
+    let x = fh.solve_matrix(&b);
+
+    // (1) residual against the exact kernel matrix.
+    let residual = fh.relative_residual(&points, &x, &b);
+    assert!(
+        residual <= 1e-6,
+        "N = {n}: relative residual {residual:.3e} exceeds 1e-6"
+    );
+
+    // (2) agreement with the dense Cholesky baseline.
+    let dense = DenseCholeskyBaseline::new(&points, &kernel).expect("dense kernel matrix is SPD");
+    let xd = dense.solve_matrix(&b);
+    let mut diff = xd.clone();
+    diff.sub_assign(&x);
+    let rel_diff = frobenius_norm(&diff) / frobenius_norm(&xd);
+    assert!(
+        rel_diff <= 1e-6,
+        "N = {n}: solution differs from dense Cholesky by {rel_diff:.3e}"
+    );
+
+    // (3) bitwise determinism across pool widths, for factor AND solve.
+    let mut runs: Vec<Matrix> = Vec::new();
+    for &nt in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nt)
+            .build()
+            .unwrap();
+        let xi = pool.install(|| {
+            let f = h
+                .factorize_with(&ExecOptions::full())
+                .expect("factor under pool");
+            f.solve_matrix_with(&b, &ExecOptions::full())
+        });
+        runs.push(xi);
+    }
+    for (i, xi) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            xi.as_slice(),
+            runs[0].as_slice(),
+            "N = {n}: solution at {} threads is not bitwise identical to 1 thread",
+            [1usize, 2, 4][i]
+        );
+    }
+}
+
+/// Debug-profile variant: identical checks, tractable size.
+#[cfg(debug_assertions)]
+#[test]
+fn solve_acceptance_n1024() {
+    acceptance_at(1024);
+}
+
+/// The full acceptance configuration (`N = 4096`, `bacc = 1e-7`).  Release
+/// builds only: the dense baseline is `O(N^3)` and the exact-residual check
+/// `O(N^2)`.  Run with `cargo test --release --test solve_acceptance`.
+#[cfg(not(debug_assertions))]
+#[test]
+fn solve_acceptance_n4096() {
+    acceptance_at(4096);
+}
