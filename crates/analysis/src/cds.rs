@@ -74,6 +74,47 @@ impl GeneratorEntry {
     }
 }
 
+/// Size summary of a set of stored submatrices: the largest row count,
+/// column count and single-block element count seen.
+///
+/// The panel-blocked executor sizes its right-hand-side panels from the
+/// worst-case extent ([`Cds::worst_block_extent`]: a block plus its
+/// input/output panels must fit in L2); the per-class and per-group
+/// queries below expose the same information at finer grain for harness
+/// diagnostics and future per-group panel policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockExtent {
+    /// Largest number of rows of any block in the set.
+    pub max_rows: usize,
+    /// Largest number of columns of any block in the set.
+    pub max_cols: usize,
+    /// Largest single-block element count (`rows * cols`) in the set.
+    pub max_elems: usize,
+}
+
+impl BlockExtent {
+    /// Fold one `rows x cols` block into the extent.
+    pub fn include(&mut self, rows: usize, cols: usize) {
+        self.max_rows = self.max_rows.max(rows);
+        self.max_cols = self.max_cols.max(cols);
+        self.max_elems = self.max_elems.max(rows * cols);
+    }
+
+    /// Union of two extents.
+    pub fn merge(&self, other: &BlockExtent) -> BlockExtent {
+        BlockExtent {
+            max_rows: self.max_rows.max(other.max_rows),
+            max_cols: self.max_cols.max(other.max_cols),
+            max_elems: self.max_elems.max(other.max_elems),
+        }
+    }
+
+    /// True when no block has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.max_elems == 0
+    }
+}
+
 /// The HMatrix stored in the Compressed Data-Sparse format.
 #[derive(Debug, Clone)]
 pub struct Cds {
@@ -139,6 +180,61 @@ impl Cds {
     /// Borrow the values of coupling-block entry `e`.
     pub fn b_block(&self, e: &CdsBlockEntry) -> &[f64] {
         &self.b_values[e.offset..e.offset + e.rows * e.cols]
+    }
+
+    fn extent_of(entries: &[CdsBlockEntry]) -> BlockExtent {
+        let mut ext = BlockExtent::default();
+        for e in entries {
+            ext.include(e.rows, e.cols);
+        }
+        ext
+    }
+
+    /// Extent of all dense near blocks.
+    pub fn near_extent(&self) -> BlockExtent {
+        Self::extent_of(&self.d_entries)
+    }
+
+    /// Extent of all coupling blocks.
+    pub fn far_extent(&self) -> BlockExtent {
+        Self::extent_of(&self.b_entries)
+    }
+
+    /// Per-group extents of the near blocks, in `d_groups` order.
+    pub fn near_group_extents(&self) -> Vec<BlockExtent> {
+        self.d_groups
+            .iter()
+            .map(|g| Self::extent_of(&self.d_entries[g.start..g.end]))
+            .collect()
+    }
+
+    /// Per-group extents of the coupling blocks, in `b_groups` order.
+    pub fn far_group_extents(&self) -> Vec<BlockExtent> {
+        self.b_groups
+            .iter()
+            .map(|g| Self::extent_of(&self.b_entries[g.start..g.end]))
+            .collect()
+    }
+
+    /// Extent of all stored (present) generators.  `max_rows` is the largest
+    /// generator height (leaf size or combined child srank) and `max_cols`
+    /// the largest srank.
+    pub fn generator_extent(&self) -> BlockExtent {
+        let mut ext = BlockExtent::default();
+        for g in &self.generators {
+            if g.is_present() {
+                ext.include(g.rows, g.cols);
+            }
+        }
+        ext
+    }
+
+    /// The extent of the single largest working set any executor phase
+    /// touches per block: the union of the near, far and generator extents.
+    pub fn worst_block_extent(&self) -> BlockExtent {
+        self.near_extent()
+            .merge(&self.far_extent())
+            .merge(&self.generator_extent())
     }
 }
 
@@ -353,6 +449,51 @@ mod tests {
         // the total element count must match the compression's payload.
         let _ = tree;
         assert_eq!(cds.storage_bytes(), c.storage_bytes());
+    }
+
+    #[test]
+    fn extents_cover_every_stored_block() {
+        let (_, _, c, cds) = setup(Structure::Geometric { tau: 0.65 });
+        let near = cds.near_extent();
+        for e in &cds.d_entries {
+            assert!(e.rows <= near.max_rows && e.cols <= near.max_cols);
+            assert!(e.rows * e.cols <= near.max_elems);
+        }
+        let far = cds.far_extent();
+        for e in &cds.b_entries {
+            assert!(e.rows * e.cols <= far.max_elems);
+        }
+        let gen = cds.generator_extent();
+        for (id, g) in cds.generators.iter().enumerate() {
+            if g.is_present() {
+                assert!(g.rows <= gen.max_rows, "generator {id} taller than extent");
+                assert!(g.cols <= gen.max_cols);
+            }
+        }
+        let worst = cds.worst_block_extent();
+        assert_eq!(
+            worst.max_elems,
+            near.max_elems.max(far.max_elems).max(gen.max_elems)
+        );
+        let _ = c;
+    }
+
+    #[test]
+    fn group_extents_match_groups_and_merge_to_total() {
+        let (_, _, _, cds) = setup(Structure::Geometric { tau: 0.65 });
+        let per_group = cds.near_group_extents();
+        assert_eq!(per_group.len(), cds.d_groups.len());
+        let merged = per_group
+            .iter()
+            .fold(BlockExtent::default(), |acc, e| acc.merge(e));
+        assert_eq!(merged, cds.near_extent());
+        for (g, ext) in cds.d_groups.iter().zip(&per_group) {
+            for e in &cds.d_entries[g.start..g.end] {
+                assert!(e.rows <= ext.max_rows && e.cols <= ext.max_cols);
+            }
+        }
+        assert!(BlockExtent::default().is_empty());
+        assert!(!cds.near_extent().is_empty());
     }
 
     #[test]

@@ -64,6 +64,33 @@ impl<'a> GofmmEvaluator<'a> {
         self.evaluate_impl(w, false)
     }
 
+    /// Multi-RHS evaluation processing `W` in panels of `panel_width`
+    /// columns — the same batched entry point the MatRox session executor
+    /// has, so plan-amortization comparisons (Figure 4) drive both systems
+    /// through an identical interface.  `panel_width = 0` evaluates the
+    /// whole `W` in one pass.  The result is bitwise identical to
+    /// [`evaluate`](GofmmEvaluator::evaluate) column for column, since each
+    /// output column accumulates independently.
+    pub fn evaluate_batch(&self, w: &Matrix, panel_width: usize) -> Matrix {
+        let q = w.cols();
+        if panel_width == 0 || panel_width >= q {
+            return self.evaluate(w);
+        }
+        let n = w.rows();
+        let mut y = Matrix::zeros(n, q);
+        let mut j0 = 0;
+        while j0 < q {
+            let j1 = (j0 + panel_width).min(q);
+            let wp = w.submatrix(0, n, j0, j1);
+            let yp = self.evaluate(&wp);
+            for i in 0..n {
+                y.row_mut(i)[j0..j1].copy_from_slice(yp.row(i));
+            }
+            j0 = j1;
+        }
+        y
+    }
+
     fn evaluate_impl(&self, w: &Matrix, parallel: bool) -> Matrix {
         let tree = self.tree;
         let n = tree.perm.len();
@@ -435,6 +462,21 @@ mod tests {
         let eval = GofmmEvaluator::new(&tree, &htree, &c);
         let y = eval.evaluate(&w);
         assert!(relative_error(&y, &y_ref) < 1e-12);
+    }
+
+    #[test]
+    fn batched_panels_match_full_evaluation() {
+        let (tree, htree, c, w, y_ref) = setup(Structure::Geometric { tau: 0.65 });
+        let eval = GofmmEvaluator::new(&tree, &htree, &c);
+        let full = eval.evaluate_batch(&w, 0);
+        assert!(relative_error(&full, &y_ref) < 1e-12);
+        for panel in [1usize, 2, 3, 4, 16] {
+            let y = eval.evaluate_batch(&w, panel);
+            assert!(
+                relative_error(&y, &full) < 1e-15,
+                "panel {panel} diverged from full evaluation"
+            );
+        }
     }
 
     #[test]

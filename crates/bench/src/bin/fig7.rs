@@ -45,15 +45,7 @@ struct Sweep {
 
 fn main() {
     let args = HarnessArgs::parse(4096, DEFAULT_Q);
-    let check = pool_self_check();
-    println!("{}", check.report());
-    if check.speedup < 1.1 && check.configured_threads > 1 {
-        println!(
-            "warning: parallel speedup not observed despite {} configured threads; \
-             speedup columns below will understate scalability (oversubscribed host?)",
-            check.configured_threads
-        );
-    }
+    let check = pool_banner();
     let datasets = if args.datasets.is_empty() {
         vec![DatasetId::Covtype, DatasetId::Unit]
     } else {
@@ -205,22 +197,7 @@ fn main() {
     }
 
     let json = render_json(&check, args.n, args.q, &sweeps);
-    match std::fs::write("BENCH_fig7.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_fig7.json"),
-        Err(e) => eprintln!("\nfailed to write BENCH_fig7.json: {e}"),
-    }
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_opt(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+    write_bench_json("BENCH_fig7.json", &json);
 }
 
 /// Hand-rolled JSON (no serde in the offline vendor set).  Schema:
@@ -229,16 +206,7 @@ fn json_opt(v: Option<f64>) -> String {
 fn render_json(check: &PoolSelfCheck, n: usize, q: usize, sweeps: &[Sweep]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"self_check\": {{\"configured_threads\": {}, \"observed_width\": {}, \
-         \"t1_s\": {}, \"tn_s\": {}, \"speedup\": {}}},",
-        check.configured_threads,
-        check.observed_width,
-        json_f64(check.t1),
-        json_f64(check.tn),
-        json_f64(check.speedup)
-    );
+    let _ = writeln!(out, "  \"self_check\": {},", self_check_json(check));
     let _ = writeln!(out, "  \"n\": {n},");
     let _ = writeln!(out, "  \"q\": {q},");
     out.push_str("  \"sweeps\": [\n");

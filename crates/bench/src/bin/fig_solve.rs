@@ -23,7 +23,7 @@
 //! ```
 
 use matrox_baselines::DenseCholeskyBaseline;
-use matrox_bench::{solve_setting, time_best};
+use matrox_bench::{json_f64, json_opt, solve_setting, time_best, write_bench_json, HarnessArgs};
 use matrox_core::inspector;
 use matrox_linalg::{frobenius_norm, Matrix};
 use matrox_points::{generate, DatasetId};
@@ -45,17 +45,10 @@ struct SolveRow {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str, default: usize| -> usize {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let n_max = get("--n", 4096);
-    let q = get("--q", 16);
-    let dense_max = get("--dense-max", 2048);
+    let args = HarnessArgs::parse(4096, 16);
+    let n_max = args.n;
+    let q = args.q;
+    let dense_max = args.usize_flag("--dense-max", 2048);
     let bacc = 1e-7;
 
     let mut ns = vec![512usize];
@@ -144,29 +137,16 @@ fn main() {
     }
 
     let json = render_json(q, bacc, &rows);
-    match std::fs::write("BENCH_solve.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_solve.json"),
-        Err(e) => eprintln!("\nfailed to write BENCH_solve.json: {e}"),
-    }
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6e}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_opt(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+    write_bench_json("BENCH_solve.json", &json);
 }
 
 /// Hand-rolled JSON (no serde in the offline vendor set).  Schema:
 /// `{q, bacc, rows: [{n, inspector_s, factor_s, factor_leaf_s,
 /// factor_merge_s, solve1_s, solveq_s, residual, factor_bytes,
-/// dense_factor_s, dense_solve_s, dense_diff}]}` with `null` where the
-/// dense baseline was skipped.
+/// dense_factor_s, dense_solve_s, dense_diff}], summary: {...}}` with
+/// `null` where the dense baseline was skipped.  The `summary` keys are
+/// unique document-wide so the `perf_smoke` gate can read them with the
+/// minimal JSON reader.
 fn render_json(q: usize, bacc: f64, rows: &[SolveRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -195,6 +175,19 @@ fn render_json(q: usize, bacc: f64, rows: &[SolveRow]) -> String {
         );
         out.push_str(if ri + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let max_residual = rows.iter().map(|r| r.residual).fold(0.0f64, f64::max);
+    let last = rows.last();
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"max_residual\": {}, \"last_n\": {}, \"last_solve1_s\": {}, \
+         \"last_solveq_s\": {}, \"last_solveq_per_rhs_s\": {}}}",
+        json_f64(max_residual),
+        last.map_or(0, |r| r.n),
+        json_opt(last.map(|r| r.solve1_s)),
+        json_opt(last.map(|r| r.solveq_s)),
+        json_opt(last.map(|r| r.solveq_s / q.max(1) as f64)),
+    );
+    out.push_str("}\n");
     out
 }

@@ -1,0 +1,194 @@
+//! CI perf-smoke gate: checks the `BENCH_*.json` summaries written by the
+//! `fig4` and `fig_solve` harnesses against the checked-in thresholds in
+//! `crates/bench/thresholds.json`, and exits non-zero on any violation so
+//! performance regressions fail the PR instead of waiting for a human to
+//! re-run the harnesses.
+//!
+//! Two kinds of check:
+//!
+//! * **absolute times** (per-query batched evaluation, solve latencies) are
+//!   allowed up to `headroom x` the threshold (default 1.5x) to absorb
+//!   machine noise — the threshold records the expected value on the
+//!   reference CI configuration;
+//! * **ratios and invariants** (batch-16 speedup, amortization ratio,
+//!   bitwise identity, solve residual) are machine-independent and checked
+//!   as hard bounds.
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin perf_smoke -- \
+//!     [--fig4 BENCH_fig4.json] [--solve BENCH_solve.json] \
+//!     [--thresholds crates/bench/thresholds.json]
+//! ```
+
+use matrox_bench::{json_lookup_bool, json_lookup_number, HarnessArgs};
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            failures: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    fn check(&mut self, name: &str, pass: bool, detail: String) {
+        self.checks += 1;
+        if pass {
+            println!("  ok   {name}: {detail}");
+        } else {
+            println!("  FAIL {name}: {detail}");
+            self.failures.push(format!("{name}: {detail}"));
+        }
+    }
+
+    /// `measured <= threshold * headroom` (absolute wall-clock checks).
+    /// Skipped (not failed) when the benchmark was produced at a different
+    /// problem size than the threshold references — absolute times are only
+    /// meaningful at the reference N; the ratio checks still apply.
+    fn time_below(
+        &mut self,
+        name: &str,
+        measured: Option<f64>,
+        threshold: f64,
+        headroom: f64,
+        at_reference_n: bool,
+    ) {
+        if !at_reference_n {
+            println!("  skip {name}: benchmark N differs from the threshold's reference N");
+            return;
+        }
+        match measured {
+            Some(m) => self.check(
+                name,
+                m <= threshold * headroom,
+                format!("measured {m:.3e} s vs limit {threshold:.3e} s x {headroom}"),
+            ),
+            None => self.check(name, false, "value missing from benchmark output".into()),
+        }
+    }
+
+    /// `measured >= bound` (machine-independent ratio checks).
+    fn ratio_above(&mut self, name: &str, measured: Option<f64>, bound: f64) {
+        match measured {
+            Some(m) => self.check(
+                name,
+                m >= bound,
+                format!("measured {m:.3} vs minimum {bound}"),
+            ),
+            None => self.check(name, false, "value missing from benchmark output".into()),
+        }
+    }
+
+    /// `measured <= bound` (machine-independent ratio checks).
+    fn ratio_below(&mut self, name: &str, measured: Option<f64>, bound: f64) {
+        match measured {
+            Some(m) => self.check(
+                name,
+                m <= bound,
+                format!("measured {m:.3e} vs maximum {bound:.3e}"),
+            ),
+            None => self.check(name, false, "value missing from benchmark output".into()),
+        }
+    }
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_smoke: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(0, 0);
+    let fig4_path = args
+        .str_flag("--fig4")
+        .unwrap_or_else(|| "BENCH_fig4.json".to_string());
+    let solve_path = args
+        .str_flag("--solve")
+        .unwrap_or_else(|| "BENCH_solve.json".to_string());
+    let thresholds_path = args
+        .str_flag("--thresholds")
+        .unwrap_or_else(|| "crates/bench/thresholds.json".to_string());
+
+    let thresholds = read(&thresholds_path);
+    let fig4 = read(&fig4_path);
+    let solve = read(&solve_path);
+    let must = |key: &str| -> f64 {
+        json_lookup_number(&thresholds, key).unwrap_or_else(|| {
+            eprintln!("perf_smoke: threshold key '{key}' missing from {thresholds_path}");
+            std::process::exit(2);
+        })
+    };
+    let headroom = json_lookup_number(&thresholds, "headroom").unwrap_or(1.5);
+
+    let mut gate = Gate::new();
+    println!("perf-smoke gate (thresholds: {thresholds_path}, headroom {headroom}x)");
+
+    let fig4_at_ref = json_lookup_number(&fig4, "n") == Some(must("fig4_reference_n"));
+    let solve_at_ref = json_lookup_number(&solve, "last_n") == Some(must("solve_reference_n"));
+
+    println!("fig4 ({fig4_path}):");
+    gate.time_below(
+        "fig4.per_query_batched",
+        json_lookup_number(&fig4, "max_per_query_s"),
+        must("fig4_max_per_query_s"),
+        headroom,
+        fig4_at_ref,
+    );
+    gate.ratio_above(
+        "fig4.batch16_speedup",
+        json_lookup_number(&fig4, "min_batch16_speedup"),
+        must("fig4_min_batch16_speedup"),
+    );
+    gate.ratio_below(
+        "fig4.amortization_ratio",
+        json_lookup_number(&fig4, "max_amortization_ratio"),
+        must("fig4_max_amortization_ratio"),
+    );
+    gate.check(
+        "fig4.batched_bitwise_identity",
+        json_lookup_bool(&fig4, "all_bitwise") == Some(true),
+        "batched evaluate(W) vs sequential matvecs".into(),
+    );
+
+    println!("fig_solve ({solve_path}):");
+    gate.ratio_below(
+        "solve.residual",
+        json_lookup_number(&solve, "max_residual"),
+        must("solve_max_residual"),
+    );
+    gate.time_below(
+        "solve.solve1",
+        json_lookup_number(&solve, "last_solve1_s"),
+        must("solve_max_solve1_s"),
+        headroom,
+        solve_at_ref,
+    );
+    gate.time_below(
+        "solve.solveq_per_rhs",
+        json_lookup_number(&solve, "last_solveq_per_rhs_s"),
+        must("solve_max_solveq_per_rhs_s"),
+        headroom,
+        solve_at_ref,
+    );
+
+    println!(
+        "\n{} checks, {} failure(s)",
+        gate.checks,
+        gate.failures.len()
+    );
+    if !gate.failures.is_empty() {
+        for f in &gate.failures {
+            eprintln!("perf-smoke violation: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,11 @@
 //! MKL, scaled-down N — see DESIGN.md substitutions S1/S2/S6); the harnesses
 //! are about reproducing the *shape* of each result.
 
+pub mod harness;
+
 use matrox_baselines::GofmmEvaluator;
+use matrox_cachesim::Trace;
+use matrox_codegen::EvalPlan;
 use matrox_compress::{compress, Compression, CompressionParams};
 use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, MatRoxParams};
 use matrox_linalg::Matrix;
@@ -22,6 +26,11 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub use harness::{
+    json_f64, json_lookup_bool, json_lookup_number, json_opt, pool_banner, self_check_json,
+    write_bench_json, HarnessArgs,
+};
+
 /// Default problem size used by the harnesses (scaled down from the paper's
 /// 10k–100k so that exact reference products stay tractable).
 pub const DEFAULT_N: usize = 2048;
@@ -29,54 +38,6 @@ pub const DEFAULT_N: usize = 2048;
 /// Default number of right-hand-side columns, scaled down from the paper's
 /// Q = 2K in the same proportion as N.
 pub const DEFAULT_Q: usize = 256;
-
-/// Parse `--n`, `--q`, `--datasets` style overrides from `std::env::args`.
-#[derive(Debug, Clone)]
-pub struct HarnessArgs {
-    /// Number of points per dataset.
-    pub n: usize,
-    /// Number of right-hand-side columns.
-    pub q: usize,
-    /// Datasets to run (paper names); empty = harness default.
-    pub datasets: Vec<DatasetId>,
-}
-
-impl HarnessArgs {
-    /// Parse the process arguments, falling back to the given defaults.
-    pub fn parse(default_n: usize, default_q: usize) -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut out = HarnessArgs {
-            n: default_n,
-            q: default_q,
-            datasets: Vec::new(),
-        };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--n" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        out.n = v;
-                    }
-                    i += 2;
-                }
-                "--q" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        out.q = v;
-                    }
-                    i += 2;
-                }
-                "--datasets" => {
-                    if let Some(list) = args.get(i + 1) {
-                        out.datasets = list.split(',').filter_map(DatasetId::from_name).collect();
-                    }
-                    i += 2;
-                }
-                _ => i += 1,
-            }
-        }
-        out
-    }
-}
 
 /// The kernel the paper uses for a dataset: Gaussian (bandwidth 5) for the
 /// machine-learning sets, the SMASH inverse-distance kernel for the
@@ -321,6 +282,97 @@ pub fn random_w(n: usize, q: usize, seed: u64) -> Matrix {
 /// Evaluate the GOFMM-style baseline once (parallel, dynamic scheduling).
 pub fn gofmm_evaluate(setup: &BaselineSetup, w: &Matrix) -> Matrix {
     GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression).evaluate(w)
+}
+
+/// Build the memory-access trace of the panel-blocked executor: the CDS
+/// buffers and the permuted W/Y panels are visited in the order the four
+/// phases touch them, once per RHS panel of `panel_width` columns
+/// (`panel_width >= q` reproduces the unblocked full-Q walk).
+///
+/// Used to validate the automatically chosen panel width with the cachesim
+/// model (DESIGN.md): the chosen width's replayed miss ratios must not be
+/// worse than the full-Q walk's.
+pub fn executor_panel_trace(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    q: usize,
+    panel_width: usize,
+) -> Trace {
+    const F64: usize = std::mem::size_of::<f64>();
+    let cds = &plan.cds;
+    let mut t = Trace::new();
+    // Synthetic contiguous layout: [d_values | gen_values | b_values | W | Y].
+    let d_base = 0u64;
+    let gen_base = d_base + (cds.d_values.len() * F64) as u64;
+    let b_base = gen_base + (cds.gen_values.len() * F64) as u64;
+    let w_base = b_base + (cds.b_values.len() * F64) as u64;
+    let n = tree.perm.len();
+    let y_base = w_base + (n * q * F64) as u64;
+
+    let qp = panel_width.clamp(1, q.max(1));
+    let mut j0 = 0;
+    while j0 < q {
+        let width = qp.min(q - j0);
+        // Near phase: D blocks in CDS order plus the W/Y panel rows they
+        // touch (panel rows are contiguous per node in the permuted buffer).
+        for e in &cds.d_entries {
+            t.record(d_base + (e.offset * F64) as u64, e.rows * e.cols * F64);
+            let sn = &tree.nodes[e.source];
+            let tn = &tree.nodes[e.target];
+            t.record(
+                w_base + ((sn.start * q + j0 * sn.num_points()) * F64) as u64,
+                sn.num_points() * width * F64,
+            );
+            t.record(
+                y_base + ((tn.start * q + j0 * tn.num_points()) * F64) as u64,
+                tn.num_points() * width * F64,
+            );
+        }
+        // Upward: V generators in coarsenset order; leaves read their W panel.
+        for cl in &plan.coarsenset.levels {
+            for part in cl {
+                for &id in part {
+                    let g = &cds.generators[id];
+                    if !g.is_present() {
+                        continue;
+                    }
+                    t.record(gen_base + (g.v_offset * F64) as u64, g.rows * g.cols * F64);
+                    if tree.nodes[id].is_leaf() {
+                        let nd = &tree.nodes[id];
+                        t.record(
+                            w_base + ((nd.start * q + j0 * nd.num_points()) * F64) as u64,
+                            nd.num_points() * width * F64,
+                        );
+                    }
+                }
+            }
+        }
+        // Coupling: B blocks in CDS order.
+        for e in &cds.b_entries {
+            t.record(b_base + (e.offset * F64) as u64, e.rows * e.cols * F64);
+        }
+        // Downward: U generators in reverse coarsen order; leaves write Y.
+        for cl in plan.coarsenset.levels.iter().rev() {
+            for part in cl {
+                for &id in part.iter().rev() {
+                    let g = &cds.generators[id];
+                    if !g.is_present() {
+                        continue;
+                    }
+                    t.record(gen_base + (g.u_offset * F64) as u64, g.rows * g.cols * F64);
+                    if tree.nodes[id].is_leaf() {
+                        let nd = &tree.nodes[id];
+                        t.record(
+                            y_base + ((nd.start * q + j0 * nd.num_points()) * F64) as u64,
+                            nd.num_points() * width * F64,
+                        );
+                    }
+                }
+            }
+        }
+        j0 += width;
+    }
+    t
 }
 
 /// Coefficient of determination (R²) of a least-squares line through the

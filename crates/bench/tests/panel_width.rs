@@ -1,0 +1,61 @@
+//! Validate the executor's automatic panel-width choice with the cachesim
+//! locality model (DESIGN.md substitution S5): replay the panel-blocked
+//! access walk at the chosen width and at the unblocked full-Q width
+//! through a hierarchy sized like the heuristic's L2 budget, and require
+//! the chosen width's average memory access latency to be no worse.
+
+use matrox_bench::{build_hmatrix, executor_panel_trace};
+use matrox_cachesim::CacheHierarchy;
+use matrox_exec::{choose_panel_width, DEFAULT_L2_BYTES};
+use matrox_points::DatasetId;
+use matrox_tree::Structure;
+
+fn hierarchy() -> CacheHierarchy {
+    // 32 KiB L1 + an LLC matching the heuristic's DEFAULT_L2_BYTES budget.
+    CacheHierarchy::tiny(32 * 1024, DEFAULT_L2_BYTES)
+}
+
+#[test]
+fn chosen_panel_width_is_no_worse_than_full_q_walk() {
+    for structure in [Structure::Hss, Structure::h2b()] {
+        let (_, h) = build_hmatrix(DatasetId::Grid, 1024, structure, 1e-5);
+        let q = 256;
+        let chosen = choose_panel_width(&h.plan, DEFAULT_L2_BYTES);
+        assert!((8..=256).contains(&chosen));
+
+        let full = executor_panel_trace(&h.plan, &h.tree, q, q).replay(hierarchy());
+        let paneled = executor_panel_trace(&h.plan, &h.tree, q, chosen).replay(hierarchy());
+        let lat_full = full.average_memory_access_latency();
+        let lat_panel = paneled.average_memory_access_latency();
+        assert!(
+            lat_panel <= lat_full * 1.05,
+            "{}: chosen panel width {chosen} has latency {lat_panel:.2} vs full-Q {lat_full:.2}",
+            structure.name()
+        );
+    }
+}
+
+#[test]
+fn panel_blocking_beats_full_q_when_panels_thrash() {
+    // A deliberately small budget makes full-Q panels thrash; the heuristic
+    // must react by shrinking the panel, and the shrunken walk must be
+    // strictly better under the matching (tiny) hierarchy.
+    let (_, h) = build_hmatrix(DatasetId::Grid, 1024, Structure::h2b(), 1e-5);
+    let small_budget = 64 * 1024;
+    let chosen = choose_panel_width(&h.plan, small_budget);
+    assert!(
+        chosen < 256,
+        "small budget must shrink the panel ({chosen})"
+    );
+
+    let tiny = || CacheHierarchy::tiny(8 * 1024, small_budget);
+    let q = 256;
+    let full = executor_panel_trace(&h.plan, &h.tree, q, q).replay(tiny());
+    let paneled = executor_panel_trace(&h.plan, &h.tree, q, chosen).replay(tiny());
+    assert!(
+        paneled.average_memory_access_latency() <= full.average_memory_access_latency(),
+        "panel {chosen}: {:.2} vs full {:.2}",
+        paneled.average_memory_access_latency(),
+        full.average_memory_access_latency()
+    );
+}

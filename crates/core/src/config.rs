@@ -38,6 +38,11 @@ pub struct MatRoxParams {
     pub codegen: CodegenParams,
     /// Seed controlling tree construction and sampling randomness.
     pub seed: u64,
+    /// RHS panel width for the panel-blocked executor; `0` = auto (sized
+    /// from the CDS block extents so a block plus its panels fit in L2,
+    /// overridable process-wide via the `MATROX_PANEL` env var).  Results
+    /// are bitwise independent of this knob.
+    pub panel_width: usize,
 }
 
 impl Default for MatRoxParams {
@@ -57,6 +62,7 @@ impl Default for MatRoxParams {
             },
             codegen: CodegenParams::default(),
             seed: 0,
+            panel_width: 0,
         }
     }
 }
@@ -103,6 +109,13 @@ impl MatRoxParams {
         self.coarsen.p = p.max(1);
         self
     }
+
+    /// Builder-style override of the executor's RHS panel width
+    /// (see [`MatRoxParams::panel_width`]).
+    pub fn with_panel_width(mut self, panel_width: usize) -> Self {
+        self.panel_width = panel_width;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +131,7 @@ mod tests {
         assert_eq!(p.far_blocksize, 4);
         assert_eq!(p.coarsen.agg, 2);
         assert_eq!(p.sampling.sampling_size, 32);
+        assert_eq!(p.panel_width, 0, "panel width defaults to auto");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use matrox_tree::{ClusterTree, Structure};
 
 /// A compressed kernel matrix ready for evaluation.
 ///
-/// Produced by the inspector ([`crate::inspector`] / [`crate::inspector_p2`]);
+/// Produced by the inspector ([`crate::inspector()`] / [`crate::inspector_p2`]);
 /// consumed by [`matmul`](HMatrix::matmul), which runs the MatRox executor
 /// over the generated plan and CDS storage.
 #[derive(Debug, Clone)]
@@ -28,6 +28,11 @@ pub struct HMatrix {
     pub bacc: f64,
     /// Inspector timing breakdown (compression, structure analysis, codegen).
     pub timings: InspectorTimings,
+    /// RHS panel width requested at inspection time
+    /// ([`MatRoxParams::panel_width`](crate::MatRoxParams)); `0` = auto.
+    /// A runtime tuning knob like `timings` — not serialized; reloaded
+    /// matrices fall back to auto.
+    pub panel_width: usize,
 }
 
 impl HMatrix {
@@ -37,12 +42,18 @@ impl HMatrix {
     }
 
     /// Evaluate `Y = K~ * W` with the generated (optimized) code.
+    ///
+    /// This is the one-shot path: it derives the executor's per-plan state
+    /// and runs the same panel-blocked evaluation an
+    /// [`EvalSession`](crate::EvalSession) serves — there is no separate
+    /// executor implementation.  Repeated evaluations should build a
+    /// session once so the state derivation is not paid per call.
     pub fn matmul(&self, w: &Matrix) -> Matrix {
         execute(
             &self.plan,
             &self.tree,
             w,
-            &ExecOptions::from_plan(&self.plan),
+            &ExecOptions::from_plan(&self.plan).with_panel_width(self.panel_width),
         )
     }
 
@@ -52,10 +63,17 @@ impl HMatrix {
         execute(&self.plan, &self.tree, w, opts)
     }
 
-    /// Evaluate a matrix-vector product (`Q = 1`).
+    /// Evaluate a matrix-vector product (`Q = 1`); a thin wrapper over the
+    /// same session path as [`matmul`](HMatrix::matmul).
     pub fn matvec(&self, w: &[f64]) -> Vec<f64> {
         let wm = Matrix::from_vec(w.len(), 1, w.to_vec());
         self.matmul(&wm).into_vec()
+    }
+
+    /// Promote this matrix into a batched evaluation session (plan once /
+    /// evaluate many); see [`EvalSession`](crate::EvalSession).
+    pub fn into_session(self) -> crate::EvalSession {
+        crate::EvalSession::from_hmatrix(self)
     }
 
     /// Overall accuracy `eps_f = ||K~W - KW||_F / ||KW||_F` against the exact

@@ -131,6 +131,7 @@ pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: 
         kernel: *kernel,
         bacc,
         timings,
+        panel_width: params.panel_width,
     }
 }
 

@@ -514,6 +514,9 @@ fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
         kernel,
         bacc,
         timings: InspectorTimings::default(),
+        // Like the timings, the requested panel width is a runtime tuning
+        // knob, not part of the stored matrix; reloads use auto.
+        panel_width: 0,
     })
 }
 

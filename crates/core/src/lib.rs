@@ -25,6 +25,32 @@
 //! assert_eq!(y.shape(), (points.len(), 8));
 //! ```
 //!
+//! ## Batched evaluation (plan once, evaluate many)
+//!
+//! Repeated evaluations should go through an [`EvalSession`]: the inspector
+//! runs once, the executor's per-plan state (panel width, blocking-plan
+//! targets) is derived once, and every `evaluate(W)` processes the RHS in
+//! cache-sized column panels.  The session tracks the amortized per-query
+//! cost:
+//!
+//! ```
+//! use matrox_core::{EvalSession, MatRoxParams};
+//! use matrox_points::{generate, DatasetId, Kernel};
+//! use matrox_linalg::Matrix;
+//!
+//! let points = generate(DatasetId::Grid, 512, 0);
+//! let kernel = Kernel::Gaussian { bandwidth: 5.0 };
+//! let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(64);
+//! let session = EvalSession::build(&points, &kernel, &params); // inspector runs once
+//! for batch in 0..3 {
+//!     let w = Matrix::filled(points.len(), 16, 1.0 + batch as f64);
+//!     let y = session.evaluate(&w); // panel-blocked, no plan re-walk
+//!     assert_eq!(y.shape(), (points.len(), 16));
+//! }
+//! assert_eq!(session.stats().queries, 48);
+//! assert!(session.stats().amortized_per_query().is_finite());
+//! ```
+//!
 //! ## Solving
 //!
 //! An SPD kernel matrix compressed with the HSS structure can be
@@ -50,6 +76,7 @@ pub mod config;
 pub mod hmatrix;
 pub mod inspector;
 pub mod io;
+pub mod session;
 pub mod timings;
 
 pub use config::MatRoxParams;
@@ -60,4 +87,5 @@ pub use io::{
     to_bytes_factored, IoError,
 };
 pub use matrox_factor::FactorError;
-pub use timings::{FactorTimings, InspectorTimings};
+pub use session::EvalSession;
+pub use timings::{FactorTimings, InspectorTimings, SessionStats};

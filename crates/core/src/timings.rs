@@ -75,6 +75,52 @@ impl InspectorTimings {
     }
 }
 
+/// Running cost accounting of an evaluation session ([`crate::EvalSession`]):
+/// the one-time inspector cost plus the accumulated executor cost, and the
+/// amortized per-query view of both — the economics Figure 4 is about
+/// (inspection pays for itself once enough queries ride on the plan).
+///
+/// A *query* is one right-hand-side column; a batched `evaluate(W)` with
+/// `Q` columns counts as one evaluation and `Q` queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// One-time inspector wall-clock (tree + compression + CDS + plan).
+    pub inspect_seconds: f64,
+    /// Accumulated executor wall-clock over every `evaluate` call.
+    pub eval_seconds: f64,
+    /// Number of `evaluate` calls served.
+    pub evaluations: u64,
+    /// Total right-hand-side columns served.
+    pub queries: u64,
+}
+
+impl SessionStats {
+    /// Total session cost so far (inspection + evaluations).
+    pub fn total_seconds(&self) -> f64 {
+        self.inspect_seconds + self.eval_seconds
+    }
+
+    /// Amortized cost per query: `(inspect + eval) / queries`.  This is the
+    /// quantity that must drop below the baselines' per-query cost as `Q`
+    /// grows; `f64::INFINITY` before the first query.
+    pub fn amortized_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            f64::INFINITY
+        } else {
+            self.total_seconds() / self.queries as f64
+        }
+    }
+
+    /// Marginal executor cost per query (inspection excluded).
+    pub fn eval_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            f64::INFINITY
+        } else {
+            self.eval_seconds / self.queries as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +152,26 @@ mod tests {
         let t = sample();
         let f = t.analysis_fraction();
         assert!(f > 0.0 && f < 0.2, "fraction {f}");
+    }
+
+    #[test]
+    fn session_stats_amortize_the_inspector() {
+        let mut s = SessionStats {
+            inspect_seconds: 10.0,
+            ..Default::default()
+        };
+        assert!(s.amortized_per_query().is_infinite());
+        s.eval_seconds = 2.0;
+        s.evaluations = 2;
+        s.queries = 100;
+        assert!((s.total_seconds() - 12.0).abs() < 1e-12);
+        assert!((s.amortized_per_query() - 0.12).abs() < 1e-12);
+        assert!((s.eval_per_query() - 0.02).abs() < 1e-12);
+        // More queries on the same plan only ever lower the amortized cost
+        // (eval time grows at the marginal rate, inspection is sunk).
+        let before = s.amortized_per_query();
+        s.eval_seconds += 0.02 * 100.0;
+        s.queries += 100;
+        assert!(s.amortized_per_query() < before);
     }
 }

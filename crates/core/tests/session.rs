@@ -1,0 +1,122 @@
+//! Batched-evaluation acceptance: the plan-once / evaluate-many session.
+//!
+//! Pins the three contracts the batched engine must honor:
+//!
+//! 1. **panel blocking is invisible** — `evaluate(W)` is bitwise identical
+//!    to evaluating `W`'s columns one matvec at a time, for awkward widths
+//!    (1, 3, 8, 33) straddling the panel size;
+//! 2. **determinism** — batched evaluation is bitwise identical at 1/2/4
+//!    pool threads (conflict-free scheduling extends to the panel loop);
+//! 3. **no state drift** — a session that has served 100 evaluations
+//!    returns exactly what a fresh inspector run returns.
+
+use matrox_core::{inspector, EvalSession, MatRoxParams};
+use matrox_linalg::Matrix;
+use matrox_points::{generate, DatasetId, Kernel, PointSet};
+use rand::SeedableRng;
+
+fn setting(n: usize) -> (PointSet, Kernel, MatRoxParams) {
+    let pts = generate(DatasetId::Grid, n, 21);
+    let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+    // Pin the coarsening partition count: the default tracks the pool width
+    // and these tests compare runs across pools.
+    let params = MatRoxParams::h2b()
+        .with_bacc(1e-5)
+        .with_leaf_size(32)
+        .with_partitions(4);
+    (pts, kernel, params)
+}
+
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn batched_evaluate_is_bitwise_identical_to_column_matvecs() {
+    let n = 512;
+    let (pts, kernel, params) = setting(n);
+    let session = EvalSession::build(&pts, &kernel, &params);
+    // A deliberately narrow panel width forces the panel loop to split even
+    // small batches; it must agree with the auto-width session bit for bit.
+    let narrow = EvalSession::build(&pts, &kernel, &params.with_panel_width(8));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for q in [1usize, 3, 8, 33] {
+        let w = Matrix::random_uniform(n, q, &mut rng);
+        let batched = session.evaluate(&w);
+        assert!(
+            bitwise_eq(&batched, &narrow.evaluate(&w)),
+            "panel width 8 diverged at q={q}"
+        );
+        let mut columns = Matrix::zeros(n, q);
+        for j in 0..q {
+            let col: Vec<f64> = (0..n).map(|i| w.get(i, j)).collect();
+            let y = session.evaluate_vec(&col);
+            for i in 0..n {
+                columns.set(i, j, y[i]);
+            }
+        }
+        assert!(
+            bitwise_eq(&batched, &columns),
+            "batched q={q} differs from column-by-column matvecs"
+        );
+    }
+}
+
+#[test]
+fn batched_evaluation_is_deterministic_across_thread_widths() {
+    let n = 512;
+    let (pts, kernel, params) = setting(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+    let w = Matrix::random_uniform(n, 16, &mut rng);
+    let mut runs: Vec<Matrix> = Vec::new();
+    for &nt in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(nt)
+            .build()
+            .unwrap();
+        let y = pool.install(|| {
+            let session = EvalSession::build(&pts, &kernel, &params);
+            session.evaluate(&w)
+        });
+        runs.push(y);
+    }
+    for (i, y) in runs.iter().enumerate().skip(1) {
+        assert!(
+            bitwise_eq(y, &runs[0]),
+            "batched evaluation at {} threads is not bitwise identical to 1 thread",
+            [1usize, 2, 4][i]
+        );
+    }
+}
+
+#[test]
+fn session_reuse_after_100_evaluations_matches_fresh_inspector() {
+    let n = 256;
+    let (pts, kernel, params) = setting(n);
+    let session = EvalSession::build(&pts, &kernel, &params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+    // Serve 100 evaluations of varying widths; the session must not
+    // accumulate any state that perturbs later results.
+    for i in 0..100 {
+        let q = 1 + i % 5;
+        let w = Matrix::random_uniform(n, q, &mut rng);
+        let y = session.evaluate(&w);
+        assert_eq!(y.shape(), (n, q));
+    }
+    let stats = session.stats();
+    assert_eq!(stats.evaluations, 100);
+    assert!(stats.eval_seconds > 0.0);
+    assert!(stats.amortized_per_query() < f64::INFINITY);
+
+    let w = Matrix::random_uniform(n, 8, &mut rng);
+    let warm = session.evaluate(&w);
+    let fresh = inspector(&pts, &kernel, &params).matmul(&w);
+    assert!(
+        bitwise_eq(&warm, &fresh),
+        "evaluation 101 differs from a fresh inspector run"
+    );
+}

@@ -24,7 +24,7 @@
 //! and the output is un-permuted on exit.
 
 use matrox_codegen::EvalPlan;
-use matrox_linalg::{gemm_slices, gemm_tn_slices, par_gemm_slices, Matrix};
+use matrox_linalg::{gemm_panel, gemm_tn_slices, par_gemm_slices, Matrix};
 use matrox_tree::ClusterTree;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -46,8 +46,17 @@ pub struct ExecOptions {
     /// parallel task may own; `0` means auto (the pool's own split heuristic,
     /// overridable process-wide via the `MATROX_GRAIN` env var).  Larger
     /// grains trade load balance for lower scheduling overhead — useful when
-    /// groups are many and tiny.
+    /// groups are many and tiny.  Within a panel-blocked evaluation the
+    /// grain applies to every panel's parallel loops individually.
     pub grain: usize,
+    /// Width (in RHS columns) of the panels the four phases operate on; a
+    /// multi-column evaluation `Y = K~ W` is processed `panel_width` columns
+    /// at a time so a block's submatrix plus its input/output panels fit in
+    /// L2.  `0` means auto: the `MATROX_PANEL` env var if set, otherwise
+    /// [`choose_panel_width`] sized from the CDS block extents.  Results are
+    /// bitwise independent of the panel width (every output column
+    /// accumulates in the same order regardless of panel grouping).
+    pub panel_width: usize,
 }
 
 /// Resolve the effective grain for the executor's parallel loops: an explicit
@@ -77,6 +86,7 @@ impl ExecOptions {
             parallel_tree: plan.decisions.coarsen_tree,
             peel_root: plan.decisions.peel_root,
             grain: 0,
+            panel_width: 0,
         }
     }
 
@@ -88,6 +98,7 @@ impl ExecOptions {
             parallel_tree: false,
             peel_root: false,
             grain: 0,
+            panel_width: 0,
         }
     }
 
@@ -99,6 +110,7 @@ impl ExecOptions {
             parallel_tree: true,
             peel_root: true,
             grain: 0,
+            panel_width: 0,
         }
     }
 
@@ -107,69 +119,263 @@ impl ExecOptions {
         self.grain = grain;
         self
     }
+
+    /// Set the RHS panel width (see [`ExecOptions::panel_width`]).
+    pub fn with_panel_width(mut self, panel_width: usize) -> Self {
+        self.panel_width = panel_width;
+        self
+    }
+}
+
+/// Default L2 working-set budget (bytes) assumed by the automatic panel-width
+/// selection: half of a typical 512 KiB per-core L2, leaving the other half
+/// for the streamed CDS values and the stack.
+pub const DEFAULT_L2_BYTES: usize = 256 * 1024;
+
+/// Bounds on the automatically chosen panel width.  The lower bound keeps
+/// tiny panels from multiplying the per-panel permutation/scheduling
+/// overhead; the upper bound caps the panel footprint once blocks are small
+/// enough that cache residency is no longer the constraint.
+const PANEL_MIN: usize = 8;
+const PANEL_MAX: usize = 256;
+
+/// Choose the RHS panel width for a plan: the widest panel `q` such that the
+/// largest single block any phase touches (dense near block, coupling block,
+/// or generator — the CDS [`worst_block_extent`](matrox_analysis::Cds::worst_block_extent))
+/// still fits in the `l2_bytes` budget together with its `q`-column input and
+/// output panels.  Clamped to `[8, 256]` and rounded down to a multiple of 8.
+///
+/// The choice only affects performance, never results: the executor's output
+/// is bitwise identical for every panel width.
+pub fn choose_panel_width(plan: &EvalPlan, l2_bytes: usize) -> usize {
+    let ext = plan.cds.worst_block_extent();
+    if ext.is_empty() {
+        return PANEL_MAX;
+    }
+    let f64_bytes = std::mem::size_of::<f64>();
+    let block_bytes = ext.max_elems * f64_bytes;
+    // Per RHS column a block multiply reads `max_cols` input rows and writes
+    // `max_rows` output rows (or vice versa for the transposed upward pass).
+    let per_col_bytes = (ext.max_rows + ext.max_cols) * f64_bytes;
+    let budget = l2_bytes.saturating_sub(block_bytes);
+    let qp = budget
+        .checked_div(per_col_bytes)
+        .unwrap_or(PANEL_MAX)
+        .clamp(PANEL_MIN, PANEL_MAX);
+    qp - qp % PANEL_MIN
+}
+
+/// Resolve the effective panel width: an explicit per-call setting wins, then
+/// the `MATROX_PANEL` environment variable, then [`choose_panel_width`] with
+/// the default L2 budget.
+pub fn effective_panel_width(opts: &ExecOptions, plan: &EvalPlan) -> usize {
+    if opts.panel_width > 0 {
+        return opts.panel_width;
+    }
+    static ENV_PANEL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let env = *ENV_PANEL.get_or_init(|| {
+        std::env::var("MATROX_PANEL")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    });
+    if env > 0 {
+        return env;
+    }
+    choose_panel_width(plan, DEFAULT_L2_BYTES)
+}
+
+/// Per-plan executor state derived once and reused across evaluations: the
+/// resolved options and panel width, the leaf ordering the output-splitting
+/// uses, and the distinct target nodes of every blockset group.
+///
+/// [`execute`] derives this on every call; an evaluation session
+/// (`matrox_core::EvalSession`) builds it once next to the inspector output
+/// and serves every subsequent `evaluate(W)` without re-walking the plan.
+/// `plan` and `tree` passed to [`execute_prepared`] must be the ones this
+/// was prepared from.
+#[derive(Debug, Clone)]
+pub struct PreparedExec {
+    /// The options (lowerings + grain) the plan was prepared with.
+    pub opts: ExecOptions,
+    /// Resolved RHS panel width (see [`ExecOptions::panel_width`]).
+    pub panel_width: usize,
+    /// Leaves sorted by permuted start row (the output tiling order).
+    leaf_order: Vec<usize>,
+    /// Distinct target nodes of each near-blockset group, in first-seen
+    /// entry order.
+    near_targets: Vec<Vec<usize>>,
+    /// Distinct target nodes of each far-blockset group.
+    far_targets: Vec<Vec<usize>>,
+    /// Number of tree nodes, for cheap misuse detection.
+    num_nodes: usize,
+}
+
+impl PreparedExec {
+    /// Derive the executor state for a plan (the "inspector side" of the
+    /// executor: everything per-evaluation calls would otherwise recompute).
+    pub fn new(plan: &EvalPlan, tree: &ClusterTree, opts: &ExecOptions) -> Self {
+        let cds = &plan.cds;
+        let mut leaf_order = tree.leaves();
+        leaf_order.sort_by_key(|&l| tree.nodes[l].start);
+        let distinct_targets =
+            |entries: &[matrox_analysis::CdsBlockEntry], groups: &[matrox_analysis::GroupRange]| {
+                groups
+                    .iter()
+                    .map(|g| {
+                        let mut seen: Vec<usize> = Vec::new();
+                        for e in &entries[g.start..g.end] {
+                            if !seen.contains(&e.target) {
+                                seen.push(e.target);
+                            }
+                        }
+                        seen
+                    })
+                    .collect()
+            };
+        PreparedExec {
+            opts: *opts,
+            panel_width: effective_panel_width(opts, plan),
+            leaf_order,
+            near_targets: distinct_targets(&cds.d_entries, &cds.d_groups),
+            far_targets: distinct_targets(&cds.b_entries, &cds.b_groups),
+            num_nodes: tree.num_nodes(),
+        }
+    }
 }
 
 /// Evaluate `Y = K~ * W` using the generated plan.
 ///
 /// `w` must have one row per point (`N x Q`); the result has the same shape.
+/// This derives the per-plan [`PreparedExec`] state on every call; repeated
+/// evaluations should prepare once and use [`execute_prepared`] (or the
+/// session API in `matrox-core`).
 pub fn execute(plan: &EvalPlan, tree: &ClusterTree, w: &Matrix, opts: &ExecOptions) -> Matrix {
+    execute_prepared(plan, tree, &PreparedExec::new(plan, tree, opts), w)
+}
+
+/// Evaluate `Y = K~ * W` with previously prepared executor state, processing
+/// the RHS in panels of [`PreparedExec::panel_width`] columns.
+///
+/// # Panics
+/// Panics when `w` has the wrong number of rows or `prep` was prepared for a
+/// different tree.
+pub fn execute_prepared(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    prep: &PreparedExec,
+    w: &Matrix,
+) -> Matrix {
     let n = tree.perm.len();
     let q = w.cols();
     assert_eq!(w.rows(), n, "execute: W must have N = {n} rows");
+    assert_eq!(
+        prep.num_nodes,
+        tree.num_nodes(),
+        "execute: PreparedExec belongs to a different tree"
+    );
+    let mut y = Matrix::zeros(n, q);
+    if q == 0 {
+        return y;
+    }
+    let qp = prep.panel_width.max(1).min(q);
+    // Scratch buffers shared by every panel: the gather fully overwrites the
+    // active slice of `w_perm`, and `execute_panel` re-zeroes `y_perm`, so
+    // one allocation serves the whole evaluation.
+    let mut w_perm = vec![0.0f64; n * qp];
+    let mut y_perm = vec![0.0f64; n * qp];
+    let mut j0 = 0;
+    while j0 < q {
+        let j1 = (j0 + qp).min(q);
+        let len = n * (j1 - j0);
+        execute_panel(
+            plan,
+            tree,
+            prep,
+            w,
+            j0,
+            j1,
+            &mut w_perm[..len],
+            &mut y_perm[..len],
+            &mut y,
+        );
+        j0 = j1;
+    }
+    y
+}
 
-    // Permute W into tree order so every node's rows are contiguous.  The
-    // gather writes disjoint contiguous destination rows, so it parallelizes
-    // over row blocks; below ~PERM_PAR_ELEMS elements the copy is too
-    // memory-bound and short for a fork to pay off.
+/// Run the four executor phases for the RHS columns `[j0, j1)`, writing the
+/// result into the same columns of `y`.  `w_perm`/`y_perm` are caller-owned
+/// scratch slices of `n * (j1 - j0)` elements, reused across panels.
+#[allow(clippy::too_many_arguments)]
+fn execute_panel(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    prep: &PreparedExec,
+    w: &Matrix,
+    j0: usize,
+    j1: usize,
+    w_perm: &mut [f64],
+    y_perm: &mut [f64],
+    y: &mut Matrix,
+) {
+    let opts = &prep.opts;
+    let n = tree.perm.len();
+    let q = w.cols();
+    let qp = j1 - j0;
+    debug_assert_eq!(w_perm.len(), n * qp);
+    debug_assert_eq!(y_perm.len(), n * qp);
+
+    // Permute the panel of W into tree order so every node's rows are
+    // contiguous.  The gather writes disjoint contiguous destination rows, so
+    // it parallelizes over row blocks; below ~PERM_PAR_ELEMS elements the
+    // copy is too memory-bound and short for a fork to pay off.
     let any_parallel = opts.parallel_near || opts.parallel_far || opts.parallel_tree;
-    let perm_rows_per_task = PERM_PAR_ELEMS.div_ceil(q.max(1)).max(1);
-    let mut w_perm = vec![0.0f64; n * q];
-    if any_parallel && n * q >= PERM_PAR_ELEMS {
+    let perm_rows_per_task = PERM_PAR_ELEMS.div_ceil(qp).max(1);
+    if any_parallel && n * qp >= PERM_PAR_ELEMS {
         w_perm
-            .par_chunks_mut(q.max(1))
+            .par_chunks_mut(qp)
             .with_min_len(perm_rows_per_task)
             .enumerate()
-            .for_each(|(p, row)| row.copy_from_slice(w.row(tree.perm[p])));
+            .for_each(|(p, row)| row.copy_from_slice(&w.row(tree.perm[p])[j0..j1]));
     } else {
         for p in 0..n {
-            w_perm[p * q..(p + 1) * q].copy_from_slice(w.row(tree.perm[p]));
+            w_perm[p * qp..(p + 1) * qp].copy_from_slice(&w.row(tree.perm[p])[j0..j1]);
         }
     }
-    let mut y_perm = vec![0.0f64; n * q];
+    y_perm.fill(0.0);
 
     // Phase 1: near (dense) contributions.
-    near_phase(plan, tree, &w_perm, &mut y_perm, q, opts);
+    near_phase(plan, tree, prep, w_perm, y_perm, qp, opts);
 
     // Phase 2: upward pass producing the skeleton coefficients T.
-    let t = upward_phase(plan, tree, &w_perm, q, opts);
+    let t = upward_phase(plan, tree, w_perm, qp, opts);
 
     // Phase 3: coupling through the B blocks.
-    let mut s = coupling_phase(plan, &t, q, opts);
+    let mut s = coupling_phase(plan, prep, &t, qp, opts);
     drop(t);
 
     // Phase 4: downward pass scattering U * S into the output.
-    downward_phase(plan, tree, &mut s, &mut y_perm, q, opts);
+    downward_phase(plan, tree, prep, &mut s, y_perm, qp, opts);
 
-    // Un-permute the output.  Iterate over the *destination* rows (each task
-    // owns a contiguous block of `y`) and gather from the permuted buffer via
-    // the inverse permutation, so the parallel copy needs no synchronization.
-    let mut y = Matrix::zeros(n, q);
-    if any_parallel && n * q >= PERM_PAR_ELEMS {
+    // Un-permute the panel into the output columns.  Iterate over the
+    // *destination* rows (each task owns a contiguous block of `y`) and
+    // gather from the permuted buffer via the inverse permutation, so the
+    // parallel copy needs no synchronization.
+    if any_parallel && n * qp >= PERM_PAR_ELEMS {
         y.as_mut_slice()
-            .par_chunks_mut(q.max(1))
+            .par_chunks_mut(q)
             .with_min_len(perm_rows_per_task)
             .enumerate()
             .for_each(|(i, row)| {
                 let p = tree.pos[i];
-                row.copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+                row[j0..j1].copy_from_slice(&y_perm[p * qp..(p + 1) * qp]);
             });
     } else {
         for p in 0..n {
-            y.row_mut(tree.perm[p])
-                .copy_from_slice(&y_perm[p * q..(p + 1) * q]);
+            y.row_mut(tree.perm[p])[j0..j1].copy_from_slice(&y_perm[p * qp..(p + 1) * qp]);
         }
     }
-    y
 }
 
 /// Element count below which the entry/exit permutation copies stay
@@ -187,17 +393,17 @@ const PERM_PAR_ELEMS: usize = 64 * 1024;
 const PEEL_PAR_THRESHOLD: usize = 1 << 18;
 
 /// Split `y_perm` into one mutable slice per leaf node (leaves tile the
-/// permuted row range contiguously).
+/// permuted row range contiguously; `leaf_order` is the precomputed
+/// start-row ordering from [`PreparedExec`]).
 fn split_leaf_slices<'a>(
     tree: &ClusterTree,
+    leaf_order: &[usize],
     y_perm: &'a mut [f64],
     q: usize,
 ) -> HashMap<usize, &'a mut [f64]> {
-    let mut leaves = tree.leaves();
-    leaves.sort_by_key(|&l| tree.nodes[l].start);
-    let mut map = HashMap::with_capacity(leaves.len());
+    let mut map = HashMap::with_capacity(leaf_order.len());
     let mut rest = y_perm;
-    for &l in &leaves {
+    for &l in leaf_order {
         let len = tree.nodes[l].num_points() * q;
         let (head, tail) = rest.split_at_mut(len);
         map.insert(l, head);
@@ -213,6 +419,7 @@ fn split_leaf_slices<'a>(
 fn near_phase(
     plan: &EvalPlan,
     tree: &ClusterTree,
+    prep: &PreparedExec,
     w_perm: &[f64],
     y_perm: &mut [f64],
     q: usize,
@@ -228,30 +435,29 @@ fn near_phase(
             let dst = &mut y_perm[tn.start * q..tn.end * q];
             let sn = &tree.nodes[e.source];
             let src = &w_perm[sn.start * q..sn.end * q];
-            gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
+            gemm_panel(cds.d_block(e), e.rows, e.cols, src, q, dst);
         }
         return;
     }
 
     // Blocked parallel loop: hand every group exclusive ownership of the
     // output slices of its target nodes.  Algorithm 1 guarantees disjoint
-    // targets across groups, so this is a partition of the output.
-    let mut leaf_slices = split_leaf_slices(tree, y_perm, q);
+    // targets across groups, so this is a partition of the output; the
+    // distinct targets per group were collected once at prepare time.
+    let mut leaf_slices = split_leaf_slices(tree, &prep.leaf_order, y_perm, q);
     struct GroupWork<'a> {
         start: usize,
         end: usize,
         targets: HashMap<usize, &'a mut [f64]>,
     }
     let mut works: Vec<GroupWork> = Vec::with_capacity(cds.d_groups.len());
-    for g in &cds.d_groups {
-        let mut targets = HashMap::new();
-        for e in &cds.d_entries[g.start..g.end] {
-            if let std::collections::hash_map::Entry::Vacant(entry) = targets.entry(e.target) {
-                let slice = leaf_slices
-                    .remove(&e.target)
-                    .expect("blockset groups must own disjoint target nodes");
-                entry.insert(slice);
-            }
+    for (g, group_targets) in cds.d_groups.iter().zip(&prep.near_targets) {
+        let mut targets = HashMap::with_capacity(group_targets.len());
+        for &t in group_targets {
+            let slice = leaf_slices
+                .remove(&t)
+                .expect("blockset groups must own disjoint target nodes");
+            targets.insert(t, slice);
         }
         works.push(GroupWork {
             start: g.start,
@@ -270,7 +476,7 @@ fn near_phase(
                     .expect("entry target owned by its group");
                 let sn = &tree.nodes[e.source];
                 let src = &w_perm[sn.start * q..sn.end * q];
-                gemm_slices(cds.d_block(e), e.rows, e.cols, src, q, dst);
+                gemm_panel(cds.d_block(e), e.rows, e.cols, src, q, dst);
             }
         });
 }
@@ -424,7 +630,13 @@ fn upward_phase(
 // Phase 3: coupling (S_i += B_{i,j} * T_j)
 // --------------------------------------------------------------------------
 
-fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, opts: &ExecOptions) -> Vec<Matrix> {
+fn coupling_phase(
+    plan: &EvalPlan,
+    prep: &PreparedExec,
+    t: &[Matrix],
+    q: usize,
+    opts: &ExecOptions,
+) -> Vec<Matrix> {
     let cds = &plan.cds;
     let mut s: Vec<Matrix> = cds.sranks.iter().map(|&r| Matrix::zeros(r, q)).collect();
     if cds.b_entries.is_empty() {
@@ -437,25 +649,24 @@ fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, opts: &ExecOptions) -
             }
             let b = cds.b_block(e);
             let src = t[e.source].as_slice();
-            gemm_slices(b, e.rows, e.cols, src, q, s[e.target].as_mut_slice());
+            gemm_panel(b, e.rows, e.cols, src, q, s[e.target].as_mut_slice());
         }
         return s;
     }
 
     // Blocked parallel loop over far groups; each group takes exclusive
-    // ownership of its target nodes' S accumulators.
+    // ownership of its target nodes' S accumulators (distinct targets
+    // collected once at prepare time).
     struct FarWork {
         start: usize,
         end: usize,
         targets: HashMap<usize, Matrix>,
     }
     let mut works: Vec<FarWork> = Vec::with_capacity(cds.b_groups.len());
-    for g in &cds.b_groups {
-        let mut targets = HashMap::new();
-        for e in &cds.b_entries[g.start..g.end] {
-            targets
-                .entry(e.target)
-                .or_insert_with(|| std::mem::replace(&mut s[e.target], Matrix::zeros(0, 0)));
+    for (g, group_targets) in cds.b_groups.iter().zip(&prep.far_targets) {
+        let mut targets = HashMap::with_capacity(group_targets.len());
+        for &tgt in group_targets {
+            targets.insert(tgt, std::mem::replace(&mut s[tgt], Matrix::zeros(0, 0)));
         }
         works.push(FarWork {
             start: g.start,
@@ -474,7 +685,7 @@ fn coupling_phase(plan: &EvalPlan, t: &[Matrix], q: usize, opts: &ExecOptions) -
                 let b = cds.b_block(e);
                 let src = t[e.source].as_slice();
                 let dst = work.targets.get_mut(&e.target).unwrap();
-                gemm_slices(b, e.rows, e.cols, src, q, dst.as_mut_slice());
+                gemm_panel(b, e.rows, e.cols, src, q, dst.as_mut_slice());
             }
         });
     for work in works {
@@ -519,7 +730,7 @@ fn compute_down_contribution(
         if par_gemm {
             par_gemm_slices(u, rows, cols, s_i.as_slice(), q, dst);
         } else {
-            gemm_slices(u, rows, cols, s_i.as_slice(), q, dst);
+            gemm_panel(u, rows, cols, s_i.as_slice(), q, dst);
         }
         Vec::new()
     } else {
@@ -531,7 +742,7 @@ fn compute_down_contribution(
         if par_gemm {
             par_gemm_slices(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
         } else {
-            gemm_slices(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
+            gemm_panel(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
         }
         let mut pushes = Vec::with_capacity(2);
         if rl > 0 {
@@ -557,6 +768,7 @@ fn merge_push(slot: &mut Matrix, m: Matrix) {
 fn downward_phase(
     plan: &EvalPlan,
     tree: &ClusterTree,
+    prep: &PreparedExec,
     s: &mut [Matrix],
     y_perm: &mut [f64],
     q: usize,
@@ -611,7 +823,7 @@ fn downward_phase(
         // Parallel over partitions: each partition owns its nodes' S values
         // and its leaves' output slices; pushes to nodes outside the
         // partition are returned and merged sequentially.
-        let mut leaf_slices = split_leaf_slices(tree, y_perm, q);
+        let mut leaf_slices = split_leaf_slices(tree, &prep.leaf_order, y_perm, q);
         struct DownWork<'a> {
             nodes: Vec<usize>,
             s_local: HashMap<usize, Matrix>,
@@ -810,6 +1022,63 @@ mod tests {
         let seq = execute(&f.plan, &f.tree, &f.w, &ExecOptions::sequential());
         let full = execute(&f.plan, &f.tree, &f.w, &ExecOptions::full());
         assert!(relative_error(&full, &seq) < 1e-12);
+    }
+
+    /// Bitwise equality between two matrices.
+    fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn panel_width_never_changes_results() {
+        let f = fixture(DatasetId::Grid, 512, Structure::Geometric { tau: 0.65 }, 33);
+        let full = execute(
+            &f.plan,
+            &f.tree,
+            &f.w,
+            &ExecOptions::full().with_panel_width(usize::MAX),
+        );
+        for panel in [1usize, 2, 5, 8, 16, 32, 33, 100] {
+            let opts = ExecOptions::full().with_panel_width(panel);
+            let y = execute(&f.plan, &f.tree, &f.w, &opts);
+            assert!(bitwise_eq(&y, &full), "panel width {panel} changed results");
+            let seq = ExecOptions::sequential().with_panel_width(panel);
+            let y_seq = execute(&f.plan, &f.tree, &f.w, &seq);
+            assert!(
+                bitwise_eq(&y_seq, &full),
+                "sequential panel width {panel} changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_executor_matches_unprepared_and_is_reusable() {
+        let f = fixture(DatasetId::Unit, 512, Structure::Hss, 7);
+        let opts = ExecOptions::from_plan(&f.plan);
+        let prep = PreparedExec::new(&f.plan, &f.tree, &opts);
+        let direct = execute(&f.plan, &f.tree, &f.w, &opts);
+        for _ in 0..3 {
+            let y = execute_prepared(&f.plan, &f.tree, &prep, &f.w);
+            assert!(bitwise_eq(&y, &direct));
+        }
+    }
+
+    #[test]
+    fn chosen_panel_width_is_bounded_and_aligned() {
+        let f = fixture(DatasetId::Grid, 512, Structure::Hss, 1);
+        for l2 in [16 * 1024usize, 256 * 1024, 4 * 1024 * 1024] {
+            let qp = choose_panel_width(&f.plan, l2);
+            assert!((8..=256).contains(&qp), "panel width {qp} out of bounds");
+            assert_eq!(qp % 8, 0, "panel width {qp} not 8-aligned");
+        }
+        // A larger budget can never shrink the panel.
+        assert!(
+            choose_panel_width(&f.plan, 4 * 1024 * 1024) >= choose_panel_width(&f.plan, 64 * 1024)
+        );
     }
 
     #[test]

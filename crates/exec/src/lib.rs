@@ -12,4 +12,7 @@
 
 pub mod executor;
 
-pub use executor::{effective_grain, execute, ExecOptions};
+pub use executor::{
+    choose_panel_width, effective_grain, effective_panel_width, execute, execute_prepared,
+    ExecOptions, PreparedExec, DEFAULT_L2_BYTES,
+};

@@ -2,7 +2,7 @@
 //!
 //! A structured **factor + solve** subsystem over the inspector's compressed
 //! representation: given an SPD kernel matrix compressed with the HSS (weak
-//! admissibility) structure, [`factor`] computes a ULV-style factorization
+//! admissibility) structure, [`factor()`] computes a ULV-style factorization
 //! and [`HssFactor::solve_matrix`] runs forward/backward sweeps so
 //! `K~ x = b` is solved directly — the workload STRUMPACK exists for, and
 //! the scenario family (kernel regression, preconditioning) the executor's

@@ -327,6 +327,43 @@ pub fn gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [
     gemm_block(a, k, b, n, c, n, m, k, n);
 }
 
+/// Raw-slice kernel specialized for the panel-blocked executor:
+/// `C += A * B` where `B` is a narrow RHS panel (`n` is the panel width).
+///
+/// When the whole product fits inside one cache block (`m <= MC`,
+/// `k <= KC`, `n <= NC`) — the common case for MatRox leaf and coupling
+/// updates once the RHS is panel-blocked — the three blocking loops of
+/// [`gemm_slices`] degenerate to a single iteration each; this kernel skips
+/// them and runs the micro-kernel loop nest directly.  The accumulation
+/// order over `k` is identical to [`gemm_slices`] either way, so the two
+/// kernels produce **bitwise-identical** results (the executor's panel
+/// blocking must not perturb outputs).
+pub fn gemm_panel(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m > MC || k > KC || n > NC {
+        gemm_block(a, k, b, n, c, n, m, k, n);
+        return;
+    }
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
 /// Raw-slice kernel: `C += A^T * B` where `A` is `k x m` (so `A^T` is
 /// `m x k`), `B` is `k x n` and `C` is `m x n`, all row-major.
 ///
@@ -530,6 +567,65 @@ mod tests {
         gemm_tn_slices(a.as_slice(), 11, 6, b.as_slice(), 5, &mut c);
         for (x, y) in c.iter().zip(expected.as_slice()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_panel_is_bitwise_identical_to_gemm_slices() {
+        // Small (direct path) and large (blocked fallback) shapes; both must
+        // match gemm_slices bit for bit, since the executor mixes the two
+        // kernels depending on panel width.
+        for &(m, k, n, seed) in &[
+            (13usize, 9usize, 7usize, 31u64),
+            (64, 128, 8, 32),
+            (70, 140, 300, 33), // exceeds MC/KC/NC -> blocked fallback
+            (1, 1, 1, 34),
+        ] {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed + 100);
+            let mut c1 = vec![0.25; m * n];
+            let mut c2 = vec![0.25; m * n];
+            gemm_slices(a.as_slice(), m, k, b.as_slice(), n, &mut c1);
+            gemm_panel(a.as_slice(), m, k, b.as_slice(), n, &mut c2);
+            assert!(
+                c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "panel kernel diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_panel_column_panels_match_full_width() {
+        // Computing a wide product panel-by-panel must equal the full-width
+        // product bitwise: each output column only ever accumulates over k in
+        // storage order, independently of the panel grouping.
+        let (m, k, n) = (24usize, 40usize, 19usize);
+        let a = random_matrix(m, k, 41);
+        let b = random_matrix(k, n, 42);
+        let mut full = vec![0.0; m * n];
+        gemm_panel(a.as_slice(), m, k, b.as_slice(), n, &mut full);
+        for panel in [1usize, 4, 8] {
+            let mut out = vec![0.0; m * n];
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + panel).min(n);
+                let w = j1 - j0;
+                let bp: Vec<f64> = (0..k)
+                    .flat_map(|p| b.as_slice()[p * n + j0..p * n + j1].to_vec())
+                    .collect();
+                let mut cp = vec![0.0; m * w];
+                gemm_panel(a.as_slice(), m, k, &bp, w, &mut cp);
+                for i in 0..m {
+                    out[i * n + j0..i * n + j1].copy_from_slice(&cp[i * w..(i + 1) * w]);
+                }
+                j0 = j1;
+            }
+            assert!(
+                full.iter()
+                    .zip(&out)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "panel width {panel} diverged"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 //!
 //! * [`Matrix`] — a dense, row-major, `f64` matrix with the small set of
 //!   operations the rest of the workspace needs.
-//! * [`gemm`] — cache-blocked sequential and rayon-parallel matrix-matrix
+//! * [`mod@gemm`] — cache-blocked sequential and rayon-parallel matrix-matrix
 //!   products (`C ← αAB + βC`), plus `gemv` and transposed variants.
 //! * [`qr`] — Householder column-pivoted QR (Businger–Golub) with adaptive
 //!   rank detection.
@@ -38,7 +38,8 @@ pub mod solve;
 
 pub use chol::{cholesky, cholesky_solve, cholesky_solve_matrix, syrk_lower, NotPositiveDefinite};
 pub use gemm::{
-    gemm, gemm_seq, gemm_slices, gemm_tn_slices, gemv, matmul, par_gemm, par_gemm_slices, GemmOp,
+    gemm, gemm_panel, gemm_seq, gemm_slices, gemm_tn_slices, gemv, matmul, par_gemm,
+    par_gemm_slices, GemmOp,
 };
 pub use id::{column_id, row_id, IdResult};
 pub use lu::{lu_factor, lu_solve, lu_solve_matrix, LuFactors, SingularMatrix};

@@ -3,7 +3,7 @@
 //! The matrix is intentionally minimal: it is a flat `Vec<f64>` with a shape,
 //! plus the handful of operations the MatRox pipeline needs (row/column
 //! gathering by index sets, transposition, slicing into the raw buffer).  The
-//! heavy numerical work lives in [`crate::gemm`], [`crate::qr`] and
+//! heavy numerical work lives in [`mod@crate::gemm`], [`crate::qr`] and
 //! [`crate::id`].
 
 use std::fmt;

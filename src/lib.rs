@@ -7,20 +7,19 @@
 //!
 //! This facade crate re-exports the whole workspace behind one dependency:
 //!
-//! * [`core`](matrox_core) — the inspector / executor API ([`inspector`],
-//!   [`HMatrix`], [`inspector_p1`]/[`inspector_p2`] reuse, serialization);
-//! * [`points`](matrox_points) — point sets, kernels and the Table 1 dataset
+//! * [`core`] — the inspector / executor API ([`inspector()`], [`HMatrix`],
+//!   the batched [`EvalSession`], [`inspector_p1`]/[`inspector_p2`] reuse,
+//!   serialization);
+//! * [`points`] — point sets, kernels and the Table 1 dataset
 //!   generators;
-//! * [`linalg`](matrox_linalg) — the dense kernels (GEMM, pivoted QR, ID);
-//! * [`tree`](matrox_tree), [`sampling`](matrox_sampling),
-//!   [`compress`](matrox_compress), [`analysis`](matrox_analysis),
-//!   [`codegen`](matrox_codegen), [`exec`](matrox_exec) — the pipeline
-//!   stages;
-//! * [`factor`](matrox_factor) — the ULV-style HSS factor + solve
+//! * [`linalg`] — the dense kernels (GEMM, pivoted QR, ID);
+//! * [`tree`], [`sampling`], [`compress`], [`analysis`], [`codegen`],
+//!   [`exec`] — the pipeline stages;
+//! * [`factor`] — the ULV-style HSS factor + solve
 //!   subsystem behind [`HMatrix::factorize`] / `solve` (`K x = b`);
-//! * [`baselines`](matrox_baselines) — GOFMM-, STRUMPACK- and SMASH-style
+//! * [`baselines`] — GOFMM-, STRUMPACK- and SMASH-style
 //!   evaluators plus the dense GEMM comparator;
-//! * [`cachesim`](matrox_cachesim) — the software locality proxy used by the
+//! * [`cachesim`] — the software locality proxy used by the
 //!   Figure 6 experiment.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
@@ -40,8 +39,8 @@ pub use matrox_sampling as sampling;
 pub use matrox_tree as tree;
 
 pub use matrox_core::{
-    inspector, inspector_p1, inspector_p2, FactorError, FactoredHMatrix, HMatrix, InspectorP1,
-    MatRoxParams,
+    inspector, inspector_p1, inspector_p2, EvalSession, FactorError, FactoredHMatrix, HMatrix,
+    InspectorP1, MatRoxParams, SessionStats,
 };
 pub use matrox_exec::ExecOptions;
 pub use matrox_linalg::Matrix;

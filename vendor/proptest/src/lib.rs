@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest API that the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! tests use: the `Strategy` trait with `prop_map` / `prop_flat_map`,
 //! range and tuple strategies, [`collection::vec`], the
 //! [`proptest!`] macro (with optional `#![proptest_config(..)]` header) and
 //! the `prop_assert!` / `prop_assert_eq!` assertion macros.
@@ -156,7 +156,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRunner;
 
-    /// Number-of-elements specification for [`vec`]: an exact size or a range.
+    /// Number-of-elements specification for [`vec()`]: an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

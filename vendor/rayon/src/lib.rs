@@ -3,7 +3,7 @@
 //! crates.io is unreachable from the build environment, so this vendored
 //! crate implements the `rayon` API surface the workspace uses from scratch:
 //!
-//! * a work-stealing runtime ([`registry`]): one LIFO deque per worker, FIFO
+//! * a work-stealing runtime (`registry`): one LIFO deque per worker, FIFO
 //!   stealing, a global injector for external submissions, and an
 //!   epoch-guarded sleep protocol so idle workers park without polling;
 //! * [`join`] with genuine fork-join semantics: the second closure is pushed
@@ -16,7 +16,7 @@
 //!   spawns `n` OS threads, `install` runs a closure inside the pool (the
 //!   scalability harnesses pin each sweep point to its own pool this way),
 //!   and dropping the pool joins its workers;
-//! * parallel iterator bridges ([`iter`], [`slice`]): `par_iter`,
+//! * parallel iterator bridges ([`iter`], [`mod@slice`]): `par_iter`,
 //!   `par_iter_mut`, `into_par_iter` and `par_chunks{,_mut}` split index
 //!   ranges recursively over `join` down to a grain scaled to the installed
 //!   pool's width (tunable per call-site via `with_min_len`).
