@@ -1,0 +1,366 @@
+//! Microkernel harness: scalar vs SIMD GF/s at the executor's typical
+//! shapes, plus end-to-end kernel-selection deltas for the fig4-style
+//! batched evaluation and the fig_solve-style factor + solve.
+//!
+//! Three sections, all written to `BENCH_gemm.json` (the perf-smoke gate
+//! reads the summary keys):
+//!
+//! 1. **GF/s table** — for each shape the dispatched product is timed under
+//!    the scalar kernel and (when the host has AVX2+FMA) the packed
+//!    microkernel; every result is also pinned against the never-dispatched
+//!    scalar reference `gemm_seq` (`max_rel_err_vs_seq`).  The gate's
+//!    `min_simd_speedup` is the minimum speedup over the shapes with
+//!    executor-typical panel widths (`n >= 64`).
+//! 2. **Executor delta** — one `EvalSession` per kernel choice
+//!    (`MatRoxParams::with_kernel`) over the same points; reports the
+//!    batched-evaluation time per kernel and their relative difference.
+//! 3. **Solve delta** — the ULV factorization honours the *process-wide*
+//!    selection (`MATROX_KERNEL`), so the harness re-executes itself as a
+//!    `--probe solve` subprocess once per kernel and parses the probe's
+//!    JSON line.
+//!
+//! ```bash
+//! cargo run -p matrox-bench --release --bin bench_gemm [--n 1024] [--q 64]
+//! ```
+
+use matrox_bench::{
+    json_f64, json_opt, pool_banner, self_check_json, solve_setting, time_best, write_bench_json,
+    HarnessArgs,
+};
+use matrox_core::{inspector, EvalSession, MatRoxParams};
+use matrox_linalg::{
+    frobenius_norm, gemm_seq, simd_available, GemmOp, KernelChoice, KernelDispatch, Matrix,
+};
+use matrox_points::{generate, DatasetId, Kernel};
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A product shape the executor actually issues (leaf/coupling/transfer
+/// blocks x RHS panels), plus two larger dense shapes for context.
+struct Shape {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Run through the TN (transposed-A) path, like the upward pass.
+    tn: bool,
+    /// Counts toward the gate's minimum speedup (executor-typical panel).
+    gate: bool,
+}
+
+const SHAPES: &[Shape] = &[
+    // Leaf blocks (leaf_size 64) against narrow..wide RHS panels.
+    Shape {
+        label: "leaf 64x64 q=8",
+        m: 64,
+        k: 64,
+        n: 8,
+        tn: false,
+        gate: false,
+    },
+    Shape {
+        label: "leaf 64x64 q=64",
+        m: 64,
+        k: 64,
+        n: 64,
+        tn: false,
+        gate: true,
+    },
+    Shape {
+        label: "leaf 64x64 q=256",
+        m: 64,
+        k: 64,
+        n: 256,
+        tn: false,
+        gate: true,
+    },
+    // Coupling blocks (srank x srank).
+    Shape {
+        label: "coupling 32x32 q=64",
+        m: 32,
+        k: 32,
+        n: 64,
+        tn: false,
+        gate: true,
+    },
+    // Upward transfer: V^T (stored 64x32) against a 64-wide panel.
+    Shape {
+        label: "transfer V^T 32x64 q=64",
+        m: 32,
+        k: 64,
+        n: 64,
+        tn: true,
+        gate: true,
+    },
+    // Larger context shapes (dense baseline / peeled root territory).
+    Shape {
+        label: "dense 256^3",
+        m: 256,
+        k: 256,
+        n: 256,
+        tn: false,
+        gate: true,
+    },
+    Shape {
+        label: "tall 1024x64 q=128",
+        m: 1024,
+        k: 64,
+        n: 128,
+        tn: false,
+        gate: true,
+    },
+];
+
+fn random_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m = Matrix::random_uniform(len.max(1), 1, &mut rng);
+    m.as_slice()[..len].to_vec()
+}
+
+/// (GF/s, relative error vs `gemm_seq`) for one shape under one dispatch.
+fn measure(disp: KernelDispatch, s: &Shape) -> (f64, f64) {
+    let (m, k, n) = (s.m, s.k, s.n);
+    // `a` is stored m x k (NoTrans) or k x m (TN, read as its transpose).
+    let a = random_vec(m * k, 11 + m as u64);
+    let b = random_vec(k * n, 13 + n as u64);
+    let mut c = vec![0.0; m * n];
+    let run = |c: &mut [f64]| {
+        if s.tn {
+            disp.gemm_tn(&a, k, m, &b, n, c);
+        } else {
+            disp.gemm(&a, m, k, &b, n, c);
+        }
+    };
+
+    // Accuracy against the scalar reference.
+    run(&mut c);
+    let am = if s.tn {
+        Matrix::from_vec(k, m, a.clone()).transpose()
+    } else {
+        Matrix::from_vec(m, k, a.clone())
+    };
+    let bm = Matrix::from_vec(k, n, b.clone());
+    let mut want = Matrix::zeros(m, n);
+    gemm_seq(
+        1.0,
+        &am,
+        GemmOp::NoTrans,
+        &bm,
+        GemmOp::NoTrans,
+        0.0,
+        &mut want,
+    );
+    let mut diff = Matrix::from_vec(m, n, c.clone());
+    diff.sub_assign(&want);
+    let rel_err = frobenius_norm(&diff) / frobenius_norm(&want).max(1e-300);
+
+    // Throughput: enough repetitions for ~1e8 multiply-adds per sample.
+    let flops = 2.0 * (m * k * n) as f64;
+    let reps = ((2e8 / flops) as usize).max(4);
+    let mut sample = || {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run(&mut c);
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        best = best.min(sample());
+    }
+    (flops / best / 1e9, rel_err)
+}
+
+/// Executor-level delta: one session per kernel choice over the same plan
+/// inputs; returns (eval seconds, session) so the caller can diff outputs.
+fn exec_session(n: usize, choice: KernelChoice) -> EvalSession {
+    let pts = generate(DatasetId::Grid, n, 17);
+    let kernel = Kernel::Gaussian { bandwidth: 5.0 };
+    let params = MatRoxParams::h2b().with_bacc(1e-5).with_kernel(choice);
+    EvalSession::build(&pts, &kernel, &params)
+}
+
+/// `--probe solve` subprocess body: factor + solve under the process-wide
+/// kernel selection, one JSON line on stdout.
+fn solve_probe(n: usize) {
+    let (kernel, params) = solve_setting(n, 1e-7);
+    let pts = generate(DatasetId::Grid, n, 17);
+    let h = inspector(&pts, &kernel, &params);
+    let (f, factor_s) = time_best(|| h.factorize().expect("SPD solve setting must factor"), 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let b = Matrix::random_uniform(n, 8, &mut rng);
+    let (x, solve_s) = time_best(|| f.solve_matrix(&b), 2);
+    // Residual against the compressed operator (cheap, kernel-sensitive).
+    let mut r = h.matmul(&x);
+    r.sub_assign(&b);
+    let residual = frobenius_norm(&r) / frobenius_norm(&b);
+    println!(
+        "{{\"probe_kernel\": \"{}\", \"probe_factor_s\": {}, \"probe_solve_s\": {}, \"probe_residual\": {}}}",
+        KernelDispatch::global().name(),
+        json_f64(factor_s),
+        json_f64(solve_s),
+        json_f64(residual)
+    );
+}
+
+/// Run this binary again as a solve probe under `MATROX_KERNEL=<kernel>`.
+fn run_solve_probe(n: usize, kernel: &str) -> Option<(f64, f64, f64)> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .args(["--probe", "solve", "--n", &n.to_string()])
+        .env("MATROX_KERNEL", kernel)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    Some((
+        matrox_bench::json_lookup_number(&text, "probe_factor_s")?,
+        matrox_bench::json_lookup_number(&text, "probe_solve_s")?,
+        matrox_bench::json_lookup_number(&text, "probe_residual")?,
+    ))
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1024, 64);
+    if args.str_flag("--probe").as_deref() == Some("solve") {
+        solve_probe(args.n);
+        return;
+    }
+    let check = pool_banner();
+    let auto = KernelDispatch::global();
+    let simd = simd_available();
+    println!(
+        "==== bench_gemm: kernel layer (auto = {}, simd_available = {}, blocking = {:?}) ====\n",
+        auto.name(),
+        simd,
+        auto.blocking()
+    );
+
+    // ---- 1. GF/s table --------------------------------------------------
+    let scalar = KernelDispatch::scalar();
+    let simd_disp = simd.then(|| KernelDispatch::resolve(KernelChoice::Avx2));
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}",
+        "shape", "scalar GF/s", "simd GF/s", "speedup"
+    );
+    let mut shape_json = String::new();
+    let mut min_gate_speedup: Option<f64> = None;
+    let mut max_rel_err: f64 = 0.0;
+    for s in SHAPES {
+        let (gs, es) = measure(scalar, s);
+        max_rel_err = max_rel_err.max(es);
+        let (gv, speedup) = match simd_disp {
+            Some(d) => {
+                let (gv, ev) = measure(d, s);
+                max_rel_err = max_rel_err.max(ev);
+                (Some(gv), Some(gv / gs))
+            }
+            None => (None, None),
+        };
+        if s.gate {
+            if let Some(sp) = speedup {
+                min_gate_speedup = Some(min_gate_speedup.map_or(sp, |m: f64| m.min(sp)));
+            }
+        }
+        println!(
+            "{:<26} {:>14.2} {:>14} {:>9}",
+            s.label,
+            gs,
+            gv.map_or("-".into(), |v| format!("{v:.2}")),
+            speedup.map_or("-".into(), |v| format!("{v:.2}x"))
+        );
+        let _ = writeln!(
+            shape_json,
+            "    {{\"label\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"tn\": {}, \
+             \"gate\": {}, \"scalar_gflops\": {}, \"simd_gflops\": {}, \"speedup\": {}}},",
+            s.label,
+            s.m,
+            s.k,
+            s.n,
+            s.tn,
+            s.gate,
+            json_f64(gs),
+            json_opt(gv),
+            json_opt(speedup)
+        );
+    }
+    let shape_json = shape_json.trim_end().trim_end_matches(',').to_string();
+    println!("\nmax relative error vs gemm_seq: {max_rel_err:.2e}");
+    if let Some(sp) = min_gate_speedup {
+        println!("min speedup over executor-typical shapes: {sp:.2}x");
+    }
+
+    // ---- 2. Executor delta ----------------------------------------------
+    let n = args.n;
+    let q = args.q;
+    println!("\n---- executor delta (N = {n}, Q = {q}, H2-b, grid) ----");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+    let w = Matrix::random_uniform(n, q, &mut rng);
+    let s_scalar = exec_session(n, KernelChoice::Scalar);
+    let (y_scalar, exec_scalar_s) = time_best(|| s_scalar.evaluate(&w), 3);
+    let (exec_simd_s, exec_rel_err, exec_speedup) = if simd {
+        let s_simd = exec_session(n, KernelChoice::Avx2);
+        let (y_simd, t) = time_best(|| s_simd.evaluate(&w), 3);
+        let mut diff = y_simd.clone();
+        diff.sub_assign(&y_scalar);
+        let rel = frobenius_norm(&diff) / frobenius_norm(&y_scalar);
+        (Some(t), Some(rel), Some(exec_scalar_s / t))
+    } else {
+        (None, None, None)
+    };
+    println!(
+        "evaluate(W): scalar {exec_scalar_s:.4}s, simd {}, speedup {}, rel err {}",
+        json_opt(exec_simd_s),
+        json_opt(exec_speedup),
+        json_opt(exec_rel_err)
+    );
+
+    // ---- 3. Solve delta (subprocess per kernel) -------------------------
+    let solve_n = args.usize_flag("--solve-n", 1024);
+    println!("\n---- factor + solve delta (N = {solve_n}, subprocess per kernel) ----");
+    let solve_scalar = run_solve_probe(solve_n, "scalar");
+    let solve_simd = if simd {
+        run_solve_probe(solve_n, "avx2")
+    } else {
+        None
+    };
+    let mut solve_speedup = None;
+    if let Some((fs, ss, rs)) = solve_scalar {
+        println!("scalar: factor {fs:.4}s solve {ss:.4}s residual {rs:.2e}");
+        if let Some((fv, sv, rv)) = solve_simd {
+            println!("avx2:   factor {fv:.4}s solve {sv:.4}s residual {rv:.2e}");
+            solve_speedup = Some((fs + ss) / (fv + sv));
+            println!("factor+solve speedup: {:.2}x", solve_speedup.unwrap());
+        }
+    } else {
+        println!("solve probe unavailable (subprocess failed)");
+    }
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"q\": {q},\n  \"kernel_auto\": \"{auto_name}\",\n  \
+         \"simd_available\": {simd},\n  \"blocking_mc\": {mc},\n  \"blocking_kc\": {kc},\n  \
+         \"blocking_nc\": {nc},\n  \"shapes\": [\n{shape_json}\n  ],\n  \
+         \"min_simd_speedup\": {min_sp},\n  \"max_rel_err_vs_seq\": {rel},\n  \
+         \"exec_scalar_s\": {e_s},\n  \"exec_simd_s\": {e_v},\n  \"exec_speedup\": {e_sp},\n  \
+         \"exec_rel_err\": {e_re},\n  \"solve_scalar_s\": {s_s},\n  \"solve_simd_s\": {s_v},\n  \
+         \"solve_speedup\": {s_sp},\n  \"self_check\": {sc}\n}}\n",
+        auto_name = auto.name(),
+        mc = auto.blocking().mc,
+        kc = auto.blocking().kc,
+        nc = auto.blocking().nc,
+        min_sp = json_opt(min_gate_speedup),
+        rel = json_f64(max_rel_err),
+        e_s = json_f64(exec_scalar_s),
+        e_v = json_opt(exec_simd_s),
+        e_sp = json_opt(exec_speedup),
+        e_re = json_opt(exec_rel_err),
+        s_s = json_opt(solve_scalar.map(|(f, s, _)| f + s)),
+        s_v = json_opt(solve_simd.map(|(f, s, _)| f + s)),
+        s_sp = json_opt(solve_speedup),
+        sc = self_check_json(&check),
+    );
+    write_bench_json("BENCH_gemm.json", &json);
+}

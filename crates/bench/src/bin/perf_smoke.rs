@@ -17,7 +17,7 @@
 //! ```bash
 //! cargo run -p matrox-bench --release --bin perf_smoke -- \
 //!     [--fig4 BENCH_fig4.json] [--solve BENCH_solve.json] \
-//!     [--thresholds crates/bench/thresholds.json]
+//!     [--gemm BENCH_gemm.json] [--thresholds crates/bench/thresholds.json]
 //! ```
 
 use matrox_bench::{json_lookup_bool, json_lookup_number, HarnessArgs};
@@ -114,6 +114,9 @@ fn main() {
     let solve_path = args
         .str_flag("--solve")
         .unwrap_or_else(|| "BENCH_solve.json".to_string());
+    let gemm_path = args
+        .str_flag("--gemm")
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
     let thresholds_path = args
         .str_flag("--thresholds")
         .unwrap_or_else(|| "crates/bench/thresholds.json".to_string());
@@ -121,6 +124,7 @@ fn main() {
     let thresholds = read(&thresholds_path);
     let fig4 = read(&fig4_path);
     let solve = read(&solve_path);
+    let gemm = read(&gemm_path);
     let must = |key: &str| -> f64 {
         json_lookup_number(&thresholds, key).unwrap_or_else(|| {
             eprintln!("perf_smoke: threshold key '{key}' missing from {thresholds_path}");
@@ -179,6 +183,32 @@ fn main() {
         headroom,
         solve_at_ref,
     );
+
+    println!("bench_gemm ({gemm_path}):");
+    gate.ratio_below(
+        "gemm.rel_err_vs_seq",
+        json_lookup_number(&gemm, "max_rel_err_vs_seq"),
+        must("gemm_max_rel_err"),
+    );
+    if json_lookup_bool(&gemm, "simd_available") == Some(true) {
+        gate.ratio_above(
+            "gemm.min_simd_speedup",
+            json_lookup_number(&gemm, "min_simd_speedup"),
+            must("gemm_min_simd_speedup"),
+        );
+        gate.ratio_above(
+            "gemm.exec_speedup",
+            json_lookup_number(&gemm, "exec_speedup"),
+            must("gemm_min_exec_speedup"),
+        );
+        gate.ratio_below(
+            "gemm.exec_rel_err",
+            json_lookup_number(&gemm, "exec_rel_err"),
+            must("gemm_max_rel_err"),
+        );
+    } else {
+        println!("  skip gemm.*_speedup: host reports no SIMD kernel (scalar fallback only)");
+    }
 
     println!(
         "\n{} checks, {} failure(s)",

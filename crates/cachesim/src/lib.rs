@@ -11,8 +11,15 @@
 //! them.  Replaying a trace yields miss ratios and the same latency formula
 //! used in the paper.
 
+//!
+//! Beyond the replay model, [`CacheParams`] answers the *forward* question
+//! the kernel layer in `matrox-linalg` asks at startup: how should a packed
+//! GEMM block its operands for this hierarchy ([`CacheParams::gemm_blocking`])?
+
 pub mod cache;
+pub mod params;
 pub mod trace;
 
 pub use cache::{CacheHierarchy, CacheLevel, LatencyModel};
+pub use params::{CacheParams, GemmBlocking};
 pub use trace::{Access, Trace};

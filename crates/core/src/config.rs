@@ -8,6 +8,7 @@
 
 use matrox_analysis::CoarsenParams;
 use matrox_codegen::CodegenParams;
+use matrox_linalg::KernelChoice;
 use matrox_sampling::SamplingParams;
 use matrox_tree::{PartitionMethod, Structure};
 
@@ -43,6 +44,15 @@ pub struct MatRoxParams {
     /// overridable process-wide via the `MATROX_PANEL` env var).  Results
     /// are bitwise independent of this knob.
     pub panel_width: usize,
+    /// GEMM kernel selection for the evaluation session built from these
+    /// parameters ([`KernelChoice::Auto`] defers to the `MATROX_KERNEL`
+    /// env var, then CPU feature detection).  Reaches every executor path
+    /// (`matmul`, sessions); the factorization sweeps follow the
+    /// process-wide `MATROX_KERNEL` selection instead.  A runtime/perf
+    /// knob like `panel_width`: it is not serialized with the HMatrix, and
+    /// for a fixed selection results are bitwise reproducible across
+    /// thread counts and panel widths.
+    pub kernel: KernelChoice,
 }
 
 impl Default for MatRoxParams {
@@ -63,6 +73,7 @@ impl Default for MatRoxParams {
             codegen: CodegenParams::default(),
             seed: 0,
             panel_width: 0,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -116,6 +127,13 @@ impl MatRoxParams {
         self.panel_width = panel_width;
         self
     }
+
+    /// Builder-style override of the GEMM kernel selection
+    /// (see [`MatRoxParams::kernel`]).
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +150,7 @@ mod tests {
         assert_eq!(p.coarsen.agg, 2);
         assert_eq!(p.sampling.sampling_size, 32);
         assert_eq!(p.panel_width, 0, "panel width defaults to auto");
+        assert_eq!(p.kernel, KernelChoice::Auto, "kernel defaults to auto");
     }
 
     #[test]

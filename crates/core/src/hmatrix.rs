@@ -4,7 +4,7 @@ use crate::timings::InspectorTimings;
 use matrox_codegen::{emit_source, EvalPlan};
 use matrox_exec::{execute, ExecOptions};
 use matrox_factor::{factor, FactorError, HssFactor};
-use matrox_linalg::{frobenius_norm, relative_error, Matrix};
+use matrox_linalg::{frobenius_norm, relative_error, KernelChoice, Matrix};
 use matrox_points::{dense_kernel_matmul, Kernel, PointSet};
 use matrox_tree::{ClusterTree, Structure};
 
@@ -33,6 +33,16 @@ pub struct HMatrix {
     /// A runtime tuning knob like `timings` — not serialized; reloaded
     /// matrices fall back to auto.
     pub panel_width: usize,
+    /// GEMM kernel selection requested at inspection time
+    /// ([`MatRoxParams::kernel`](crate::MatRoxParams)).  Honoured by every
+    /// *executor* path derived from this matrix ([`HMatrix::matmul`],
+    /// [`HMatrix::matvec`], sessions).  The factorization/solve sweeps
+    /// (`crates/factor`) run their products through the process-wide
+    /// selection instead (`MATROX_KERNEL`), so pinning a kernel for those
+    /// requires the env var.  A runtime knob like `panel_width` —
+    /// machine-specific, so not serialized; reloaded matrices fall back to
+    /// [`KernelChoice::Auto`].
+    pub gemm_kernel: KernelChoice,
 }
 
 impl HMatrix {
@@ -49,12 +59,16 @@ impl HMatrix {
     /// executor implementation.  Repeated evaluations should build a
     /// session once so the state derivation is not paid per call.
     pub fn matmul(&self, w: &Matrix) -> Matrix {
-        execute(
-            &self.plan,
-            &self.tree,
-            w,
-            &ExecOptions::from_plan(&self.plan).with_panel_width(self.panel_width),
-        )
+        execute(&self.plan, &self.tree, w, &self.default_exec_options())
+    }
+
+    /// The executor options every default evaluation path derives from this
+    /// matrix: the plan's lowering decisions plus the inspection-time panel
+    /// width and kernel selection.
+    pub fn default_exec_options(&self) -> ExecOptions {
+        ExecOptions::from_plan(&self.plan)
+            .with_panel_width(self.panel_width)
+            .with_kernel(self.gemm_kernel)
     }
 
     /// Evaluate with explicit executor options (used by the ablation and
@@ -114,7 +128,7 @@ impl HMatrix {
     /// structures and [`FactorError::NotPositiveDefinite`] when a leaf
     /// diagonal block has a non-positive pivot.
     pub fn factorize(&self) -> Result<FactoredHMatrix, FactorError> {
-        self.factorize_with(&ExecOptions::from_plan(&self.plan))
+        self.factorize_with(&self.default_exec_options())
     }
 
     /// [`factorize`](HMatrix::factorize) with explicit executor options
@@ -169,13 +183,13 @@ impl FactoredHMatrix {
             &self.hmatrix.plan,
             &self.hmatrix.tree,
             b,
-            &ExecOptions::from_plan(&self.hmatrix.plan),
+            &self.hmatrix.default_exec_options(),
         )
     }
 
     /// Solve `K~ X = B` for a multi-column right-hand side.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        self.solve_matrix_with(b, &ExecOptions::from_plan(&self.hmatrix.plan))
+        self.solve_matrix_with(b, &self.hmatrix.default_exec_options())
     }
 
     /// [`solve_matrix`](FactoredHMatrix::solve_matrix) with explicit

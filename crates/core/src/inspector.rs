@@ -132,6 +132,7 @@ pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: 
         bacc,
         timings,
         panel_width: params.panel_width,
+        gemm_kernel: params.kernel,
     }
 }
 

@@ -514,9 +514,11 @@ fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
         kernel,
         bacc,
         timings: InspectorTimings::default(),
-        // Like the timings, the requested panel width is a runtime tuning
-        // knob, not part of the stored matrix; reloads use auto.
+        // Like the timings, the requested panel width and kernel selection
+        // are runtime tuning knobs (the kernel is machine-specific besides),
+        // not part of the stored matrix; reloads use auto.
         panel_width: 0,
+        gemm_kernel: matrox_linalg::KernelChoice::Auto,
     })
 }
 

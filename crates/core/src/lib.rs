@@ -87,5 +87,6 @@ pub use io::{
     to_bytes_factored, IoError,
 };
 pub use matrox_factor::FactorError;
+pub use matrox_linalg::{KernelChoice, KernelDispatch};
 pub use session::EvalSession;
 pub use timings::{FactorTimings, InspectorTimings, SessionStats};

@@ -63,15 +63,15 @@ impl EvalSession {
         let t0 = Instant::now();
         let h = inspector(points, kernel, params);
         let inspect_seconds = t0.elapsed().as_secs_f64();
-        let opts = ExecOptions::from_plan(&h.plan).with_panel_width(h.panel_width);
+        let opts = h.default_exec_options();
         Self::assemble(h, opts, inspect_seconds)
     }
 
     /// Wrap an already-inspected matrix (the inspector cost is taken from
-    /// its recorded timings, the panel width from its inspection-time
-    /// request).
+    /// its recorded timings, the panel width and kernel selection from its
+    /// inspection-time request).
     pub fn from_hmatrix(hmatrix: HMatrix) -> Self {
-        let opts = ExecOptions::from_plan(&hmatrix.plan).with_panel_width(hmatrix.panel_width);
+        let opts = hmatrix.default_exec_options();
         let inspect = hmatrix.timings.total().as_secs_f64();
         Self::assemble(hmatrix, opts, inspect)
     }
@@ -201,6 +201,25 @@ mod tests {
         assert_eq!(stats.queries, 12);
         assert!(stats.eval_seconds > 0.0);
         assert!(stats.amortized_per_query() < stats.inspect_seconds + stats.eval_seconds);
+    }
+
+    #[test]
+    fn kernel_choice_reaches_the_prepared_executor() {
+        use matrox_linalg::KernelChoice;
+        let pts = generate(DatasetId::Grid, 256, 11);
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let base = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+        let s_scalar = EvalSession::build(&pts, &kernel, &base.with_kernel(KernelChoice::Scalar));
+        assert_eq!(s_scalar.options().kernel, KernelChoice::Scalar);
+        assert_eq!(s_scalar.prep.dispatch().name(), "scalar");
+        let s_auto = EvalSession::build(&pts, &kernel, &base);
+        assert_eq!(s_auto.options().kernel, KernelChoice::Auto);
+        // Different kernels may differ in rounding but must agree tightly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let w = Matrix::random_uniform(256, 5, &mut rng);
+        let a = s_scalar.evaluate(&w);
+        let b = s_auto.evaluate(&w);
+        assert!(matrox_linalg::relative_error(&a, &b) < 1e-12);
     }
 
     #[test]

@@ -22,12 +22,29 @@
 //! All intermediate state is kept in the permuted (tree) ordering so that a
 //! node's rows of `W` and `Y` are contiguous; the input is permuted on entry
 //! and the output is un-permuted on exit.
+//!
+//! # Memory discipline
+//!
+//! Everything a panel iteration needs is derived once: the plan-dependent
+//! state (panel width, kernel dispatch, per-node scratch offsets, leaf
+//! level lists, the ownership checks below) lives in [`PreparedExec`], and
+//! the per-evaluation scratch (permuted input/output panels plus the flat
+//! `T`/`S` coefficient buffers) is allocated once per [`execute_prepared`]
+//! call.  The panel loop itself allocates **nothing** — every GEMM writes
+//! into a precomputed offset range, and the parallel phases hand tasks raw
+//! disjoint sub-slices (the private `RawSlots` helper) instead of
+//! rebuilding hash maps.
+//!
+//! The disjointness that makes those raw slices sound is not assumed: it is
+//! the paper's conflict-free-scheduling invariant (blockset groups own
+//! their target nodes, coarsen partitions own their sub-trees, every child
+//! has one parent), and [`PreparedExec::new`] *verifies* it when the plan
+//! is prepared, panicking on a malformed plan rather than racing on one.
 
 use matrox_codegen::EvalPlan;
-use matrox_linalg::{gemm_panel, gemm_tn_slices, par_gemm_slices, Matrix};
+use matrox_linalg::{KernelChoice, KernelDispatch, Matrix};
 use matrox_tree::ClusterTree;
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// Which phases run in parallel; derived from the plan's lowering decisions
 /// or overridden for ablation studies.
@@ -57,6 +74,14 @@ pub struct ExecOptions {
     /// bitwise independent of the panel width (every output column
     /// accumulates in the same order regardless of panel grouping).
     pub panel_width: usize,
+    /// GEMM kernel selection for every product the executor issues.
+    /// [`KernelChoice::Auto`] (the default) defers to the process-wide
+    /// selection (`MATROX_KERNEL` env var, then CPU feature detection); the
+    /// explicit choices pin a kernel for ablations and tests.  For a fixed
+    /// selection, results are bitwise identical across thread counts,
+    /// grains and panel widths; changing the selection is the one knob that
+    /// moves results (within kernel-accuracy tolerance).
+    pub kernel: KernelChoice,
 }
 
 /// Resolve the effective grain for the executor's parallel loops: an explicit
@@ -87,6 +112,7 @@ impl ExecOptions {
             peel_root: plan.decisions.peel_root,
             grain: 0,
             panel_width: 0,
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -99,6 +125,7 @@ impl ExecOptions {
             peel_root: false,
             grain: 0,
             panel_width: 0,
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -111,6 +138,7 @@ impl ExecOptions {
             peel_root: true,
             grain: 0,
             panel_width: 0,
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -123,6 +151,12 @@ impl ExecOptions {
     /// Set the RHS panel width (see [`ExecOptions::panel_width`]).
     pub fn with_panel_width(mut self, panel_width: usize) -> Self {
         self.panel_width = panel_width;
+        self
+    }
+
+    /// Pin the GEMM kernel (see [`ExecOptions::kernel`]).
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -186,8 +220,9 @@ pub fn effective_panel_width(opts: &ExecOptions, plan: &EvalPlan) -> usize {
 }
 
 /// Per-plan executor state derived once and reused across evaluations: the
-/// resolved options and panel width, the leaf ordering the output-splitting
-/// uses, and the distinct target nodes of every blockset group.
+/// resolved options, panel width and kernel dispatch, the per-node offsets
+/// into the flat `T`/`S` scratch buffers, the per-level node lists, and the
+/// verified ownership invariants the parallel phases rely on.
 ///
 /// [`execute`] derives this on every call; an evaluation session
 /// (`matrox_core::EvalSession`) builds it once next to the inspector output
@@ -196,50 +231,261 @@ pub fn effective_panel_width(opts: &ExecOptions, plan: &EvalPlan) -> usize {
 /// was prepared from.
 #[derive(Debug, Clone)]
 pub struct PreparedExec {
-    /// The options (lowerings + grain) the plan was prepared with.
+    /// The options (lowerings + grain + kernel) the plan was prepared with.
     pub opts: ExecOptions,
     /// Resolved RHS panel width (see [`ExecOptions::panel_width`]).
     pub panel_width: usize,
-    /// Leaves sorted by permuted start row (the output tiling order).
-    leaf_order: Vec<usize>,
-    /// Distinct target nodes of each near-blockset group, in first-seen
-    /// entry order.
-    near_targets: Vec<Vec<usize>>,
-    /// Distinct target nodes of each far-blockset group.
-    far_targets: Vec<Vec<usize>>,
+    /// Resolved GEMM kernel (see [`ExecOptions::kernel`]).
+    dispatch: KernelDispatch,
+    /// Prefix sums of `cds.sranks`: node `id`'s skeleton coefficients live
+    /// at rank offsets `[rank_off[id], rank_off[id + 1])` (scaled by the
+    /// panel width at evaluation time).
+    rank_off: Vec<usize>,
+    /// Tree nodes grouped by level (`level_nodes[l]` = nodes at depth `l`),
+    /// precomputed so the sequential tree sweeps never allocate per panel.
+    level_nodes: Vec<Vec<usize>>,
     /// Number of tree nodes, for cheap misuse detection.
     num_nodes: usize,
 }
 
 impl PreparedExec {
     /// Derive the executor state for a plan (the "inspector side" of the
-    /// executor: everything per-evaluation calls would otherwise recompute).
+    /// executor: everything per-evaluation calls would otherwise recompute),
+    /// and verify the conflict-free-scheduling invariants the parallel
+    /// phases rely on.
+    ///
+    /// # Panics
+    /// Panics when the plan violates the ownership invariants (a blockset
+    /// target claimed by two groups, a coarsen partition referencing a
+    /// child computed neither in-partition nor on an earlier level, ...).
+    /// A plan produced by `matrox-codegen` always satisfies them.
     pub fn new(plan: &EvalPlan, tree: &ClusterTree, opts: &ExecOptions) -> Self {
         let cds = &plan.cds;
-        let mut leaf_order = tree.leaves();
-        leaf_order.sort_by_key(|&l| tree.nodes[l].start);
-        let distinct_targets =
-            |entries: &[matrox_analysis::CdsBlockEntry], groups: &[matrox_analysis::GroupRange]| {
-                groups
-                    .iter()
-                    .map(|g| {
-                        let mut seen: Vec<usize> = Vec::new();
-                        for e in &entries[g.start..g.end] {
-                            if !seen.contains(&e.target) {
-                                seen.push(e.target);
-                            }
-                        }
-                        seen
-                    })
-                    .collect()
-            };
+        let num_nodes = tree.num_nodes();
+        let mut rank_off = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0usize;
+        rank_off.push(0);
+        for &r in &cds.sranks {
+            acc += r;
+            rank_off.push(acc);
+        }
+        assert_eq!(
+            rank_off.len(),
+            num_nodes + 1,
+            "CDS sranks must cover every tree node"
+        );
+
+        let mut level_nodes: Vec<Vec<usize>> = vec![Vec::new(); tree.height + 1];
+        for node in &tree.nodes {
+            level_nodes[node.level].push(node.id);
+        }
+
+        verify_plan(plan, tree);
+
         PreparedExec {
             opts: *opts,
             panel_width: effective_panel_width(opts, plan),
-            leaf_order,
-            near_targets: distinct_targets(&cds.d_entries, &cds.d_groups),
-            far_targets: distinct_targets(&cds.b_entries, &cds.b_groups),
-            num_nodes: tree.num_nodes(),
+            dispatch: KernelDispatch::for_choice(opts.kernel),
+            rank_off,
+            level_nodes,
+            num_nodes,
+        }
+    }
+
+    /// The resolved GEMM kernel every product of this plan runs on.
+    pub fn dispatch(&self) -> KernelDispatch {
+        self.dispatch
+    }
+
+    /// Skeleton rank of a node (width of its `T`/`S` coefficient slot).
+    fn srank(&self, id: usize) -> usize {
+        self.rank_off[id + 1] - self.rank_off[id]
+    }
+
+    /// Total skeleton rank (length of the `T`/`S` buffers in rank units).
+    fn total_rank(&self) -> usize {
+        *self.rank_off.last().unwrap()
+    }
+}
+
+/// Verify every invariant the raw-sliced parallel phases rely on: blockset
+/// ownership + shapes, generator shapes, coarsen ownership.  Run both at
+/// prepare time and at the top of every [`execute_prepared`] call — the
+/// latter so a *mismatched* plan (one the [`PreparedExec`] was not built
+/// from) is itself held to the full contract before any raw slicing
+/// happens, restoring the pre-refactor "panic, don't scribble" behaviour
+/// for that misuse.  Cost is `O(plan structure)`, far below one panel's
+/// products.
+fn verify_plan(plan: &EvalPlan, tree: &ClusterTree) {
+    let cds = &plan.cds;
+    verify_disjoint_targets(
+        &cds.d_entries,
+        &cds.d_groups,
+        tree,
+        &cds.sranks,
+        true,
+        "near",
+    );
+    verify_disjoint_targets(
+        &cds.b_entries,
+        &cds.b_groups,
+        tree,
+        &cds.sranks,
+        false,
+        "far",
+    );
+    verify_generator_shapes(plan, tree);
+    verify_coarsen_ownership(plan, tree);
+}
+
+/// Check that no two blockset groups claim the same target node (the
+/// invariant that lets the blocked parallel loops write their targets'
+/// output ranges without synchronization) and that every entry's block
+/// dimensions match the slot its product is sliced from — for the near
+/// set that means leaf point counts (entries scatter straight into
+/// `y_perm`), for the far set the recorded sranks (entries accumulate
+/// into the `S` slots).  The size checks are part of the soundness
+/// argument, not hygiene: the phase loops carve raw slices of exactly
+/// these extents, so an oversized entry in a release build would write
+/// into a neighbouring node's slot (or past the buffer) instead of
+/// panicking.
+fn verify_disjoint_targets(
+    entries: &[matrox_analysis::CdsBlockEntry],
+    groups: &[matrox_analysis::GroupRange],
+    tree: &ClusterTree,
+    sranks: &[usize],
+    targets_are_leaves: bool,
+    what: &str,
+) {
+    let mut owner: Vec<Option<usize>> = vec![None; tree.num_nodes()];
+    for (gi, g) in groups.iter().enumerate() {
+        for e in &entries[g.start..g.end] {
+            if targets_are_leaves {
+                // Near entries: dense leaf x leaf blocks.
+                assert!(
+                    tree.nodes[e.target].is_leaf() && tree.nodes[e.source].is_leaf(),
+                    "{what} blockset entry {}<-{} does not connect leaves",
+                    e.target,
+                    e.source
+                );
+                assert!(
+                    e.rows == tree.nodes[e.target].num_points()
+                        && e.cols == tree.nodes[e.source].num_points(),
+                    "{what} blockset entry {}<-{} has block shape {}x{}, \
+                     expected {}x{}",
+                    e.target,
+                    e.source,
+                    e.rows,
+                    e.cols,
+                    tree.nodes[e.target].num_points(),
+                    tree.nodes[e.source].num_points()
+                );
+            } else {
+                // Far entries: srank x srank coupling blocks (degenerate
+                // zero-dimension entries are skipped by the phases).
+                assert!(
+                    (e.rows == sranks[e.target] || e.rows == 0)
+                        && (e.cols == sranks[e.source] || e.cols == 0),
+                    "{what} blockset entry {}<-{} has block shape {}x{}, \
+                     expected {}x{}",
+                    e.target,
+                    e.source,
+                    e.rows,
+                    e.cols,
+                    sranks[e.target],
+                    sranks[e.source]
+                );
+            }
+            match owner[e.target] {
+                None => owner[e.target] = Some(gi),
+                Some(prev) => assert_eq!(
+                    prev, gi,
+                    "{what} blockset groups must own disjoint target nodes"
+                ),
+            }
+        }
+    }
+}
+
+/// Check that every generator's dimensions agree with the recorded sranks
+/// and leaf point counts.  Like the blockset size checks, this backs the
+/// unsafe slicing: the upward/downward phases size a leaf's `y_perm` range
+/// and a node's `T`/`S` slot from these values, so a generator wider or
+/// taller than recorded must fail at prepare time, not scribble at run
+/// time.
+fn verify_generator_shapes(plan: &EvalPlan, tree: &ClusterTree) {
+    let cds = &plan.cds;
+    for node in &tree.nodes {
+        let id = node.id;
+        let expect_rows = |rows: usize, what: &str| {
+            let want = if node.is_leaf() {
+                node.num_points()
+            } else {
+                let (l, r) = node.children.unwrap();
+                cds.sranks[l] + cds.sranks[r]
+            };
+            assert_eq!(rows, want, "{what} generator of node {id} has wrong height");
+        };
+        let (_, vrows, vcols) = cds.v(id);
+        if vcols > 0 {
+            assert_eq!(
+                vcols, cds.sranks[id],
+                "V generator of node {id} is wider than its srank"
+            );
+            expect_rows(vrows, "V");
+        }
+        let (_, urows, ucols) = cds.u(id);
+        if ucols > 0 {
+            assert_eq!(
+                ucols, cds.sranks[id],
+                "U generator of node {id} is wider than its srank"
+            );
+            expect_rows(urows, "U");
+        }
+    }
+}
+
+/// Check the coarsen-set ownership invariants: every node appears in at
+/// most one partition, and an internal node's children are computed either
+/// by the same partition (sequential program order within the task) or on
+/// an earlier coarsen level (separated by the level barrier).  These are
+/// exactly the happens-before edges the parallel tree phases rely on.
+fn verify_coarsen_ownership(plan: &EvalPlan, tree: &ClusterTree) {
+    let levels = &plan.coarsenset.levels;
+    if levels.is_empty() {
+        return;
+    }
+    // (coarsen level, partition, position within partition) per node.
+    let mut slot: Vec<Option<(usize, usize, usize)>> = vec![None; tree.num_nodes()];
+    for (cl, parts) in levels.iter().enumerate() {
+        for (pi, part) in parts.iter().enumerate() {
+            for (pos, &id) in part.iter().enumerate() {
+                assert!(
+                    slot[id].is_none(),
+                    "coarsen partitions must own disjoint node sets (node {id})"
+                );
+                slot[id] = Some((cl, pi, pos));
+            }
+        }
+    }
+    for (cl, parts) in levels.iter().enumerate() {
+        for (pi, part) in parts.iter().enumerate() {
+            for (pos, &id) in part.iter().enumerate() {
+                let Some((l, r)) = tree.nodes[id].children else {
+                    continue;
+                };
+                for child in [l, r] {
+                    let Some((ccl, cpi, cpos)) = slot[child] else {
+                        continue;
+                    };
+                    let ok = ccl < cl || (ccl == cl && cpi == pi && cpos < pos);
+                    assert!(
+                        ok,
+                        "coarsen set: child {child} of node {id} is computed neither \
+                         in-partition before its parent nor on an earlier level"
+                    );
+                }
+            }
         }
     }
 }
@@ -257,9 +503,20 @@ pub fn execute(plan: &EvalPlan, tree: &ClusterTree, w: &Matrix, opts: &ExecOptio
 /// Evaluate `Y = K~ * W` with previously prepared executor state, processing
 /// the RHS in panels of [`PreparedExec::panel_width`] columns.
 ///
+/// Beyond the output matrix, the only allocations are the four scratch
+/// buffers sized for one panel (permuted input/output plus the flat `T`/`S`
+/// coefficient stores) and the plan re-verification's scratch, made once up
+/// front — the panel loop itself is allocation-free (asserted by
+/// `crates/exec/tests/alloc_free.rs`).
+///
 /// # Panics
-/// Panics when `w` has the wrong number of rows or `prep` was prepared for a
-/// different tree.
+/// Panics when `w` has the wrong number of rows, when `prep` was prepared
+/// for a different tree or a plan with different skeleton ranks, or when
+/// `plan` violates the executor's ownership/shape invariants.  The passed
+/// plan is re-verified on every call (cheap relative to one panel's
+/// products) precisely because the parallel phases slice raw disjoint
+/// sub-ranges from it: a mismatched or malformed plan must fail loudly
+/// here, never scribble.
 pub fn execute_prepared(
     plan: &EvalPlan,
     tree: &ClusterTree,
@@ -274,20 +531,34 @@ pub fn execute_prepared(
         tree.num_nodes(),
         "execute: PreparedExec belongs to a different tree"
     );
+    assert!(
+        plan.cds.sranks.len() == prep.num_nodes
+            && plan
+                .cds
+                .sranks
+                .iter()
+                .enumerate()
+                .all(|(id, &r)| r == prep.srank(id)),
+        "execute: PreparedExec belongs to a plan with different skeleton ranks"
+    );
+    verify_plan(plan, tree);
     let mut y = Matrix::zeros(n, q);
     if q == 0 {
         return y;
     }
     let qp = prep.panel_width.max(1).min(q);
-    // Scratch buffers shared by every panel: the gather fully overwrites the
-    // active slice of `w_perm`, and `execute_panel` re-zeroes `y_perm`, so
-    // one allocation serves the whole evaluation.
+    let total_rank = prep.total_rank();
+    // Scratch shared by every panel: the gather fully overwrites the active
+    // slice of `w_perm`, and `execute_panel` re-zeroes the other three, so
+    // four allocations serve the whole evaluation.
     let mut w_perm = vec![0.0f64; n * qp];
     let mut y_perm = vec![0.0f64; n * qp];
+    let mut t_buf = vec![0.0f64; total_rank * qp];
+    let mut s_buf = vec![0.0f64; total_rank * qp];
     let mut j0 = 0;
     while j0 < q {
         let j1 = (j0 + qp).min(q);
-        let len = n * (j1 - j0);
+        let cur = j1 - j0;
         execute_panel(
             plan,
             tree,
@@ -295,8 +566,10 @@ pub fn execute_prepared(
             w,
             j0,
             j1,
-            &mut w_perm[..len],
-            &mut y_perm[..len],
+            &mut w_perm[..n * cur],
+            &mut y_perm[..n * cur],
+            &mut t_buf[..total_rank * cur],
+            &mut s_buf[..total_rank * cur],
             &mut y,
         );
         j0 = j1;
@@ -305,8 +578,8 @@ pub fn execute_prepared(
 }
 
 /// Run the four executor phases for the RHS columns `[j0, j1)`, writing the
-/// result into the same columns of `y`.  `w_perm`/`y_perm` are caller-owned
-/// scratch slices of `n * (j1 - j0)` elements, reused across panels.
+/// result into the same columns of `y`.  All scratch slices are caller-owned
+/// and reused across panels.
 #[allow(clippy::too_many_arguments)]
 fn execute_panel(
     plan: &EvalPlan,
@@ -317,6 +590,8 @@ fn execute_panel(
     j1: usize,
     w_perm: &mut [f64],
     y_perm: &mut [f64],
+    t_buf: &mut [f64],
+    s_buf: &mut [f64],
     y: &mut Matrix,
 ) {
     let opts = &prep.opts;
@@ -344,19 +619,20 @@ fn execute_panel(
         }
     }
     y_perm.fill(0.0);
+    t_buf.fill(0.0);
+    s_buf.fill(0.0);
 
     // Phase 1: near (dense) contributions.
-    near_phase(plan, tree, prep, w_perm, y_perm, qp, opts);
+    near_phase(plan, tree, prep, w_perm, y_perm, qp);
 
     // Phase 2: upward pass producing the skeleton coefficients T.
-    let t = upward_phase(plan, tree, w_perm, qp, opts);
+    upward_phase(plan, tree, prep, w_perm, t_buf, qp);
 
     // Phase 3: coupling through the B blocks.
-    let mut s = coupling_phase(plan, prep, &t, qp, opts);
-    drop(t);
+    coupling_phase(plan, prep, t_buf, s_buf, qp);
 
     // Phase 4: downward pass scattering U * S into the output.
-    downward_phase(plan, tree, prep, &mut s, y_perm, qp, opts);
+    downward_phase(plan, tree, prep, s_buf, y_perm, qp);
 
     // Un-permute the panel into the output columns.  Iterate over the
     // *destination* rows (each task owns a contiguous block of `y`) and
@@ -389,27 +665,70 @@ const PERM_PAR_ELEMS: usize = 64 * 1024;
 /// Retuned for the real work-stealing pool: the peeled GEMM runs while the
 /// rest of the pool is idle (task parallelism has run out at the root), so a
 /// fork is profitable already at ~256k multiply-adds, a quarter of the value
-/// assumed under the sequential stub.
+/// assumed under the sequential stub.  Switching between the peeled and
+/// sequential kernel never changes results: for a fixed dispatch the two are
+/// bitwise identical.
 const PEEL_PAR_THRESHOLD: usize = 1 << 18;
 
-/// Split `y_perm` into one mutable slice per leaf node (leaves tile the
-/// permuted row range contiguously; `leaf_order` is the precomputed
-/// start-row ordering from [`PreparedExec`]).
-fn split_leaf_slices<'a>(
-    tree: &ClusterTree,
-    leaf_order: &[usize],
-    y_perm: &'a mut [f64],
-    q: usize,
-) -> HashMap<usize, &'a mut [f64]> {
-    let mut map = HashMap::with_capacity(leaf_order.len());
-    let mut rest = y_perm;
-    for &l in leaf_order {
-        let len = tree.nodes[l].num_points() * q;
-        let (head, tail) = rest.split_at_mut(len);
-        map.insert(l, head);
-        rest = tail;
+/// Raw shared view of one scratch buffer, handed to the parallel phase
+/// loops so tasks can slice their own disjoint sub-ranges without per-panel
+/// splitting machinery (the old implementation rebuilt per-group `HashMap`s
+/// of `&mut` slices on every RHS panel).
+///
+/// # Safety contract
+///
+/// Every `slice_mut` range handed out concurrently must be disjoint from
+/// every other concurrently live range (mutable or shared) of the same
+/// buffer.  The executor guarantees this through the plan invariants
+/// **verified at prepare time** ([`PreparedExec::new`]):
+///
+/// * near/coupling: a target node belongs to exactly one blockset group,
+///   and distinct target nodes map to disjoint offset ranges;
+/// * upward: a node's `T` slot is written by exactly one coarsen partition,
+///   and the child slots it reads were written either earlier by the same
+///   task or on an earlier coarsen level (the `par_iter` per level is a
+///   barrier);
+/// * downward: a node's children each have exactly one parent, so no two
+///   tasks push into the same `S` slot within a level, and leaves (the
+///   `y_perm` writes) belong to exactly one partition.
+#[derive(Clone, Copy)]
+struct RawSlots {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: RawSlots is a capability to *manually verified* disjoint slicing;
+// the pointer itself may cross threads freely (the data is plain f64).
+unsafe impl Send for RawSlots {}
+unsafe impl Sync for RawSlots {}
+
+impl RawSlots {
+    fn new(buf: &mut [f64]) -> Self {
+        RawSlots {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
     }
-    map
+
+    /// # Safety
+    /// `[off, off + len)` must not be concurrently aliased (see the
+    /// type-level contract).  Bounds are checked unconditionally — the
+    /// check is trivial next to the product the slice feeds, and it turns
+    /// an invariant-violation bug into a panic instead of an
+    /// out-of-bounds write.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut<'a>(&self, off: usize, len: usize) -> &'a mut [f64] {
+        assert!(off + len <= self.len, "RawSlots: slice out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(off), len)
+    }
+
+    /// # Safety
+    /// `[off, off + len)` must not be concurrently written (see the
+    /// type-level contract); bounds are checked unconditionally.
+    unsafe fn slice<'a>(&self, off: usize, len: usize) -> &'a [f64] {
+        assert!(off + len <= self.len, "RawSlots: slice out of bounds");
+        std::slice::from_raw_parts(self.ptr.add(off), len)
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -423,60 +742,43 @@ fn near_phase(
     w_perm: &[f64],
     y_perm: &mut [f64],
     q: usize,
-    opts: &ExecOptions,
 ) {
     let cds = &plan.cds;
     if cds.d_entries.is_empty() {
         return;
     }
+    let opts = &prep.opts;
     if !opts.parallel_near {
         for e in &cds.d_entries {
             let tn = &tree.nodes[e.target];
             let dst = &mut y_perm[tn.start * q..tn.end * q];
             let sn = &tree.nodes[e.source];
             let src = &w_perm[sn.start * q..sn.end * q];
-            gemm_panel(cds.d_block(e), e.rows, e.cols, src, q, dst);
+            prep.dispatch
+                .gemm(cds.d_block(e), e.rows, e.cols, src, q, dst);
         }
         return;
     }
 
-    // Blocked parallel loop: hand every group exclusive ownership of the
-    // output slices of its target nodes.  Algorithm 1 guarantees disjoint
-    // targets across groups, so this is a partition of the output; the
-    // distinct targets per group were collected once at prepare time.
-    let mut leaf_slices = split_leaf_slices(tree, &prep.leaf_order, y_perm, q);
-    struct GroupWork<'a> {
-        start: usize,
-        end: usize,
-        targets: HashMap<usize, &'a mut [f64]>,
-    }
-    let mut works: Vec<GroupWork> = Vec::with_capacity(cds.d_groups.len());
-    for (g, group_targets) in cds.d_groups.iter().zip(&prep.near_targets) {
-        let mut targets = HashMap::with_capacity(group_targets.len());
-        for &t in group_targets {
-            let slice = leaf_slices
-                .remove(&t)
-                .expect("blockset groups must own disjoint target nodes");
-            targets.insert(t, slice);
-        }
-        works.push(GroupWork {
-            start: g.start,
-            end: g.end,
-            targets,
-        });
-    }
-    works
-        .par_iter_mut()
+    // Blocked parallel loop: every group owns the output slices of its
+    // target nodes exclusively (Algorithm 1 guarantees disjoint targets
+    // across groups; verified at prepare time), so each task writes its
+    // targets' `y_perm` rows directly.
+    let y = RawSlots::new(y_perm);
+    cds.d_groups
+        .par_iter()
         .with_min_len(effective_grain(opts))
-        .for_each(|work| {
-            for e in &cds.d_entries[work.start..work.end] {
-                let dst = work
-                    .targets
-                    .get_mut(&e.target)
-                    .expect("entry target owned by its group");
+        .for_each(|g| {
+            for e in &cds.d_entries[g.start..g.end] {
+                let tn = &tree.nodes[e.target];
+                // SAFETY: this group is the verified sole owner of node
+                // `e.target`, target leaves tile disjoint row ranges, and
+                // entries within a group run sequentially on this task.
+                let dst = unsafe { y.slice_mut(tn.start * q, (tn.end - tn.start) * q) };
                 let sn = &tree.nodes[e.source];
                 let src = &w_perm[sn.start * q..sn.end * q];
-                gemm_panel(cds.d_block(e), e.rows, e.cols, src, q, dst);
+                prep.dispatch
+                    .gemm(cds.d_block(e), e.rows, e.cols, src, q, dst);
             }
         });
 }
@@ -485,90 +787,66 @@ fn near_phase(
 // Phase 2: upward pass (T = V^T * ...)
 // --------------------------------------------------------------------------
 
-fn compute_t(
+/// Compute node `id`'s skeleton coefficients `T_i` into its `t` slot.
+///
+/// # Safety
+/// The caller must guarantee exclusive access to `id`'s slot and that the
+/// children's slots are fully written (same task earlier, or an earlier
+/// coarsen/tree level) — see [`RawSlots`].
+unsafe fn compute_t_into(
     plan: &EvalPlan,
     tree: &ClusterTree,
+    prep: &PreparedExec,
     id: usize,
     w_perm: &[f64],
     q: usize,
-    global_t: &[Matrix],
-    local_t: Option<&HashMap<usize, Matrix>>,
-    par_gemm: bool,
-) -> Matrix {
+    t: RawSlots,
+    peel: bool,
+) {
     let cds = &plan.cds;
     let (v, rows, cols) = cds.v(id);
     if cols == 0 {
-        return Matrix::zeros(0, q);
+        return;
     }
+    debug_assert_eq!(cols, prep.srank(id), "generator width != srank at {id}");
+    let out = t.slice_mut(prep.rank_off[id] * q, cols * q);
     let node = &tree.nodes[id];
-    let mut out = Matrix::zeros(cols, q);
-    let par_gemm = par_gemm && rows * cols * q >= PEEL_PAR_THRESHOLD;
+    let par = peel && rows * cols * q >= PEEL_PAR_THRESHOLD;
     if node.is_leaf() {
         debug_assert_eq!(rows, node.num_points());
         let src = &w_perm[node.start * q..node.end * q];
-        if par_gemm {
-            let vt = transpose_slice(v, rows, cols);
-            par_gemm_slices(&vt, cols, rows, src, q, out.as_mut_slice());
+        if par {
+            prep.dispatch.par_gemm_tn(v, rows, cols, src, q, out);
         } else {
-            gemm_tn_slices(v, rows, cols, src, q, out.as_mut_slice());
+            prep.dispatch.gemm_tn(v, rows, cols, src, q, out);
         }
     } else {
         let (l, r) = node.children.unwrap();
-        let lookup = |child: usize| -> &Matrix {
-            local_t
-                .and_then(|m| m.get(&child))
-                .unwrap_or(&global_t[child])
-        };
-        let tl = lookup(l);
-        let tr = lookup(r);
-        let rl = tl.rows();
-        let rr = tr.rows();
+        let rl = prep.srank(l);
+        let rr = prep.srank(r);
         debug_assert_eq!(rows, rl + rr, "transfer matrix rows mismatch at node {id}");
         if rl > 0 {
-            gemm_tn_slices(
-                &v[0..rl * cols],
-                rl,
-                cols,
-                tl.as_slice(),
-                q,
-                out.as_mut_slice(),
-            );
+            let tl = t.slice(prep.rank_off[l] * q, rl * q);
+            prep.dispatch
+                .gemm_tn(&v[0..rl * cols], rl, cols, tl, q, out);
         }
         if rr > 0 {
-            gemm_tn_slices(
-                &v[rl * cols..],
-                rr,
-                cols,
-                tr.as_slice(),
-                q,
-                out.as_mut_slice(),
-            );
+            let tr = t.slice(prep.rank_off[r] * q, rr * q);
+            prep.dispatch.gemm_tn(&v[rl * cols..], rr, cols, tr, q, out);
         }
     }
-    out
-}
-
-/// Transpose a row-major `rows x cols` slice into a new `cols x rows` buffer.
-fn transpose_slice(a: &[f64], rows: usize, cols: usize) -> Vec<f64> {
-    let mut t = vec![0.0; rows * cols];
-    for i in 0..rows {
-        for j in 0..cols {
-            t[j * rows + i] = a[i * cols + j];
-        }
-    }
-    t
 }
 
 fn upward_phase(
     plan: &EvalPlan,
     tree: &ClusterTree,
+    prep: &PreparedExec,
     w_perm: &[f64],
+    t_buf: &mut [f64],
     q: usize,
-    opts: &ExecOptions,
-) -> Vec<Matrix> {
-    let cds = &plan.cds;
-    let mut t: Vec<Matrix> = cds.sranks.iter().map(|_| Matrix::zeros(0, 0)).collect();
-
+) {
+    let opts = &prep.opts;
+    let t = RawSlots::new(t_buf);
     let use_coarsen = opts.parallel_tree && plan.coarsenset.num_levels() > 0;
     if use_coarsen {
         let levels = &plan.coarsenset.levels;
@@ -580,50 +858,37 @@ fn upward_phase(
                 // block-level parallelism inside each node instead.
                 for part in parts {
                     for &id in part {
-                        t[id] = compute_t(plan, tree, id, w_perm, q, &t, None, true);
+                        // SAFETY: single task; children were computed on
+                        // earlier levels or earlier in this loop.
+                        unsafe { compute_t_into(plan, tree, prep, id, w_perm, q, t, true) };
                     }
                 }
             } else {
-                let results: Vec<Vec<(usize, Matrix)>> = parts
+                parts
                     .par_iter()
                     .with_min_len(effective_grain(opts))
-                    .map(|part| {
-                        let mut local: HashMap<usize, Matrix> = HashMap::with_capacity(part.len());
+                    .for_each(|part| {
                         for &id in part {
-                            let ti = compute_t(plan, tree, id, w_perm, q, &t, Some(&local), false);
-                            local.insert(id, ti);
+                            // SAFETY: partitions own disjoint node sets and a
+                            // node's children are in this partition (already
+                            // computed by this task, verified ordering) or on
+                            // an earlier level (completed before this
+                            // par_iter started) — checked at prepare time.
+                            unsafe { compute_t_into(plan, tree, prep, id, w_perm, q, t, false) };
                         }
-                        local.into_iter().collect()
-                    })
-                    .collect();
-                for part_result in results {
-                    for (id, m) in part_result {
-                        t[id] = m;
-                    }
-                }
+                    });
             }
         }
     } else {
         // Level-by-level traversal, deepest level first.
         for level in (1..=tree.height).rev() {
-            for id in tree.nodes_at_level(level) {
-                if cds.sranks[id] == 0 {
-                    t[id] = Matrix::zeros(0, q);
-                    continue;
-                }
-                t[id] = compute_t(plan, tree, id, w_perm, q, &t, None, false);
+            for &id in &prep.level_nodes[level] {
+                // SAFETY: single-threaded sweep; children (one level deeper)
+                // are complete.
+                unsafe { compute_t_into(plan, tree, prep, id, w_perm, q, t, false) };
             }
         }
     }
-    // Normalize: nodes never touched keep a 0 x 0 matrix; give them 0 x q so
-    // later phases can rely on the column count.
-    for (id, m) in t.iter_mut().enumerate() {
-        if m.rows() == 0 && m.cols() != q {
-            *m = Matrix::zeros(0, q);
-        }
-        let _ = id;
-    }
-    t
 }
 
 // --------------------------------------------------------------------------
@@ -633,135 +898,115 @@ fn upward_phase(
 fn coupling_phase(
     plan: &EvalPlan,
     prep: &PreparedExec,
-    t: &[Matrix],
+    t_buf: &[f64],
+    s_buf: &mut [f64],
     q: usize,
-    opts: &ExecOptions,
-) -> Vec<Matrix> {
+) {
     let cds = &plan.cds;
-    let mut s: Vec<Matrix> = cds.sranks.iter().map(|&r| Matrix::zeros(r, q)).collect();
     if cds.b_entries.is_empty() {
-        return s;
+        return;
     }
+    let opts = &prep.opts;
     if !opts.parallel_far {
         for e in &cds.b_entries {
             if e.rows == 0 || e.cols == 0 {
                 continue;
             }
-            let b = cds.b_block(e);
-            let src = t[e.source].as_slice();
-            gemm_panel(b, e.rows, e.cols, src, q, s[e.target].as_mut_slice());
+            let src = &t_buf[prep.rank_off[e.source] * q..][..e.cols * q];
+            let dst = &mut s_buf[prep.rank_off[e.target] * q..][..e.rows * q];
+            prep.dispatch
+                .gemm(cds.b_block(e), e.rows, e.cols, src, q, dst);
         }
-        return s;
+        return;
     }
 
-    // Blocked parallel loop over far groups; each group takes exclusive
-    // ownership of its target nodes' S accumulators (distinct targets
-    // collected once at prepare time).
-    struct FarWork {
-        start: usize,
-        end: usize,
-        targets: HashMap<usize, Matrix>,
-    }
-    let mut works: Vec<FarWork> = Vec::with_capacity(cds.b_groups.len());
-    for (g, group_targets) in cds.b_groups.iter().zip(&prep.far_targets) {
-        let mut targets = HashMap::with_capacity(group_targets.len());
-        for &tgt in group_targets {
-            targets.insert(tgt, std::mem::replace(&mut s[tgt], Matrix::zeros(0, 0)));
-        }
-        works.push(FarWork {
-            start: g.start,
-            end: g.end,
-            targets,
-        });
-    }
-    works
-        .par_iter_mut()
+    // Blocked parallel loop over far groups; each group owns its target
+    // nodes' S slots exclusively (verified at prepare time).
+    let s = RawSlots::new(s_buf);
+    cds.b_groups
+        .par_iter()
         .with_min_len(effective_grain(opts))
-        .for_each(|work| {
-            for e in &cds.b_entries[work.start..work.end] {
+        .for_each(|g| {
+            for e in &cds.b_entries[g.start..g.end] {
                 if e.rows == 0 || e.cols == 0 {
                     continue;
                 }
-                let b = cds.b_block(e);
-                let src = t[e.source].as_slice();
-                let dst = work.targets.get_mut(&e.target).unwrap();
-                gemm_panel(b, e.rows, e.cols, src, q, dst.as_mut_slice());
+                debug_assert_eq!(e.cols, prep.srank(e.source));
+                debug_assert_eq!(e.rows, prep.srank(e.target));
+                let src = &t_buf[prep.rank_off[e.source] * q..][..e.cols * q];
+                // SAFETY: this group is the verified sole owner of node
+                // `e.target`'s S slot; slots of distinct nodes are disjoint.
+                let dst = unsafe { s.slice_mut(prep.rank_off[e.target] * q, e.rows * q) };
+                prep.dispatch
+                    .gemm(cds.b_block(e), e.rows, e.cols, src, q, dst);
             }
         });
-    for work in works {
-        for (id, m) in work.targets {
-            s[id] = m;
-        }
-    }
-    s
 }
 
 // --------------------------------------------------------------------------
 // Phase 4: downward pass (Y += U * S, pushed through the transfer matrices)
 // --------------------------------------------------------------------------
 
-/// Process one node of the downward pass.
+/// Process one node of the downward pass: a leaf adds `U_i * S_i` into its
+/// contiguous `y_perm` rows; an internal node accumulates the expanded
+/// contribution directly into its children's `S` slots (the two halves of
+/// `U_i` hit the two children).
 ///
-/// For a leaf node, `U_i * S_i` is added into `y_dst` (the leaf's contiguous
-/// output rows) and an empty vector is returned.  For an internal node the
-/// expanded contribution `U_i * S_i` is split between the two children and
-/// returned as `(child_id, contribution)` pairs; the caller decides whether
-/// each push is local to its partition or must be merged globally.
-fn compute_down_contribution(
+/// # Safety
+/// Caller must guarantee (via the verified coarsen invariants) that no
+/// other task concurrently touches `id`'s `S` slot, its children's `S`
+/// slots, or its `y_perm` rows — see [`RawSlots`].
+unsafe fn down_node(
     plan: &EvalPlan,
     tree: &ClusterTree,
+    prep: &PreparedExec,
     id: usize,
-    s_i: &Matrix,
+    s: RawSlots,
+    y: RawSlots,
     q: usize,
-    par_gemm: bool,
-    y_dst: Option<&mut [f64]>,
-) -> Vec<(usize, Matrix)> {
+    peel: bool,
+) {
     let cds = &plan.cds;
     let (u, rows, cols) = cds.u(id);
-    if cols == 0 || s_i.rows() == 0 {
-        return Vec::new();
+    if cols == 0 {
+        return;
     }
-    debug_assert_eq!(s_i.rows(), cols);
-    let par_gemm = par_gemm && rows * cols * q >= PEEL_PAR_THRESHOLD;
+    debug_assert_eq!(cols, prep.srank(id));
+    let s_i = s.slice(prep.rank_off[id] * q, cols * q);
     let node = &tree.nodes[id];
+    let par = peel && rows * cols * q >= PEEL_PAR_THRESHOLD;
     if node.is_leaf() {
         debug_assert_eq!(rows, node.num_points());
-        let dst = y_dst.expect("leaf output slice must be available");
-        if par_gemm {
-            par_gemm_slices(u, rows, cols, s_i.as_slice(), q, dst);
+        let dst = y.slice_mut(node.start * q, rows * q);
+        if par {
+            prep.dispatch.par_gemm(u, rows, cols, s_i, q, dst);
         } else {
-            gemm_panel(u, rows, cols, s_i.as_slice(), q, dst);
+            prep.dispatch.gemm(u, rows, cols, s_i, q, dst);
         }
-        Vec::new()
     } else {
         let (l, r) = node.children.unwrap();
-        let rl = cds.sranks[l];
-        let rr = cds.sranks[r];
+        let rl = prep.srank(l);
+        let rr = prep.srank(r);
         debug_assert_eq!(rows, rl + rr);
-        let mut expanded = Matrix::zeros(rows, q);
-        if par_gemm {
-            par_gemm_slices(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
-        } else {
-            gemm_panel(u, rows, cols, s_i.as_slice(), q, expanded.as_mut_slice());
-        }
-        let mut pushes = Vec::with_capacity(2);
         if rl > 0 {
-            pushes.push((l, expanded.submatrix(0, rl, 0, q)));
+            let dst = s.slice_mut(prep.rank_off[l] * q, rl * q);
+            if par {
+                prep.dispatch
+                    .par_gemm(&u[0..rl * cols], rl, cols, s_i, q, dst);
+            } else {
+                prep.dispatch.gemm(&u[0..rl * cols], rl, cols, s_i, q, dst);
+            }
         }
         if rr > 0 {
-            pushes.push((r, expanded.submatrix(rl, rows, 0, q)));
+            let dst = s.slice_mut(prep.rank_off[r] * q, rr * q);
+            if par {
+                prep.dispatch
+                    .par_gemm(&u[rl * cols..rows * cols], rr, cols, s_i, q, dst);
+            } else {
+                prep.dispatch
+                    .gemm(&u[rl * cols..rows * cols], rr, cols, s_i, q, dst);
+            }
         }
-        pushes
-    }
-}
-
-/// Accumulate a downward push into an S accumulator (replacing it when the
-/// accumulator is still the empty placeholder).
-fn merge_push(slot: &mut Matrix, m: Matrix) {
-    if slot.rows() == m.rows() && slot.cols() == m.cols() {
-        slot.add_assign(&m);
-    } else {
-        *slot = m;
     }
 }
 
@@ -769,27 +1014,21 @@ fn downward_phase(
     plan: &EvalPlan,
     tree: &ClusterTree,
     prep: &PreparedExec,
-    s: &mut [Matrix],
+    s_buf: &mut [f64],
     y_perm: &mut [f64],
     q: usize,
-    opts: &ExecOptions,
 ) {
+    let opts = &prep.opts;
     let use_coarsen = opts.parallel_tree && plan.coarsenset.num_levels() > 0;
+    let s = RawSlots::new(s_buf);
+    let y = RawSlots::new(y_perm);
     if !use_coarsen {
         // Sequential top-down, level by level.
         for level in 1..=tree.height {
-            for id in tree.nodes_at_level(level) {
-                let s_i = std::mem::replace(&mut s[id], Matrix::zeros(0, 0));
-                let node = &tree.nodes[id];
-                let dst = if node.is_leaf() {
-                    Some(&mut y_perm[node.start * q..node.end * q])
-                } else {
-                    None
-                };
-                let pushes = compute_down_contribution(plan, tree, id, &s_i, q, false, dst);
-                for (child, m) in pushes {
-                    merge_push(&mut s[child], m);
-                }
+            for &id in &prep.level_nodes[level] {
+                // SAFETY: single-threaded sweep; parents (one level up) are
+                // complete, children's slots are only written here.
+                unsafe { down_node(plan, tree, prep, id, s, y, q, false) };
             }
         }
         return;
@@ -804,88 +1043,29 @@ fn downward_phase(
             // Sequential over the few root-most nodes, parallel inside GEMMs.
             for part in parts {
                 for &id in part.iter().rev() {
-                    let s_i = std::mem::replace(&mut s[id], Matrix::zeros(0, 0));
-                    let node = &tree.nodes[id];
-                    let dst = if node.is_leaf() {
-                        Some(&mut y_perm[node.start * q..node.end * q])
-                    } else {
-                        None
-                    };
-                    let pushes = compute_down_contribution(plan, tree, id, &s_i, q, true, dst);
-                    for (child, m) in pushes {
-                        merge_push(&mut s[child], m);
-                    }
+                    // SAFETY: single task at this level.
+                    unsafe { down_node(plan, tree, prep, id, s, y, q, true) };
                 }
             }
             continue;
         }
 
-        // Parallel over partitions: each partition owns its nodes' S values
-        // and its leaves' output slices; pushes to nodes outside the
-        // partition are returned and merged sequentially.
-        let mut leaf_slices = split_leaf_slices(tree, &prep.leaf_order, y_perm, q);
-        struct DownWork<'a> {
-            nodes: Vec<usize>,
-            s_local: HashMap<usize, Matrix>,
-            y_local: HashMap<usize, &'a mut [f64]>,
-        }
-        let mut works: Vec<DownWork> = Vec::with_capacity(parts.len());
-        for part in parts {
-            let mut s_local = HashMap::with_capacity(part.len());
-            let mut y_local = HashMap::new();
-            for &id in part {
-                s_local.insert(id, std::mem::replace(&mut s[id], Matrix::zeros(0, 0)));
-                if tree.nodes[id].is_leaf() {
-                    if let Some(slice) = leaf_slices.remove(&id) {
-                        y_local.insert(id, slice);
-                    }
-                }
-            }
-            works.push(DownWork {
-                nodes: part.clone(),
-                s_local,
-                y_local,
-            });
-        }
-        let all_cross: Vec<Vec<(usize, Matrix)>> = works
-            .par_iter_mut()
+        // Parallel over partitions.  A task pushes into the S slots of its
+        // nodes' children: a child inside the partition is processed later
+        // by the same task (reverse order, verified at prepare time); a
+        // child on a deeper coarsen level is untouched until the next `cl`
+        // iteration (the par_iter below is a barrier); and every child has
+        // exactly one parent, so no two tasks push into the same slot.
+        // Leaves (the y_perm writes) belong to exactly one partition.
+        parts
+            .par_iter()
             .with_min_len(effective_grain(opts))
-            .map(|work| {
-                let mut cross: Vec<(usize, Matrix)> = Vec::new();
-                // Reverse post-order: parents before children.
-                for idx in (0..work.nodes.len()).rev() {
-                    let id = work.nodes[idx];
-                    let s_i = work
-                        .s_local
-                        .remove(&id)
-                        .unwrap_or_else(|| Matrix::zeros(0, 0));
-                    let is_leaf = tree.nodes[id].is_leaf();
-                    let pushes = {
-                        let dst: Option<&mut [f64]> = if is_leaf {
-                            work.y_local.get_mut(&id).map(|sl| &mut **sl)
-                        } else {
-                            None
-                        };
-                        compute_down_contribution(plan, tree, id, &s_i, q, false, dst)
-                    };
-                    for (child, m) in pushes {
-                        if let Some(existing) = work.s_local.get_mut(&child) {
-                            merge_push(existing, m);
-                        } else {
-                            cross.push((child, m));
-                        }
-                    }
+            .for_each(|part| {
+                for &id in part.iter().rev() {
+                    // SAFETY: see the loop comment above.
+                    unsafe { down_node(plan, tree, prep, id, s, y, q, false) };
                 }
-                cross
-            })
-            .collect();
-        drop(works);
-        drop(leaf_slices);
-        for cross in all_cross {
-            for (child, m) in cross {
-                merge_push(&mut s[child], m);
-            }
-        }
+            });
     }
 }
 
@@ -1053,6 +1233,104 @@ mod tests {
                 "sequential panel width {panel} changed results"
             );
         }
+    }
+
+    #[test]
+    fn panel_width_never_changes_results_per_kernel() {
+        // The same panel-independence, pinned per explicit kernel choice
+        // (the scalar fallback must hold it even on AVX2 hosts).
+        let f = fixture(DatasetId::Grid, 384, Structure::Hss, 19);
+        for kernel in [KernelChoice::Scalar, KernelChoice::Avx2] {
+            let full = execute(
+                &f.plan,
+                &f.tree,
+                &f.w,
+                &ExecOptions::full()
+                    .with_panel_width(usize::MAX)
+                    .with_kernel(kernel),
+            );
+            for panel in [1usize, 7, 16] {
+                let y = execute(
+                    &f.plan,
+                    &f.tree,
+                    &f.w,
+                    &ExecOptions::full()
+                        .with_panel_width(panel)
+                        .with_kernel(kernel),
+                );
+                assert!(
+                    bitwise_eq(&y, &full),
+                    "kernel {kernel:?}: panel width {panel} changed results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_choices_agree_within_tolerance() {
+        let f = fixture(DatasetId::Unit, 512, Structure::h2b(), 9);
+        let scalar = execute(
+            &f.plan,
+            &f.tree,
+            &f.w,
+            &ExecOptions::full().with_kernel(KernelChoice::Scalar),
+        );
+        let simd = execute(
+            &f.plan,
+            &f.tree,
+            &f.w,
+            &ExecOptions::full().with_kernel(KernelChoice::Avx2),
+        );
+        assert!(relative_error(&simd, &scalar) < 1e-12);
+        assert!(relative_error(&scalar, &f.y_ref) < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_plan_panics_instead_of_scribbling() {
+        // `execute_prepared` re-verifies the passed plan and cross-checks
+        // its sranks against the prepared offsets: state prepared from one
+        // plan must never silently slice another plan's extents.
+        let pts = generate(DatasetId::Grid, 256, 77);
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+        let htree = HTree::build(&tree, Structure::Hss);
+        let sampling = sample_nodes_exhaustive(&pts, &tree);
+        let plan_for = |bacc: f64| {
+            let c = compress(
+                &pts,
+                &tree,
+                &htree,
+                &kernel,
+                &sampling,
+                &CompressionParams {
+                    bacc,
+                    max_rank: 256,
+                },
+            );
+            let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
+            let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
+            let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
+            let cds = build_cds(&tree, &c, &near, &far, &cs);
+            generate_plan(
+                near,
+                far,
+                cs,
+                cds,
+                tree.height,
+                tree.leaves().len(),
+                &CodegenParams::default(),
+            )
+        };
+        let plan_a = plan_for(1e-7);
+        let plan_b = plan_for(1e-2); // much looser accuracy -> smaller sranks
+        assert_ne!(plan_a.cds.sranks, plan_b.cds.sranks, "fixture too weak");
+        let prep_a = PreparedExec::new(&plan_a, &tree, &ExecOptions::full());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = Matrix::random_uniform(256, 4, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_prepared(&plan_b, &tree, &prep_a, &w)
+        }));
+        assert!(result.is_err(), "mismatched plan must panic");
     }
 
     #[test]

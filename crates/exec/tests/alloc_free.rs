@@ -1,0 +1,132 @@
+//! The executor's panel loop must be allocation-free.
+//!
+//! `execute_prepared` allocates the output matrix plus four per-evaluation
+//! scratch buffers up front; processing additional RHS panels must not
+//! allocate at all (no `HashMap` rebuilds, no per-node temporaries — the
+//! PR-4 follow-up this suite pins).  The test wraps the global allocator
+//! with a counter and asserts that an evaluation spanning many panels
+//! performs exactly as many allocations as one spanning a single panel.
+
+use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
+use matrox_codegen::{generate_plan, CodegenParams, EvalPlan};
+use matrox_compress::{compress, CompressionParams};
+use matrox_exec::{execute_prepared, ExecOptions, PreparedExec};
+use matrox_linalg::Matrix;
+use matrox_points::{generate, DatasetId, Kernel};
+use matrox_sampling::sample_nodes_exhaustive;
+use matrox_tree::{ClusterTree, HTree, PartitionMethod, Structure};
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with an allocation counter (allocations only;
+/// deallocations are irrelevant to the invariant).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn fixture(n: usize) -> (ClusterTree, EvalPlan) {
+    let pts = generate(DatasetId::Grid, n, 77);
+    let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+    let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
+    let htree = HTree::build(&tree, Structure::h2b());
+    let sampling = sample_nodes_exhaustive(&pts, &tree);
+    let c = compress(
+        &pts,
+        &tree,
+        &htree,
+        &kernel,
+        &sampling,
+        &CompressionParams {
+            bacc: 1e-6,
+            max_rank: 256,
+        },
+    );
+    let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
+    let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
+    let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
+    let cds = build_cds(&tree, &c, &near, &far, &cs);
+    let plan = generate_plan(
+        near,
+        far,
+        cs,
+        cds,
+        tree.height,
+        tree.leaves().len(),
+        &CodegenParams::default(),
+    );
+    (tree, plan)
+}
+
+fn rhs(n: usize, q: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::random_uniform(n, q, &mut rng)
+}
+
+/// Allocations performed by one `execute_prepared` call.
+fn allocs_for(plan: &EvalPlan, tree: &ClusterTree, prep: &PreparedExec, w: &Matrix) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let y = execute_prepared(plan, tree, prep, w);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(y.rows() > 0); // keep the evaluation observable
+    after - before
+}
+
+fn check(opts: ExecOptions, bound_single: u64) {
+    const N: usize = 256;
+    const PANEL: usize = 16;
+    let (tree, plan) = fixture(N);
+    let prep = PreparedExec::new(&plan, &tree, &opts.with_panel_width(PANEL));
+    let w_one = rhs(N, PANEL, 3); // exactly one panel
+    let w_many = rhs(N, 8 * PANEL, 4); // eight panels
+                                       // Warm up: thread-local pack buffers, lazy pool spawn, env caches.
+    for _ in 0..2 {
+        let _ = execute_prepared(&plan, &tree, &prep, &w_many);
+    }
+    let one = allocs_for(&plan, &tree, &prep, &w_one);
+    let many = allocs_for(&plan, &tree, &prep, &w_many);
+    assert_eq!(
+        one, many,
+        "processing 8 panels must allocate exactly as much as processing 1 \
+         (the panel loop itself must be allocation-free)"
+    );
+    // The up-front cost itself is tiny: output + w_perm/y_perm/t_buf/s_buf.
+    assert!(
+        one <= bound_single,
+        "one-panel evaluation made {one} allocations (expected <= {bound_single})"
+    );
+}
+
+#[test]
+fn sequential_panel_loop_is_allocation_free() {
+    check(ExecOptions::sequential(), 8);
+}
+
+#[test]
+fn parallel_panel_loop_is_allocation_free() {
+    check(ExecOptions::full(), 8);
+}

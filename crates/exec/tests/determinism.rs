@@ -103,6 +103,53 @@ fn deterministic_across_thread_counts_geometric() {
     check_structure(DatasetId::Random, Structure::Geometric { tau: 0.65 }, 5);
 }
 
+/// Every explicit kernel selection must hold the bitwise thread-width
+/// invariant on its own: for a *fixed* kernel the executor's output may not
+/// depend on the pool width, the grain, or the RHS panel width.  (Scalar
+/// runs the portable fallback even on SIMD hosts; Avx2 degrades to scalar
+/// on hosts without the features — both ways the pinned-kernel contract
+/// must hold.)
+#[test]
+fn fixed_kernel_is_deterministic_across_threads_and_panels() {
+    use matrox_linalg::KernelChoice;
+    let (tree, plan, w) = fixture(DatasetId::Grid, 512, Structure::h2b(), 9);
+    for kernel in [KernelChoice::Scalar, KernelChoice::Avx2] {
+        let opts = ExecOptions::full().with_kernel(kernel);
+        let mut runs: Vec<Matrix> = Vec::new();
+        for &nt in &[1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(nt)
+                .build()
+                .unwrap();
+            runs.push(pool.install(|| execute(&plan, &tree, &w, &opts)));
+        }
+        for y in &runs[1..] {
+            assert_eq!(
+                y.as_slice(),
+                runs[0].as_slice(),
+                "kernel {kernel:?}: result depends on the pool width"
+            );
+        }
+        for panel in [1usize, 4, 32] {
+            let y = execute(&plan, &tree, &w, &opts.with_panel_width(panel));
+            assert_eq!(
+                y.as_slice(),
+                runs[0].as_slice(),
+                "kernel {kernel:?}: panel width {panel} changed results"
+            );
+        }
+        // And the sequential lowering agrees bit-for-bit with the parallel
+        // one under the same kernel.
+        let seq = execute(
+            &plan,
+            &tree,
+            &w,
+            &ExecOptions::sequential().with_kernel(kernel),
+        );
+        assert_eq!(seq.as_slice(), runs[0].as_slice());
+    }
+}
+
 /// The grain knob must change scheduling only, never results.
 #[test]
 fn grain_settings_do_not_change_results() {

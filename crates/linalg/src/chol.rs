@@ -9,6 +9,7 @@
 //! blocked factorization whose trailing update is a symmetric rank-`k`
 //! update ([`syrk_lower`]) touching only the lower triangle.
 
+use crate::kernel::KernelDispatch;
 use crate::matrix::Matrix;
 use crate::solve::{solve_lower_transpose_matrix, solve_lower_triangular_matrix};
 
@@ -113,6 +114,7 @@ fn factor_diag_block(
 /// in-place trailing update of the blocked Cholesky).
 fn syrk_lower_slices(data: &mut [f64], ld: usize, start: usize, end: usize, p0: usize, p1: usize) {
     const TILE: usize = 32;
+    let disp = KernelDispatch::global();
     let pw = p1 - p0;
     // One scratch buffer for the whole update: the borrow checker cannot see
     // that the written entries (columns >= p1) never alias the panel columns
@@ -129,11 +131,8 @@ fn syrk_lower_slices(data: &mut [f64], ld: usize, start: usize, end: usize, p0: 
             for i in ii..imax {
                 let arow_i = &panel[(i - ii) * pw..(i - ii + 1) * pw];
                 for j in jj..jmax.min(i + 1) {
-                    let mut s = 0.0;
                     let arow_j = &data[j * ld + p0..j * ld + p1];
-                    for (x, y) in arow_i.iter().zip(arow_j.iter()) {
-                        s += x * y;
-                    }
+                    let s = disp.dot(arow_i, arow_j);
                     data[i * ld + j] -= s;
                 }
             }
@@ -151,13 +150,11 @@ pub fn syrk_lower(alpha: f64, a: &Matrix, c: &mut Matrix) {
     let n = c.rows();
     assert_eq!(n, c.cols(), "syrk_lower: C must be square");
     assert_eq!(n, a.rows(), "syrk_lower: A rows must match C");
+    let disp = KernelDispatch::global();
     for i in 0..n {
         let crow = c.row_mut(i);
         for j in 0..=i {
-            let mut s = 0.0;
-            for (x, y) in a.row(i).iter().zip(a.row(j).iter()) {
-                s += x * y;
-            }
+            let s = disp.dot(a.row(i), a.row(j));
             crow[j] += alpha * s;
         }
     }

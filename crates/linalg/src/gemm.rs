@@ -5,18 +5,23 @@
 //! the dense baseline of the paper is a single large GEMM.  This module
 //! provides:
 //!
-//! * [`gemm_seq`] — a cache-blocked sequential kernel used inside already
-//!   parallel regions (a MatRox sub-tree or a block of near interactions is
-//!   processed by one thread).
+//! * [`gemm_seq`] — the cache-blocked *scalar reference* kernel.  This is
+//!   the one entry point that never goes through the kernel dispatch; every
+//!   dispatched path is pinned against it in tests.
 //! * [`par_gemm`] — a rayon-parallel kernel that splits the rows of `C`; used
 //!   for the peeled root iteration ("low-level" lowering in the paper) and the
 //!   dense GEMM baseline.
 //! * [`gemm`] — dispatching front-end that picks the sequential or parallel
 //!   kernel based on the problem size.
 //! * [`gemv`] — matrix-vector product for the SMASH-style (Q = 1) baseline.
+//!
+//! Except for [`gemm_seq`], every kernel here routes through the
+//! process-wide [`KernelDispatch`] — the
+//! packed AVX2 microkernel when the host supports it (see
+//! [`crate::kernel`]), the historic scalar loops otherwise or under
+//! `MATROX_KERNEL=scalar`.
 
-use rayon::prelude::*;
-
+use crate::kernel::KernelDispatch;
 use crate::matrix::Matrix;
 
 /// Whether an operand participates as itself or transposed.
@@ -37,7 +42,10 @@ const NC: usize = 256;
 /// `C += A[i0..i1, :] * B` for the row range `[i0, i1)` of `A`/`C`.
 ///
 /// `a`, `b`, `c` are row-major buffers with the given leading dimensions.
-fn gemm_block(
+/// This is the scalar kernel: per output element the products accumulate in
+/// storage order as `mul` + `add` with zero operands skipped — the exact
+/// pre-SIMD behaviour the scalar dispatch arm must preserve.
+pub(crate) fn gemm_block(
     a: &[f64],
     lda: usize,
     b: &[f64],
@@ -156,11 +164,12 @@ pub fn gemm_seq(
 
 /// Rayon-parallel GEMM: `C = alpha * op(A) * op(B) + beta * C`.
 ///
-/// The rows of `C` are split across the current rayon thread pool.  This is
-/// the kernel used for the peeled root iteration of the coarsened loop (the
-/// paper's "low-level" specialization exploits block-level parallelism near
-/// the tree root where task-level parallelism runs out) and for the dense
-/// GEMM baseline.
+/// The rows of `C` are split across the current rayon thread pool and each
+/// chunk runs the process-wide dispatched kernel.  This is the kernel used
+/// for the peeled root iteration of the coarsened loop (the paper's
+/// "low-level" specialization exploits block-level parallelism near the
+/// tree root where task-level parallelism runs out) and for the dense GEMM
+/// baseline.
 pub fn par_gemm(
     alpha: f64,
     a: &Matrix,
@@ -169,6 +178,22 @@ pub fn par_gemm(
     op_b: GemmOp,
     beta: f64,
     c: &mut Matrix,
+) {
+    gemm_matrix_dispatch(alpha, a, op_a, b, op_b, beta, c, true);
+}
+
+/// Shared front-end for [`gemm`] / [`par_gemm`]: materialize transposes,
+/// apply `alpha`/`beta`, then hand the flat product to the dispatched
+/// kernel.
+fn gemm_matrix_dispatch(
+    alpha: f64,
+    a: &Matrix,
+    op_a: GemmOp,
+    b: &Matrix,
+    op_b: GemmOp,
+    beta: f64,
+    c: &mut Matrix,
+    parallel: bool,
 ) {
     let at;
     let bt;
@@ -189,8 +214,8 @@ pub fn par_gemm(
 
     let (m, k) = a_eff.shape();
     let (k2, n) = b_eff.shape();
-    assert_eq!(k, k2, "par_gemm: inner dimensions differ ({k} vs {k2})");
-    assert_eq!(c.shape(), (m, n), "par_gemm: C has wrong shape");
+    assert_eq!(k, k2, "gemm: inner dimensions differ ({k} vs {k2})");
+    assert_eq!(c.shape(), (m, n), "gemm: C has wrong shape");
 
     if beta != 1.0 {
         if beta == 0.0 {
@@ -203,38 +228,28 @@ pub fn par_gemm(
         return;
     }
 
-    let a_buf = a_eff.as_slice();
-    let b_buf = b_eff.as_slice();
-    // Split C into row chunks; each chunk owns a disjoint slice of the output
-    // so no synchronization is needed.  Aim for ~4 chunks per worker so the
-    // stealing discipline can balance uneven chunk costs, but keep at least
-    // MIN_PAR_ROWS rows per chunk — below that the fork/steal handoff costs
-    // more than the chunk's multiply-adds.
-    let chunk_rows = m
-        .div_ceil(rayon::current_num_threads() * 4)
-        .max(MIN_PAR_ROWS)
-        .min(m.max(1));
-    c.as_mut_slice()
-        .par_chunks_mut(chunk_rows * n)
-        .enumerate()
-        .for_each(|(ci, c_chunk)| {
-            let i0 = ci * chunk_rows;
-            let rows_here = c_chunk.len() / n;
-            let a_chunk = &a_buf[i0 * k..(i0 + rows_here) * k];
-            if alpha == 1.0 {
-                gemm_block(a_chunk, k, b_buf, n, c_chunk, n, rows_here, k, n);
-            } else {
-                let mut a_scaled = a_chunk.to_vec();
-                a_scaled.iter_mut().for_each(|x| *x *= alpha);
-                gemm_block(&a_scaled, k, b_buf, n, c_chunk, n, rows_here, k, n);
-            }
-        });
+    let disp = KernelDispatch::global();
+    let run = |a_buf: &[f64], c_buf: &mut [f64]| {
+        if parallel {
+            disp.par_gemm(a_buf, m, k, b_eff.as_slice(), n, c_buf);
+        } else {
+            disp.gemm(a_buf, m, k, b_eff.as_slice(), n, c_buf);
+        }
+    };
+    if alpha == 1.0 {
+        run(a_eff.as_slice(), c.as_mut_slice());
+    } else {
+        // Scale A once rather than multiplying inside the hot loop.
+        let mut a_scaled = a_eff.clone();
+        a_scaled.scale(alpha);
+        run(a_scaled.as_slice(), c.as_mut_slice());
+    }
 }
 
 /// Fewest rows of `C` a parallel GEMM task should own.  A row of a typical
 /// MatRox block is a few hundred multiply-adds; eight rows comfortably
 /// amortize one deque push + steal (~a microsecond under the vendored pool).
-const MIN_PAR_ROWS: usize = 8;
+pub(crate) const MIN_PAR_ROWS: usize = 8;
 
 /// Size threshold (in multiply-add count) above which [`gemm`] switches from
 /// the sequential to the parallel kernel.  Retuned for the real work-stealing
@@ -267,25 +282,30 @@ pub fn gemm(
         GemmOp::NoTrans => b.cols(),
         GemmOp::Trans => b.rows(),
     };
-    if m * k * n >= PAR_FLOP_THRESHOLD {
-        par_gemm(alpha, a, op_a, b, op_b, beta, c);
-    } else {
-        gemm_seq(alpha, a, op_a, b, op_b, beta, c);
-    }
+    gemm_matrix_dispatch(
+        alpha,
+        a,
+        op_a,
+        b,
+        op_b,
+        beta,
+        c,
+        m * k * n >= PAR_FLOP_THRESHOLD,
+    );
 }
 
-/// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y`, routed through
+/// the dispatched `dot`/`axpy` primitives (one per row, so the SMASH-style
+/// `Q = 1` baseline follows the same kernel selection as everything else;
+/// the scalar arm reproduces the historic loops exactly).
 pub fn gemv(alpha: f64, a: &Matrix, op_a: GemmOp, x: &[f64], beta: f64, y: &mut [f64]) {
+    let disp = KernelDispatch::global();
     match op_a {
         GemmOp::NoTrans => {
             assert_eq!(a.cols(), x.len(), "gemv: x length mismatch");
             assert_eq!(a.rows(), y.len(), "gemv: y length mismatch");
             for i in 0..a.rows() {
-                let row = a.row(i);
-                let mut acc = 0.0;
-                for (av, xv) in row.iter().zip(x.iter()) {
-                    acc += av * xv;
-                }
+                let acc = disp.dot(a.row(i), x);
                 y[i] = alpha * acc + beta * y[i];
             }
         }
@@ -298,14 +318,11 @@ pub fn gemv(alpha: f64, a: &Matrix, op_a: GemmOp, x: &[f64], beta: f64, y: &mut 
                 y.iter_mut().for_each(|v| *v *= beta);
             }
             for i in 0..a.rows() {
-                let row = a.row(i);
                 let xv = alpha * x[i];
                 if xv == 0.0 {
                     continue;
                 }
-                for (yv, av) in y.iter_mut().zip(row.iter()) {
-                    *yv += av * xv;
-                }
+                disp.axpy(xv, a.row(i), y);
             }
         }
     }
@@ -318,62 +335,46 @@ pub fn gemv(alpha: f64, a: &Matrix, op_a: GemmOp, x: &[f64], beta: f64, y: &mut 
 /// permuted right-hand-side/output buffers, so it needs a GEMM that does not
 /// require wrapping slices into [`Matrix`] values.
 pub fn gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    gemm_block(a, k, b, n, c, n, m, k, n);
+    KernelDispatch::global().gemm(a, m, k, b, n, c);
 }
 
-/// Raw-slice kernel specialized for the panel-blocked executor:
-/// `C += A * B` where `B` is a narrow RHS panel (`n` is the panel width).
+/// Raw-slice kernel for the panel-blocked executor: `C += A * B` where `B`
+/// is a narrow RHS panel (`n` is the panel width).
 ///
-/// When the whole product fits inside one cache block (`m <= MC`,
-/// `k <= KC`, `n <= NC`) — the common case for MatRox leaf and coupling
-/// updates once the RHS is panel-blocked — the three blocking loops of
-/// [`gemm_slices`] degenerate to a single iteration each; this kernel skips
-/// them and runs the micro-kernel loop nest directly.  The accumulation
-/// order over `k` is identical to [`gemm_slices`] either way, so the two
-/// kernels produce **bitwise-identical** results (the executor's panel
-/// blocking must not perturb outputs).
+/// Since the kernel-dispatch layer landed this is the same dispatched
+/// kernel as [`gemm_slices`] (the historic small-shape specialization is
+/// subsumed by the packed microkernel); the name is kept because the
+/// executor's contract — panel-by-panel evaluation is **bitwise identical**
+/// to full-width evaluation — is documented and tested against it.
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2 x 2
+/// let b = [0.5, -1.0];          // 2 x 1 panel
+/// let mut c = [0.0, 0.0];
+/// matrox_linalg::gemm_panel(&a, 2, 2, &b, 1, &mut c);
+/// assert_eq!(c, [0.5 * 1.0 - 2.0, 0.5 * 3.0 - 4.0]);
+/// ```
 pub fn gemm_panel(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    if m > MC || k > KC || n > NC {
-        gemm_block(a, k, b, n, c, n, m, k, n);
-        return;
-    }
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for j in 0..n {
-                crow[j] += aval * brow[j];
-            }
-        }
-    }
+    KernelDispatch::global().gemm(a, m, k, b, n, c);
 }
 
 /// Raw-slice kernel: `C += A^T * B` where `A` is `k x m` (so `A^T` is
 /// `m x k`), `B` is `k x n` and `C` is `m x n`, all row-major.
 ///
 /// This is the upward-pass kernel `T_i = V_i^T * W_i`: `V_i` is stored
-/// untransposed in CDS and `A^T B` is computed with a rank-1-update loop that
-/// keeps the accesses to `B` and `C` contiguous.
+/// untransposed in CDS and the transpose is absorbed by the kernel (a
+/// rank-1-update loop for the scalar arch, transposing packing for the
+/// microkernel), keeping the accesses to `B` and `C` contiguous.
 pub fn gemm_tn_slices(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
+    KernelDispatch::global().gemm_tn(a, k, m, b, n, c);
+}
+
+/// Scalar `C += A^T * B` with the historic rank-1-update loop ordering (the
+/// scalar dispatch arm; per-element accumulation is `p`-ascending `mul` +
+/// `add` with zero skipping — identical to [`gemm_block`]'s per-element
+/// behaviour, which is what keeps the executor's mixed NoTrans/TN phases
+/// panel-width independent).
+pub(crate) fn gemm_tn_block(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
         let brow = &b[p * n..(p + 1) * n];
@@ -390,30 +391,48 @@ pub fn gemm_tn_slices(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mu
     }
 }
 
+/// Scalar `C += (A^T)[i0..i0+rows, :] * B` for a row chunk of the output
+/// (`A` stored `k x lda`).  Per-element accumulation identical to
+/// [`gemm_tn_block`] — the parallel TN path must be bitwise equal to the
+/// sequential one at any chunking.
+pub(crate) fn gemm_tn_rows(
+    a: &[f64],
+    lda: usize,
+    i0: usize,
+    rows: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    c: &mut [f64],
+) {
+    for i in 0..rows {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let aval = a[p * lda + i0 + i];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                crow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
 /// Rayon-parallel version of [`gemm_slices`], splitting the rows of `C`.
 /// Used for the peeled root iteration where task-level parallelism has run
-/// out and block-level parallelism takes over.
+/// out and block-level parallelism takes over.  Bitwise identical to
+/// [`gemm_slices`] at every pool width for a fixed kernel selection.
 pub fn par_gemm_slices(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    // Oversplit relative to the pool width (and respect the minimum rows per
-    // task) so a worker that drew a cheap chunk can steal another instead of
-    // idling at the barrier; exactly-one-chunk-per-thread left the pool
-    // tail-bound by its slowest chunk.
-    let threads = rayon::current_num_threads().max(1);
-    let chunk_rows = m.div_ceil(threads * 2).max(MIN_PAR_ROWS).min(m.max(1));
-    c.par_chunks_mut(chunk_rows * n)
-        .enumerate()
-        .for_each(|(ci, c_chunk)| {
-            let i0 = ci * chunk_rows;
-            let rows_here = c_chunk.len() / n;
-            let a_chunk = &a[i0 * k..(i0 + rows_here) * k];
-            gemm_block(a_chunk, k, b, n, c_chunk, n, rows_here, k, n);
-        });
+    KernelDispatch::global().par_gemm(a, m, k, b, n, c);
+}
+
+/// Rayon-parallel version of [`gemm_tn_slices`], splitting the rows of `C`
+/// (= columns of the stored `A`).  Bitwise identical to [`gemm_tn_slices`]
+/// at every pool width for a fixed kernel selection.
+pub fn par_gemm_tn_slices(a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    KernelDispatch::global().par_gemm_tn(a, k, m, b, n, c);
 }
 
 /// Convenience helper: `A * B` as a fresh matrix.

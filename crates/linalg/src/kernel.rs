@@ -1,0 +1,567 @@
+//! Kernel selection: the packed SIMD microkernel layer and its dispatch.
+//!
+//! Every hot product in the workspace (executor leaf/coupling/transfer
+//! phases, the ULV factorization's reduced-matrix updates, the dense
+//! baselines) funnels through a [`KernelDispatch`]: a kernel *architecture*
+//! resolved **once** at startup from, in priority order,
+//!
+//! 1. an explicit [`KernelChoice`] carried by the caller
+//!    (`ExecOptions::kernel` / `MatRoxParams::kernel` upstream);
+//! 2. the `MATROX_KERNEL` environment variable (`auto`, `scalar`, `avx2`);
+//! 3. runtime CPU feature detection (`auto`).
+//!
+//! Two architectures exist today:
+//!
+//! * [`KernelArch::Scalar`] — the original cache-blocked scalar loops
+//!   (`C += A*B` with per-element `mul` + `add`, zero-skipping).  This is
+//!   the portable fallback and is bitwise-identical to the pre-SIMD
+//!   behaviour of the workspace.
+//! * [`KernelArch::Avx2`] — a packed, register-blocked 4x8 `f64`
+//!   microkernel using AVX2 + FMA intrinsics (see [`mod@crate::kernel::pack`] for
+//!   the panel formats and `kernel/avx2.rs` for the tile).  Selected by
+//!   `auto` when the CPU supports it; requesting `avx2` on hardware
+//!   without the features silently falls back to `scalar` (recorded in
+//!   [`KernelDispatch::name`]).
+//!
+//! # The bitwise-determinism contract
+//!
+//! For a **fixed** dispatch, every entry point guarantees that each output
+//! element accumulates its `k` products in storage order as one fixed
+//! operation chain (`mul`+`add` for scalar, `fma` for AVX2).  The chain
+//! depends only on the logical operands — never on thread count, row
+//! chunking, RHS panel grouping or the cache-derived pack-block sizes.
+//! That is the property the executor's "results are bitwise identical
+//! across `RAYON_NUM_THREADS`, `MATROX_GRAIN` and `MATROX_PANEL`" tests
+//! pin.  Results **do** differ between architectures (FMA rounds once,
+//! mul+add rounds twice); switching kernels is the one knob that moves
+//! results, which is why the selection is made once and logged rather than
+//! decided per call site.
+//!
+//! ```
+//! use matrox_linalg::kernel::{KernelChoice, KernelDispatch};
+//!
+//! // Resolve explicitly (tests, ablations) ...
+//! let scalar = KernelDispatch::resolve(KernelChoice::Scalar);
+//! assert_eq!(scalar.name(), "scalar");
+//! // ... or take the process-wide selection (MATROX_KERNEL + detection).
+//! let global = KernelDispatch::global();
+//!
+//! // C += A * B on raw row-major slices, 2x3 * 3x2:
+//! let a = [1.0, 0.0, 2.0, 0.0, 1.0, -1.0];
+//! let b = [1.0, 1.0, 2.0, 0.5, 0.0, -2.0];
+//! let mut c = [0.0; 4];
+//! global.gemm(&a, 2, 3, &b, 2, &mut c);
+//! let mut c_ref = [0.0; 4];
+//! scalar.gemm(&a, 2, 3, &b, 2, &mut c_ref);
+//! for (x, y) in c.iter().zip(&c_ref) {
+//!     assert!((x - y).abs() < 1e-12);
+//! }
+//! ```
+
+pub mod pack;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+use crate::gemm::{gemm_block, gemm_tn_block, gemm_tn_rows, MIN_PAR_ROWS};
+use matrox_cachesim::{CacheParams, GemmBlocking};
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+pub use pack::{pack_a, pack_a_trans, pack_b, packed_a_len, packed_b_len, MR, NR};
+
+/// User-facing kernel request (the `MATROX_KERNEL` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Pick the fastest kernel the CPU supports (the default).
+    #[default]
+    Auto,
+    /// Force the portable scalar kernel.
+    Scalar,
+    /// Request the AVX2+FMA microkernel; falls back to scalar when the CPU
+    /// lacks the features.
+    Avx2,
+}
+
+impl std::str::FromStr for KernelChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" | "" => Ok(KernelChoice::Auto),
+            "scalar" => Ok(KernelChoice::Scalar),
+            "avx2" => Ok(KernelChoice::Avx2),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected auto, scalar or avx2)"
+            )),
+        }
+    }
+}
+
+/// Resolved kernel architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArch {
+    /// Cache-blocked scalar loops (portable fallback, pre-SIMD behaviour).
+    Scalar,
+    /// Packed 4x8 AVX2+FMA microkernel.
+    Avx2,
+}
+
+/// Whether the AVX2+FMA microkernel can run on this host.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// A resolved kernel selection: the architecture plus the cache-derived
+/// pack-block sizes.  `Copy` and tiny, so callers resolve once and pass it
+/// by value into their hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDispatch {
+    arch: KernelArch,
+    blocking: GemmBlocking,
+}
+
+static GLOBAL: OnceLock<KernelDispatch> = OnceLock::new();
+
+impl KernelDispatch {
+    /// Resolve a choice against the host CPU.  `Auto` picks AVX2 when
+    /// available; `Avx2` on unsupported hardware degrades to `Scalar`.
+    pub fn resolve(choice: KernelChoice) -> Self {
+        let arch = match choice {
+            KernelChoice::Scalar => KernelArch::Scalar,
+            KernelChoice::Auto | KernelChoice::Avx2 => {
+                if simd_available() {
+                    KernelArch::Avx2
+                } else {
+                    KernelArch::Scalar
+                }
+            }
+        };
+        KernelDispatch {
+            arch,
+            blocking: CacheParams::default().gemm_blocking(std::mem::size_of::<f64>(), MR, NR),
+        }
+    }
+
+    /// The process-wide selection: `MATROX_KERNEL` if set (invalid values
+    /// warn once and fall back to `auto`), otherwise CPU detection.
+    /// Resolved once and cached for the lifetime of the process, so every
+    /// caller that does not override the kernel agrees on one selection.
+    pub fn global() -> Self {
+        *GLOBAL.get_or_init(|| {
+            let choice = match std::env::var("MATROX_KERNEL") {
+                Ok(v) => v.parse().unwrap_or_else(|e| {
+                    eprintln!("MATROX_KERNEL: {e}; using auto");
+                    KernelChoice::Auto
+                }),
+                Err(_) => KernelChoice::Auto,
+            };
+            Self::resolve(choice)
+        })
+    }
+
+    /// Resolve an explicit choice, deferring to the process-wide selection
+    /// for `Auto` (so an unset per-call knob still honours
+    /// `MATROX_KERNEL`).
+    pub fn for_choice(choice: KernelChoice) -> Self {
+        match choice {
+            KernelChoice::Auto => Self::global(),
+            other => Self::resolve(other),
+        }
+    }
+
+    /// The portable scalar kernel (the reference the SIMD paths are pinned
+    /// against).
+    pub fn scalar() -> Self {
+        Self::resolve(KernelChoice::Scalar)
+    }
+
+    /// Resolved architecture.
+    pub fn arch(&self) -> KernelArch {
+        self.arch
+    }
+
+    /// Stable name for logs and benchmark output (`"scalar"` / `"avx2"`).
+    pub fn name(&self) -> &'static str {
+        match self.arch {
+            KernelArch::Scalar => "scalar",
+            KernelArch::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this dispatch runs the SIMD microkernel.
+    pub fn is_simd(&self) -> bool {
+        self.arch == KernelArch::Avx2
+    }
+
+    /// The cache-derived pack-block sizes (performance-only; see the
+    /// determinism contract in the module docs).
+    pub fn blocking(&self) -> GemmBlocking {
+        self.blocking
+    }
+
+    /// `C += A * B`: `A` is `m x k`, `B` is `k x n`, `C` is `m x n`, all
+    /// row-major and densely packed.
+    pub fn gemm(&self, a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        match self.arch {
+            KernelArch::Scalar => gemm_block(a, k, b, n, c, n, m, k, n),
+            KernelArch::Avx2 => self.avx2_gemm(false, a, k, 0, m, k, b, n, c),
+        }
+    }
+
+    /// `C += A^T * B`: `A` is stored `k x m` row-major, `B` is `k x n`,
+    /// `C` is `m x n`.  Produces results bitwise identical to packing the
+    /// explicit transpose through [`KernelDispatch::gemm`].
+    pub fn gemm_tn(&self, a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        match self.arch {
+            KernelArch::Scalar => gemm_tn_block(a, k, m, b, n, c),
+            KernelArch::Avx2 => self.avx2_gemm(true, a, m, 0, m, k, b, n, c),
+        }
+    }
+
+    /// Rayon-parallel [`KernelDispatch::gemm`], splitting the rows of `C`.
+    /// Bitwise identical to the sequential version at every pool width
+    /// (rows accumulate independently).
+    pub fn par_gemm(&self, a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let kern = *self;
+        let chunk_rows = par_chunk_rows(m);
+        c.par_chunks_mut(chunk_rows * n)
+            .enumerate()
+            .for_each(|(ci, c_chunk)| {
+                let i0 = ci * chunk_rows;
+                let rows_here = c_chunk.len() / n;
+                match kern.arch {
+                    KernelArch::Scalar => {
+                        let a_chunk = &a[i0 * k..(i0 + rows_here) * k];
+                        gemm_block(a_chunk, k, b, n, c_chunk, n, rows_here, k, n);
+                    }
+                    KernelArch::Avx2 => {
+                        kern.avx2_gemm(false, a, k, i0, rows_here, k, b, n, c_chunk)
+                    }
+                }
+            });
+    }
+
+    /// Rayon-parallel [`KernelDispatch::gemm_tn`], splitting the rows of
+    /// `C` (= columns of the stored `A`).  Bitwise identical to the
+    /// sequential version at every pool width.
+    pub fn par_gemm_tn(&self, a: &[f64], k: usize, m: usize, b: &[f64], n: usize, c: &mut [f64]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let kern = *self;
+        let chunk_rows = par_chunk_rows(m);
+        c.par_chunks_mut(chunk_rows * n)
+            .enumerate()
+            .for_each(|(ci, c_chunk)| {
+                let i0 = ci * chunk_rows;
+                let rows_here = c_chunk.len() / n;
+                match kern.arch {
+                    KernelArch::Scalar => gemm_tn_rows(a, m, i0, rows_here, k, b, n, c_chunk),
+                    KernelArch::Avx2 => kern.avx2_gemm(true, a, m, i0, rows_here, k, b, n, c_chunk),
+                }
+            });
+    }
+
+    /// Dot product `sum_i x[i] * y[i]` (the Cholesky trailing-update
+    /// primitive).  Deterministic for a fixed dispatch and length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        match self.arch {
+            KernelArch::Scalar => {
+                let mut s = 0.0;
+                for (a, b) in x.iter().zip(y.iter()) {
+                    s += a * b;
+                }
+                s
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelArch::Avx2 => avx2::dot(x, y),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelArch::Avx2 => unreachable!("avx2 dispatch cannot exist off x86_64"),
+        }
+    }
+
+    /// `y += alpha * x` (the LU elimination primitive).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn axpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        match self.arch {
+            KernelArch::Scalar => {
+                for (yv, xv) in y.iter_mut().zip(x.iter()) {
+                    *yv += alpha * xv;
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelArch::Avx2 => avx2::axpy(alpha, x, y),
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelArch::Avx2 => unreachable!("avx2 dispatch cannot exist off x86_64"),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    fn avx2_gemm(
+        &self,
+        trans_a: bool,
+        a: &[f64],
+        lda: usize,
+        i0: usize,
+        m: usize,
+        k: usize,
+        b: &[f64],
+        n: usize,
+        c: &mut [f64],
+    ) {
+        avx2::gemm_blocked(self.blocking, trans_a, a, lda, i0, m, k, b, n, c);
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[allow(clippy::too_many_arguments)]
+    fn avx2_gemm(
+        &self,
+        _trans_a: bool,
+        _a: &[f64],
+        _lda: usize,
+        _i0: usize,
+        _m: usize,
+        _k: usize,
+        _b: &[f64],
+        _n: usize,
+        _c: &mut [f64],
+    ) {
+        unreachable!("avx2 dispatch cannot exist off x86_64")
+    }
+}
+
+/// Rows of `C` per parallel task: ~2 chunks per worker with the same
+/// minimum-rows floor the historic `par_gemm_slices` used.
+fn par_chunk_rows(m: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    m.div_ceil(threads * 2).max(MIN_PAR_ROWS).min(m.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f64], m: usize, k: usize, b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn dispatches() -> Vec<KernelDispatch> {
+        let mut d = vec![KernelDispatch::scalar()];
+        if simd_available() {
+            d.push(KernelDispatch::resolve(KernelChoice::Avx2));
+        }
+        d
+    }
+
+    #[test]
+    fn every_dispatch_matches_naive() {
+        for disp in dispatches() {
+            for &(m, k, n) in &[
+                (1usize, 1usize, 1usize),
+                (3, 5, 7),
+                (4, 8, 8),
+                (5, 9, 11),
+                (64, 64, 32),
+                (70, 130, 9),
+                (13, 300, 17),
+            ] {
+                let a = rand_vec(m * k, (m * 1000 + n) as u64);
+                let b = rand_vec(k * n, (k * 1000 + n) as u64);
+                let naive_c = naive(&a, m, k, &b, n);
+                let mut c = vec![0.0; m * n];
+                disp.gemm(&a, m, k, &b, n, &mut c);
+                for (x, y) in c.iter().zip(&naive_c) {
+                    assert!(
+                        (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                        "{} diverged at m={m} k={k} n={n}",
+                        disp.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose_bitwise() {
+        for disp in dispatches() {
+            for &(k, m, n) in &[(5usize, 7usize, 6usize), (64, 33, 8), (130, 70, 40)] {
+                let a = rand_vec(k * m, 7); // stored k x m
+                let b = rand_vec(k * n, 8);
+                // Explicit transpose through the NoTrans path.
+                let mut at = vec![0.0; m * k];
+                for p in 0..k {
+                    for i in 0..m {
+                        at[i * k + p] = a[p * m + i];
+                    }
+                }
+                let mut c1 = vec![0.5; m * n];
+                let mut c2 = vec![0.5; m * n];
+                disp.gemm(&at, m, k, &b, n, &mut c1);
+                disp.gemm_tn(&a, k, m, &b, n, &mut c2);
+                assert!(
+                    c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{}: TN and explicit-transpose paths diverged",
+                    disp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_paths_are_bitwise_equal_to_sequential() {
+        for disp in dispatches() {
+            let (m, k, n) = (137usize, 45usize, 23usize);
+            let a = rand_vec(m * k, 21);
+            let b = rand_vec(k * n, 22);
+            let mut c_seq = vec![0.0; m * n];
+            let mut c_par = vec![0.0; m * n];
+            disp.gemm(&a, m, k, &b, n, &mut c_seq);
+            disp.par_gemm(&a, m, k, &b, n, &mut c_par);
+            assert!(c_seq
+                .iter()
+                .zip(&c_par)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+
+            let at = rand_vec(k * m, 23); // k x m for the TN path
+            let mut t_seq = vec![0.0; m * n];
+            let mut t_par = vec![0.0; m * n];
+            disp.gemm_tn(&at, k, m, &b, n, &mut t_seq);
+            disp.par_gemm_tn(&at, k, m, &b, n, &mut t_par);
+            assert!(t_seq
+                .iter()
+                .zip(&t_par)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn column_grouping_never_changes_results() {
+        // The RHS-panel independence the executor relies on: computing a
+        // product in column panels must equal the full-width product bit
+        // for bit, for every dispatch.
+        for disp in dispatches() {
+            let (m, k, n) = (24usize, 40usize, 19usize);
+            let a = rand_vec(m * k, 41);
+            let b = rand_vec(k * n, 42);
+            let mut full = vec![0.0; m * n];
+            disp.gemm(&a, m, k, &b, n, &mut full);
+            for panel in [1usize, 4, 8, 11] {
+                let mut out = vec![0.0; m * n];
+                let mut j0 = 0;
+                while j0 < n {
+                    let j1 = (j0 + panel).min(n);
+                    let w = j1 - j0;
+                    let bp: Vec<f64> = (0..k)
+                        .flat_map(|p| b[p * n + j0..p * n + j1].to_vec())
+                        .collect();
+                    let mut cp = vec![0.0; m * w];
+                    disp.gemm(&a, m, k, &bp, w, &mut cp);
+                    for i in 0..m {
+                        out[i * n + j0..i * n + j1].copy_from_slice(&cp[i * w..(i + 1) * w]);
+                    }
+                    j0 = j1;
+                }
+                assert!(
+                    full.iter()
+                        .zip(&out)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{}: panel width {panel} changed results",
+                    disp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_match_scalar_within_tolerance() {
+        for disp in dispatches() {
+            for len in [0usize, 1, 3, 4, 15, 16, 17, 64, 100] {
+                let x = rand_vec(len, len as u64 + 1);
+                let y = rand_vec(len, len as u64 + 2);
+                let reference: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                let d = disp.dot(&x, &y);
+                assert!(
+                    (d - reference).abs() <= 1e-12 * (1.0 + reference.abs()),
+                    "{} dot diverged at len {len}",
+                    disp.name()
+                );
+                let mut y1 = y.clone();
+                disp.axpy(0.37, &x, &mut y1);
+                for (i, v) in y1.iter().enumerate() {
+                    let want = 0.37 * x[i] + y[i];
+                    assert!((v - want).abs() <= 1e-14 * (1.0 + want.abs()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choice_parsing_and_fallback() {
+        assert_eq!("auto".parse::<KernelChoice>().unwrap(), KernelChoice::Auto);
+        assert_eq!(
+            "SCALAR".parse::<KernelChoice>().unwrap(),
+            KernelChoice::Scalar
+        );
+        assert_eq!("avx2".parse::<KernelChoice>().unwrap(), KernelChoice::Avx2);
+        assert!("sse9".parse::<KernelChoice>().is_err());
+
+        assert!(!KernelDispatch::scalar().is_simd());
+        // Requesting AVX2 must resolve to *something* runnable everywhere:
+        // the microkernel when the CPU has it, scalar otherwise.
+        let d = KernelDispatch::resolve(KernelChoice::Avx2);
+        assert_eq!(d.is_simd(), simd_available());
+        let auto = KernelDispatch::resolve(KernelChoice::Auto);
+        assert_eq!(auto.is_simd(), simd_available());
+    }
+}

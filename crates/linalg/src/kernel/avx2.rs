@@ -1,0 +1,274 @@
+//! AVX2 + FMA packed GEMM path.
+//!
+//! The computational core is a 4x8 register tile ([`pack::MR`] x
+//! [`pack::NR`]): 8 `ymm` accumulators (4 rows x 2 four-lane column
+//! vectors), one broadcast register for `A` and two load registers for `B` —
+//! 11 of the 16 architectural `ymm` registers, leaving slack for the
+//! address arithmetic.  Per iteration of the depth loop the kernel issues 8
+//! fused multiply-adds on 4-lane `f64` vectors, i.e. 32 flops against 12
+//! loaded values, which is what moves a dense product from memory-bound to
+//! FMA-port-bound.
+//!
+//! # Bitwise-determinism contract
+//!
+//! Every output element accumulates as a single chain of
+//! `c = fma(a_ip, b_pj, c)` operations with `p` strictly ascending in
+//! storage order:
+//!
+//! * the accumulators are **loaded from `C`** before the depth loop and
+//!   stored back after it, so `kc`-blocking by the caller merely inserts
+//!   value-neutral memory round-trips into the chain;
+//! * edge tiles (`m % MR != 0`, `n % NR != 0`) run the **same full-width
+//!   microkernel** against a zero-padded stack tile; padded lanes are
+//!   discarded, real lanes see the identical fma chain;
+//! * there is **no zero-skipping** (the scalar kernel's `a == 0` shortcut
+//!   cannot be applied per-lane), so the chain's shape depends only on `kc`.
+//!
+//! Consequently the result of a product depends only on the logical
+//! operands and the depth `k` — not on row chunking (thread count), column
+//! grouping (RHS panel width), or the cache-derived `mc`/`nc` blocking.
+#![cfg(target_arch = "x86_64")]
+
+use super::pack::{pack_a, pack_a_trans, pack_b, packed_a_len, packed_b_len, MR, NR};
+use core::arch::x86_64::*;
+use matrox_cachesim::GemmBlocking;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread packing scratch (`A` buffer, `B` buffer).  Sized by the
+    /// blocking parameters on first use and reused for every subsequent
+    /// product on the same thread, so steady-state GEMM calls allocate
+    /// nothing.
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// The 4x8 microkernel: `C[0..4, 0..8] = fma-chain over the packed panels`.
+///
+/// # Safety
+/// Requires the `avx2` and `fma` CPU features.  `a` must point to `kc * MR`
+/// packed-A values, `b` to `kc * NR` packed-B values, and `c` to a tile with
+/// 4 rows of 8 `f64`s at leading dimension `ldc` (all rows fully in bounds).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mkernel_4x8(kc: usize, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_pd(c.add(i * ldc));
+        row[1] = _mm256_loadu_pd(c.add(i * ldc + 4));
+    }
+    for p in 0..kc {
+        let b0 = _mm256_loadu_pd(b.add(p * NR));
+        let b1 = _mm256_loadu_pd(b.add(p * NR + 4));
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = _mm256_set1_pd(*a.add(p * MR + i));
+            row[0] = _mm256_fmadd_pd(ai, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(ai, b1, row[1]);
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        _mm256_storeu_pd(c.add(i * ldc), row[0]);
+        _mm256_storeu_pd(c.add(i * ldc + 4), row[1]);
+    }
+}
+
+/// Run the microkernel on a possibly partial tile (`mr_eff x nr_eff` valid
+/// elements).  Partial tiles are staged through a zero-padded stack tile so
+/// the fma chain of every *valid* element is identical to the full-tile
+/// path (see the module docs).
+///
+/// # Safety
+/// Same as [`mkernel_4x8`], except `c` only needs `mr_eff` rows x `nr_eff`
+/// columns in bounds.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mkernel_tile(
+    kc: usize,
+    a: *const f64,
+    b: *const f64,
+    c: *mut f64,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    if mr_eff == MR && nr_eff == NR {
+        mkernel_4x8(kc, a, b, c, ldc);
+        return;
+    }
+    let mut tile = [0.0f64; MR * NR];
+    for i in 0..mr_eff {
+        for j in 0..nr_eff {
+            tile[i * NR + j] = *c.add(i * ldc + j);
+        }
+    }
+    mkernel_4x8(kc, a, b, tile.as_mut_ptr(), NR);
+    for i in 0..mr_eff {
+        for j in 0..nr_eff {
+            *c.add(i * ldc + j) = tile[i * NR + j];
+        }
+    }
+}
+
+/// Sweep the microkernel over one packed `mb x kb` A-block and `kb x nb`
+/// B-block, updating `c[ic.., jc..]` (leading dimension `ldc`).
+///
+/// # Safety
+/// Requires `avx2`/`fma`; `apack`/`bpack` must hold `packed_a_len(mb, kb)` /
+/// `packed_b_len(nb, kb)` values; `c` must cover rows `[ic, ic + mb)` x
+/// columns `[jc, jc + nb)`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_sweep(
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    for ti in 0..mb.div_ceil(MR) {
+        let mr_eff = MR.min(mb - ti * MR);
+        let apanel = apack.as_ptr().add(ti * MR * kb);
+        for tj in 0..nb.div_ceil(NR) {
+            let nr_eff = NR.min(nb - tj * NR);
+            let bpanel = bpack.as_ptr().add(tj * NR * kb);
+            let ctile = c.as_mut_ptr().add((ic + ti * MR) * ldc + jc + tj * NR);
+            mkernel_tile(kb, apanel, bpanel, ctile, ldc, mr_eff, nr_eff);
+        }
+    }
+}
+
+/// Packed, cache-blocked `C += op(A) * B` over raw row-major slices.
+///
+/// * `trans_a = false`: `A` is `m x k` row-major with leading dimension
+///   `lda` and the product reads logical rows `[i0, i0 + m)` (so a parallel
+///   caller can hand each row chunk the full `a` slice).
+/// * `trans_a = true`: `A` is stored `k x lda` row-major and the product
+///   uses columns `[i0, i0 + m)` of it as the rows of `A^T`.
+///
+/// `b` is `k x n` row-major, `c` is `m x n` row-major (the chunk's own
+/// rows).  Caller guarantees the `avx2`/`fma` features are present (checked
+/// once at dispatch resolution).
+pub fn gemm_blocked(
+    blk: GemmBlocking,
+    trans_a: bool,
+    a: &[f64],
+    lda: usize,
+    i0: usize,
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    c: &mut [f64],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    PACK_BUFS.with(|cell| {
+        let mut bufs = cell.borrow_mut();
+        let (abuf, bbuf) = &mut *bufs;
+        let amax = packed_a_len(blk.mc.min(m), blk.kc.min(k));
+        let bmax = packed_b_len(blk.nc.min(n), blk.kc.min(k));
+        if abuf.len() < amax {
+            abuf.resize(amax, 0.0);
+        }
+        if bbuf.len() < bmax {
+            bbuf.resize(bmax, 0.0);
+        }
+        for jc in (0..n).step_by(blk.nc) {
+            let nb = blk.nc.min(n - jc);
+            for pc in (0..k).step_by(blk.kc) {
+                let kb = blk.kc.min(k - pc);
+                pack_b(b, n, pc, kb, jc, nb, bbuf);
+                for ic in (0..m).step_by(blk.mc) {
+                    let mb = blk.mc.min(m - ic);
+                    if trans_a {
+                        pack_a_trans(a, lda, i0 + ic, mb, pc, kb, abuf);
+                    } else {
+                        pack_a(a, lda, i0 + ic, mb, pc, kb, abuf);
+                    }
+                    // SAFETY: dispatch resolution verified avx2+fma; the
+                    // packed buffers were filled for exactly (mb, kb) /
+                    // (nb, kb); c covers rows [ic, ic+mb) x cols [jc, jc+nb)
+                    // at leading dimension n.
+                    unsafe { tile_sweep(kb, mb, nb, abuf, bbuf, c, n, ic, jc) }
+                }
+            }
+        }
+    });
+}
+
+/// AVX2 dot product: four independent 4-lane accumulators over 16-element
+/// strides, then a fixed-order horizontal reduction, then an fma tail.  The
+/// summation tree depends only on `x.len()`, so the result is deterministic
+/// for a given input length.
+///
+/// Caller guarantees `avx2`/`fma` (checked at dispatch resolution) and
+/// `x.len() == y.len()`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: feature presence is the dispatch's invariant; slices are
+    // equal-length and all loads below stay in bounds.
+    unsafe { dot_inner(x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_inner(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc = [_mm256_setzero_pd(); 4];
+    let mut i = 0;
+    while i + 16 <= n {
+        for (lane, a) in acc.iter_mut().enumerate() {
+            let xv = _mm256_loadu_pd(xp.add(i + 4 * lane));
+            let yv = _mm256_loadu_pd(yp.add(i + 4 * lane));
+            *a = _mm256_fmadd_pd(xv, yv, *a);
+        }
+        i += 16;
+    }
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let yv = _mm256_loadu_pd(yp.add(i));
+        acc[0] = _mm256_fmadd_pd(xv, yv, acc[0]);
+        i += 4;
+    }
+    let v = _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]), _mm256_add_pd(acc[2], acc[3]));
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), v);
+    let mut s = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+    while i < n {
+        s = (*xp.add(i)).mul_add(*yp.add(i), s);
+        i += 1;
+    }
+    s
+}
+
+/// AVX2 `y += alpha * x` (element-wise fma).  Caller guarantees
+/// `avx2`/`fma` and `x.len() == y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: feature presence is the dispatch's invariant; loads/stores
+    // stay within the equal-length slices.
+    unsafe { axpy_inner(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_inner(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let av = _mm256_set1_pd(alpha);
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let yv = _mm256_loadu_pd(yp.add(i));
+        _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(av, xv, yv));
+        i += 4;
+    }
+    while i < n {
+        *yp.add(i) = alpha.mul_add(*xp.add(i), *yp.add(i));
+        i += 1;
+    }
+}

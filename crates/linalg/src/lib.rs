@@ -11,6 +11,12 @@
 //!   operations the rest of the workspace needs.
 //! * [`mod@gemm`] — cache-blocked sequential and rayon-parallel matrix-matrix
 //!   products (`C ← αAB + βC`), plus `gemv` and transposed variants.
+//! * [`mod@kernel`] — the kernel layer under those products: a packed,
+//!   register-blocked AVX2+FMA microkernel with runtime feature detection,
+//!   the portable scalar fallback, and the [`KernelDispatch`] every hot
+//!   caller resolves once (overridable via `MATROX_KERNEL=auto|scalar|avx2`).
+//!   See its module docs for the packing formats and the
+//!   bitwise-determinism contract.
 //! * [`qr`] — Householder column-pivoted QR (Businger–Golub) with adaptive
 //!   rank detection.
 //! * [`chol`] — blocked dense Cholesky with a symmetric rank-`k` trailing
@@ -26,10 +32,34 @@
 //! GOFMM-, STRUMPACK- and SMASH-style baselines) share these kernels, so the
 //! relative performance comparisons reported by the benchmark harnesses are
 //! not skewed by different BLAS backends.
+//!
+//! # Example: a dispatched product
+//!
+//! [`gemm()`] is the front-end the rest of the workspace calls; it routes
+//! through the process-wide kernel selection (AVX2 microkernel where
+//! available, scalar otherwise) and stays within `1e-12` relative error of
+//! the scalar reference [`gemm_seq`]:
+//!
+//! ```
+//! use matrox_linalg::{gemm, gemm_seq, GemmOp, Matrix};
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let b = Matrix::from_rows(&[vec![0.5, 0.0], vec![-1.0, 2.0]]);
+//! let mut c = Matrix::zeros(2, 2);
+//! let mut c_ref = Matrix::zeros(2, 2);
+//! gemm(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c);
+//! gemm_seq(1.0, &a, GemmOp::NoTrans, &b, GemmOp::NoTrans, 0.0, &mut c_ref);
+//! for i in 0..2 {
+//!     for j in 0..2 {
+//!         assert!((c.get(i, j) - c_ref.get(i, j)).abs() < 1e-12);
+//!     }
+//! }
+//! ```
 
 pub mod chol;
 pub mod gemm;
 pub mod id;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
@@ -39,9 +69,10 @@ pub mod solve;
 pub use chol::{cholesky, cholesky_solve, cholesky_solve_matrix, syrk_lower, NotPositiveDefinite};
 pub use gemm::{
     gemm, gemm_panel, gemm_seq, gemm_slices, gemm_tn_slices, gemv, matmul, par_gemm,
-    par_gemm_slices, GemmOp,
+    par_gemm_slices, par_gemm_tn_slices, GemmOp,
 };
 pub use id::{column_id, row_id, IdResult};
+pub use kernel::{simd_available, KernelArch, KernelChoice, KernelDispatch};
 pub use lu::{lu_factor, lu_solve, lu_solve_matrix, LuFactors, SingularMatrix};
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, relative_error};

@@ -8,6 +8,7 @@
 //! upward sweep.  Sizes are bounded by twice the maximum srank (2 x 256 in
 //! the paper's configuration), so an unblocked kernel is sufficient.
 
+use crate::kernel::KernelDispatch;
 use crate::matrix::Matrix;
 
 /// Error returned when elimination finds no usable pivot: the matrix is
@@ -44,6 +45,7 @@ pub fn lu_factor(a: &Matrix) -> Result<LuFactors, SingularMatrix> {
     assert_eq!(n, a.cols(), "lu_factor: matrix must be square");
     let mut lu = a.clone();
     let mut piv = Vec::with_capacity(n);
+    let disp = KernelDispatch::global();
     let data = lu.as_mut_slice();
     for k in 0..n {
         // Partial pivot: the largest magnitude in column k at or below row k.
@@ -66,15 +68,17 @@ pub fn lu_factor(a: &Matrix) -> Result<LuFactors, SingularMatrix> {
             }
         }
         let pivot = data[k * n + k];
-        for i in (k + 1)..n {
-            let lik = data[i * n + k] / pivot;
-            data[i * n + k] = lik;
+        // Rank-1 trailing update, one dispatched axpy per row below the
+        // pivot (rows `k` and `i > k` are disjoint, so split the buffer).
+        let (head, tail) = data.split_at_mut((k + 1) * n);
+        let krow = &head[k * n + k + 1..k * n + n];
+        for irow in tail.chunks_exact_mut(n) {
+            let lik = irow[k] / pivot;
+            irow[k] = lik;
             if lik == 0.0 {
                 continue;
             }
-            for j in (k + 1)..n {
-                data[i * n + j] -= lik * data[k * n + j];
-            }
+            disp.axpy(-lik, krow, &mut irow[k + 1..n]);
         }
     }
     Ok(LuFactors { lu, piv })

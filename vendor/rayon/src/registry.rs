@@ -333,15 +333,22 @@ pub(crate) fn global_threads_hint() -> usize {
 }
 
 fn default_global_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    // Cached: this sits on the `current_num_threads()` fast path of every
+    // parallel region entered before (or without) the global pool being
+    // spawned, and both `env::var` and `available_parallelism` (which reads
+    // cgroup limits on Linux) allocate on every call.
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 fn init_global(num_threads: usize) -> Arc<Registry> {
