@@ -13,6 +13,8 @@
 //! * [`cds`] — stores every submatrix in flat buffers following the order of
 //!   the blocked and coarsened loops.
 
+#![forbid(unsafe_code)]
+
 pub mod blocking;
 pub mod cds;
 pub mod coarsen;

@@ -21,6 +21,11 @@
 use matrox_compress::Compression;
 use matrox_linalg::{gemm_seq, GemmOp, Matrix};
 use matrox_tree::{ClusterTree, HTree};
+// CONCURRENCY: the baseline's level-parallel sweeps accumulate into
+// per-node cells; unlike the executor (disjoint-slot proofs + RawSlots),
+// the baseline deliberately keeps the simple tree-based storage of the
+// paper, so the cells are Mutex-guarded.  Contention is per-node and the
+// baseline is measured for *time*, so the locks are part of what it models.
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;

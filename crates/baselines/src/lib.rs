@@ -20,6 +20,8 @@
 //! | [`DenseBaseline`] | dense `K` | — | — | exact reference / GEMM comparison |
 //! | [`DenseCholeskyBaseline`] | dense `K = L L^T` | — | — | exact direct solve (`K x = b` comparison) |
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod dense;
 pub mod gofmm;

@@ -10,6 +10,8 @@
 //! MKL, scaled-down N — see DESIGN.md substitutions S1/S2/S6); the harnesses
 //! are about reproducing the *shape* of each result.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use matrox_baselines::GofmmEvaluator;
@@ -23,6 +25,9 @@ use matrox_sampling::sample_nodes;
 use matrox_tree::{ClusterTree, HTree, Structure};
 use rayon::prelude::*;
 use std::collections::HashSet;
+// CONCURRENCY: the pool self-check observes which OS threads execute a
+// parallel region by collecting thread ids into a Mutex'd set — measurement
+// plumbing on a cold path, not part of any measured loop.
 use std::sync::Mutex;
 use std::time::Instant;
 

@@ -16,6 +16,8 @@
 //! the kernel layer in `matrox-linalg` asks at startup: how should a packed
 //! GEMM block its operands for this hierarchy ([`CacheParams::gemm_blocking`])?
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod params;
 pub mod trace;

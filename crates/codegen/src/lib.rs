@@ -11,6 +11,8 @@
 //! source listing mirroring the `matmul.h` artifact of the original system
 //! (see DESIGN.md substitution S3).
 
+#![forbid(unsafe_code)]
+
 pub mod emit;
 pub mod plan;
 

@@ -11,6 +11,8 @@
 //! skeletonization that produces the `U`/`V` generators, the adaptive
 //! `sranks`, the dense near blocks `D` and the coupling blocks `B`.
 
+#![forbid(unsafe_code)]
+
 pub mod lowrank;
 pub mod reference;
 

@@ -72,6 +72,8 @@
 //! assert_eq!(x.len(), points.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod hmatrix;
 pub mod inspector;

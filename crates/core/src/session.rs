@@ -23,6 +23,9 @@ use crate::timings::SessionStats;
 use matrox_exec::{execute_prepared, ExecOptions, PreparedExec};
 use matrox_linalg::Matrix;
 use matrox_points::{Kernel, PointSet};
+// CONCURRENCY: SessionStats counters are monotonic AtomicU64s (Relaxed:
+// they order nothing, they only count) so concurrent `evaluate` calls on a
+// shared session never contend on a lock in the hot path.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 

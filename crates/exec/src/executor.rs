@@ -580,7 +580,6 @@ pub fn execute_prepared(
 /// Run the four executor phases for the RHS columns `[j0, j1)`, writing the
 /// result into the same columns of `y`.  All scratch slices are caller-owned
 /// and reused across panels.
-#[allow(clippy::too_many_arguments)]
 fn execute_panel(
     plan: &EvalPlan,
     tree: &ClusterTree,
@@ -700,6 +699,9 @@ struct RawSlots {
 // SAFETY: RawSlots is a capability to *manually verified* disjoint slicing;
 // the pointer itself may cross threads freely (the data is plain f64).
 unsafe impl Send for RawSlots {}
+// SAFETY: sharing `&RawSlots` across threads only shares the (ptr, len)
+// pair; actual accesses go through `slice`/`slice_mut`, whose disjointness
+// contract (verified at prepare time) is what prevents data races.
 unsafe impl Sync for RawSlots {}
 
 impl RawSlots {
@@ -716,10 +718,13 @@ impl RawSlots {
     /// check is trivial next to the product the slice feeds, and it turns
     /// an invariant-violation bug into a panic instead of an
     /// out-of-bounds write.
-    #[allow(clippy::mut_from_ref)]
+    #[allow(clippy::mut_from_ref)] // the disjointness contract IS the point
     unsafe fn slice_mut<'a>(&self, off: usize, len: usize) -> &'a mut [f64] {
         assert!(off + len <= self.len, "RawSlots: slice out of bounds");
-        std::slice::from_raw_parts_mut(self.ptr.add(off), len)
+        // SAFETY: in bounds by the assert (`ptr..ptr+len` is one live
+        // allocation — the scratch Vec borrowed by `RawSlots::new`);
+        // non-aliasing is the caller's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(off), len) }
     }
 
     /// # Safety
@@ -727,7 +732,9 @@ impl RawSlots {
     /// type-level contract); bounds are checked unconditionally.
     unsafe fn slice<'a>(&self, off: usize, len: usize) -> &'a [f64] {
         assert!(off + len <= self.len, "RawSlots: slice out of bounds");
-        std::slice::from_raw_parts(self.ptr.add(off), len)
+        // SAFETY: in bounds by the assert; no concurrent writer is the
+        // caller's contract.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(off), len) }
     }
 }
 
@@ -809,7 +816,11 @@ unsafe fn compute_t_into(
         return;
     }
     debug_assert_eq!(cols, prep.srank(id), "generator width != srank at {id}");
-    let out = t.slice_mut(prep.rank_off[id] * q, cols * q);
+    // SAFETY: `[rank_off[id], rank_off[id] + srank(id)) * q` is node `id`'s
+    // own T slot (slots of distinct nodes are disjoint by the prefix-sum
+    // construction, cross-checked in `PreparedExec`); exclusive access to
+    // it is the fn contract.
+    let out = unsafe { t.slice_mut(prep.rank_off[id] * q, cols * q) };
     let node = &tree.nodes[id];
     let par = peel && rows * cols * q >= PEEL_PAR_THRESHOLD;
     if node.is_leaf() {
@@ -826,12 +837,16 @@ unsafe fn compute_t_into(
         let rr = prep.srank(r);
         debug_assert_eq!(rows, rl + rr, "transfer matrix rows mismatch at node {id}");
         if rl > 0 {
-            let tl = t.slice(prep.rank_off[l] * q, rl * q);
+            // SAFETY: the children's T slots are disjoint from `out` (per
+            // the prefix-sum layout) and fully written before this call —
+            // by this task earlier or on an earlier level (fn contract).
+            let tl = unsafe { t.slice(prep.rank_off[l] * q, rl * q) };
             prep.dispatch
                 .gemm_tn(&v[0..rl * cols], rl, cols, tl, q, out);
         }
         if rr > 0 {
-            let tr = t.slice(prep.rank_off[r] * q, rr * q);
+            // SAFETY: as for the left child.
+            let tr = unsafe { t.slice(prep.rank_off[r] * q, rr * q) };
             prep.dispatch.gemm_tn(&v[rl * cols..], rr, cols, tr, q, out);
         }
     }
@@ -972,12 +987,18 @@ unsafe fn down_node(
         return;
     }
     debug_assert_eq!(cols, prep.srank(id));
-    let s_i = s.slice(prep.rank_off[id] * q, cols * q);
+    // SAFETY: node `id`'s S slot is fully written before this node is
+    // processed (its parent ran earlier — same task or an earlier level)
+    // and nothing concurrently writes it (fn contract).
+    let s_i = unsafe { s.slice(prep.rank_off[id] * q, cols * q) };
     let node = &tree.nodes[id];
     let par = peel && rows * cols * q >= PEEL_PAR_THRESHOLD;
     if node.is_leaf() {
         debug_assert_eq!(rows, node.num_points());
-        let dst = y.slice_mut(node.start * q, rows * q);
+        // SAFETY: leaves tile `y_perm` disjointly (`[start, start + rows)`
+        // rows belong to this leaf alone) and each leaf belongs to exactly
+        // one partition (fn contract).
+        let dst = unsafe { y.slice_mut(node.start * q, rows * q) };
         if par {
             prep.dispatch.par_gemm(u, rows, cols, s_i, q, dst);
         } else {
@@ -989,7 +1010,11 @@ unsafe fn down_node(
         let rr = prep.srank(r);
         debug_assert_eq!(rows, rl + rr);
         if rl > 0 {
-            let dst = s.slice_mut(prep.rank_off[l] * q, rl * q);
+            // SAFETY: every child has exactly one parent, so this task is
+            // the only writer of the child's S slot at this level; the
+            // child itself reads it only after this node completes
+            // (in-partition ordering or the next level's barrier).
+            let dst = unsafe { s.slice_mut(prep.rank_off[l] * q, rl * q) };
             if par {
                 prep.dispatch
                     .par_gemm(&u[0..rl * cols], rl, cols, s_i, q, dst);
@@ -998,7 +1023,8 @@ unsafe fn down_node(
             }
         }
         if rr > 0 {
-            let dst = s.slice_mut(prep.rank_off[r] * q, rr * q);
+            // SAFETY: as for the left child.
+            let dst = unsafe { s.slice_mut(prep.rank_off[r] * q, rr * q) };
             if par {
                 prep.dispatch
                     .par_gemm(&u[rl * cols..rows * cols], rr, cols, s_i, q, dst);

@@ -42,6 +42,8 @@
 //! [`FactorError::UnsupportedStructure`], exactly like the STRUMPACK
 //! baseline's scope.
 
+#![forbid(unsafe_code)]
+
 pub mod factor;
 pub mod solve;
 

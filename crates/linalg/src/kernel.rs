@@ -109,11 +109,19 @@ pub enum KernelArch {
 
 /// Whether the AVX2+FMA microkernel can run on this host.
 pub fn simd_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
+    // Miri interprets MIR and has no AVX2/FMA intrinsics; reporting the
+    // host CPU's features would dispatch into kernels it cannot execute.
+    // Forcing `false` here routes every resolution path (auto, explicit
+    // avx2 via its degrade-to-scalar rule) to the scalar kernel.
+    #[cfg(miri)]
+    {
+        false
+    }
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(all(not(target_arch = "x86_64"), not(miri)))]
     {
         false
     }
@@ -333,7 +341,6 @@ impl KernelDispatch {
     }
 
     #[cfg(target_arch = "x86_64")]
-    #[allow(clippy::too_many_arguments)]
     fn avx2_gemm(
         &self,
         trans_a: bool,
@@ -350,7 +357,6 @@ impl KernelDispatch {
     }
 
     #[cfg(not(target_arch = "x86_64"))]
-    #[allow(clippy::too_many_arguments)]
     fn avx2_gemm(
         &self,
         _trans_a: bool,

@@ -50,23 +50,31 @@ thread_local! {
 /// 4 rows of 8 `f64`s at leading dimension `ldc` (all rows fully in bounds).
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn mkernel_4x8(kc: usize, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
-    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
-    for (i, row) in acc.iter_mut().enumerate() {
-        row[0] = _mm256_loadu_pd(c.add(i * ldc));
-        row[1] = _mm256_loadu_pd(c.add(i * ldc + 4));
-    }
-    for p in 0..kc {
-        let b0 = _mm256_loadu_pd(b.add(p * NR));
-        let b1 = _mm256_loadu_pd(b.add(p * NR + 4));
+    // SAFETY: per the fn contract every pointer access below is in bounds —
+    // `a` strides `p * MR + i` with `p < kc`, `i < MR` (a packed panel of
+    // exactly `kc * MR` values), `b` strides `p * NR + {0,4}` within
+    // `kc * NR`, and `c` is accessed at `i * ldc + {0..8}` with all four
+    // rows fully in bounds.  Loads/stores are `loadu`/`storeu`, so no
+    // alignment requirement beyond `f64`'s.
+    unsafe {
+        let mut acc = [[_mm256_setzero_pd(); 2]; MR];
         for (i, row) in acc.iter_mut().enumerate() {
-            let ai = _mm256_set1_pd(*a.add(p * MR + i));
-            row[0] = _mm256_fmadd_pd(ai, b0, row[0]);
-            row[1] = _mm256_fmadd_pd(ai, b1, row[1]);
+            row[0] = _mm256_loadu_pd(c.add(i * ldc));
+            row[1] = _mm256_loadu_pd(c.add(i * ldc + 4));
         }
-    }
-    for (i, row) in acc.iter().enumerate() {
-        _mm256_storeu_pd(c.add(i * ldc), row[0]);
-        _mm256_storeu_pd(c.add(i * ldc + 4), row[1]);
+        for p in 0..kc {
+            let b0 = _mm256_loadu_pd(b.add(p * NR));
+            let b1 = _mm256_loadu_pd(b.add(p * NR + 4));
+            for (i, row) in acc.iter_mut().enumerate() {
+                let ai = _mm256_set1_pd(*a.add(p * MR + i));
+                row[0] = _mm256_fmadd_pd(ai, b0, row[0]);
+                row[1] = _mm256_fmadd_pd(ai, b1, row[1]);
+            }
+        }
+        for (i, row) in acc.iter().enumerate() {
+            _mm256_storeu_pd(c.add(i * ldc), row[0]);
+            _mm256_storeu_pd(c.add(i * ldc + 4), row[1]);
+        }
     }
 }
 
@@ -89,19 +97,25 @@ unsafe fn mkernel_tile(
     nr_eff: usize,
 ) {
     if mr_eff == MR && nr_eff == NR {
-        mkernel_4x8(kc, a, b, c, ldc);
+        // SAFETY: full tile — the fn contract is exactly `mkernel_4x8`'s.
+        unsafe { mkernel_4x8(kc, a, b, c, ldc) };
         return;
     }
     let mut tile = [0.0f64; MR * NR];
-    for i in 0..mr_eff {
-        for j in 0..nr_eff {
-            tile[i * NR + j] = *c.add(i * ldc + j);
+    // SAFETY: partial tile — only the `mr_eff x nr_eff` valid elements of
+    // `c` are touched (in bounds per the fn contract); the microkernel runs
+    // against the stack tile, which is a full `MR x NR` at ld `NR`.
+    unsafe {
+        for i in 0..mr_eff {
+            for j in 0..nr_eff {
+                tile[i * NR + j] = *c.add(i * ldc + j);
+            }
         }
-    }
-    mkernel_4x8(kc, a, b, tile.as_mut_ptr(), NR);
-    for i in 0..mr_eff {
-        for j in 0..nr_eff {
-            *c.add(i * ldc + j) = tile[i * NR + j];
+        mkernel_4x8(kc, a, b, tile.as_mut_ptr(), NR);
+        for i in 0..mr_eff {
+            for j in 0..nr_eff {
+                *c.add(i * ldc + j) = tile[i * NR + j];
+            }
         }
     }
 }
@@ -125,14 +139,22 @@ unsafe fn tile_sweep(
     ic: usize,
     jc: usize,
 ) {
-    for ti in 0..mb.div_ceil(MR) {
-        let mr_eff = MR.min(mb - ti * MR);
-        let apanel = apack.as_ptr().add(ti * MR * kb);
-        for tj in 0..nb.div_ceil(NR) {
-            let nr_eff = NR.min(nb - tj * NR);
-            let bpanel = bpack.as_ptr().add(tj * NR * kb);
-            let ctile = c.as_mut_ptr().add((ic + ti * MR) * ldc + jc + tj * NR);
-            mkernel_tile(kb, apanel, bpanel, ctile, ldc, mr_eff, nr_eff);
+    // SAFETY: panel `ti` of the packed A block starts at `ti * MR * kb`
+    // (zero-padded to a whole panel by the packers, so full-panel reads stay
+    // in bounds even when `mr_eff < MR`); likewise `tj * NR * kb` for B.
+    // The C tile pointer sits at row `ic + ti*MR`, col `jc + tj*NR`, and
+    // `mkernel_tile` only touches its `mr_eff x nr_eff` valid elements —
+    // within the `[ic, ic+mb) x [jc, jc+nb)` region the fn contract covers.
+    unsafe {
+        for ti in 0..mb.div_ceil(MR) {
+            let mr_eff = MR.min(mb - ti * MR);
+            let apanel = apack.as_ptr().add(ti * MR * kb);
+            for tj in 0..nb.div_ceil(NR) {
+                let nr_eff = NR.min(nb - tj * NR);
+                let bpanel = bpack.as_ptr().add(tj * NR * kb);
+                let ctile = c.as_mut_ptr().add((ic + ti * MR) * ldc + jc + tj * NR);
+                mkernel_tile(kb, apanel, bpanel, ctile, ldc, mr_eff, nr_eff);
+            }
         }
     }
 }
@@ -213,36 +235,45 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     unsafe { dot_inner(x, y) }
 }
 
+/// # Safety
+/// Requires the `avx2`/`fma` CPU features and `x.len() == y.len()` (the
+/// safe wrapper [`dot`] checks the latter and dispatch resolution the
+/// former).
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_inner(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
     let xp = x.as_ptr();
     let yp = y.as_ptr();
-    let mut acc = [_mm256_setzero_pd(); 4];
-    let mut i = 0;
-    while i + 16 <= n {
-        for (lane, a) in acc.iter_mut().enumerate() {
-            let xv = _mm256_loadu_pd(xp.add(i + 4 * lane));
-            let yv = _mm256_loadu_pd(yp.add(i + 4 * lane));
-            *a = _mm256_fmadd_pd(xv, yv, *a);
+    // SAFETY: every load below reads `[i, i + 4)` with `i + 4 <= n` (or
+    // `[i, i + 16)` with `i + 16 <= n`), inside both equal-length slices;
+    // the scalar tail dereferences `i < n` one element at a time.
+    unsafe {
+        let mut acc = [_mm256_setzero_pd(); 4];
+        let mut i = 0;
+        while i + 16 <= n {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                let xv = _mm256_loadu_pd(xp.add(i + 4 * lane));
+                let yv = _mm256_loadu_pd(yp.add(i + 4 * lane));
+                *a = _mm256_fmadd_pd(xv, yv, *a);
+            }
+            i += 16;
         }
-        i += 16;
+        while i + 4 <= n {
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let yv = _mm256_loadu_pd(yp.add(i));
+            acc[0] = _mm256_fmadd_pd(xv, yv, acc[0]);
+            i += 4;
+        }
+        let v = _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]), _mm256_add_pd(acc[2], acc[3]));
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), v);
+        let mut s = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+        while i < n {
+            s = (*xp.add(i)).mul_add(*yp.add(i), s);
+            i += 1;
+        }
+        s
     }
-    while i + 4 <= n {
-        let xv = _mm256_loadu_pd(xp.add(i));
-        let yv = _mm256_loadu_pd(yp.add(i));
-        acc[0] = _mm256_fmadd_pd(xv, yv, acc[0]);
-        i += 4;
-    }
-    let v = _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]), _mm256_add_pd(acc[2], acc[3]));
-    let mut lanes = [0.0f64; 4];
-    _mm256_storeu_pd(lanes.as_mut_ptr(), v);
-    let mut s = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
-    while i < n {
-        s = (*xp.add(i)).mul_add(*yp.add(i), s);
-        i += 1;
-    }
-    s
 }
 
 /// AVX2 `y += alpha * x` (element-wise fma).  Caller guarantees
@@ -254,21 +285,30 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     unsafe { axpy_inner(alpha, x, y) }
 }
 
+/// # Safety
+/// Requires the `avx2`/`fma` CPU features and `x.len() == y.len()` (the
+/// safe wrapper [`axpy`] checks the latter and dispatch resolution the
+/// former).
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn axpy_inner(alpha: f64, x: &[f64], y: &mut [f64]) {
     let n = x.len();
     let xp = x.as_ptr();
     let yp = y.as_mut_ptr();
     let av = _mm256_set1_pd(alpha);
-    let mut i = 0;
-    while i + 4 <= n {
-        let xv = _mm256_loadu_pd(xp.add(i));
-        let yv = _mm256_loadu_pd(yp.add(i));
-        _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(av, xv, yv));
-        i += 4;
-    }
-    while i < n {
-        *yp.add(i) = alpha.mul_add(*xp.add(i), *yp.add(i));
-        i += 1;
+    // SAFETY: vector loads/stores cover `[i, i + 4)` with `i + 4 <= n`,
+    // the scalar tail `i < n` — all inside the equal-length slices; `x`
+    // and `y` are distinct borrows, so the store never aliases the load.
+    unsafe {
+        let mut i = 0;
+        while i + 4 <= n {
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let yv = _mm256_loadu_pd(yp.add(i));
+            _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(av, xv, yv));
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) = alpha.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
     }
 }

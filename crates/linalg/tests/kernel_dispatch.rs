@@ -65,12 +65,18 @@ proptest! {
         stretch in 0u8..4,
     ) {
         // Occasionally stretch one dimension well past the pack-block sizes
-        // so the kc/mc/nc loops run more than one iteration.
-        let (m, k, n) = match stretch {
-            1 => (m + 200, k, n),
-            2 => (m, k + 200, n),
-            3 => (m, k, n + 200),
-            _ => (m, k, n),
+        // so the kc/mc/nc loops run more than one iteration.  Under Miri
+        // skip the stretch and clamp shapes: interpreted O(mkn) is where
+        // the time goes, and small shapes reach the same unsafe code.
+        let (m, k, n) = if cfg!(miri) {
+            (m.min(6), k.min(6), n.min(6))
+        } else {
+            match stretch {
+                1 => (m + 200, k, n),
+                2 => (m, k + 200, n),
+                3 => (m, k, n + 200),
+                _ => (m, k, n),
+            }
         };
         let a = random_matrix(m, k, seed);
         let b = random_matrix(k, n, seed + 1);
@@ -151,13 +157,18 @@ proptest! {
 /// accumulation chain never depends on the chunking).
 #[test]
 fn par_kernels_bitwise_identical_across_pool_widths() {
-    let (m, k, n) = (173usize, 67usize, 29usize);
+    let (m, k, n) = if cfg!(miri) {
+        (19usize, 7usize, 5usize)
+    } else {
+        (173usize, 67usize, 29usize)
+    };
     let a = random_matrix(m, k, 5);
     let b = random_matrix(k, n, 6);
     let at = a.transpose();
     for disp in dispatches() {
         let mut runs: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
-        for nt in [1usize, 2, 4] {
+        let widths: &[usize] = if cfg!(miri) { &[1, 2] } else { &[1, 2, 4] };
+        for &nt in widths {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(nt)
                 .build()

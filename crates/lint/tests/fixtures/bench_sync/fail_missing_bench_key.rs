@@ -1,0 +1,7 @@
+//! Fixture gate: must-fail — reads a benchmark key the committed
+//! BENCH_demo.json artifact lacks.
+
+fn main() {
+    let _limit = must("max_err");
+    let _ghost = json_lookup_number(&demo, "absent_metric");
+}

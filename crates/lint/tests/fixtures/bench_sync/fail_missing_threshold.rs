@@ -1,0 +1,6 @@
+//! Fixture gate: must-fail — reads a threshold key the JSON lacks.
+
+fn main() {
+    let _limit = must("max_err");
+    let _ghost = must("absent_key");
+}

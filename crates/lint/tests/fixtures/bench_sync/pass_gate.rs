@@ -1,0 +1,7 @@
+//! Fixture gate: reads one threshold and one committed benchmark key.
+
+fn main() {
+    let limit = must("max_err");
+    let metric = json_lookup_number(&demo, "metric");
+    assert!(metric <= limit);
+}

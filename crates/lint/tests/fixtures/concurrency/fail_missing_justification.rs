@@ -1,0 +1,11 @@
+//! Fixture: must-fail — allowlisted, uses an atomic, but carries no
+//! CONCURRENCY justification comment (note: that exact marker string is
+//! deliberately absent from this file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() -> u64 {
+    HITS.fetch_add(1, Ordering::Relaxed)
+}

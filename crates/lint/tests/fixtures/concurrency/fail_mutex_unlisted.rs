@@ -1,0 +1,5 @@
+//! Fixture: must-fail — a Mutex outside the audited allowlist.
+
+use std::sync::Mutex;
+
+pub static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());

@@ -1,0 +1,9 @@
+//! Fixture: must-fail — `thread::spawn` is banned even in allowlisted
+//! files; OS threads are the pool's monopoly.
+
+// CONCURRENCY: fixture pretext — the comment does not excuse spawn.
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+//! Fixture: must-fail — allowlisted for ad-hoc synchronization but uses
+//! none, so the stale-entry check fires.
+
+pub fn pure(x: u32) -> u32 {
+    x * 2
+}

@@ -1,0 +1,10 @@
+//! Fixture: allowlisted ad-hoc synchronization with its justification.
+
+// CONCURRENCY: fixture pretext — a monotonic counter, not a data protocol.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() -> u64 {
+    HITS.fetch_add(1, Ordering::Relaxed)
+}

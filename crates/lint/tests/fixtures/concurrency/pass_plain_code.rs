@@ -1,0 +1,5 @@
+//! Fixture: ordinary code with no synchronization — always clean.
+
+pub fn sum(v: &[f64]) -> f64 {
+    v.iter().sum()
+}

@@ -1,0 +1,5 @@
+//! Fixture: must-fail — reads a knob missing from the fixture manifest.
+
+pub fn bogus() -> Option<String> {
+    std::env::var("MATROX_BOGUS").ok()
+}

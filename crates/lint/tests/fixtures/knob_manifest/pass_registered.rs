@@ -1,0 +1,5 @@
+//! Fixture: reads a knob that the fixture manifest registers.
+
+pub fn demo() -> Option<String> {
+    std::env::var("MATROX_DEMO").ok()
+}

@@ -1,0 +1,6 @@
+//! Fixture: must-fail — a bare `unsafe` block with no justification.
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() }
+}

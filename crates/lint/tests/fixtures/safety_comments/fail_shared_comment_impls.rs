@@ -1,0 +1,8 @@
+//! Fixture: must-fail — two `unsafe impl`s cannot share one comment; the
+//! second one's backward scan stops at the first impl's closing brace.
+
+pub struct Token(*const ());
+
+// SAFETY: fixture pretext — this only covers the Send impl.
+unsafe impl Send for Token {}
+unsafe impl Sync for Token {}

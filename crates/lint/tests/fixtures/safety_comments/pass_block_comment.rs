@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block justified by an attached SAFETY comment.
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the pointer read is in bounds.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `let x = unsafe { .. }` with the comment above the `let` —
+//! the backward scan must skip the left-hand side of the binding.
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: asserted non-empty above.
+    let b = unsafe { *v.as_ptr() };
+    b
+}

@@ -1,0 +1,10 @@
+//! Fixture: an `unsafe fn` justified by a `# Safety` doc section.
+
+/// Reads the first byte without a bounds check.
+///
+/// # Safety
+/// `v` must be non-empty.
+pub unsafe fn first_unchecked(v: &[u8]) -> u8 {
+    // SAFETY: forwarding the caller's non-empty guarantee.
+    unsafe { *v.as_ptr() }
+}

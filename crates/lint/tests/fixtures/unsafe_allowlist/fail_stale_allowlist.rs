@@ -1,0 +1,6 @@
+//! Fixture: must-fail — this path is on the (test) allowlist but contains
+//! no `unsafe` at all, so the stale-entry check fires.
+
+pub fn perfectly_safe(x: u32) -> u32 {
+    x + 1
+}

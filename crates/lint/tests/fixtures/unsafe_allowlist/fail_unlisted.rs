@@ -1,0 +1,6 @@
+//! Fixture: must-fail — `unsafe` in a file the config does not allowlist.
+
+pub fn sneak(v: &[u8]) -> u8 {
+    // SAFETY: a justification comment does not make the file audited.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//! Fixture: audited file — `unsafe` is fine because the (test) config
+//! allowlists this path.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `v` is non-empty (fixture pretext).
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the word in strings, raw strings and comments is not code.
+//! This file is NOT allowlisted and must still pass.
+
+// A comment mentioning unsafe code is not unsafe code.
+pub fn describe() -> &'static str {
+    let _raw = r#"unsafe { *ptr }"#;
+    "this crate has no unsafe blocks"
+}

@@ -16,6 +16,8 @@
 //! * [`kernel_block`] helpers that evaluate dense kernel sub-blocks (used by
 //!   compression and by the accuracy/GEMM baselines).
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod kernel;
 pub mod pointset;

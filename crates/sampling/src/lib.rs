@@ -16,6 +16,8 @@
 //! only to rank candidates by importance, mirroring the role the
 //! nearest-neighbour lists play in GOFMM.
 
+#![forbid(unsafe_code)]
+
 pub mod knn;
 pub mod node_sampling;
 

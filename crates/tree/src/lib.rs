@@ -16,6 +16,8 @@
 //! low-rank-approximation modules (`matrox-sampling`, `matrox-compress`) and
 //! by the structure-analysis phase (`matrox-analysis`).
 
+#![forbid(unsafe_code)]
+
 pub mod ctree;
 pub mod htree;
 

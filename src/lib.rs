@@ -25,6 +25,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 pub use matrox_analysis as analysis;
 pub use matrox_baselines as baselines;
 pub use matrox_cachesim as cachesim;

@@ -6,6 +6,8 @@
 //! MatRox serializer uses are provided; reads past the end panic, exactly as
 //! the real crate's `get_*` methods do.
 
+#![forbid(unsafe_code)]
+
 /// Read cursor over a byte buffer.
 pub trait Buf {
     fn remaining(&self) -> usize;

@@ -8,6 +8,8 @@
 //! iterations, reporting mean and minimum per-iteration time. No statistical
 //! analysis, HTML reports, or command-line filtering.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::Instant;
 

@@ -4,6 +4,8 @@
 //! poisoned std lock is transparently recovered, matching parking_lot's
 //! behaviour of not propagating panics through lock acquisition.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, PoisonError};
 
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);

@@ -13,6 +13,8 @@
 //! * generation is driven by the vendored xoshiro `rand` stub with a fixed
 //!   seed, so every run explores the same inputs (CI == local).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -249,6 +251,13 @@ pub mod test_runner {
 
     impl TestRunner {
         pub fn new(config: ProptestConfig) -> Self {
+            // Under Miri every case costs ~100x native time; a handful of
+            // cases still exercises each property's unsafe-relevant paths
+            // (the CI Miri leg is about pointer discipline, not coverage).
+            #[cfg(miri)]
+            let config = ProptestConfig {
+                cases: config.cases.min(4),
+            };
             TestRunner {
                 config,
                 rng: StdRng::seed_from_u64(seed()),

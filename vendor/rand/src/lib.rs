@@ -10,6 +10,8 @@
 //! solid for the sampling, dataset-generation, and testing workloads here,
 //! and fully reproducible from a `u64` seed.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Low-level source of random 64-bit words.

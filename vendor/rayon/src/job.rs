@@ -23,14 +23,19 @@ use crate::latch::Latch;
 #[derive(Clone, Copy)]
 pub(crate) struct JobRef {
     pointer: *const (),
+    // SAFETY: carries `Job::execute`'s contract (pointee alive, called at
+    // most once); discharged in `JobRef::execute`.
     execute_fn: unsafe fn(*const ()),
 }
 
-// The pointee is shared across threads by design; synchronization is provided
-// by the deque mutexes (handoff) and the latch (completion).
+// SAFETY: the pointee is shared across threads by design; synchronization
+// is provided by the deque mutexes (handoff) and the latch (completion).
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    /// `data` must stay alive (at a stable address) until the returned ref
+    /// has been executed — see the type-level contract.
     pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
         JobRef {
             pointer: data as *const (),
@@ -38,8 +43,13 @@ impl JobRef {
         }
     }
 
+    /// # Safety
+    /// The pointee must still be alive, and this must be the only `execute`
+    /// call ever made across all copies of this ref.
     pub(crate) unsafe fn execute(self) {
-        (self.execute_fn)(self.pointer)
+        // SAFETY: forwarding the caller's guarantee, which is exactly the
+        // vtable entry's (`Job::execute`'s) contract.
+        unsafe { (self.execute_fn)(self.pointer) }
     }
 }
 
@@ -88,7 +98,8 @@ where
     /// The caller must keep `self` alive (and its address stable) until the
     /// latch is set, and must ensure the returned ref is executed at most once.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        JobRef::new(self)
+        // SAFETY: forwarding the caller's liveness guarantee to JobRef::new.
+        unsafe { JobRef::new(self) }
     }
 
     /// Consume the job after its latch has been set, yielding the closure's
@@ -108,16 +119,25 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    // SAFETY: contract stated on the `Job` trait declaration above.
     unsafe fn execute(this: *const ()) {
-        let this = &*(this as *const Self);
-        let func = (*this.func.get())
+        // SAFETY: per the trait contract `this` points to a live StackJob
+        // of exactly this type (the vtable entry was taken from it).
+        let this = unsafe { &*(this as *const Self) };
+        // SAFETY: the executing thread is the only one that ever touches
+        // the `func`/`result` cells — the owner blocks on the latch and
+        // reads `result` only after `set()` below (its release/acquire
+        // pair is the happens-before edge), and execute-at-most-once rules
+        // out a concurrent executor.
+        let func = unsafe { &mut *this.func.get() }
             .take()
             .expect("StackJob executed more than once");
         let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(payload) => JobResult::Panic(payload),
         };
-        *this.result.get() = result;
+        // SAFETY: same exclusive-access argument as the read above.
+        unsafe { *this.result.get() = result };
         // Last access: after this store the owner may free the job.
         this.latch.set();
     }

@@ -58,6 +58,9 @@ where
         // Not on a pool thread: enter the global pool and fork from there.
         global_registry().in_worker(|| join(oper_a, oper_b))
     } else {
+        // SAFETY: non-null means this thread is a pool worker; its
+        // `WorkerThread` lives in the `worker_main` frame below us on this
+        // very stack, so the reference cannot dangle for this call.
         join_worker(unsafe { &*worker }, oper_a, oper_b)
     }
 }
@@ -73,6 +76,9 @@ where
     // run `a` ourselves (the work-first principle — `a` is executed with the
     // hot stack, `b` is what migrates).
     let job_b = StackJob::new(SpinLatch::new(), oper_b);
+    // SAFETY: `job_b` lives in this frame, and `wait_until(&job_b.latch)`
+    // below does not return before the job has executed — so the pushed
+    // ref never outlives the job, and it is pushed (hence executed) once.
     unsafe {
         worker.push(job_b.as_job_ref());
     }
@@ -103,6 +109,8 @@ pub fn current_num_threads() -> usize {
     if worker.is_null() {
         registry::global_threads_hint()
     } else {
+        // SAFETY: same argument as in `join`: a non-null `WorkerThread`
+        // pointer refers into the live `worker_main` frame of this thread.
         unsafe { &*worker }.registry().num_threads()
     }
 }

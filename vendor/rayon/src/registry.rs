@@ -176,15 +176,20 @@ impl Registry {
     {
         let current = WorkerThread::current();
         if !current.is_null() {
+            // SAFETY: non-null means the calling thread is a pool worker,
+            // and a worker's `WorkerThread` lives in its `worker_main`
+            // frame for the whole life of the thread (cleared before exit).
             let worker = unsafe { &*current };
             if Arc::ptr_eq(&worker.registry, self) {
                 return op();
             }
         }
         // External thread (or a worker of a different pool): inject the op
-        // and block until a worker completes it.  The StackJob lives in this
-        // frame, which cannot unwind before the latch is set.
+        // and block until a worker completes it.
         let job = StackJob::new(LockLatch::new(), op);
+        // SAFETY: `job` lives in this frame, which cannot unwind before
+        // `latch.wait()` below returns; the ref is injected (and hence
+        // executed) exactly once.
         unsafe {
             self.inject(job.as_job_ref());
         }
@@ -259,6 +264,10 @@ impl WorkerThread {
     pub(crate) fn wait_until(&self, latch: &SpinLatch) {
         while !latch.probe() {
             if let Some(job) = self.find_work() {
+                // SAFETY: a ref popped/stolen from a queue is executed
+                // exactly once (queues hand out each ref once), and its
+                // StackJob is alive: the owner frame blocks on the job's
+                // latch, which only `execute` sets.
                 unsafe { job.execute() };
                 // The job may have set a latch someone is sleeping on.
                 self.registry.sleep.notify();
@@ -273,6 +282,8 @@ impl WorkerThread {
             }
             if let Some(job) = self.find_work() {
                 self.registry.sleep.cancel_sleep();
+                // SAFETY: as above — queue refs are unique and their jobs
+                // outlive their latch.
                 unsafe { job.execute() };
                 self.registry.sleep.notify();
                 continue;
@@ -292,6 +303,9 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
 
     loop {
         if let Some(job) = worker.find_work() {
+            // SAFETY: as in `wait_until` — each queued ref is handed out
+            // once, and its StackJob's owner frame is still blocked on the
+            // job's latch.
             unsafe { job.execute() };
             registry.sleep.notify();
             continue;
@@ -307,6 +321,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         }
         if let Some(job) = worker.find_work() {
             registry.sleep.cancel_sleep();
+            // SAFETY: as above.
             unsafe { job.execute() };
             registry.sleep.notify();
             continue;

@@ -4,6 +4,18 @@ use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Problem scale: the native size, or a Miri-sized stand-in (the
+/// interpreter runs each op ~100x slower; tiny sizes still walk every
+/// unsafe path — deque handoff, stealing, latches — which is what the
+/// Miri leg checks).
+const fn scaled(native: usize, miri: usize) -> usize {
+    if cfg!(miri) {
+        miri
+    } else {
+        native
+    }
+}
+
 fn pool(n: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
         .num_threads(n)
@@ -25,10 +37,16 @@ fn nested_sum(lo: u64, hi: u64) -> u64 {
 
 #[test]
 fn nested_join_on_every_pool_width() {
-    for width in [1, 2, 4, 8] {
+    let widths: &[usize] = if cfg!(miri) { &[1, 2] } else { &[1, 2, 4, 8] };
+    let top = scaled(4096, 64) as u64;
+    for &width in widths {
         let p = pool(width);
-        let total = p.install(|| nested_sum(0, 4096));
-        assert_eq!(total, 4096 * 4095 / 2, "wrong sum on a {width}-wide pool");
+        let total = p.install(|| nested_sum(0, top));
+        assert_eq!(
+            total,
+            top * (top - 1) / 2,
+            "wrong sum on a {width}-wide pool"
+        );
     }
 }
 
@@ -37,15 +55,16 @@ fn join_runs_closures_in_parallel_workers() {
     // Both closures observe the pool from inside; on a >1 pool the forked
     // side may run on a different worker, but results always come back.
     let p = pool(2);
+    let h = scaled(1024, 64) as u64;
     let ((wa, ra), (wb, rb)) = p.install(|| {
         rayon::join(
-            || (rayon::current_num_threads(), nested_sum(0, 512)),
-            || (rayon::current_num_threads(), nested_sum(512, 1024)),
+            || (rayon::current_num_threads(), nested_sum(0, h / 2)),
+            || (rayon::current_num_threads(), nested_sum(h / 2, h)),
         )
     });
     assert_eq!(wa, 2);
     assert_eq!(wb, 2);
-    assert_eq!(ra + rb, 1024 * 1023 / 2);
+    assert_eq!(ra + rb, h * (h - 1) / 2);
 }
 
 #[test]
@@ -76,10 +95,12 @@ fn panic_in_join_b_propagates() {
 #[test]
 fn panic_from_parallel_iterator_worker_propagates_to_install_caller() {
     let p = pool(4);
+    let len = scaled(1000, 64);
+    let bomb = len * 2 / 3;
     let result = catch_unwind(AssertUnwindSafe(|| {
         p.install(|| {
-            (0..1000usize).into_par_iter().for_each(|i| {
-                if i == 637 {
+            (0..len).into_par_iter().for_each(|i| {
+                if i == bomb {
                     panic!("worker exploded at {i}");
                 }
             })
@@ -94,7 +115,7 @@ fn panic_from_parallel_iterator_worker_propagates_to_install_caller() {
 #[test]
 fn par_chunks_mut_is_a_disjoint_complete_partition() {
     let p = pool(4);
-    let len = 10_007usize; // prime: ragged final chunk
+    let len = scaled(10_007, 101); // prime: ragged final chunk
     let chunk = 23;
     let mut buf = vec![usize::MAX; len];
     let touched = AtomicUsize::new(0);
@@ -133,26 +154,28 @@ fn stress_at_least_ten_thousand_tiny_tasks() {
         let mid = lo + (hi - lo) / 2;
         rayon::join(|| fan_out(lo, mid, count), || fan_out(mid, hi, count));
     }
-    p.install(|| fan_out(0, 12_345, &count));
-    assert_eq!(count.load(Ordering::Relaxed), 12_345);
+    let fan = scaled(12_345, 201);
+    p.install(|| fan_out(0, fan, &count));
+    assert_eq!(count.load(Ordering::Relaxed), fan);
 
     // Same scale through the iterator bridge, forced to tiny leaves.
+    let bridge = scaled(20_000, 300) as u64;
     let total: u64 = p.install(|| {
-        (0..20_000u64)
+        (0..bridge)
             .collect::<Vec<_>>()
             .into_par_iter()
             .with_min_len(1)
             .map(|x| x % 7)
             .sum()
     });
-    let expected: u64 = (0..20_000u64).map(|x| x % 7).sum();
+    let expected: u64 = (0..bridge).map(|x| x % 7).sum();
     assert_eq!(total, expected);
 }
 
 #[test]
 fn collect_preserves_sequential_order() {
     let p = pool(4);
-    let v: Vec<usize> = (0..5000).collect();
+    let v: Vec<usize> = (0..scaled(5000, 128)).collect();
     let out: Vec<usize> = p.install(|| v.par_iter().map(|&x| x * 2).collect());
     let expected: Vec<usize> = v.iter().map(|&x| x * 2).collect();
     assert_eq!(out, expected);
@@ -174,8 +197,9 @@ fn free_functions_use_the_global_pool_outside_any_install() {
     // Exercise join/par_iter from a non-pool thread (global pool path).
     let (a, b) = rayon::join(|| 2 + 2, || "ok");
     assert_eq!((a, b), (4, "ok"));
-    let sum: usize = (0..1000usize).into_par_iter().sum();
-    assert_eq!(sum, 499_500);
+    let n = scaled(1000, 64);
+    let sum: usize = (0..n).into_par_iter().sum();
+    assert_eq!(sum, n * (n - 1) / 2);
     assert!(rayon::current_num_threads() >= 1);
 }
 
@@ -216,6 +240,7 @@ mod properties {
             width in 1usize..5,
         ) {
             let p = pool(width);
+            let v = &v[..v.len().min(scaled(usize::MAX, 64))];
             let par: Vec<i64> = p.install(|| {
                 v.par_iter().with_min_len(min_len).map(|&x| x.wrapping_mul(3) - 1).collect()
             });
@@ -232,6 +257,7 @@ mod properties {
             width in 1usize..5,
         ) {
             let p = pool(width);
+            let len = len.min(scaled(usize::MAX, 128));
             let mut buf = vec![0u32; len];
             p.install(|| {
                 buf.par_chunks_mut(chunk).for_each(|c| {
