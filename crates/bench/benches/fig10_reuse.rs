@@ -15,15 +15,15 @@ fn bench_fig10(c: &mut Criterion) {
     let points = generate(dataset, n, 0);
     let kernel = kernel_for(dataset);
     let params = params_for(structure);
-    let p1 = inspector_p1(&points, &kernel, &params);
+    let p1 = inspector_p1(&points, &kernel, &params).expect("bench inputs");
 
     let mut group = c.benchmark_group("fig10_reuse");
     group.sample_size(10);
     group.bench_function("accuracy_change_with_reuse_p2_only", |b| {
-        b.iter(|| inspector_p2(&points, &p1, &kernel, 1e-4))
+        b.iter(|| inspector_p2(&points, &p1, &kernel, 1e-4).expect("bench inputs"))
     });
     group.bench_function("accuracy_change_full_reinspection", |b| {
-        b.iter(|| inspector(&points, &kernel, &params.with_bacc(1e-4)))
+        b.iter(|| inspector(&points, &kernel, &params.with_bacc(1e-4)).expect("bench inputs"))
     });
     group.bench_function("kernel_change_with_reuse_p2_only", |b| {
         b.iter(|| {

@@ -15,7 +15,7 @@ fn bench_solve(c: &mut Criterion) {
     let q = 16;
     let points = generate(DatasetId::Grid, n, 0);
     let (kernel, params) = solve_setting(n, 1e-7);
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("bench inputs");
     let fh = h.factorize().expect("HSS SPD matrix must factor");
     let b1: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
     let bq = random_w(n, q, 5);
@@ -23,8 +23,10 @@ fn bench_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig_solve");
     group.sample_size(10);
     group.bench_function("ulv_factor", |b| b.iter(|| h.factorize().expect("factor")));
-    group.bench_function("ulv_solve_q1", |b| b.iter(|| fh.solve(&b1)));
-    group.bench_function("ulv_solve_q16", |b| b.iter(|| fh.solve_matrix(&bq)));
+    group.bench_function("ulv_solve_q1", |b| b.iter(|| fh.solve(&b1).expect("solve")));
+    group.bench_function("ulv_solve_q16", |b| {
+        b.iter(|| fh.solve_matrix(&bq).expect("solve"))
+    });
     group.bench_function("dense_cholesky_factor", |b| {
         b.iter(|| DenseCholeskyBaseline::new(&points, &kernel).expect("SPD"))
     });

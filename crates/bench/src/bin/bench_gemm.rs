@@ -178,7 +178,7 @@ fn exec_session(n: usize, choice: KernelChoice) -> EvalSession {
     let pts = generate(DatasetId::Grid, n, 17);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
     let params = MatRoxParams::h2b().with_bacc(1e-5).with_kernel(choice);
-    EvalSession::build(&pts, &kernel, &params)
+    EvalSession::build(&pts, &kernel, &params).expect("harness inputs")
 }
 
 /// `--probe solve` subprocess body: factor + solve under the process-wide
@@ -186,13 +186,13 @@ fn exec_session(n: usize, choice: KernelChoice) -> EvalSession {
 fn solve_probe(n: usize) {
     let (kernel, params) = solve_setting(n, 1e-7);
     let pts = generate(DatasetId::Grid, n, 17);
-    let h = inspector(&pts, &kernel, &params);
+    let h = inspector(&pts, &kernel, &params).expect("harness inputs");
     let (f, factor_s) = time_best(|| h.factorize().expect("SPD solve setting must factor"), 2);
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
     let b = Matrix::random_uniform(n, 8, &mut rng);
-    let (x, solve_s) = time_best(|| f.solve_matrix(&b), 2);
+    let (x, solve_s) = time_best(|| f.solve_matrix(&b).expect("solve"), 2);
     // Residual against the compressed operator (cheap, kernel-sensitive).
-    let mut r = h.matmul(&x);
+    let mut r = h.matmul(&x).expect("matmul");
     r.sub_assign(&b);
     let residual = frobenius_norm(&r) / frobenius_norm(&b);
     println!(
@@ -300,10 +300,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(29);
     let w = Matrix::random_uniform(n, q, &mut rng);
     let s_scalar = exec_session(n, KernelChoice::Scalar);
-    let (y_scalar, exec_scalar_s) = time_best(|| s_scalar.evaluate(&w), 3);
+    let (y_scalar, exec_scalar_s) = time_best(|| s_scalar.evaluate(&w).expect("evaluate"), 3);
     let (exec_simd_s, exec_rel_err, exec_speedup) = if simd {
         let s_simd = exec_session(n, KernelChoice::Avx2);
-        let (y_simd, t) = time_best(|| s_simd.evaluate(&w), 3);
+        let (y_simd, t) = time_best(|| s_simd.evaluate(&w).expect("evaluate"), 3);
         let mut diff = y_simd.clone();
         diff.sub_assign(&y_scalar);
         let rel = frobenius_norm(&diff) / frobenius_norm(&y_scalar);

@@ -53,16 +53,16 @@ fn main() {
 
         // MatRox with reuse: p1 once, p2 + executor per bacc.
         let t0 = Instant::now();
-        let p1 = inspector_p1(&points, &kernel, &params);
+        let p1 = inspector_p1(&points, &kernel, &params).expect("harness inputs");
         let p1_time = t0.elapsed().as_secs_f64();
         let mut p2_sum = 0.0;
         let mut exec_sum = 0.0;
         for &bacc in &baccs {
             let t0 = Instant::now();
-            let h = inspector_p2(&points, &p1, &kernel, bacc);
+            let h = inspector_p2(&points, &p1, &kernel, bacc).expect("harness inputs");
             p2_sum += t0.elapsed().as_secs_f64();
             let t0 = Instant::now();
-            let _ = h.matmul(&w);
+            let _ = h.matmul(&w).expect("matmul");
             exec_sum += t0.elapsed().as_secs_f64();
         }
         let matrox_total = p1_time + p2_sum + exec_sum;

@@ -104,7 +104,7 @@ fn main() {
             let params = params_for(structure).with_bacc(1e-5);
 
             // MatRox: inspector runs once; the session serves every Q below.
-            let session = EvalSession::build(&points, &kernel, &params);
+            let session = EvalSession::build(&points, &kernel, &params).expect("harness inputs");
             let inspect_s = session.stats().inspect_seconds;
             // GOFMM stand-in: compression runs once, evaluations reuse it
             // through the same batched multi-RHS entry point.
@@ -116,7 +116,7 @@ fn main() {
             let mut break_even_q_vs_reinspect = None;
             for &q in &qs {
                 let w = random_w(args.n, q, q as u64);
-                let (_, eval_s) = time_best(|| session.evaluate(&w), 1);
+                let (_, eval_s) = time_best(|| session.evaluate(&w).expect("evaluate"), 1);
                 let (_, gofmm_eval_s) =
                     time_best(|| gofmm.evaluate_batch(&w, session.panel_width()), 1);
                 let per_query_s = eval_s / q as f64;
@@ -158,12 +158,13 @@ fn main() {
             // One batched evaluate(W) with q = 16 vs 16 sequential matvecs on
             // the same session; results must be bitwise identical.
             let w16 = random_w(args.n, 16, 1234);
-            let (y_batched, batch16_batched_s) = time_best(|| session.evaluate(&w16), 2);
+            let (y_batched, batch16_batched_s) =
+                time_best(|| session.evaluate(&w16).expect("evaluate"), 2);
             let matvec_pass = || {
                 let mut out = vec![0.0f64; args.n * 16];
                 for j in 0..16 {
                     let col: Vec<f64> = (0..args.n).map(|i| w16.get(i, j)).collect();
-                    let y = session.evaluate_vec(&col);
+                    let y = session.evaluate_vec(&col).expect("evaluate");
                     for i in 0..args.n {
                         out[i * 16 + j] = y[i];
                     }

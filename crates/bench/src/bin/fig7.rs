@@ -102,13 +102,13 @@ fn main() {
                 .unwrap();
             let row = pool.install(|| {
                 let params = params_for(structure).with_partitions(nt);
-                let h = inspector(&points, &kernel, &params);
+                let h = inspector(&points, &kernel, &params).expect("harness inputs");
                 let opts = if nt == 1 {
                     ExecOptions::sequential()
                 } else {
                     ExecOptions::from_plan(&h.plan)
                 };
-                let (_, t_matrox) = time_best(|| h.matmul_with(&w, &opts), 1);
+                let (_, t_matrox) = time_best(|| h.matmul_with(&w, &opts).expect("matmul"), 1);
 
                 let setup = build_baseline(&points, dataset, structure, 1e-5);
                 let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);

@@ -40,12 +40,12 @@ fn main() {
         let points = generate(dataset, args.n, 0);
         let kernel = kernel_for(dataset);
         let params = params_for(Structure::h2b());
-        let p1 = inspector_p1(&points, &kernel, &params);
+        let p1 = inspector_p1(&points, &kernel, &params).expect("harness inputs");
         let w = random_w(args.n, args.q, 31);
         print!("{:<12}", dataset.name());
         for &bacc in &baccs {
-            let h = inspector_p2(&points, &p1, &kernel, bacc);
-            let eps = h.overall_accuracy(&points, &w);
+            let h = inspector_p2(&points, &p1, &kernel, bacc).expect("harness inputs");
+            let eps = h.overall_accuracy(&points, &w).expect("accuracy probe");
             if bacc == 1e-3 {
                 total += 1;
                 if eps > 1e-3 {

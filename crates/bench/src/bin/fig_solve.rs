@@ -78,13 +78,16 @@ fn main() {
         let points = generate(DatasetId::Grid, n, 0);
         let (kernel, params) = solve_setting(n, bacc);
 
-        let (h, t_insp) = time_best(|| inspector(&points, &kernel, &params), 1);
+        let (h, t_insp) = time_best(
+            || inspector(&points, &kernel, &params).expect("harness inputs"),
+            1,
+        );
         let (fh, t_factor) = time_best(|| h.factorize().expect("factor"), 1);
 
         let b1: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) * 0.25).collect();
-        let (x1, t_solve1) = time_best(|| fh.solve(&b1), 2);
+        let (x1, t_solve1) = time_best(|| fh.solve(&b1).expect("solve"), 2);
         let bq = matrox_bench::random_w(n, q, 7);
-        let (_, t_solveq) = time_best(|| fh.solve_matrix(&bq), 1);
+        let (_, t_solveq) = time_best(|| fh.solve_matrix(&bq).expect("solve"), 1);
 
         let x1m = Matrix::from_vec(n, 1, x1.clone());
         let b1m = Matrix::from_vec(n, 1, b1.clone());

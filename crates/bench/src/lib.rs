@@ -98,7 +98,7 @@ pub fn build_hmatrix(
     let points = generate(dataset, n, 0);
     let kernel = kernel_for(dataset);
     let params = params_for(structure).with_bacc(bacc);
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("harness inputs are clean");
     (points, h)
 }
 
@@ -409,10 +409,10 @@ pub fn inspect_split(
     let kernel = kernel_for(dataset);
     let params = params_for(structure).with_bacc(bacc);
     let t0 = Instant::now();
-    let p1 = inspector_p1(points, &kernel, &params);
+    let p1 = inspector_p1(points, &kernel, &params).expect("harness inputs are clean");
     let p1_time = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let h = inspector_p2(points, &p1, &kernel, bacc);
+    let h = inspector_p2(points, &p1, &kernel, bacc).expect("harness inputs are clean");
     let p2_time = t0.elapsed().as_secs_f64();
     (h, p1_time, p2_time)
 }
@@ -439,7 +439,7 @@ mod tests {
     fn harness_pipeline_smoke_test() {
         let (points, h) = build_hmatrix(DatasetId::Unit, 512, Structure::Hss, 1e-4);
         let w = random_w(points.len(), 4, 1);
-        let y = h.matmul(&w);
+        let y = h.matmul(&w).expect("matmul");
         assert_eq!(y.shape(), (512, 4));
         let setup = build_baseline(&points, DatasetId::Unit, Structure::Hss, 1e-4);
         let yb = gofmm_evaluate(&setup, &w);

@@ -1,0 +1,148 @@
+//! The unified error taxonomy of the public MatRox API.
+//!
+//! Every fallible public entry point in this crate — the inspector,
+//! [`HMatrix`](crate::HMatrix) evaluation and factorization,
+//! [`EvalSession`](crate::EvalSession) queries, and the model (de)serializers
+//! — returns [`MatroxError`].  The taxonomy encodes the fault-tolerance
+//! contract "a request can fail; the process cannot":
+//!
+//! * **request failures** come back as `Err` (bad input, corrupt file,
+//!   numerical breakdown, stale handle);
+//! * **internal invariant violations** still panic, but the
+//!   [`EvalSession`](crate::EvalSession) boundary contains them with
+//!   `catch_unwind` and surfaces [`MatroxError::PoolPanic`] so a poisoned
+//!   evaluation cannot take down a serving process;
+//! * nothing in this crate aborts.
+//!
+//! The granular lower-level errors ([`IoError`], [`FactorError`],
+//! [`NotPositiveDefinite`]) are absorbed
+//! via `From` impls so `?` composes across the crate boundaries.
+
+use crate::io::IoError;
+use matrox_factor::FactorError;
+use matrox_linalg::NotPositiveDefinite;
+
+/// Unified error type returned by every public MatRox entry point.
+#[derive(Debug)]
+pub enum MatroxError {
+    /// Underlying I/O failure while reading or writing a model file.
+    Io(std::io::Error),
+    /// A model stream is malformed: truncated, corrupt, or internally
+    /// inconsistent.  The hardened readers return this for adversarial
+    /// input instead of panicking or over-allocating.
+    Format(String),
+    /// A numerical computation broke down (non-SPD leaf block after ridge
+    /// escalation, singular merge system, non-finite values produced during
+    /// evaluation).
+    NumericalBreakdown(String),
+    /// The caller's input is invalid for the request: NaN/Inf poison in a
+    /// right-hand side or point set, empty point sets, non-positive
+    /// accuracies, shape mismatches against the session.
+    InvalidInput(String),
+    /// A plan, tree, factor, or right-hand side does not belong to the
+    /// object it was handed to (stale or mismatched handle).
+    PlanMismatch(String),
+    /// A worker job panicked inside the evaluation pool; the panic was
+    /// contained at the session boundary and the payload preserved here.
+    PoolPanic(String),
+}
+
+impl std::fmt::Display for MatroxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatroxError::Io(e) => write!(f, "io error: {e}"),
+            MatroxError::Format(m) => write!(f, "format error: {m}"),
+            MatroxError::NumericalBreakdown(m) => write!(f, "numerical breakdown: {m}"),
+            MatroxError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            MatroxError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
+            MatroxError::PoolPanic(m) => write!(f, "evaluation pool job panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MatroxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatroxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatroxError {
+    fn from(e: std::io::Error) -> Self {
+        MatroxError::Io(e)
+    }
+}
+
+impl From<IoError> for MatroxError {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Io(e) => MatroxError::Io(e),
+            IoError::Format(m) => MatroxError::Format(m),
+        }
+    }
+}
+
+impl From<NotPositiveDefinite> for MatroxError {
+    fn from(e: NotPositiveDefinite) -> Self {
+        MatroxError::NumericalBreakdown(e.to_string())
+    }
+}
+
+impl From<FactorError> for MatroxError {
+    fn from(e: FactorError) -> Self {
+        match e {
+            // Structure and handle mismatches are the caller pairing the
+            // wrong plan/tree/factor, not arithmetic failing.
+            FactorError::UnsupportedStructure(_) | FactorError::PlanMismatch(_) => {
+                MatroxError::PlanMismatch(e.to_string())
+            }
+            FactorError::NotPositiveDefinite { .. } | FactorError::SingularMerge { .. } => {
+                MatroxError::NumericalBreakdown(e.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_errors_map_onto_the_taxonomy() {
+        let e: MatroxError = FactorError::UnsupportedStructure("geometric".into()).into();
+        assert!(matches!(e, MatroxError::PlanMismatch(_)));
+        let e: MatroxError = FactorError::PlanMismatch("wrong tree".into()).into();
+        assert!(matches!(e, MatroxError::PlanMismatch(_)));
+        let e: MatroxError = FactorError::NotPositiveDefinite {
+            node: 3,
+            pivot: 1,
+            value: -0.5,
+        }
+        .into();
+        assert!(matches!(e, MatroxError::NumericalBreakdown(_)));
+        let e: MatroxError = FactorError::SingularMerge { node: 7 }.into();
+        assert!(matches!(e, MatroxError::NumericalBreakdown(_)));
+    }
+
+    #[test]
+    fn io_errors_map_onto_the_taxonomy() {
+        let e: MatroxError = IoError::Format("truncated".into()).into();
+        assert!(matches!(e, MatroxError::Format(_)));
+        let e: MatroxError = IoError::Io(std::io::Error::other("disk gone")).into();
+        assert!(matches!(e, MatroxError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn breakdown_absorbs_cholesky_failures() {
+        let e: MatroxError = NotPositiveDefinite {
+            pivot: 4,
+            value: f64::NAN,
+        }
+        .into();
+        let msg = e.to_string();
+        assert!(msg.contains("numerical breakdown"), "message: {msg}");
+    }
+}

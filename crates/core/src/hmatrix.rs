@@ -1,12 +1,38 @@
 //! The user-facing [`HMatrix`] handle and its evaluation entry points.
 
+use crate::error::MatroxError;
+use crate::failpoint;
 use crate::timings::InspectorTimings;
 use matrox_codegen::{emit_source, EvalPlan};
 use matrox_exec::{execute, ExecOptions};
-use matrox_factor::{factor, FactorError, HssFactor};
-use matrox_linalg::{frobenius_norm, relative_error, KernelChoice, Matrix};
+use matrox_factor::{factor_with_ridge, FactorError, HssFactor};
+use matrox_linalg::{all_finite, frobenius_norm, relative_error, KernelChoice, Matrix};
 use matrox_points::{dense_kernel_matmul, Kernel, PointSet};
 use matrox_tree::{ClusterTree, Structure};
+
+/// Maximum number of ridge-escalation retries after a Cholesky breakdown.
+const MAX_RIDGE_RETRIES: u32 = 3;
+
+/// Growth factor of the diagonal shift between retries.
+const RIDGE_GROWTH: f64 = 10.0;
+
+/// Screen a right-hand side against the matrix dimension and NaN/Inf
+/// poison.  Every public evaluation and solve entry point calls this first,
+/// so invalid requests fail up front instead of propagating poison through
+/// the sweeps.
+fn screen_rhs(rows: usize, data: &[f64], n: usize, what: &str) -> Result<(), MatroxError> {
+    if rows != n {
+        return Err(MatroxError::InvalidInput(format!(
+            "{what} has {rows} rows but the matrix dimension is {n}"
+        )));
+    }
+    if !all_finite(data) {
+        return Err(MatroxError::InvalidInput(format!(
+            "{what} contains NaN or infinite entries"
+        )));
+    }
+    Ok(())
+}
 
 /// A compressed kernel matrix ready for evaluation.
 ///
@@ -58,8 +84,12 @@ impl HMatrix {
     /// [`EvalSession`](crate::EvalSession) serves — there is no separate
     /// executor implementation.  Repeated evaluations should build a
     /// session once so the state derivation is not paid per call.
-    pub fn matmul(&self, w: &Matrix) -> Matrix {
-        execute(&self.plan, &self.tree, w, &self.default_exec_options())
+    ///
+    /// # Errors
+    /// [`MatroxError::InvalidInput`] when `W` has the wrong row count or
+    /// contains NaN/Inf entries.
+    pub fn matmul(&self, w: &Matrix) -> Result<Matrix, MatroxError> {
+        self.matmul_with(w, &self.default_exec_options())
     }
 
     /// The executor options every default evaluation path derives from this
@@ -73,15 +103,22 @@ impl HMatrix {
 
     /// Evaluate with explicit executor options (used by the ablation and
     /// scalability harnesses).
-    pub fn matmul_with(&self, w: &Matrix, opts: &ExecOptions) -> Matrix {
-        execute(&self.plan, &self.tree, w, opts)
+    ///
+    /// # Errors
+    /// Same input-screening contract as [`matmul`](HMatrix::matmul).
+    pub fn matmul_with(&self, w: &Matrix, opts: &ExecOptions) -> Result<Matrix, MatroxError> {
+        screen_rhs(w.rows(), w.as_slice(), self.dim(), "right-hand side W")?;
+        Ok(execute(&self.plan, &self.tree, w, opts))
     }
 
     /// Evaluate a matrix-vector product (`Q = 1`); a thin wrapper over the
     /// same session path as [`matmul`](HMatrix::matmul).
-    pub fn matvec(&self, w: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// Same input-screening contract as [`matmul`](HMatrix::matmul).
+    pub fn matvec(&self, w: &[f64]) -> Result<Vec<f64>, MatroxError> {
         let wm = Matrix::from_vec(w.len(), 1, w.to_vec());
-        self.matmul(&wm).into_vec()
+        Ok(self.matmul(&wm)?.into_vec())
     }
 
     /// Promote this matrix into a batched evaluation session (plan once /
@@ -93,10 +130,13 @@ impl HMatrix {
     /// Overall accuracy `eps_f = ||K~W - KW||_F / ||KW||_F` against the exact
     /// kernel product (Figure 9's measure).  `O(N^2 Q)` — intended for the
     /// scaled-down experiment sizes.
-    pub fn overall_accuracy(&self, points: &PointSet, w: &Matrix) -> f64 {
-        let approx = self.matmul(w);
+    ///
+    /// # Errors
+    /// Same input-screening contract as [`matmul`](HMatrix::matmul).
+    pub fn overall_accuracy(&self, points: &PointSet, w: &Matrix) -> Result<f64, MatroxError> {
+        let approx = self.matmul(w)?;
         let exact = dense_kernel_matmul(points, &self.kernel, w);
-        relative_error(&approx, &exact)
+        Ok(relative_error(&approx, &exact))
     }
 
     /// Flops of one evaluation with `q` columns (for GFLOP/s reporting).
@@ -121,38 +161,108 @@ impl HMatrix {
         std::fs::write(path, self.generated_code())
     }
 
+    /// The starting diagonal shift of the breakdown-recovery loop, scaled
+    /// to the magnitude of the stored leaf diagonal blocks so the first
+    /// retry perturbs the operator by roughly one part in `1e8`.
+    fn initial_ridge(&self) -> f64 {
+        let scale = self
+            .plan
+            .cds
+            .d_values
+            .iter()
+            .fold(0.0f64, |a, &x| a.max(x.abs()));
+        if scale > 0.0 {
+            scale * 1e-8
+        } else {
+            1e-8
+        }
+    }
+
     /// Compute the ULV-style factorization of this (HSS-compressed, SPD)
     /// matrix, enabling direct solves of `K~ x = b`.
     ///
-    /// Fails with [`FactorError::UnsupportedStructure`] for non-HSS
-    /// structures and [`FactorError::NotPositiveDefinite`] when a leaf
-    /// diagonal block has a non-positive pivot.
-    pub fn factorize(&self) -> Result<FactoredHMatrix, FactorError> {
+    /// A Cholesky breakdown (a leaf diagonal block that is numerically not
+    /// positive definite) does not fail the call immediately: the
+    /// factorization is retried with an escalating diagonal shift
+    /// `K~ + lambda I` (`lambda` starting near the operator's magnitude
+    /// times `1e-8` and growing tenfold, at most three retries).  The attempt count and the shift that succeeded are
+    /// recorded in the returned factor's
+    /// [`timings`](matrox_factor::FactorTimings) — a nonzero
+    /// `applied_ridge` means solves invert the shifted operator.
+    ///
+    /// # Errors
+    /// [`MatroxError::PlanMismatch`] for non-HSS structures and
+    /// [`MatroxError::NumericalBreakdown`] when the matrix still breaks
+    /// down after the final escalation.
+    pub fn factorize(&self) -> Result<FactoredHMatrix, MatroxError> {
         self.factorize_with(&self.default_exec_options())
     }
 
     /// [`factorize`](HMatrix::factorize) with explicit executor options
     /// (parallel sweeps + grain; results are bitwise identical either way).
-    pub fn factorize_with(&self, opts: &ExecOptions) -> Result<FactoredHMatrix, FactorError> {
-        let factor = factor(&self.plan, &self.tree, opts)?;
-        Ok(FactoredHMatrix {
-            hmatrix: self.clone(),
-            factor,
-        })
+    pub fn factorize_with(&self, opts: &ExecOptions) -> Result<FactoredHMatrix, MatroxError> {
+        let mut ridge = 0.0f64;
+        let mut attempts = 0u32;
+        loop {
+            // The `chol-breakdown` failpoint stands in for a barely-non-SPD
+            // matrix: the attempt it fires on reports a breakdown without
+            // running, so the escalation path below is exercised for real.
+            let result = if failpoint::should_fire(failpoint::names::CHOL_BREAKDOWN) {
+                Err(FactorError::NotPositiveDefinite {
+                    node: 0,
+                    pivot: 0,
+                    value: -1.0,
+                })
+            } else {
+                factor_with_ridge(&self.plan, &self.tree, opts, ridge)
+            };
+            match result {
+                Ok(mut factor) => {
+                    factor.timings.ridge_attempts = attempts;
+                    factor.timings.applied_ridge = ridge;
+                    return Ok(FactoredHMatrix {
+                        hmatrix: self.clone(),
+                        factor,
+                    });
+                }
+                Err(e @ FactorError::NotPositiveDefinite { .. }) => {
+                    if attempts >= MAX_RIDGE_RETRIES {
+                        return Err(MatroxError::NumericalBreakdown(format!(
+                            "{e}; still not positive definite after {attempts} ridge \
+                             escalations (final shift {ridge:e})"
+                        )));
+                    }
+                    attempts += 1;
+                    ridge = if ridge == 0.0 {
+                        self.initial_ridge()
+                    } else {
+                        ridge * RIDGE_GROWTH
+                    };
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Solve `K~ x = b` for one right-hand-side vector.
     ///
     /// Convenience entry that factors on every call; factor once with
     /// [`factorize`](HMatrix::factorize) when solving repeatedly.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
-        Ok(self.factorize()?.solve(b))
+    ///
+    /// # Errors
+    /// The union of the [`factorize`](HMatrix::factorize) and
+    /// [`FactoredHMatrix::solve`] contracts.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatroxError> {
+        self.factorize()?.solve(b)
     }
 
     /// Solve `K~ X = B` for a multi-column right-hand side (see
     /// [`solve`](HMatrix::solve) for the factorization caveat).
-    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, FactorError> {
-        Ok(self.factorize()?.solve_matrix(b))
+    ///
+    /// # Errors
+    /// Same contract as [`solve`](HMatrix::solve).
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, MatroxError> {
+        self.factorize()?.solve_matrix(b)
     }
 }
 
@@ -178,25 +288,39 @@ impl FactoredHMatrix {
     }
 
     /// Solve `K~ x = b` for one right-hand-side vector.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        self.factor.solve(
+    ///
+    /// # Errors
+    /// [`MatroxError::InvalidInput`] when `b` has the wrong length or
+    /// contains NaN/Inf, [`MatroxError::PlanMismatch`] when the factor does
+    /// not belong to this matrix.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatroxError> {
+        screen_rhs(b.len(), b, self.dim(), "right-hand side b")?;
+        Ok(self.factor.solve(
             &self.hmatrix.plan,
             &self.hmatrix.tree,
             b,
             &self.hmatrix.default_exec_options(),
-        )
+        )?)
     }
 
     /// Solve `K~ X = B` for a multi-column right-hand side.
-    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+    ///
+    /// # Errors
+    /// Same contract as [`solve`](FactoredHMatrix::solve).
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, MatroxError> {
         self.solve_matrix_with(b, &self.hmatrix.default_exec_options())
     }
 
     /// [`solve_matrix`](FactoredHMatrix::solve_matrix) with explicit
     /// executor options (used by the ablation and determinism harnesses).
-    pub fn solve_matrix_with(&self, b: &Matrix, opts: &ExecOptions) -> Matrix {
-        self.factor
-            .solve_matrix(&self.hmatrix.plan, &self.hmatrix.tree, b, opts)
+    ///
+    /// # Errors
+    /// Same contract as [`solve`](FactoredHMatrix::solve).
+    pub fn solve_matrix_with(&self, b: &Matrix, opts: &ExecOptions) -> Result<Matrix, MatroxError> {
+        screen_rhs(b.rows(), b.as_slice(), self.dim(), "right-hand side B")?;
+        Ok(self
+            .factor
+            .solve_matrix(&self.hmatrix.plan, &self.hmatrix.tree, b, opts)?)
     }
 
     /// Relative residual `||K x - b||_F / ||b||_F` of a solution against the

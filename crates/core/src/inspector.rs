@@ -11,6 +11,7 @@
 //! this is what Figure 10 measures.
 
 use crate::config::MatRoxParams;
+use crate::error::MatroxError;
 use crate::hmatrix::HMatrix;
 use crate::timings::InspectorTimings;
 use matrox_analysis::{build_blockset, build_cds, build_coarsenset, BlockSet};
@@ -41,11 +42,75 @@ pub struct InspectorP1 {
     pub timings: InspectorTimings,
 }
 
+/// Screen the inputs shared by every inspector entry point: a non-empty,
+/// finite point set, finite positive kernel parameters, a usable leaf size.
+/// Rejecting poison here keeps NaN coordinates from silently contaminating
+/// the whole compressed representation.
+fn screen_inspector_inputs(
+    points: &PointSet,
+    kernel: &Kernel,
+    params: &MatRoxParams,
+) -> Result<(), MatroxError> {
+    if points.is_empty() {
+        return Err(MatroxError::InvalidInput("empty point set".into()));
+    }
+    if !matrox_linalg::all_finite(points.coords()) {
+        return Err(MatroxError::InvalidInput(
+            "point set contains NaN or infinite coordinates".into(),
+        ));
+    }
+    screen_kernel(kernel)?;
+    if params.leaf_size == 0 {
+        return Err(MatroxError::InvalidInput(
+            "leaf size must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn screen_kernel(kernel: &Kernel) -> Result<(), MatroxError> {
+    let ok = match *kernel {
+        Kernel::Gaussian { bandwidth }
+        | Kernel::Laplace { bandwidth }
+        | Kernel::Cauchy { bandwidth } => bandwidth.is_finite() && bandwidth > 0.0,
+        Kernel::InverseDistance { diag } => diag.is_finite(),
+        Kernel::GaussianRidge { bandwidth, ridge } => {
+            bandwidth.is_finite() && bandwidth > 0.0 && ridge.is_finite() && ridge >= 0.0
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(MatroxError::InvalidInput(format!(
+            "kernel parameters must be finite (bandwidths positive): {kernel:?}"
+        )))
+    }
+}
+
+fn screen_bacc(bacc: f64) -> Result<(), MatroxError> {
+    if bacc.is_finite() && bacc > 0.0 {
+        Ok(())
+    } else {
+        Err(MatroxError::InvalidInput(format!(
+            "block accuracy must be finite and positive, got {bacc:e}"
+        )))
+    }
+}
+
 /// Run inspector-p1: tree construction, interaction computation, sampling and
 /// blocking.  The kernel passed here is only used to rank sampling
 /// candidates; changing it later does **not** require re-running p1
 /// (GOFMM-style neighbour sampling is geometry-driven).
-pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -> InspectorP1 {
+///
+/// # Errors
+/// [`MatroxError::InvalidInput`] for empty or NaN/Inf-poisoned point sets
+/// and non-finite kernel parameters.
+pub fn inspector_p1(
+    points: &PointSet,
+    kernel: &Kernel,
+    params: &MatRoxParams,
+) -> Result<InspectorP1, MatroxError> {
+    screen_inspector_inputs(points, kernel, params)?;
     let mut timings = InspectorTimings::default();
 
     let t0 = Instant::now();
@@ -66,7 +131,7 @@ pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -
     let far_blockset = build_blockset(&htree.far_pairs(), tree.num_nodes(), params.far_blocksize);
     timings.blocking = t0.elapsed();
 
-    InspectorP1 {
+    Ok(InspectorP1 {
         tree,
         htree,
         sampling,
@@ -74,13 +139,32 @@ pub fn inspector_p1(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -
         far_blockset,
         params: *params,
         timings,
-    }
+    })
 }
 
 /// Run inspector-p2 on top of a p1 result: low-rank approximation with the
 /// given kernel and accuracy, coarsening, CDS construction and code
 /// generation.  Returns the ready-to-evaluate [`HMatrix`].
-pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: f64) -> HMatrix {
+///
+/// # Errors
+/// [`MatroxError::InvalidInput`] under the same screening as
+/// [`inspector_p1`], plus [`MatroxError::PlanMismatch`] when `p1` was built
+/// from a different point set.
+pub fn inspector_p2(
+    points: &PointSet,
+    p1: &InspectorP1,
+    kernel: &Kernel,
+    bacc: f64,
+) -> Result<HMatrix, MatroxError> {
+    screen_inspector_inputs(points, kernel, &p1.params)?;
+    screen_bacc(bacc)?;
+    if p1.tree.perm.len() != points.len() {
+        return Err(MatroxError::PlanMismatch(format!(
+            "p1 was built over {} points but {} were supplied",
+            p1.tree.perm.len(),
+            points.len()
+        )));
+    }
     let mut timings = p1.timings;
     let params = &p1.params;
 
@@ -124,7 +208,7 @@ pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: 
     );
     timings.codegen = t0.elapsed();
 
-    HMatrix {
+    Ok(HMatrix {
         tree: p1.tree.clone(),
         plan,
         structure: params.structure,
@@ -133,13 +217,22 @@ pub fn inspector_p2(points: &PointSet, p1: &InspectorP1, kernel: &Kernel, bacc: 
         timings,
         panel_width: params.panel_width,
         gemm_kernel: params.kernel,
-    }
+    })
 }
 
 /// Run the full inspector (Figure 2): compression, structure analysis and
 /// code generation in one call.
-pub fn inspector(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -> HMatrix {
-    let p1 = inspector_p1(points, kernel, params);
+///
+/// # Errors
+/// [`MatroxError::InvalidInput`] for empty or NaN/Inf-poisoned point sets,
+/// non-finite kernel parameters, or a non-positive accuracy.
+pub fn inspector(
+    points: &PointSet,
+    kernel: &Kernel,
+    params: &MatRoxParams,
+) -> Result<HMatrix, MatroxError> {
+    screen_bacc(params.bacc)?;
+    let p1 = inspector_p1(points, kernel, params)?;
     inspector_p2(points, &p1, kernel, params.bacc)
 }
 
@@ -161,10 +254,10 @@ mod tests {
         let params = MatRoxParams::smash_setting()
             .with_bacc(1e-6)
             .with_leaf_size(32);
-        let h = inspector(&pts, &kernel, &params);
+        let h = inspector(&pts, &kernel, &params).expect("inspect");
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let w = Matrix::random_uniform(pts.len(), 4, &mut rng);
-        let acc = h.overall_accuracy(&pts, &w);
+        let acc = h.overall_accuracy(&pts, &w).expect("accuracy");
         assert!(acc < 1e-2, "overall accuracy {acc}");
         // At this very small N the compressed form is not yet smaller than
         // the dense matrix (constant overheads dominate); just check the
@@ -178,13 +271,13 @@ mod tests {
         let pts = small_points();
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
         let params = MatRoxParams::hss().with_bacc(1e-5).with_leaf_size(32);
-        let full = inspector(&pts, &kernel, &params);
-        let p1 = inspector_p1(&pts, &kernel, &params);
-        let reused = inspector_p2(&pts, &p1, &kernel, params.bacc);
+        let full = inspector(&pts, &kernel, &params).expect("inspect");
+        let p1 = inspector_p1(&pts, &kernel, &params).expect("p1");
+        let reused = inspector_p2(&pts, &p1, &kernel, params.bacc).expect("p2");
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let w = Matrix::random_uniform(pts.len(), 3, &mut rng);
-        let a = full.matmul(&w);
-        let b = reused.matmul(&w);
+        let a = full.matmul(&w).expect("matmul");
+        let b = reused.matmul(&w).expect("matmul");
         assert!(matrox_linalg::relative_error(&a, &b) < 1e-12);
     }
 
@@ -193,14 +286,14 @@ mod tests {
         let pts = small_points();
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
         let params = MatRoxParams::smash_setting().with_leaf_size(32);
-        let p1 = inspector_p1(&pts, &kernel, &params);
+        let p1 = inspector_p1(&pts, &kernel, &params).expect("p1");
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
 
         let mut prev_err = f64::INFINITY;
         for bacc in [1e-2, 1e-4, 1e-6] {
-            let h = inspector_p2(&pts, &p1, &kernel, bacc);
-            let err = h.overall_accuracy(&pts, &w);
+            let h = inspector_p2(&pts, &p1, &kernel, bacc).expect("p2");
+            let err = h.overall_accuracy(&pts, &w).expect("accuracy");
             assert!(
                 err <= prev_err * 10.0,
                 "accuracy did not improve: {err} after {prev_err}"
@@ -210,8 +303,8 @@ mod tests {
 
         // Changing the kernel also only needs p2.
         let laplace = Kernel::Laplace { bandwidth: 1.0 };
-        let h = inspector_p2(&pts, &p1, &laplace, 1e-5);
-        let err = h.overall_accuracy(&pts, &w);
+        let h = inspector_p2(&pts, &p1, &laplace, 1e-5).expect("p2");
+        let err = h.overall_accuracy(&pts, &w).expect("accuracy");
         assert!(err < 0.3, "kernel change produced error {err}");
     }
 
@@ -219,16 +312,55 @@ mod tests {
     fn generated_code_is_rendered() {
         let pts = small_points();
         let kernel = Kernel::paper_gaussian();
-        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32)).expect("inspect");
         let code = h.generated_code();
         assert!(code.contains("pub fn matmul"));
+    }
+
+    #[test]
+    fn poisoned_or_empty_inputs_are_rejected() {
+        use crate::error::MatroxError;
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::hss().with_leaf_size(32);
+        let empty = PointSet::new(3, vec![]);
+        assert!(matches!(
+            inspector(&empty, &kernel, &params),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        let pts = small_points();
+        let mut coords: Vec<f64> = pts.coords().to_vec();
+        coords[7] = f64::NAN;
+        let poisoned = PointSet::new(pts.dim(), coords);
+        assert!(matches!(
+            inspector(&poisoned, &kernel, &params),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        let bad_kernel = Kernel::Gaussian {
+            bandwidth: f64::INFINITY,
+        };
+        assert!(matches!(
+            inspector(&small_points(), &bad_kernel, &params),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            inspector(&small_points(), &kernel, &params.with_bacc(-1.0)),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        // A stale p1 handle paired with the wrong point set is a plan
+        // mismatch, not a crash.
+        let p1 = inspector_p1(&small_points(), &kernel, &params).expect("p1");
+        let other = generate(DatasetId::Grid, 128, 9);
+        assert!(matches!(
+            inspector_p2(&other, &p1, &kernel, 1e-5),
+            Err(MatroxError::PlanMismatch(_))
+        ));
     }
 
     #[test]
     fn timings_partition_into_p1_and_p2() {
         let pts = small_points();
         let kernel = Kernel::paper_gaussian();
-        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+        let h = inspector(&pts, &kernel, &MatRoxParams::h2b().with_leaf_size(32)).expect("inspect");
         let t = &h.timings;
         assert_eq!(t.inspector_p1() + t.inspector_p2(), t.total());
         assert!(t.low_rank.as_nanos() > 0);

@@ -7,6 +7,7 @@
 //! decisions and the CDS buffers.  The format is little-endian and versioned
 //! by a magic header.
 
+use crate::error::MatroxError;
 use crate::hmatrix::{FactoredHMatrix, HMatrix};
 use crate::timings::InspectorTimings;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -51,6 +52,35 @@ impl From<io::Error> for IoError {
 // ---------------------------------------------------------------------------
 // primitive helpers
 // ---------------------------------------------------------------------------
+//
+// The readers treat the stream as UNTRUSTED: every length field is validated
+// against the bytes actually remaining before anything is allocated, every
+// bool and enum tag must be canonical, and decoded structures are
+// cross-checked against each other (tree topology vs. rank arrays vs. block
+// offsets) before the handle is returned.  The contract enforced by the
+// corruption-fuzz suite is: for any byte stream, a reader either returns
+// `Err(Format)` or a value whose re-encoding is bitwise identical to the
+// consumed input — never a panic, never an allocation larger than the
+// stream itself.
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Format(msg.into()))
+}
+
+/// Read an element count that precedes `elem_bytes`-sized elements,
+/// rejecting counts that could not possibly fit in the remaining stream.
+/// This caps every downstream `Vec::with_capacity` at the stream length, so
+/// an adversarial 80-byte file cannot request a multi-GiB allocation.
+fn get_len(buf: &mut Bytes, elem_bytes: usize, what: &str) -> Result<usize, IoError> {
+    let len = get_usize(buf)?;
+    match len.checked_mul(elem_bytes) {
+        Some(total) if total <= buf.remaining() => Ok(len),
+        _ => format_err(format!(
+            "{what} length {len} exceeds the {} bytes remaining",
+            buf.remaining()
+        )),
+    }
+}
 
 fn put_usize(buf: &mut BytesMut, v: usize) {
     buf.put_u64_le(v as u64);
@@ -74,6 +104,17 @@ fn get_f64(buf: &mut Bytes) -> Result<f64, IoError> {
     Ok(buf.get_f64_le())
 }
 
+/// [`get_f64`] for fields that must be finite in any valid model (kernel
+/// parameters, accuracies, geometry): a NaN or infinity here is corruption,
+/// and accepting it would poison every later evaluation.
+fn get_finite_f64(buf: &mut Bytes, what: &str) -> Result<f64, IoError> {
+    let v = get_f64(buf)?;
+    if !v.is_finite() {
+        return format_err(format!("{what} is not finite ({v})"));
+    }
+    Ok(v)
+}
+
 fn put_usize_vec(buf: &mut BytesMut, v: &[usize]) {
     put_usize(buf, v.len());
     for &x in v {
@@ -82,8 +123,8 @@ fn put_usize_vec(buf: &mut BytesMut, v: &[usize]) {
 }
 
 fn get_usize_vec(buf: &mut Bytes) -> Result<Vec<usize>, IoError> {
-    let len = get_usize(buf)?;
-    let mut v = Vec::with_capacity(len.min(1 << 24));
+    let len = get_len(buf, 8, "usize vector")?;
+    let mut v = Vec::with_capacity(len);
     for _ in 0..len {
         v.push(get_usize(buf)?);
     }
@@ -98,10 +139,13 @@ fn put_f64_vec(buf: &mut BytesMut, v: &[f64]) {
 }
 
 fn get_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, IoError> {
-    let len = get_usize(buf)?;
-    let mut v = Vec::with_capacity(len.min(1 << 26));
+    let len = get_len(buf, 8, "f64 vector")?;
+    let mut v = Vec::with_capacity(len);
     for _ in 0..len {
         v.push(get_f64(buf)?);
+    }
+    if !matrox_linalg::all_finite(&v) {
+        return format_err("value buffer contains non-finite entries");
     }
     Ok(v)
 }
@@ -114,7 +158,13 @@ fn get_bool(buf: &mut Bytes) -> Result<bool, IoError> {
     if buf.remaining() < 1 {
         return Err(IoError::Format("unexpected end of stream".into()));
     }
-    Ok(buf.get_u8() != 0)
+    // Only the canonical encodings are accepted: a corrupted flag byte must
+    // surface as an error, not silently normalize on the next save.
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => format_err(format!("non-canonical bool byte {b:#04x}")),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -143,9 +193,16 @@ fn get_structure(buf: &mut Bytes) -> Result<Structure, IoError> {
         return Err(IoError::Format("unexpected end of stream".into()));
     }
     let tag = buf.get_u8();
-    let val = get_f64(buf)?;
+    let val = get_finite_f64(buf, "structure parameter")?;
     Ok(match tag {
-        0 => Structure::Hss,
+        0 => {
+            // HSS carries no parameter; the writer pads with +0.0 and any
+            // other bit pattern would not survive a re-encode.
+            if val.to_bits() != 0 {
+                return format_err("non-canonical HSS structure padding");
+            }
+            Structure::Hss
+        }
         1 => Structure::Geometric { tau: val },
         2 => Structure::Budget { budget: val },
         t => return Err(IoError::Format(format!("unknown structure tag {t}"))),
@@ -183,7 +240,7 @@ fn get_kernel(buf: &mut Bytes) -> Result<Kernel, IoError> {
         return Err(IoError::Format("unexpected end of stream".into()));
     }
     let tag = buf.get_u8();
-    let val = get_f64(buf)?;
+    let val = get_finite_f64(buf, "kernel parameter")?;
     Ok(match tag {
         0 => Kernel::Gaussian { bandwidth: val },
         1 => Kernel::InverseDistance { diag: val },
@@ -191,7 +248,7 @@ fn get_kernel(buf: &mut Bytes) -> Result<Kernel, IoError> {
         3 => Kernel::Cauchy { bandwidth: val },
         4 => Kernel::GaussianRidge {
             bandwidth: val,
-            ridge: get_f64(buf)?,
+            ridge: get_finite_f64(buf, "kernel ridge")?,
         },
         t => return Err(IoError::Format(format!("unknown kernel tag {t}"))),
     })
@@ -227,8 +284,10 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
     let leaf_size = get_usize(buf)?;
     let height = get_usize(buf)?;
     let perm = get_usize_vec(buf)?;
-    let n_nodes = get_usize(buf)?;
-    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 24));
+    // A serialized node is at least 72 bytes (7 usizes, the centroid length
+    // prefix, the diameter), which bounds the node-vector allocation.
+    let n_nodes = get_len(buf, 72, "tree node table")?;
+    let mut nodes = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let id = get_usize(buf)?;
         let parent_raw = get_usize(buf)?;
@@ -238,7 +297,14 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
         let start = get_usize(buf)?;
         let end = get_usize(buf)?;
         let centroid = get_f64_vec(buf)?;
-        let diameter = get_f64(buf)?;
+        let diameter = get_finite_f64(buf, "node diameter")?;
+        // Children are encoded shifted by one with 0 = absent; a lone zero
+        // in either slot is corruption, not a half-present child pair.
+        let children = match (l, r) {
+            (0, 0) => None,
+            (0, _) | (_, 0) => return format_err("half-present child pair"),
+            (l, r) => Some((l - 1, r - 1)),
+        };
         nodes.push(TreeNode {
             id,
             parent: if parent_raw == 0 {
@@ -246,7 +312,7 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
             } else {
                 Some(parent_raw - 1)
             },
-            children: if l == 0 { None } else { Some((l - 1, r - 1)) },
+            children,
             level,
             start,
             end,
@@ -254,13 +320,7 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
             diameter,
         });
     }
-    // `pos` is derived, not serialized; validate before inverting so a
-    // corrupt stream yields an error instead of an out-of-bounds panic.
-    if perm.iter().any(|&i| i >= perm.len()) {
-        return Err(IoError::Format(
-            "tree permutation entry out of range".into(),
-        ));
-    }
+    validate_tree_topology(&perm, &nodes)?;
     let pos = matrox_tree::invert_permutation(&perm);
     Ok(ClusterTree {
         nodes,
@@ -269,6 +329,46 @@ fn get_tree(buf: &mut Bytes) -> Result<ClusterTree, IoError> {
         leaf_size,
         height,
     })
+}
+
+/// Cross-field validation of a deserialized tree: the permutation must be a
+/// permutation, node ids must equal their index (every consumer indexes
+/// `nodes` by id), parent/child links must stay in range, and point ranges
+/// must stay within the permutation.  Everything downstream — the executor,
+/// the factorization, the solver sweeps — indexes unchecked on these
+/// invariants, so a corrupt stream must be stopped here.
+fn validate_tree_topology(perm: &[usize], nodes: &[TreeNode]) -> Result<(), IoError> {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &i in perm {
+        if i >= n || seen[i] {
+            return format_err("tree permutation is not a permutation");
+        }
+        seen[i] = true;
+    }
+    let n_nodes = nodes.len();
+    for (i, node) in nodes.iter().enumerate() {
+        if node.id != i {
+            return format_err(format!("tree node {i} stores id {}", node.id));
+        }
+        if let Some(p) = node.parent {
+            if p >= n_nodes {
+                return format_err(format!("tree node {i} has out-of-range parent {p}"));
+            }
+        }
+        if let Some((l, r)) = node.children {
+            if l >= n_nodes || r >= n_nodes {
+                return format_err(format!("tree node {i} has out-of-range children"));
+            }
+        }
+        if node.start > node.end || node.end > n {
+            return format_err(format!(
+                "tree node {i} point range {}..{} exceeds {n} points",
+                node.start, node.end
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn put_blockset(buf: &mut BytesMut, bs: &BlockSet) {
@@ -285,11 +385,11 @@ fn put_blockset(buf: &mut BytesMut, bs: &BlockSet) {
 
 fn get_blockset(buf: &mut Bytes) -> Result<BlockSet, IoError> {
     let blocksize = get_usize(buf)?;
-    let n_groups = get_usize(buf)?;
-    let mut groups = Vec::with_capacity(n_groups.min(1 << 24));
+    let n_groups = get_len(buf, 8, "blockset group table")?;
+    let mut groups = Vec::with_capacity(n_groups);
     for _ in 0..n_groups {
-        let len = get_usize(buf)?;
-        let mut g = Vec::with_capacity(len.min(1 << 24));
+        let len = get_len(buf, 16, "blockset group")?;
+        let mut g = Vec::with_capacity(len);
         for _ in 0..len {
             let i = get_usize(buf)?;
             let j = get_usize(buf)?;
@@ -314,13 +414,15 @@ fn put_coarsenset(buf: &mut BytesMut, cs: &CoarsenSet) {
 
 fn get_coarsenset(buf: &mut Bytes) -> Result<CoarsenSet, IoError> {
     let agg = get_usize(buf)?;
-    let n_levels = get_usize(buf)?;
-    let mut levels = Vec::with_capacity(n_levels.min(1 << 16));
-    let mut costs = Vec::with_capacity(n_levels.min(1 << 16));
+    let n_levels = get_len(buf, 8, "coarsen level table")?;
+    let mut levels = Vec::with_capacity(n_levels);
+    let mut costs = Vec::with_capacity(n_levels);
     for _ in 0..n_levels {
-        let n_parts = get_usize(buf)?;
-        let mut parts = Vec::with_capacity(n_parts.min(1 << 20));
-        let mut part_costs = Vec::with_capacity(n_parts.min(1 << 20));
+        // A serialized partition is at least 16 bytes (empty node list +
+        // cost), which bounds the per-level allocations.
+        let n_parts = get_len(buf, 16, "coarsen partition table")?;
+        let mut parts = Vec::with_capacity(n_parts);
+        let mut part_costs = Vec::with_capacity(n_parts);
         for _ in 0..n_parts {
             parts.push(get_usize_vec(buf)?);
             part_costs.push(get_usize(buf)? as u64);
@@ -366,8 +468,8 @@ fn put_block_entries(buf: &mut BytesMut, entries: &[CdsBlockEntry]) {
 }
 
 fn get_block_entries(buf: &mut Bytes) -> Result<Vec<CdsBlockEntry>, IoError> {
-    let n = get_usize(buf)?;
-    let mut v = Vec::with_capacity(n.min(1 << 24));
+    let n = get_len(buf, 40, "block entry table")?;
+    let mut v = Vec::with_capacity(n);
     for _ in 0..n {
         v.push(CdsBlockEntry {
             target: get_usize(buf)?,
@@ -389,8 +491,8 @@ fn put_group_ranges(buf: &mut BytesMut, groups: &[GroupRange]) {
 }
 
 fn get_group_ranges(buf: &mut Bytes) -> Result<Vec<GroupRange>, IoError> {
-    let n = get_usize(buf)?;
-    let mut v = Vec::with_capacity(n.min(1 << 24));
+    let n = get_len(buf, 16, "group range table")?;
+    let mut v = Vec::with_capacity(n);
     for _ in 0..n {
         v.push(GroupRange {
             start: get_usize(buf)?,
@@ -402,16 +504,23 @@ fn get_group_ranges(buf: &mut Bytes) -> Result<Vec<GroupRange>, IoError> {
 
 fn get_cds(buf: &mut Bytes) -> Result<Cds, IoError> {
     let gen_values = get_f64_vec(buf)?;
-    let n_gen = get_usize(buf)?;
-    let mut generators = Vec::with_capacity(n_gen.min(1 << 24));
+    // A serialized generator is at least its presence byte.
+    let n_gen = get_len(buf, 1, "generator table")?;
+    let mut generators = Vec::with_capacity(n_gen);
     for _ in 0..n_gen {
         if get_bool(buf)? {
-            generators.push(GeneratorEntry {
+            let g = GeneratorEntry {
                 v_offset: get_usize(buf)?,
                 u_offset: get_usize(buf)?,
                 rows: get_usize(buf)?,
                 cols: get_usize(buf)?,
-            });
+            };
+            // A stored-as-present entry must decode as present, or the next
+            // save would silently re-encode it absent.
+            if !g.is_present() {
+                return format_err("generator entry marked present but degenerate");
+            }
+            generators.push(g);
         } else {
             generators.push(GeneratorEntry {
                 v_offset: usize::MAX,
@@ -428,7 +537,7 @@ fn get_cds(buf: &mut Bytes) -> Result<Cds, IoError> {
     let b_values = get_f64_vec(buf)?;
     let b_entries = get_block_entries(buf)?;
     let b_groups = get_group_ranges(buf)?;
-    Ok(Cds {
+    let cds = Cds {
         gen_values,
         generators,
         sranks,
@@ -438,7 +547,73 @@ fn get_cds(buf: &mut Bytes) -> Result<Cds, IoError> {
         b_values,
         b_entries,
         b_groups,
-    })
+    };
+    validate_cds(&cds)?;
+    Ok(cds)
+}
+
+/// Extent check for one block-entry table: every `offset + rows * cols`
+/// window must lie inside its value buffer, and every group range inside the
+/// entry table.  The CDS accessors slice unchecked on exactly these bounds.
+fn validate_block_tables(
+    entries: &[CdsBlockEntry],
+    groups: &[GroupRange],
+    values_len: usize,
+    what: &str,
+) -> Result<(), IoError> {
+    for e in entries {
+        let ok = e
+            .rows
+            .checked_mul(e.cols)
+            .and_then(|n| n.checked_add(e.offset))
+            .is_some_and(|end| end <= values_len);
+        if !ok {
+            return format_err(format!(
+                "{what} block ({}, {}) exceeds its {values_len}-element value buffer",
+                e.target, e.source
+            ));
+        }
+    }
+    for g in groups {
+        if g.start > g.end || g.end > entries.len() {
+            return format_err(format!("{what} group range exceeds its entry table"));
+        }
+    }
+    Ok(())
+}
+
+/// Internal consistency of a deserialized CDS: generator windows inside the
+/// generator value buffer, rank array aligned with the generator table,
+/// block entries inside their value buffers.  (Consistency against the tree
+/// is checked separately once both are decoded.)
+fn validate_cds(cds: &Cds) -> Result<(), IoError> {
+    if cds.sranks.len() != cds.generators.len() {
+        return format_err(format!(
+            "rank array has {} entries but the generator table has {}",
+            cds.sranks.len(),
+            cds.generators.len()
+        ));
+    }
+    for (id, g) in cds.generators.iter().enumerate() {
+        if !g.is_present() {
+            continue;
+        }
+        let extent = g.rows.checked_mul(g.cols);
+        for offset in [g.v_offset, g.u_offset] {
+            let ok = extent
+                .and_then(|n| n.checked_add(offset))
+                .is_some_and(|end| end <= cds.gen_values.len());
+            if !ok {
+                return format_err(format!(
+                    "generator {id} exceeds the {}-element value buffer",
+                    cds.gen_values.len()
+                ));
+            }
+        }
+    }
+    validate_block_tables(&cds.d_entries, &cds.d_groups, cds.d_values.len(), "near")?;
+    validate_block_tables(&cds.b_entries, &cds.b_groups, cds.b_values.len(), "far")?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -474,17 +649,32 @@ pub fn to_bytes(h: &HMatrix) -> Bytes {
 
 /// Deserialize an [`HMatrix`] from bytes.  Timings are not stored and come
 /// back zeroed.
-pub fn from_bytes(mut data: Bytes) -> Result<HMatrix, IoError> {
+///
+/// # Errors
+/// [`MatroxError::Format`] when the stream is truncated, corrupt, or
+/// internally inconsistent; the reader never panics and never allocates
+/// beyond the stream length.
+pub fn from_bytes(mut data: Bytes) -> Result<HMatrix, MatroxError> {
     if data.remaining() < MAGIC.len() || &data.copy_to_bytes(MAGIC.len())[..] != MAGIC {
-        return Err(IoError::Format("bad magic header".into()));
+        return Err(MatroxError::Format("bad magic header".into()));
     }
-    get_hmatrix_body(&mut data)
+    let h = get_hmatrix_body(&mut data)?;
+    if data.remaining() != 0 {
+        return Err(MatroxError::Format(format!(
+            "{} trailing bytes after the HMatrix payload",
+            data.remaining()
+        )));
+    }
+    Ok(h)
 }
 
 fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
     let structure = get_structure(data)?;
     let kernel = get_kernel(data)?;
-    let bacc = get_f64(data)?;
+    let bacc = get_finite_f64(data, "blocked accuracy")?;
+    if bacc <= 0.0 {
+        return format_err(format!("blocked accuracy must be positive, got {bacc:e}"));
+    }
     let tree = get_tree(data)?;
     let decisions = LoweringDecisions {
         block_near: get_bool(data)?,
@@ -507,6 +697,7 @@ fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
         tree_height,
         num_leaves,
     };
+    validate_plan_against_tree(&plan, &tree)?;
     Ok(HMatrix {
         tree,
         plan,
@@ -522,16 +713,107 @@ fn get_hmatrix_body(data: &mut Bytes) -> Result<HMatrix, IoError> {
     })
 }
 
+/// Cross-field validation between the two independently-decoded halves of a
+/// model: the plan's node-indexed tables must line up with the tree's
+/// topology (dims vs. tree vs. rank arrays).  Two fields that are
+/// individually well-formed can still disagree after corruption — e.g. a
+/// block entry whose target node was re-pointed at an internal node.
+fn validate_plan_against_tree(plan: &EvalPlan, tree: &ClusterTree) -> Result<(), IoError> {
+    let n_nodes = tree.num_nodes();
+    let cds = &plan.cds;
+    if cds.generators.len() != n_nodes {
+        return format_err(format!(
+            "generator table has {} entries for a {n_nodes}-node tree",
+            cds.generators.len()
+        ));
+    }
+    if plan.tree_height != tree.height {
+        return format_err(format!(
+            "plan height {} disagrees with tree height {}",
+            plan.tree_height, tree.height
+        ));
+    }
+    if plan.num_leaves != tree.leaves().len() {
+        return format_err(format!(
+            "plan stores {} leaves but the tree has {}",
+            plan.num_leaves,
+            tree.leaves().len()
+        ));
+    }
+    // Near (dense) blocks address point ranges of their node pair; coupling
+    // blocks address skeleton ranks.  Both index `tree.nodes` unchecked in
+    // the executor and solver.
+    for e in &cds.d_entries {
+        if e.target >= n_nodes || e.source >= n_nodes {
+            return format_err("near block references a node outside the tree");
+        }
+        let (tn, sn) = (&tree.nodes[e.target], &tree.nodes[e.source]);
+        if e.rows != tn.num_points() || e.cols != sn.num_points() {
+            return format_err(format!(
+                "near block ({}, {}) is {}x{} but the nodes hold {}x{} points",
+                e.target,
+                e.source,
+                e.rows,
+                e.cols,
+                tn.num_points(),
+                sn.num_points()
+            ));
+        }
+    }
+    for e in &cds.b_entries {
+        if e.target >= n_nodes || e.source >= n_nodes {
+            return format_err("coupling block references a node outside the tree");
+        }
+        if e.rows != cds.sranks[e.target] || e.cols != cds.sranks[e.source] {
+            return format_err(format!(
+                "coupling block ({}, {}) is {}x{} but the skeleton ranks are {}x{}",
+                e.target, e.source, e.rows, e.cols, cds.sranks[e.target], cds.sranks[e.source]
+            ));
+        }
+    }
+    for bs in [&plan.near_blockset, &plan.far_blockset] {
+        for g in &bs.groups {
+            if g.iter().any(|&(i, j)| i >= n_nodes || j >= n_nodes) {
+                return format_err("blockset pair references a node outside the tree");
+            }
+        }
+    }
+    for parts in &plan.coarsenset.levels {
+        for part in parts {
+            if part.iter().any(|&id| id >= n_nodes) {
+                return format_err("coarsen partition references a node outside the tree");
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Store an HMatrix to a file (the `hmat.cds` artifact).
-pub fn save(h: &HMatrix, path: &Path) -> Result<(), IoError> {
+pub fn save(h: &HMatrix, path: &Path) -> Result<(), MatroxError> {
     std::fs::write(path, to_bytes(h))?;
     Ok(())
 }
 
+/// Read a model file, applying the `io-truncate` / `io-flip` failpoints so
+/// the fault-injection harness can corrupt streams deterministically
+/// without touching the filesystem contents.
+fn read_model_file(path: &Path) -> Result<Vec<u8>, MatroxError> {
+    let mut data = std::fs::read(path)?;
+    if crate::failpoint::should_fire(crate::failpoint::names::IO_TRUNCATE) {
+        data.truncate(data.len() / 2);
+    }
+    if crate::failpoint::should_fire(crate::failpoint::names::IO_FLIP) {
+        let mid = data.len() / 2;
+        if let Some(b) = data.get_mut(mid) {
+            *b ^= 0x01;
+        }
+    }
+    Ok(data)
+}
+
 /// Load an HMatrix from a file previously written by [`save`].
-pub fn load(path: &Path) -> Result<HMatrix, IoError> {
-    let data = std::fs::read(path)?;
-    from_bytes(Bytes::from(data))
+pub fn load(path: &Path) -> Result<HMatrix, MatroxError> {
+    from_bytes(Bytes::from(read_model_file(path)?))
 }
 
 // ---------------------------------------------------------------------------
@@ -552,9 +834,21 @@ fn get_matrix(buf: &mut Bytes) -> Result<Matrix, IoError> {
     let len = rows
         .checked_mul(cols)
         .ok_or_else(|| IoError::Format("matrix shape overflow".into()))?;
-    let mut data = Vec::with_capacity(len.min(1 << 26));
+    if len
+        .checked_mul(8)
+        .is_none_or(|bytes| bytes > buf.remaining())
+    {
+        return format_err(format!(
+            "matrix payload {rows}x{cols} exceeds the {} bytes remaining",
+            buf.remaining()
+        ));
+    }
+    let mut data = Vec::with_capacity(len);
     for _ in 0..len {
         data.push(get_f64(buf)?);
+    }
+    if !matrox_linalg::all_finite(&data) {
+        return format_err("matrix payload contains non-finite entries");
     }
     Ok(Matrix::from_vec(rows, cols, data))
 }
@@ -590,31 +884,52 @@ fn put_factor(buf: &mut BytesMut, f: &HssFactor) {
 
 fn get_factor(buf: &mut Bytes) -> Result<HssFactor, IoError> {
     let n = get_usize(buf)?;
-    let n_leaves = get_usize(buf)?;
-    let mut leaves = Vec::with_capacity(n_leaves.min(1 << 24));
-    for _ in 0..n_leaves {
+    // A serialized slot is at least its presence byte.
+    let n_leaves = get_len(buf, 1, "leaf factor table")?;
+    let mut leaves = Vec::with_capacity(n_leaves);
+    for i in 0..n_leaves {
         if get_bool(buf)? {
-            leaves.push(Some(LeafFactor {
+            let lf = LeafFactor {
                 node: get_usize(buf)?,
                 chol: get_matrix(buf)?,
                 e: get_matrix(buf)?,
-            }));
+            };
+            if lf.node != i {
+                return format_err(format!("leaf factor at slot {i} stores node {}", lf.node));
+            }
+            if lf.chol.rows() != lf.chol.cols() || lf.e.rows() != lf.chol.rows() {
+                return format_err(format!("leaf factor {i} has inconsistent shapes"));
+            }
+            leaves.push(Some(lf));
         } else {
             leaves.push(None);
         }
     }
-    let n_merges = get_usize(buf)?;
-    let mut merges = Vec::with_capacity(n_merges.min(1 << 24));
-    for _ in 0..n_merges {
+    let n_merges = get_len(buf, 1, "merge factor table")?;
+    let mut merges = Vec::with_capacity(n_merges);
+    for i in 0..n_merges {
         if get_bool(buf)? {
-            merges.push(Some(MergeFactor {
+            let mf = MergeFactor {
                 node: get_usize(buf)?,
                 lu: LuFactors {
                     lu: get_matrix(buf)?,
                     piv: get_usize_vec(buf)?,
                 },
                 t: get_matrix(buf)?,
-            }));
+            };
+            if mf.node != i {
+                return format_err(format!("merge factor at slot {i} stores node {}", mf.node));
+            }
+            let m = mf.lu.lu.rows();
+            if mf.lu.lu.cols() != m || mf.lu.piv.len() != m || mf.t.rows() != m {
+                return format_err(format!("merge factor {i} has inconsistent shapes"));
+            }
+            // The pivot array is applied as unchecked row swaps during
+            // every solve.
+            if mf.lu.piv.iter().any(|&p| p >= m) {
+                return format_err(format!("merge factor {i} has an out-of-range pivot"));
+            }
+            merges.push(Some(mf));
         } else {
             merges.push(None);
         }
@@ -639,19 +954,38 @@ pub fn to_bytes_factored(fh: &FactoredHMatrix) -> Bytes {
 
 /// Deserialize a [`FactoredHMatrix`] from bytes.  Timings (inspector and
 /// factor) are not stored and come back zeroed.
-pub fn from_bytes_factored(mut data: Bytes) -> Result<FactoredHMatrix, IoError> {
+///
+/// # Errors
+/// [`MatroxError::Format`] under the same hardening contract as
+/// [`from_bytes`], including cross-checks of the factor tables against the
+/// reloaded tree.
+pub fn from_bytes_factored(mut data: Bytes) -> Result<FactoredHMatrix, MatroxError> {
     if data.remaining() < MAGIC_FACTORED.len()
         || &data.copy_to_bytes(MAGIC_FACTORED.len())[..] != MAGIC_FACTORED
     {
-        return Err(IoError::Format("bad factored magic header".into()));
+        return Err(MatroxError::Format("bad factored magic header".into()));
     }
     let hmatrix = get_hmatrix_body(&mut data)?;
     let factor = get_factor(&mut data)?;
+    if data.remaining() != 0 {
+        return Err(MatroxError::Format(format!(
+            "{} trailing bytes after the factored payload",
+            data.remaining()
+        )));
+    }
     if factor.n != hmatrix.dim() {
-        return Err(IoError::Format(format!(
+        return Err(MatroxError::Format(format!(
             "factor dimension {} does not match matrix dimension {}",
             factor.n,
             hmatrix.dim()
+        )));
+    }
+    let n_nodes = hmatrix.tree.num_nodes();
+    if factor.leaves.len() != n_nodes || factor.merges.len() != n_nodes {
+        return Err(MatroxError::Format(format!(
+            "factor stores {} leaf / {} merge slots for a {n_nodes}-node tree",
+            factor.leaves.len(),
+            factor.merges.len()
         )));
     }
     Ok(FactoredHMatrix { hmatrix, factor })
@@ -659,16 +993,15 @@ pub fn from_bytes_factored(mut data: Bytes) -> Result<FactoredHMatrix, IoError> 
 
 /// Store a factored HMatrix to a file (the `hmat.ulv` artifact: solve-ready
 /// across processes, no re-factorization needed).
-pub fn save_factored(fh: &FactoredHMatrix, path: &Path) -> Result<(), IoError> {
+pub fn save_factored(fh: &FactoredHMatrix, path: &Path) -> Result<(), MatroxError> {
     std::fs::write(path, to_bytes_factored(fh))?;
     Ok(())
 }
 
 /// Load a factored HMatrix from a file previously written by
 /// [`save_factored`].
-pub fn load_factored(path: &Path) -> Result<FactoredHMatrix, IoError> {
-    let data = std::fs::read(path)?;
-    from_bytes_factored(Bytes::from(data))
+pub fn load_factored(path: &Path) -> Result<FactoredHMatrix, MatroxError> {
+    from_bytes_factored(Bytes::from(read_model_file(path)?))
 }
 
 #[cfg(test)]
@@ -684,7 +1017,7 @@ mod tests {
         let pts = generate(DatasetId::Grid, 256, 5);
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
         let params = MatRoxParams::smash_setting().with_leaf_size(32);
-        let h = inspector(&pts, &kernel, &params);
+        let h = inspector(&pts, &kernel, &params).expect("inspector");
         (pts, h)
     }
 
@@ -695,8 +1028,8 @@ mod tests {
         let h2 = from_bytes(bytes).expect("deserialize");
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let w = Matrix::random_uniform(pts.len(), 3, &mut rng);
-        let a = h.matmul(&w);
-        let b = h2.matmul(&w);
+        let a = h.matmul(&w).expect("matmul");
+        let b = h2.matmul(&w).expect("matmul");
         assert!(matrox_linalg::relative_error(&a, &b) < 1e-14);
         assert_eq!(h2.bacc, h.bacc);
         assert_eq!(h2.structure, h.structure);
@@ -718,7 +1051,53 @@ mod tests {
     fn corrupt_header_is_rejected() {
         let err = from_bytes(Bytes::from_static(b"NOTMATROX_AT_ALL")).unwrap_err();
         match err {
-            IoError::Format(_) => {}
+            MatroxError::Format(_) => {}
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected_at_every_prefix() {
+        let (_, h) = sample_hmatrix();
+        let bytes = to_bytes(&h);
+        // Every proper prefix must fail cleanly: no panic, no oversized
+        // allocation, a Format error.  Step to keep the test quick.
+        for len in (0..bytes.len()).step_by(97) {
+            let err = from_bytes(Bytes::copy_from_slice(&bytes[..len])).unwrap_err();
+            assert!(matches!(err, MatroxError::Format(_)), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (_, h) = sample_hmatrix();
+        let mut data = to_bytes(&h).to_vec();
+        data.push(0);
+        let err = from_bytes(Bytes::from(data)).unwrap_err();
+        match err {
+            MatroxError::Format(m) => assert!(m.contains("trailing"), "message: {m}"),
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn hostile_length_fields_do_not_allocate() {
+        // A header whose first length field claims 2^60 elements: the
+        // reader must reject it against the bytes remaining instead of
+        // attempting a multi-GiB allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(0); // Structure::Hss
+        put_f64(&mut buf, 0.0);
+        buf.put_u8(0); // Kernel::Gaussian
+        put_f64(&mut buf, 1.0);
+        put_f64(&mut buf, 1e-5); // bacc
+        put_usize(&mut buf, 32); // leaf_size
+        put_usize(&mut buf, 1); // height
+        put_usize(&mut buf, 1 << 60); // perm length: hostile
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        match err {
+            MatroxError::Format(m) => assert!(m.contains("exceeds"), "message: {m}"),
             other => panic!("expected format error, got {other}"),
         }
     }
@@ -731,7 +1110,7 @@ mod tests {
             bandwidth: 1.0 / 16.0,
         };
         let params = MatRoxParams::hss().with_leaf_size(32).with_bacc(1e-7);
-        let h = inspector(&pts, &kernel, &params);
+        let h = inspector(&pts, &kernel, &params).expect("inspector");
         let fh = h.factorize().expect("HSS SPD matrix must factor");
         (pts, fh)
     }
@@ -742,8 +1121,8 @@ mod tests {
         let bytes = to_bytes_factored(&fh);
         let fh2 = from_bytes_factored(bytes).expect("deserialize factored");
         let b: Vec<f64> = (0..pts.len()).map(|i| (i as f64 * 0.3).cos()).collect();
-        let x1 = fh.solve(&b);
-        let x2 = fh2.solve(&b);
+        let x1 = fh.solve(&b).expect("solve");
+        let x2 = fh2.solve(&b).expect("solve");
         assert_eq!(x1, x2, "reloaded factors must solve bit-for-bit equally");
     }
 
@@ -774,8 +1153,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let b = Matrix::random_uniform(pts.len(), 3, &mut rng);
         assert_eq!(
-            loaded.solve_matrix(&b).as_slice(),
-            fh.solve_matrix(&b).as_slice()
+            loaded.solve_matrix(&b).expect("solve").as_slice(),
+            fh.solve_matrix(&b).expect("solve").as_slice()
         );
         std::fs::remove_file(&path).ok();
     }

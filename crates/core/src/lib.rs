@@ -17,11 +17,11 @@
 //! let points = generate(DatasetId::Grid, 512, 0);
 //! let kernel = Kernel::Gaussian { bandwidth: 5.0 };
 //! let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(64);
-//! let h = inspector(&points, &kernel, &params);
+//! let h = inspector(&points, &kernel, &params).expect("clean inputs");
 //!
 //! // Executor: multiply the compressed matrix with a dense matrix W.
 //! let w = Matrix::filled(points.len(), 8, 1.0);
-//! let y = h.matmul(&w);
+//! let y = h.matmul(&w).expect("finite RHS");
 //! assert_eq!(y.shape(), (points.len(), 8));
 //! ```
 //!
@@ -41,10 +41,10 @@
 //! let points = generate(DatasetId::Grid, 512, 0);
 //! let kernel = Kernel::Gaussian { bandwidth: 5.0 };
 //! let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(64);
-//! let session = EvalSession::build(&points, &kernel, &params); // inspector runs once
+//! let session = EvalSession::build(&points, &kernel, &params).expect("clean inputs");
 //! for batch in 0..3 {
 //!     let w = Matrix::filled(points.len(), 16, 1.0 + batch as f64);
-//!     let y = session.evaluate(&w); // panel-blocked, no plan re-walk
+//!     let y = session.evaluate(&w).expect("finite RHS"); // panel-blocked, no plan re-walk
 //!     assert_eq!(y.shape(), (points.len(), 16));
 //! }
 //! assert_eq!(session.stats().queries, 48);
@@ -65,16 +65,33 @@
 //! let kernel = Kernel::GaussianRidge { bandwidth: 0.125, ridge: 8.0 };
 //! let params = MatRoxParams::hss().with_bacc(1e-6).with_leaf_size(32);
 //! let factored = inspector(&points, &kernel, &params)
+//!     .expect("clean inputs")
 //!     .factorize()
 //!     .expect("HSS + SPD: factorization succeeds");
 //! let b = vec![1.0; points.len()];
-//! let x = factored.solve(&b);
+//! let x = factored.solve(&b).expect("finite RHS");
 //! assert_eq!(x.len(), points.len());
 //! ```
+//!
+//! ## Error handling
+//!
+//! Every fallible entry point returns [`MatroxError`], the crate-wide
+//! taxonomy: `InvalidInput` (caller-fixable: NaN/Inf data, shape
+//! mismatches, bad parameters), `PlanMismatch` (a factor or plan applied
+//! to the wrong operator), `NumericalBreakdown` (the math failed: Cholesky
+//! breakdown past the ridge-escalation budget, non-finite output),
+//! `Format`/`Io` (untrusted model bytes rejected by the hardened readers),
+//! and `PoolPanic` (an internal invariant panic contained at the
+//! [`EvalSession`] boundary).  Failures never poison the session: the next
+//! clean call returns bitwise-identical results.  DESIGN.md documents the
+//! recovery semantics; the `MATROX_FAILPOINT` knob (see
+//! [`failpoint`]) injects each failure class deterministically.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod error;
+pub mod failpoint;
 pub mod hmatrix;
 pub mod inspector;
 pub mod io;
@@ -82,6 +99,7 @@ pub mod session;
 pub mod timings;
 
 pub use config::MatRoxParams;
+pub use error::MatroxError;
 pub use hmatrix::{FactoredHMatrix, HMatrix};
 pub use inspector::{inspector, inspector_p1, inspector_p2, InspectorP1};
 pub use io::{

@@ -17,17 +17,31 @@
 //! (Figure 4's measure) without instrumenting their own loops.
 
 use crate::config::MatRoxParams;
-use crate::hmatrix::HMatrix;
+use crate::error::MatroxError;
+use crate::failpoint;
+use crate::hmatrix::{FactoredHMatrix, HMatrix};
 use crate::inspector::inspector;
 use crate::timings::SessionStats;
 use matrox_exec::{execute_prepared, ExecOptions, PreparedExec};
-use matrox_linalg::Matrix;
+use matrox_linalg::{all_finite, Matrix};
 use matrox_points::{Kernel, PointSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 // CONCURRENCY: SessionStats counters are monotonic AtomicU64s (Relaxed:
 // they order nothing, they only count) so concurrent `evaluate` calls on a
 // shared session never contend on a lock in the hot path.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Render a `catch_unwind` payload as the human-readable panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A compressed kernel matrix prepared for repeated batched evaluation.
 ///
@@ -44,6 +58,9 @@ pub struct EvalSession {
     evaluations: AtomicU64,
     queries: AtomicU64,
     eval_nanos: AtomicU64,
+    invalid_inputs: AtomicU64,
+    contained_panics: AtomicU64,
+    ridge_attempts: AtomicU64,
 }
 
 impl Clone for EvalSession {
@@ -56,18 +73,31 @@ impl Clone for EvalSession {
             evaluations: AtomicU64::new(stats.evaluations),
             queries: AtomicU64::new(stats.queries),
             eval_nanos: AtomicU64::new(self.eval_nanos.load(Ordering::Relaxed)),
+            invalid_inputs: AtomicU64::new(stats.invalid_inputs),
+            contained_panics: AtomicU64::new(stats.contained_panics),
+            ridge_attempts: AtomicU64::new(u64::from(stats.ridge_attempts)),
         }
     }
 }
 
 impl EvalSession {
     /// Run the inspector once and prepare the executor for many evaluations.
-    pub fn build(points: &PointSet, kernel: &Kernel, params: &MatRoxParams) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`MatroxError::InvalidInput`] when the points, kernel parameters or
+    /// accuracy request fail the inspector's input screen (empty point set,
+    /// NaN/Inf coordinates, non-positive bandwidth or accuracy, ...).
+    pub fn build(
+        points: &PointSet,
+        kernel: &Kernel,
+        params: &MatRoxParams,
+    ) -> Result<Self, MatroxError> {
         let t0 = Instant::now();
-        let h = inspector(points, kernel, params);
+        let h = inspector(points, kernel, params)?;
         let inspect_seconds = t0.elapsed().as_secs_f64();
         let opts = h.default_exec_options();
-        Self::assemble(h, opts, inspect_seconds)
+        Ok(Self::assemble(h, opts, inspect_seconds))
     }
 
     /// Wrap an already-inspected matrix (the inspector cost is taken from
@@ -95,6 +125,9 @@ impl EvalSession {
             evaluations: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             eval_nanos: AtomicU64::new(0),
+            invalid_inputs: AtomicU64::new(0),
+            contained_panics: AtomicU64::new(0),
+            ridge_attempts: AtomicU64::new(0),
         }
     }
 
@@ -107,20 +140,95 @@ impl EvalSession {
 
     /// Evaluate `Y = K~ W` for an `N x Q` right-hand-side matrix, panel by
     /// panel, over the prepared plan.
-    pub fn evaluate(&self, w: &Matrix) -> Matrix {
+    ///
+    /// The right-hand side is screened up front (shape, NaN/Inf) and the
+    /// execution itself runs inside a `catch_unwind` boundary: an internal
+    /// invariant panic — including one raised on a pool worker — is
+    /// contained and surfaced as [`MatroxError::PoolPanic`] instead of
+    /// unwinding into the caller.  A rejected or contained call leaves the
+    /// session fully usable; the next clean call is bitwise identical to
+    /// what it would have been without the failure.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatroxError::InvalidInput`] — `w` has the wrong row count or
+    ///   contains NaN/Inf entries (counted in
+    ///   [`SessionStats::invalid_inputs`]).
+    /// * [`MatroxError::PoolPanic`] — a panic escaped an evaluation job and
+    ///   was contained (counted in [`SessionStats::contained_panics`]).
+    /// * [`MatroxError::NumericalBreakdown`] — the output failed the
+    ///   finiteness screen.
+    pub fn evaluate(&self, w: &Matrix) -> Result<Matrix, MatroxError> {
+        let n = self.hmatrix.dim();
+        if w.rows() != n {
+            self.invalid_inputs.fetch_add(1, Ordering::Relaxed);
+            return Err(MatroxError::InvalidInput(format!(
+                "right-hand side has {} rows but the session dimension is {n}",
+                w.rows()
+            )));
+        }
+        if !all_finite(w.as_slice()) {
+            self.invalid_inputs.fetch_add(1, Ordering::Relaxed);
+            return Err(MatroxError::InvalidInput(
+                "right-hand side contains NaN or infinite entries".to_string(),
+            ));
+        }
         let t0 = Instant::now();
-        let y = execute_prepared(&self.hmatrix.plan, &self.hmatrix.tree, &self.prep, w);
+        // The executor only reads `&self` state, so re-entering it after a
+        // contained panic observes the same prepared plan every time;
+        // AssertUnwindSafe is sound because no partial output escapes.
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            if failpoint::should_fire(failpoint::names::EVAL_PANIC) {
+                panic!("injected failpoint `{}`", failpoint::names::EVAL_PANIC);
+            }
+            execute_prepared(&self.hmatrix.plan, &self.hmatrix.tree, &self.prep, w)
+        }));
+        let mut y = match executed {
+            Ok(y) => y,
+            Err(payload) => {
+                self.contained_panics.fetch_add(1, Ordering::Relaxed);
+                return Err(MatroxError::PoolPanic(panic_message(payload)));
+            }
+        };
+        if failpoint::should_fire(failpoint::names::EVAL_POISON) {
+            y.set(0, 0, f64::NAN);
+        }
+        if !all_finite(y.as_slice()) {
+            return Err(MatroxError::NumericalBreakdown(
+                "evaluation produced NaN or infinite output".to_string(),
+            ));
+        }
         self.eval_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         self.queries.fetch_add(w.cols() as u64, Ordering::Relaxed);
-        y
+        Ok(y)
     }
 
     /// Evaluate a single query (`Q = 1`) given as a vector.
-    pub fn evaluate_vec(&self, w: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`evaluate`](EvalSession::evaluate).
+    pub fn evaluate_vec(&self, w: &[f64]) -> Result<Vec<f64>, MatroxError> {
         let wm = Matrix::from_vec(w.len(), 1, w.to_vec());
-        self.evaluate(&wm).into_vec()
+        Ok(self.evaluate(&wm)?.into_vec())
+    }
+
+    /// ULV-factorize the session's matrix for direct solves, recording the
+    /// ridge-escalation effort in the session's [`SessionStats`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HMatrix::factorize`]: `PlanMismatch` for non-HSS
+    /// structures, `NumericalBreakdown` when the escalation budget runs out.
+    pub fn factorize(&self) -> Result<FactoredHMatrix, MatroxError> {
+        let factored = self.hmatrix.factorize()?;
+        self.ridge_attempts.store(
+            u64::from(factored.factor.timings.ridge_attempts),
+            Ordering::Relaxed,
+        );
+        Ok(factored)
     }
 
     /// Problem size `N`.
@@ -156,6 +264,9 @@ impl EvalSession {
             eval_seconds: self.eval_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             evaluations: self.evaluations.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            invalid_inputs: self.invalid_inputs.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
+            ridge_attempts: self.ridge_attempts.load(Ordering::Relaxed) as u32,
         }
     }
 }
@@ -170,7 +281,7 @@ mod tests {
         let pts = generate(DatasetId::Grid, n, 11);
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
         let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
-        let s = EvalSession::build(&pts, &kernel, &params);
+        let s = EvalSession::build(&pts, &kernel, &params).expect("session build");
         (pts, s)
     }
 
@@ -179,8 +290,8 @@ mod tests {
         let (_, s) = session(512);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let w = Matrix::random_uniform(512, 9, &mut rng);
-        let direct = s.hmatrix().matmul(&w);
-        let via_session = s.evaluate(&w);
+        let direct = s.hmatrix().matmul(&w).expect("matmul");
+        let via_session = s.evaluate(&w).expect("evaluate");
         assert_eq!(direct.shape(), via_session.shape());
         assert!(direct
             .as_slice()
@@ -197,7 +308,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let w = Matrix::random_uniform(256, 4, &mut rng);
         for _ in 0..3 {
-            let _ = s.evaluate(&w);
+            let _ = s.evaluate(&w).expect("evaluate");
         }
         let stats = s.stats();
         assert_eq!(stats.evaluations, 3);
@@ -207,21 +318,66 @@ mod tests {
     }
 
     #[test]
+    fn rejected_inputs_are_counted_and_leave_the_session_clean() {
+        let (_, s) = session(256);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let w = Matrix::random_uniform(256, 3, &mut rng);
+        let baseline = s.evaluate(&w).expect("clean evaluate");
+
+        // Wrong shape and poisoned values are rejected up front.
+        let short = Matrix::filled(128, 3, 1.0);
+        assert!(matches!(
+            s.evaluate(&short),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        let mut poisoned = w.clone();
+        poisoned.set(5, 1, f64::NAN);
+        assert!(matches!(
+            s.evaluate(&poisoned),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        let mut infinite = w.clone();
+        infinite.set(0, 0, f64::INFINITY);
+        assert!(matches!(
+            s.evaluate(&infinite),
+            Err(MatroxError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            s.evaluate_vec(&[f64::NAN; 256]),
+            Err(MatroxError::InvalidInput(_))
+        ));
+
+        // Rejections are counted but do not count as served evaluations,
+        // and the next clean call is bitwise identical to the first.
+        let stats = s.stats();
+        assert_eq!(stats.invalid_inputs, 4);
+        assert_eq!(stats.contained_panics, 0);
+        assert_eq!(stats.evaluations, 1);
+        let again = s.evaluate(&w).expect("evaluate after rejections");
+        assert!(baseline
+            .as_slice()
+            .iter()
+            .zip(again.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
     fn kernel_choice_reaches_the_prepared_executor() {
         use matrox_linalg::KernelChoice;
         let pts = generate(DatasetId::Grid, 256, 11);
         let kernel = Kernel::Gaussian { bandwidth: 1.0 };
         let base = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
-        let s_scalar = EvalSession::build(&pts, &kernel, &base.with_kernel(KernelChoice::Scalar));
+        let s_scalar = EvalSession::build(&pts, &kernel, &base.with_kernel(KernelChoice::Scalar))
+            .expect("session build");
         assert_eq!(s_scalar.options().kernel, KernelChoice::Scalar);
         assert_eq!(s_scalar.prep.dispatch().name(), "scalar");
-        let s_auto = EvalSession::build(&pts, &kernel, &base);
+        let s_auto = EvalSession::build(&pts, &kernel, &base).expect("session build");
         assert_eq!(s_auto.options().kernel, KernelChoice::Auto);
         // Different kernels may differ in rounding but must agree tightly.
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let w = Matrix::random_uniform(256, 5, &mut rng);
-        let a = s_scalar.evaluate(&w);
-        let b = s_auto.evaluate(&w);
+        let a = s_scalar.evaluate(&w).expect("evaluate");
+        let b = s_auto.evaluate(&w).expect("evaluate");
         assert!(matrox_linalg::relative_error(&a, &b) < 1e-12);
     }
 
@@ -234,16 +390,18 @@ mod tests {
             .with_bacc(1e-5)
             .with_leaf_size(32)
             .with_panel_width(16);
-        let s16 = EvalSession::build(&pts, &kernel, &params);
+        let s16 = EvalSession::build(&pts, &kernel, &params).expect("session build");
         assert_eq!(s16.panel_width(), 16);
         // The requested width also survives the inspector -> HMatrix ->
         // session route (it is carried on the HMatrix, not just the params).
-        let via_hmatrix = crate::inspector(&pts, &kernel, &params).into_session();
+        let via_hmatrix = crate::inspector(&pts, &kernel, &params)
+            .expect("inspector")
+            .into_session();
         assert_eq!(via_hmatrix.panel_width(), 16);
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let w = Matrix::random_uniform(256, 33, &mut rng);
-        let a = s.evaluate(&w);
-        let b = s16.evaluate(&w);
+        let a = s.evaluate(&w).expect("evaluate");
+        let b = s16.evaluate(&w).expect("evaluate");
         assert!(a
             .as_slice()
             .iter()

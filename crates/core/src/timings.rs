@@ -92,6 +92,16 @@ pub struct SessionStats {
     pub evaluations: u64,
     /// Total right-hand-side columns served.
     pub queries: u64,
+    /// `evaluate` calls rejected up front (`InvalidInput`: wrong shape or
+    /// NaN/Inf in the right-hand side).  Rejected calls do not count as
+    /// evaluations and leave the session fully usable.
+    pub invalid_inputs: u64,
+    /// Panics that escaped an evaluation job and were contained at the
+    /// session's `catch_unwind` boundary (`PoolPanic`).
+    pub contained_panics: u64,
+    /// Ridge-escalation retries the most recent factorization needed before
+    /// the leaf Cholesky succeeded (0 = first attempt was clean).
+    pub ridge_attempts: u32,
 }
 
 impl SessionStats {

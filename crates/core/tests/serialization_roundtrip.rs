@@ -28,7 +28,7 @@ fn build(structure: Structure) -> (PointSet, HMatrix) {
         ..MatRoxParams::default()
     }
     .with_leaf_size(32);
-    let h = inspector(&pts, &kernel, &params);
+    let h = inspector(&pts, &kernel, &params).expect("inspector");
     (pts, h)
 }
 
@@ -49,7 +49,10 @@ fn roundtrip_preserves_evaluation_on_all_structures() {
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         let w = Matrix::random_uniform(pts.len(), 4, &mut rng);
-        let err = relative_error(&h2.matmul(&w), &h.matmul(&w));
+        let err = relative_error(
+            &h2.matmul(&w).expect("matmul"),
+            &h.matmul(&w).expect("matmul"),
+        );
         assert!(
             err < 1e-14,
             "{}: round-tripped evaluation differs (err = {err})",
@@ -89,7 +92,10 @@ fn file_roundtrip_on_all_structures() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(29);
         let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
         assert!(
-            relative_error(&loaded.matmul(&w), &h.matmul(&w)) < 1e-14,
+            relative_error(
+                &loaded.matmul(&w).expect("matmul"),
+                &h.matmul(&w).expect("matmul")
+            ) < 1e-14,
             "{}: file round-trip changed the evaluation",
             structure.name()
         );
@@ -104,7 +110,7 @@ fn build_factored() -> (PointSet, FactoredHMatrix) {
     let spacing = 1.0 / (N as f64).sqrt();
     let kernel = Kernel::Gaussian { bandwidth: spacing };
     let params = MatRoxParams::hss().with_bacc(1e-7).with_leaf_size(32);
-    let h = inspector(&pts, &kernel, &params);
+    let h = inspector(&pts, &kernel, &params).expect("inspector");
     let fh = h.factorize().expect("HSS SPD kernel matrix must factor");
     (pts, fh)
 }
@@ -120,13 +126,18 @@ fn factored_roundtrip_preserves_solutions_bitwise() {
     // every factor value exactly (little-endian f64), and the sweeps are
     // deterministic.
     assert_eq!(
-        fh.solve_matrix(&b).as_slice(),
-        fh2.solve_matrix(&b).as_slice(),
+        fh.solve_matrix(&b).expect("solve").as_slice(),
+        fh2.solve_matrix(&b).expect("solve").as_slice(),
         "reloaded factorization changed the solution"
     );
     // The embedded HMatrix must round-trip too (evaluation unchanged).
     let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
-    assert!(relative_error(&fh2.hmatrix.matmul(&w), &fh.hmatrix.matmul(&w)) < 1e-14);
+    assert!(
+        relative_error(
+            &fh2.hmatrix.matmul(&w).expect("matmul"),
+            &fh.hmatrix.matmul(&w).expect("matmul")
+        ) < 1e-14
+    );
 }
 
 #[test]
@@ -153,8 +164,8 @@ fn factored_file_roundtrip_solves_after_reload() {
         .map(|i| ((i % 13) as f64 - 6.0) * 0.5)
         .collect();
     assert_eq!(
-        loaded.solve(&b),
-        fh.solve(&b),
+        loaded.solve(&b).expect("solve"),
+        fh.solve(&b).expect("solve"),
         "solution after file reload is not bitwise equal"
     );
     std::fs::remove_file(&path).ok();

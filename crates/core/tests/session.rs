@@ -39,22 +39,23 @@ fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
 fn batched_evaluate_is_bitwise_identical_to_column_matvecs() {
     let n = 512;
     let (pts, kernel, params) = setting(n);
-    let session = EvalSession::build(&pts, &kernel, &params);
+    let session = EvalSession::build(&pts, &kernel, &params).expect("session build");
     // A deliberately narrow panel width forces the panel loop to split even
     // small batches; it must agree with the auto-width session bit for bit.
-    let narrow = EvalSession::build(&pts, &kernel, &params.with_panel_width(8));
+    let narrow =
+        EvalSession::build(&pts, &kernel, &params.with_panel_width(8)).expect("session build");
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     for q in [1usize, 3, 8, 33] {
         let w = Matrix::random_uniform(n, q, &mut rng);
-        let batched = session.evaluate(&w);
+        let batched = session.evaluate(&w).expect("evaluate");
         assert!(
-            bitwise_eq(&batched, &narrow.evaluate(&w)),
+            bitwise_eq(&batched, &narrow.evaluate(&w).expect("evaluate")),
             "panel width 8 diverged at q={q}"
         );
         let mut columns = Matrix::zeros(n, q);
         for j in 0..q {
             let col: Vec<f64> = (0..n).map(|i| w.get(i, j)).collect();
-            let y = session.evaluate_vec(&col);
+            let y = session.evaluate_vec(&col).expect("evaluate");
             for i in 0..n {
                 columns.set(i, j, y[i]);
             }
@@ -79,8 +80,8 @@ fn batched_evaluation_is_deterministic_across_thread_widths() {
             .build()
             .unwrap();
         let y = pool.install(|| {
-            let session = EvalSession::build(&pts, &kernel, &params);
-            session.evaluate(&w)
+            let session = EvalSession::build(&pts, &kernel, &params).expect("session build");
+            session.evaluate(&w).expect("evaluate")
         });
         runs.push(y);
     }
@@ -97,14 +98,14 @@ fn batched_evaluation_is_deterministic_across_thread_widths() {
 fn session_reuse_after_100_evaluations_matches_fresh_inspector() {
     let n = 256;
     let (pts, kernel, params) = setting(n);
-    let session = EvalSession::build(&pts, &kernel, &params);
+    let session = EvalSession::build(&pts, &kernel, &params).expect("session build");
     let mut rng = rand::rngs::StdRng::seed_from_u64(79);
     // Serve 100 evaluations of varying widths; the session must not
     // accumulate any state that perturbs later results.
     for i in 0..100 {
         let q = 1 + i % 5;
         let w = Matrix::random_uniform(n, q, &mut rng);
-        let y = session.evaluate(&w);
+        let y = session.evaluate(&w).expect("evaluate");
         assert_eq!(y.shape(), (n, q));
     }
     let stats = session.stats();
@@ -113,8 +114,11 @@ fn session_reuse_after_100_evaluations_matches_fresh_inspector() {
     assert!(stats.amortized_per_query() < f64::INFINITY);
 
     let w = Matrix::random_uniform(n, 8, &mut rng);
-    let warm = session.evaluate(&w);
-    let fresh = inspector(&pts, &kernel, &params).matmul(&w);
+    let warm = session.evaluate(&w).expect("evaluate");
+    let fresh = inspector(&pts, &kernel, &params)
+        .expect("inspector")
+        .matmul(&w)
+        .expect("matmul");
     assert!(
         bitwise_eq(&warm, &fresh),
         "evaluation 101 differs from a fresh inspector run"

@@ -304,6 +304,8 @@ impl PreparedExec {
 
     /// Total skeleton rank (length of the `T`/`S` buffers in rank units).
     fn total_rank(&self) -> usize {
+        // INVARIANT: rank_off is a prefix-sum built with n+1 entries at
+        // prepare time, so it is never empty.
         *self.rank_off.last().unwrap()
     }
 }
@@ -421,6 +423,8 @@ fn verify_generator_shapes(plan: &EvalPlan, tree: &ClusterTree) {
             let want = if node.is_leaf() {
                 node.num_points()
             } else {
+                // INVARIANT: non-leaf ClusterTree nodes always carry a
+                // child pair by construction.
                 let (l, r) = node.children.unwrap();
                 cds.sranks[l] + cds.sranks[r]
             };
@@ -832,6 +836,8 @@ unsafe fn compute_t_into(
             prep.dispatch.gemm_tn(v, rows, cols, src, q, out);
         }
     } else {
+        // INVARIANT: non-leaf ClusterTree nodes always carry a child pair
+        // by construction.
         let (l, r) = node.children.unwrap();
         let rl = prep.srank(l);
         let rr = prep.srank(r);
@@ -1005,6 +1011,8 @@ unsafe fn down_node(
             prep.dispatch.gemm(u, rows, cols, s_i, q, dst);
         }
     } else {
+        // INVARIANT: non-leaf ClusterTree nodes always carry a child pair
+        // by construction.
         let (l, r) = node.children.unwrap();
         let rl = prep.srank(l);
         let rr = prep.srank(r);

@@ -35,6 +35,11 @@ pub enum FactorError {
         /// Internal node whose merge system broke down.
         node: usize,
     },
+    /// The plan/tree/right-hand side handed to a solve do not belong to this
+    /// factorization (wrong dimensions, missing per-node factors).  The
+    /// public entry points return this instead of panicking so a stale or
+    /// mismatched handle is a request failure, not a process failure.
+    PlanMismatch(String),
 }
 
 impl std::fmt::Display for FactorError {
@@ -48,6 +53,7 @@ impl std::fmt::Display for FactorError {
             FactorError::SingularMerge { node } => {
                 write!(f, "sibling merge system at node {node} is singular")
             }
+            FactorError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
         }
     }
 }
@@ -63,6 +69,14 @@ pub struct FactorTimings {
     /// Merge phase: assembling and LU-factoring the sibling systems and
     /// propagating the reduced matrices `G_i` up the tree.
     pub merge: Duration,
+    /// Number of ridge-escalation retries the breakdown-recovery loop needed
+    /// before the factorization succeeded (0 = first attempt was clean).
+    /// Written by `matrox_core::HMatrix::factorize`; a direct [`factor`]
+    /// call always reports 0.
+    pub ridge_attempts: u32,
+    /// The diagonal shift `lambda` the successful attempt was factored with
+    /// (`K~ + lambda I`); 0 when no escalation was needed.
+    pub applied_ridge: f64,
 }
 
 impl FactorTimings {
@@ -211,6 +225,30 @@ pub fn factor(
     tree: &ClusterTree,
     opts: &ExecOptions,
 ) -> Result<HssFactor, FactorError> {
+    factor_with_ridge(plan, tree, opts, 0.0)
+}
+
+/// [`factor`] with a diagonal shift: factors `K~ + ridge I` by adding
+/// `ridge` to the diagonal of every leaf diagonal block before its Cholesky.
+///
+/// In the HSS form the identity only touches the leaf diagonal blocks —
+/// off-diagonal content lives in the low-rank coupling factors — so shifting
+/// the leaves shifts the whole operator.  This is the primitive behind the
+/// breakdown-recovery loop in `matrox_core::HMatrix::factorize`, which
+/// escalates `ridge` when a barely-non-SPD kernel matrix makes a leaf
+/// Cholesky fail.  A negative or non-finite ridge is rejected as a
+/// [`FactorError::PlanMismatch`].
+pub fn factor_with_ridge(
+    plan: &EvalPlan,
+    tree: &ClusterTree,
+    opts: &ExecOptions,
+    ridge: f64,
+) -> Result<HssFactor, FactorError> {
+    if !ridge.is_finite() || ridge < 0.0 {
+        return Err(FactorError::PlanMismatch(format!(
+            "ridge shift must be finite and non-negative, got {ridge:e}"
+        )));
+    }
     let blocks = index_hss_blocks(plan, tree)?;
     let n_nodes = tree.num_nodes();
     let parallel = opts.parallel_tree;
@@ -230,12 +268,12 @@ pub fn factor(
         leaf_ids
             .par_iter()
             .with_min_len(grain)
-            .map(|&id| factor_leaf(plan, tree, &blocks, id))
+            .map(|&id| factor_leaf(plan, tree, &blocks, id, ridge))
             .collect()
     } else {
         leaf_ids
             .iter()
-            .map(|&id| factor_leaf(plan, tree, &blocks, id))
+            .map(|&id| factor_leaf(plan, tree, &blocks, id, ridge))
             .collect()
     };
     for r in leaf_results {
@@ -281,6 +319,8 @@ pub fn factor(
         timings: FactorTimings {
             leaf_cholesky,
             merge,
+            ridge_attempts: 0,
+            applied_ridge: ridge,
         },
     })
 }
@@ -292,13 +332,20 @@ fn factor_leaf(
     tree: &ClusterTree,
     blocks: &HssBlocks<'_>,
     id: usize,
+    ridge: f64,
 ) -> Result<(usize, LeafFactor, Matrix), FactorError> {
     let cds = &plan.cds;
     let node = &tree.nodes[id];
     let ni = node.num_points();
     let entry = blocks.diag[&id];
     debug_assert_eq!((entry.rows, entry.cols), (ni, ni));
-    let d = Matrix::from_vec(ni, ni, cds.d_block(entry).to_vec());
+    let mut d = Matrix::from_vec(ni, ni, cds.d_block(entry).to_vec());
+    if ridge > 0.0 {
+        for i in 0..ni {
+            let v = d.get(i, i) + ridge;
+            d.set(i, i, v);
+        }
+    }
     let chol = cholesky(&d).map_err(|e| FactorError::NotPositiveDefinite {
         node: id,
         pivot: e.pivot,
@@ -330,6 +377,9 @@ fn factor_internal(
     id: usize,
 ) -> Result<(usize, MergeFactor, Matrix), FactorError> {
     let cds = &plan.cds;
+    // INVARIANT: `factor_internal` is only called on ids that
+    // `tree.nodes[id].is_leaf()` filtered out, and a non-leaf node always
+    // carries a child pair by `ClusterTree` construction.
     let (l, r) = tree.nodes[id].children.expect("internal node has children");
     let kl = cds.sranks[l];
     let kr = cds.sranks[r];

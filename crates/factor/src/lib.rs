@@ -47,4 +47,6 @@
 pub mod factor;
 pub mod solve;
 
-pub use factor::{factor, FactorError, FactorTimings, HssFactor, LeafFactor, MergeFactor};
+pub use factor::{
+    factor, factor_with_ridge, FactorError, FactorTimings, HssFactor, LeafFactor, MergeFactor,
+};

@@ -1,6 +1,6 @@
 //! Forward/backward solve sweeps over an [`HssFactor`].
 
-use crate::factor::{coupling_block, index_hss_blocks, HssFactor};
+use crate::factor::{coupling_block, index_hss_blocks, FactorError, HssFactor};
 use matrox_codegen::EvalPlan;
 use matrox_exec::{effective_grain, ExecOptions};
 use matrox_linalg::{cholesky_solve_matrix, gemm_slices, gemm_tn_slices, lu_solve_matrix, Matrix};
@@ -14,22 +14,59 @@ impl HssFactor {
     /// from (the sweeps re-read the bases, transfer and coupling blocks from
     /// the CDS buffers instead of duplicating them in the factor).
     ///
-    /// # Panics
-    /// Panics on dimension mismatch or when `plan` is not an HSS plan
-    /// matching the factorization.
+    /// # Errors
+    /// Returns [`FactorError::PlanMismatch`] on dimension mismatch or when
+    /// `plan`/`tree` do not match the factorization (missing per-node
+    /// factors), and [`FactorError::UnsupportedStructure`] when `plan` is not
+    /// an HSS plan at all.
     pub fn solve_matrix(
         &self,
         plan: &EvalPlan,
         tree: &ClusterTree,
         b: &Matrix,
         opts: &ExecOptions,
-    ) -> Matrix {
+    ) -> Result<Matrix, FactorError> {
         let n = tree.perm.len();
         let q = b.cols();
-        assert_eq!(b.rows(), n, "solve: B must have N = {n} rows");
-        assert_eq!(self.n, n, "solve: factor/tree size mismatch");
-        let blocks = index_hss_blocks(plan, tree)
-            .expect("solve requires the HSS plan the factorization was computed from");
+        if b.rows() != n {
+            return Err(FactorError::PlanMismatch(format!(
+                "right-hand side has {} rows but the tree orders N = {n} points",
+                b.rows()
+            )));
+        }
+        if self.n != n {
+            return Err(FactorError::PlanMismatch(format!(
+                "factor was computed for N = {} but the tree orders N = {n} points",
+                self.n
+            )));
+        }
+        let blocks = index_hss_blocks(plan, tree)?;
+        // Validate the per-node factor inventory up front so the sweep
+        // closures below can index unconditionally: after this loop, every
+        // leaf has a `LeafFactor` and every internal node a `MergeFactor`.
+        if self.leaves.len() != tree.num_nodes() || self.merges.len() != tree.num_nodes() {
+            return Err(FactorError::PlanMismatch(format!(
+                "factor stores {} leaf / {} merge slots but the tree has {} nodes",
+                self.leaves.len(),
+                self.merges.len(),
+                tree.num_nodes()
+            )));
+        }
+        for id in 0..tree.num_nodes() {
+            if tree.nodes[id].is_leaf() {
+                if self.leaves[id].is_none() {
+                    return Err(FactorError::PlanMismatch(format!(
+                        "leaf node {id} has no leaf factor; was this factor computed from \
+                         a different tree?"
+                    )));
+                }
+            } else if self.merges[id].is_none() {
+                return Err(FactorError::PlanMismatch(format!(
+                    "internal node {id} has no merge factor; was this factor computed \
+                     from a different tree?"
+                )));
+            }
+        }
         let cds = &plan.cds;
         let n_nodes = tree.num_nodes();
         let parallel = opts.parallel_tree;
@@ -50,6 +87,8 @@ impl HssFactor {
         let leaf_up = |&id: &usize| -> (usize, Matrix, Matrix) {
             let node = &tree.nodes[id];
             let ni = node.num_points();
+            // INVARIANT: the inventory check before the sweeps guarantees
+            // every leaf id has a leaf factor.
             let lf = self.leaves[id]
                 .as_ref()
                 .expect("every leaf has a leaf factor");
@@ -90,7 +129,11 @@ impl HssFactor {
                 continue;
             }
             let up = |&id: &usize| -> (usize, Matrix, Matrix) {
+                // INVARIANT: ids are filtered to non-leaves, which always
+                // carry children; the inventory check before the sweeps
+                // guarantees every internal id has a merge factor.
                 let (l, r) = tree.nodes[id].children.unwrap();
+                // INVARIANT: same inventory check covers the merge factors.
                 let mf = self.merges[id]
                     .as_ref()
                     .expect("every internal node has a merge factor");
@@ -136,11 +179,14 @@ impl HssFactor {
                 continue;
             }
             let down = |&id: &usize| -> [(usize, Matrix); 2] {
+                // INVARIANT: same as the upward sweep — non-leaf ids carry
+                // children and a merge factor (checked before the sweeps).
                 let (l, r) = tree.nodes[id].children.unwrap();
                 let kl = cds.sranks[l];
                 let kr = cds.sranks[r];
                 let m = kl + kr;
                 let kp = cds.sranks[id];
+                // INVARIANT: internal ids carry merge factors (see above).
                 let mf = self.merges[id].as_ref().unwrap();
                 let mut t = tcoef[id].clone();
                 if kp > 0 {
@@ -209,6 +255,8 @@ impl HssFactor {
 
         // ---- leaf combine: x_i = y_i - E_i s_i ----------------------------
         let combine = |&id: &usize| -> (usize, Matrix) {
+            // INVARIANT: leaf ids all carry a leaf factor (checked before
+            // the sweeps).
             let lf = self.leaves[id].as_ref().unwrap();
             let mut xi = y[id].clone();
             let k = lf.e.cols();
@@ -248,19 +296,22 @@ impl HssFactor {
             x.row_mut(tree.perm[p])
                 .copy_from_slice(&x_perm[p * q..(p + 1) * q]);
         }
-        x
+        Ok(x)
     }
 
     /// Solve `K~ x = b` for a single right-hand-side vector.
+    ///
+    /// # Errors
+    /// Same contract as [`solve_matrix`](HssFactor::solve_matrix).
     pub fn solve(
         &self,
         plan: &EvalPlan,
         tree: &ClusterTree,
         b: &[f64],
         opts: &ExecOptions,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, FactorError> {
         let bm = Matrix::from_vec(b.len(), 1, b.to_vec());
-        self.solve_matrix(plan, tree, &bm, opts).into_vec()
+        Ok(self.solve_matrix(plan, tree, &bm, opts)?.into_vec())
     }
 }
 
@@ -323,7 +374,9 @@ mod tests {
         let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let b = Matrix::random_uniform(n, 4, &mut rng);
-        let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+        let x = f
+            .solve_matrix(&plan, &tree, &b, &ExecOptions::full())
+            .expect("solve");
         // Applying the compressed operator to the solution must reproduce b
         // to near machine precision: the sweeps invert K~ exactly.
         let back = execute(&plan, &tree, &x, &ExecOptions::sequential());
@@ -337,9 +390,13 @@ mod tests {
         let (tree, plan) = fixture(n, Structure::Hss, grid_spacing(n));
         let f = factor(&plan, &tree, &ExecOptions::sequential()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
-        let xv = f.solve(&plan, &tree, &b, &ExecOptions::sequential());
+        let xv = f
+            .solve(&plan, &tree, &b, &ExecOptions::sequential())
+            .unwrap();
         let bm = Matrix::from_vec(n, 1, b.clone());
-        let xm = f.solve_matrix(&plan, &tree, &bm, &ExecOptions::sequential());
+        let xm = f
+            .solve_matrix(&plan, &tree, &bm, &ExecOptions::sequential())
+            .unwrap();
         assert_eq!(xv, xm.into_vec(), "q = 1 paths must agree bitwise");
     }
 
@@ -353,8 +410,12 @@ mod tests {
         assert_eq!(f_seq.merges, f_par.merges);
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let b = Matrix::random_uniform(n, 3, &mut rng);
-        let x_seq = f_seq.solve_matrix(&plan, &tree, &b, &ExecOptions::sequential());
-        let x_par = f_par.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+        let x_seq = f_seq
+            .solve_matrix(&plan, &tree, &b, &ExecOptions::sequential())
+            .unwrap();
+        let x_par = f_par
+            .solve_matrix(&plan, &tree, &b, &ExecOptions::full())
+            .unwrap();
         assert_eq!(x_seq.as_slice(), x_par.as_slice());
     }
 
@@ -417,5 +478,64 @@ mod tests {
         assert!(f.timings.total().as_nanos() > 0);
         assert!(f.storage_bytes() > 0);
         assert_eq!(f.n, n);
+        assert_eq!(f.timings.ridge_attempts, 0);
+        assert_eq!(f.timings.applied_ridge, 0.0);
+    }
+
+    #[test]
+    fn mismatched_rhs_and_factor_sizes_are_plan_mismatches() {
+        let n = 256;
+        let (tree, plan) = fixture(n, Structure::Hss, grid_spacing(n));
+        let f = factor(&plan, &tree, &ExecOptions::sequential()).unwrap();
+        let short = Matrix::zeros(n / 2, 1);
+        match f.solve_matrix(&plan, &tree, &short, &ExecOptions::sequential()) {
+            Err(FactorError::PlanMismatch(m)) => assert!(m.contains("rows"), "message: {m}"),
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+        // A factor whose inventory does not match the tree is rejected
+        // before any sweep touches it.
+        let mut broken = f.clone();
+        let leaf = tree.leaves()[0];
+        broken.leaves[leaf] = None;
+        let b = Matrix::zeros(n, 1);
+        match broken.solve_matrix(&plan, &tree, &b, &ExecOptions::sequential()) {
+            Err(FactorError::PlanMismatch(m)) => {
+                assert!(m.contains("leaf factor"), "message: {m}");
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ridge_shift_regularizes_the_operator() {
+        use crate::factor::factor_with_ridge;
+        let n = 256;
+        let (tree, plan) = fixture(n, Structure::Hss, grid_spacing(n));
+        let ridge = 1e-3;
+        let f = factor_with_ridge(&plan, &tree, &ExecOptions::sequential(), ridge).unwrap();
+        assert_eq!(f.timings.applied_ridge, ridge);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        let x = f
+            .solve(&plan, &tree, &b, &ExecOptions::sequential())
+            .unwrap();
+        // x solves (K~ + ridge I) x = b, so K~ x = b - ridge * x.
+        let xm = Matrix::from_vec(n, 1, x.clone());
+        let back = execute(&plan, &tree, &xm, &ExecOptions::sequential());
+        let expected = Matrix::from_vec(
+            n,
+            1,
+            b.iter().zip(&x).map(|(bi, xi)| bi - ridge * xi).collect(),
+        );
+        let err = relative_error(&back, &expected);
+        assert!(err < 1e-10, "(K~ + ridge I) x != b (err {err})");
+        // Negative and non-finite shifts are rejected.
+        assert!(matches!(
+            factor_with_ridge(&plan, &tree, &ExecOptions::sequential(), -1.0),
+            Err(FactorError::PlanMismatch(_))
+        ));
+        assert!(matches!(
+            factor_with_ridge(&plan, &tree, &ExecOptions::sequential(), f64::NAN),
+            Err(FactorError::PlanMismatch(_))
+        ));
     }
 }

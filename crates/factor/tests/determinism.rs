@@ -64,7 +64,9 @@ fn factor_and_solve_are_deterministic_across_thread_counts() {
 
     // Sequential reference (no pool involvement at all).
     let f_ref = factor(&plan, &tree, &ExecOptions::sequential()).expect("factor");
-    let x_ref = f_ref.solve_matrix(&plan, &tree, &b, &ExecOptions::sequential());
+    let x_ref = f_ref
+        .solve_matrix(&plan, &tree, &b, &ExecOptions::sequential())
+        .expect("solve");
 
     for &nt in &[1usize, 2, 4] {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -73,7 +75,9 @@ fn factor_and_solve_are_deterministic_across_thread_counts() {
             .unwrap();
         let (f, x) = pool.install(|| {
             let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
-            let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+            let x = f
+                .solve_matrix(&plan, &tree, &b, &ExecOptions::full())
+                .expect("solve");
             (f, x)
         });
         assert_eq!(
@@ -103,12 +107,13 @@ fn grain_settings_do_not_change_solutions() {
     let base = pool.install(|| {
         let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
         f.solve_matrix(&plan, &tree, &b, &ExecOptions::full())
+            .expect("solve")
     });
     for grain in [1usize, 2, 7, 64] {
         let opts = ExecOptions::full().with_grain(grain);
         let x = pool.install(|| {
             let f = factor(&plan, &tree, &opts).expect("factor");
-            f.solve_matrix(&plan, &tree, &b, &opts)
+            f.solve_matrix(&plan, &tree, &b, &opts).expect("solve")
         });
         assert_eq!(
             x.as_slice(),

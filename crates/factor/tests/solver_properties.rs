@@ -101,7 +101,7 @@ proptest! {
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead);
         let b = Matrix::random_uniform(n, 2, &mut rng);
-        let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+        let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full()).expect("solve");
         let bnorm = frobenius_norm(&b);
 
         // Property 1: the sweeps invert the compressed operator exactly.
@@ -136,10 +136,10 @@ proptest! {
         let f = factor(&plan, &tree, &ExecOptions::full()).expect("factor");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xbeef);
         let b = Matrix::random_uniform(n, 3, &mut rng);
-        let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full());
+        let x = f.solve_matrix(&plan, &tree, &b, &ExecOptions::full()).expect("solve");
         for c in 0..3 {
             let bc = b.col(c);
-            let xc = f.solve(&plan, &tree, &bc, &ExecOptions::full());
+            let xc = f.solve(&plan, &tree, &bc, &ExecOptions::full()).expect("solve");
             // Column-wise and blocked solves run the identical arithmetic
             // per column, so they agree bitwise.
             prop_assert_eq!(&xc, &x.col(c), "column {} diverged", c);

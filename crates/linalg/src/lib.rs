@@ -74,7 +74,7 @@ pub use gemm::{
 pub use id::{column_id, row_id, IdResult};
 pub use kernel::{simd_available, KernelArch, KernelChoice, KernelDispatch};
 pub use lu::{lu_factor, lu_solve, lu_solve_matrix, LuFactors, SingularMatrix};
-pub use matrix::Matrix;
+pub use matrix::{all_finite, Matrix};
 pub use norms::{frobenius_norm, relative_error};
 pub use qr::{pivoted_qr, PivotedQr};
 pub use solve::{

@@ -289,6 +289,14 @@ impl Matrix {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
     }
 
+    /// True when every element is finite (no NaN, no infinity).  The public
+    /// evaluation and solve entry points screen their inputs with this so a
+    /// poisoned request is rejected up front instead of propagating NaNs
+    /// through the sweeps.
+    pub fn all_finite(&self) -> bool {
+        all_finite(&self.data)
+    }
+
     /// Generate a matrix with entries drawn uniformly from `[-1, 1)` using the
     /// given RNG.  Used by the benchmark harnesses to build the dense
     /// right-hand-side matrix `W`.
@@ -299,6 +307,12 @@ impl Matrix {
         }
         Matrix { rows, cols, data }
     }
+}
+
+/// True when every element of the slice is finite (no NaN, no infinity).
+/// Slice twin of [`Matrix::all_finite`] for the vector entry points.
+pub fn all_finite(data: &[f64]) -> bool {
+    data.iter().all(|x| x.is_finite())
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -448,5 +462,17 @@ mod tests {
     fn max_abs_finds_largest_magnitude() {
         let m = Matrix::from_rows(&[vec![1.0, -5.0], vec![3.0, 2.0]]);
         assert_eq!(m.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn all_finite_detects_poison() {
+        let mut m = Matrix::filled(2, 3, 1.0);
+        assert!(m.all_finite());
+        m.set(1, 2, f64::NAN);
+        assert!(!m.all_finite());
+        m.set(1, 2, f64::INFINITY);
+        assert!(!m.all_finite());
+        assert!(all_finite(&[0.0, -1.0]));
+        assert!(!all_finite(&[0.0, f64::NEG_INFINITY]));
     }
 }

@@ -8,7 +8,7 @@
 //! compiler and clippy enforce what they can — `forbid(unsafe_code)`,
 //! `unsafe_op_in_unsafe_fn`, `undocumented_unsafe_blocks` via the
 //! `[workspace.lints]` table — and this crate enforces the rest; see
-//! [`rules`] for the five rules.
+//! [`rules`] for the six rules.
 //!
 //! Run it from the workspace root (CI runs it in the fail-early `lint`
 //! job):
@@ -119,6 +119,7 @@ pub fn run_all(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     diags.extend(rules::unsafe_allowlist(&files, &cfg));
     diags.extend(rules::safety_comments(&files));
     diags.extend(rules::concurrency_confinement(&files, &cfg));
+    diags.extend(rules::unwrap_ban(&files, &cfg));
 
     let knobs_md = std::fs::read_to_string(root.join("KNOBS.md")).unwrap_or_default();
     let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();

@@ -39,7 +39,7 @@ fn main() {
         Ok(diags) if diags.is_empty() => {
             println!(
                 "matrox-lint: workspace clean (unsafe-allowlist, safety-comment, \
-                 concurrency, knob-manifest, bench-sync)"
+                 concurrency, knob-manifest, bench-sync, unwrap-ban)"
             );
         }
         Ok(diags) => {

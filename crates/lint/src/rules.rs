@@ -1,4 +1,4 @@
-//! The five project-specific rules. Each takes tokenized sources and
+//! The six project-specific rules. Each takes tokenized sources and
 //! returns [`Diagnostic`]s; an empty return means the rule passes.
 //!
 //! The rules encode policy the stock toolchain cannot express:
@@ -21,6 +21,11 @@
 //!    `crates/bench/thresholds.json`, and the committed `BENCH_*.json`
 //!    summaries agree, so a renamed metric fails the build instead of
 //!    silently skipping the perf gate.
+//! 6. [`unwrap_ban`] — non-test library code in the fault-tolerant core
+//!    (`crates/{core,exec,factor}/src/`) may not `.unwrap()`/`.expect()`:
+//!    public entry points return `MatroxError`/`FactorError` instead.  The
+//!    audited exceptions (internal invariants the type system cannot see)
+//!    live on an allowlist and each site carries an `INVARIANT:` comment.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -63,6 +68,13 @@ pub struct Config {
     /// Path prefixes exempt from the concurrency rule (the pool itself and
     /// the other vendored stand-ins).
     pub concurrency_exempt_prefixes: Vec<String>,
+    /// Path prefixes where non-test `.unwrap()`/`.expect()` is banned (the
+    /// crates whose public APIs promise structured errors).
+    pub unwrap_ban_prefixes: Vec<String>,
+    /// Files inside the banned prefixes allowed to keep unwrap/expect for
+    /// internal invariants; every such site must carry an attached
+    /// `INVARIANT:` comment stating why it cannot fail.
+    pub unwrap_allowlist: Vec<String>,
 }
 
 impl Config {
@@ -72,6 +84,9 @@ impl Config {
     pub fn workspace() -> Self {
         Config {
             unsafe_allowlist: vec![
+                // Counting global allocator pinning the corruption-fuzz
+                // bounded-allocation property.
+                "crates/core/tests/corruption_fuzz.rs".into(),
                 // Allocation-free executor panel loop: RawSlots disjoint
                 // raw slicing (invariants verified at prepare time).
                 "crates/exec/src/executor.rs".into(),
@@ -89,12 +104,30 @@ impl Config {
                 "crates/bench/src/lib.rs".into(),
                 // GOFMM baseline: per-node Mutex accumulation cells.
                 "crates/baselines/src/gofmm.rs".into(),
+                // Failpoint registry: process-global Mutex'd map shared with
+                // pool workers.
+                "crates/core/src/failpoint.rs".into(),
                 // EvalSession statistics counters (monotonic AtomicU64s).
                 "crates/core/src/session.rs".into(),
                 // Allocation counter inside the counting test allocator.
+                "crates/core/tests/corruption_fuzz.rs".into(),
                 "crates/exec/tests/alloc_free.rs".into(),
             ],
             concurrency_exempt_prefixes: vec!["vendor/".into()],
+            unwrap_ban_prefixes: vec![
+                "crates/core/src/".into(),
+                "crates/exec/src/".into(),
+                "crates/factor/src/".into(),
+            ],
+            unwrap_allowlist: vec![
+                // Prepared-executor sweeps: children/rank-offset invariants
+                // established when the plan was prepared.
+                "crates/exec/src/executor.rs".into(),
+                // ULV factorization/solve: tree-topology and inventory
+                // invariants checked before the sweeps run.
+                "crates/factor/src/factor.rs".into(),
+                "crates/factor/src/solve.rs".into(),
+            ],
         }
     }
 }
@@ -561,5 +594,111 @@ pub fn bench_thresholds_sync(
         }
     }
 
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: unwrap/expect ban in the fault-tolerant core
+// ---------------------------------------------------------------------------
+
+/// Index of the first `#[cfg(test)]` attribute in the token stream, if any.
+/// The workspace convention puts the in-file test module last, so tokens at
+/// or after this index are test code and exempt from the unwrap ban.
+fn first_cfg_test_index(tokens: &[Token]) -> Option<usize> {
+    (0..tokens.len()).find(|&i| {
+        tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+    })
+}
+
+/// Does the statement containing token `idx` carry an attached `INVARIANT:`
+/// comment? Same walk-back attachment as [`has_safety_comment`]: comments
+/// between the site and the previous statement/item boundary count.
+fn has_invariant_comment(tokens: &[Token], idx: usize) -> bool {
+    for t in tokens[..idx].iter().rev() {
+        match &t.kind {
+            TokenKind::Comment { text, .. } if text.contains("INVARIANT") => return true,
+            TokenKind::Punct('{') | TokenKind::Punct('}') | TokenKind::Punct(';') => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Non-test code under the banned prefixes may not call `.unwrap()` /
+/// `.expect()`: public entry points return `MatroxError` / `FactorError`
+/// instead of panicking on bad input. Audited internal-invariant sites live
+/// on the allowlist and must each carry an attached `INVARIANT:` comment;
+/// allowlist entries whose file has no remaining sites are flagged as stale.
+pub fn unwrap_ban(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in files {
+        if !cfg
+            .unwrap_ban_prefixes
+            .iter()
+            .any(|p| f.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let allowed = cfg.unwrap_allowlist.iter().any(|a| a == &f.path);
+        let end = first_cfg_test_index(&f.tokens).unwrap_or(f.tokens.len());
+        for (i, t) in f.tokens[..end].iter().enumerate() {
+            // A call site is `. unwrap (` / `. expect (` on the token
+            // stream; the lexer emits whole identifiers, so combinators
+            // like `unwrap_or_else` cannot match.
+            let is_site = (t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && f.tokens[i - 1].is_punct('.')
+                && f.tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if !is_site {
+                continue;
+            }
+            let TokenKind::Ident(name) = &t.kind else {
+                continue;
+            };
+            if !allowed {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "unwrap-ban",
+                    message: format!(
+                        "`.{name}()` in non-test code of the fault-tolerant core; return \
+                         `MatroxError`/`FactorError` instead, or allowlist the file with \
+                         a per-site INVARIANT: comment ({DESIGN_POINTER})"
+                    ),
+                });
+                continue;
+            }
+            *seen.entry(f.path.as_str()).or_insert(0) += 1;
+            if !has_invariant_comment(&f.tokens, i) {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: t.line,
+                    rule: "unwrap-ban",
+                    message: format!(
+                        "allowlisted `.{name}()` without an attached `// INVARIANT:` \
+                         comment stating why it cannot fail"
+                    ),
+                });
+            }
+        }
+    }
+    for a in &cfg.unwrap_allowlist {
+        let present = files.iter().any(|f| &f.path == a);
+        if present && !seen.contains_key(a.as_str()) {
+            diags.push(Diagnostic {
+                path: a.clone(),
+                line: 1,
+                rule: "unwrap-ban",
+                message: "allowlisted file has no non-test unwrap/expect left; remove it \
+                          from the allowlist (crates/lint/src/rules.rs)"
+                    .into(),
+            });
+        }
+    }
     diags
 }

@@ -67,6 +67,8 @@ fn empty_config() -> Config {
         unsafe_allowlist: vec![],
         concurrency_allowlist: vec![],
         concurrency_exempt_prefixes: vec!["vendor/".into()],
+        unwrap_ban_prefixes: vec![],
+        unwrap_allowlist: vec![],
     }
 }
 
@@ -379,6 +381,108 @@ fn bench_sync_tolerates_uncommitted_artifacts() {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: unwrap/expect ban
+// ---------------------------------------------------------------------------
+
+/// Per-case config: the fixture lives at a virtual path inside the banned
+/// prefix; `allowlist` decides whether it may carry audited sites.
+fn ban_config(allowlist: &[&str]) -> Config {
+    let mut cfg = empty_config();
+    cfg.unwrap_ban_prefixes = vec!["crates/core/src/".into()];
+    cfg.unwrap_allowlist = allowlist.iter().map(|s| s.to_string()).collect();
+    cfg
+}
+
+#[test]
+fn unwrap_ban_accepts_allowlisted_sites_with_invariant_comments() {
+    let files = [load_as(
+        "unwrap_ban/pass_invariant_comment.rs",
+        "crates/core/src/x.rs",
+    )];
+    assert_clean(
+        &rules::unwrap_ban(&files, &ban_config(&["crates/core/src/x.rs"])),
+        "invariant-comment fixture",
+    );
+}
+
+#[test]
+fn unwrap_ban_accepts_test_module_unwraps() {
+    // Not allowlisted, yet clean: every site sits at or after `#[cfg(test)]`.
+    let files = [load_as(
+        "unwrap_ban/pass_test_module_unwrap.rs",
+        "crates/core/src/x.rs",
+    )];
+    assert_clean(
+        &rules::unwrap_ban(&files, &ban_config(&[])),
+        "test-module fixture",
+    );
+}
+
+#[test]
+fn unwrap_ban_accepts_combinators_and_out_of_scope_files() {
+    let cfg = ban_config(&[]);
+    // `unwrap_or_else` / `unwrap_or_default` are not panicking sites.
+    let files = [load_as(
+        "unwrap_ban/pass_combinators.rs",
+        "crates/core/src/x.rs",
+    )];
+    assert_clean(&rules::unwrap_ban(&files, &cfg), "combinator fixture");
+    // The same source that fails in scope is clean outside the prefixes.
+    let files = [load_as(
+        "unwrap_ban/fail_unlisted_unwrap.rs",
+        "crates/bench/src/lib.rs",
+    )];
+    assert_clean(&rules::unwrap_ban(&files, &cfg), "out-of-scope fixture");
+}
+
+#[test]
+fn unwrap_ban_rejects_unlisted_sites() {
+    let files = [load_as(
+        "unwrap_ban/fail_unlisted_unwrap.rs",
+        "crates/core/src/x.rs",
+    )];
+    let diags = rules::unwrap_ban(&files, &ban_config(&[]));
+    assert_fails(&diags, "unwrap-ban", "unlisted fixture");
+    // Both the .unwrap() and the .expect() site are flagged, and the
+    // message points at the structured-error alternative.
+    assert_eq!(diags.len(), 2, "both sites should be flagged: {diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("MatroxError")),
+        "diagnostic should name the error taxonomy: {diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_ban_requires_per_site_invariant_comments() {
+    // Allowlisted, but one of the two sites has no attached INVARIANT:
+    // comment (a comment on a *previous* statement does not attach).
+    let files = [load_as(
+        "unwrap_ban/fail_missing_invariant.rs",
+        "crates/core/src/x.rs",
+    )];
+    let diags = rules::unwrap_ban(&files, &ban_config(&["crates/core/src/x.rs"]));
+    assert_eq!(
+        diags.len(),
+        1,
+        "exactly the uncommented site should be flagged: {diags:?}"
+    );
+    assert_eq!(diags[0].rule, "unwrap-ban");
+}
+
+#[test]
+fn unwrap_ban_flags_stale_allowlist_entries() {
+    let files = [load_as(
+        "unwrap_ban/fail_stale_allowlist.rs",
+        "crates/core/src/x.rs",
+    )];
+    assert_fails(
+        &rules::unwrap_ban(&files, &ban_config(&["crates/core/src/x.rs"])),
+        "unwrap-ban",
+        "stale unwrap-allowlist entry",
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Corpus hygiene + workspace self-check
 // ---------------------------------------------------------------------------
 
@@ -412,6 +516,12 @@ fn every_fixture_is_referenced() {
         "bench_sync/pass_gate.rs",
         "bench_sync/fail_missing_threshold.rs",
         "bench_sync/fail_missing_bench_key.rs",
+        "unwrap_ban/pass_invariant_comment.rs",
+        "unwrap_ban/pass_test_module_unwrap.rs",
+        "unwrap_ban/pass_combinators.rs",
+        "unwrap_ban/fail_unlisted_unwrap.rs",
+        "unwrap_ban/fail_missing_invariant.rs",
+        "unwrap_ban/fail_stale_allowlist.rs",
     ];
     let root = fixtures_dir();
     let mut stack = vec![root.clone()];

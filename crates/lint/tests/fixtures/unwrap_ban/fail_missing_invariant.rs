@@ -1,0 +1,10 @@
+//! Must fail: the file is allowlisted, but only the first site carries an
+//! attached INVARIANT: comment — the second sits past a statement boundary,
+//! so the comment does not attach to it.
+
+pub fn both(offsets: &[usize], slot: Option<&str>) -> usize {
+    // INVARIANT: offsets always has the sentinel 0 entry.
+    let n = *offsets.last().unwrap();
+    let s = slot.expect("slot populated");
+    n + s.len()
+}

@@ -1,0 +1,6 @@
+//! Must fail when allowlisted: there is no unwrap/expect left in non-test
+//! code, so the allowlist entry is stale and must be removed.
+
+pub fn clean(v: Option<usize>) -> usize {
+    v.unwrap_or(0)
+}

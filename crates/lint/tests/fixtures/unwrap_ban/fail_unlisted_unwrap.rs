@@ -1,0 +1,10 @@
+//! Must fail: non-test unwrap/expect in a banned-prefix file that is not
+//! on the allowlist — both sites should be flagged.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller passes digits")
+}

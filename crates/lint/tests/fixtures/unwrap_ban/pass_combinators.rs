@@ -1,0 +1,11 @@
+//! Not allowlisted, yet clean: `unwrap_or_else` / `unwrap_or_default` /
+//! `unwrap_or` are non-panicking combinators, not banned sites, and the
+//! words in strings or comments are invisible to the token scan.
+
+pub fn fallbacks(v: Option<usize>) -> usize {
+    // Mentioning .unwrap() in a comment is fine.
+    let a = v.unwrap_or(0);
+    let b = v.unwrap_or_default();
+    let c = v.unwrap_or_else(|| "never .expect( this".len());
+    a + b + c
+}

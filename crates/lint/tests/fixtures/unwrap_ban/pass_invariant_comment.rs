@@ -1,0 +1,13 @@
+//! Allowlisted file: every unwrap/expect site carries an attached
+//! INVARIANT: comment, so the audit holds.
+
+pub fn total(offsets: &[usize]) -> usize {
+    // INVARIANT: offsets always has the sentinel 0 entry, pushed at
+    // construction, so last() cannot be None.
+    *offsets.last().unwrap()
+}
+
+pub fn merge(slot: Option<&str>) -> &str {
+    // INVARIANT: the caller populated every slot during the upward sweep.
+    slot.expect("slot populated during upward sweep")
+}

@@ -29,7 +29,7 @@ fn main() {
 
     // ---- MatRox with reuse: p1 once, p2 per accuracy -----------------------
     let t0 = Instant::now();
-    let p1 = inspector_p1(&points, &kernel, &params);
+    let p1 = inspector_p1(&points, &kernel, &params).expect("inspector p1");
     let p1_time = t0.elapsed();
     let mut reuse_total = p1_time;
     println!("inspector-p1 (reusable): {:.3} s", p1_time.as_secs_f64());
@@ -39,13 +39,13 @@ fn main() {
     );
     for &bacc in &baccs {
         let t0 = Instant::now();
-        let h = inspector_p2(&points, &p1, &kernel, bacc);
+        let h = inspector_p2(&points, &p1, &kernel, bacc).expect("inspector p2");
         let p2_time = t0.elapsed();
         let t0 = Instant::now();
-        let _y = h.matmul(&w);
+        let _y = h.matmul(&w).expect("matmul");
         let eval_time = t0.elapsed();
         reuse_total += p2_time + eval_time;
-        let acc = h.overall_accuracy(&points, &w);
+        let acc = h.overall_accuracy(&points, &w).expect("accuracy probe");
         println!(
             "{bacc:>8.0e}  {:>12.3}  {:>12.3}  {acc:>10.2e}",
             p2_time.as_secs_f64(),
@@ -56,8 +56,8 @@ fn main() {
     // ---- library behaviour: full re-inspection per accuracy ----------------
     let t0 = Instant::now();
     for &bacc in &baccs {
-        let h = inspector(&points, &kernel, &params.with_bacc(bacc));
-        let _y = h.matmul(&w);
+        let h = inspector(&points, &kernel, &params.with_bacc(bacc)).expect("inspector");
+        let _y = h.matmul(&w).expect("matmul");
     }
     let full_total = t0.elapsed();
 

@@ -57,10 +57,10 @@ fn main() {
         structure,
         ..MatRoxParams::default()
     };
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("inspector");
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let w = Matrix::random_uniform(n, q, &mut rng);
-    let (y_matrox, t_matrox) = time(|| h.matmul(&w), 2);
+    let (y_matrox, t_matrox) = time(|| h.matmul(&w).expect("matmul"), 2);
     let gflops = |secs: f64| h.flops(q) as f64 / secs / 1e9;
     println!(
         "{:<28} {:>9.3} s  {:>8.1} GFLOP/s",

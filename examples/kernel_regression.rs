@@ -78,12 +78,12 @@ fn main() {
     // ---- compress once, evaluate many times -------------------------------
     let params = MatRoxParams::h2b().with_bacc(1e-6).with_leaf_size(64);
     let t0 = Instant::now();
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("inspector");
     println!("inspector: {:.3} s", t0.elapsed().as_secs_f64());
 
     let cg_iters = 30;
     let t0 = Instant::now();
-    let alpha_h = cg_solve(|v| h.matvec(v), &targets, lambda, cg_iters);
+    let alpha_h = cg_solve(|v| h.matvec(v).expect("matvec"), &targets, lambda, cg_iters);
     let hmatrix_time = t0.elapsed();
     println!(
         "CG with HMatrix products: {:.3} s ({cg_iters} iterations)",
@@ -125,7 +125,7 @@ fn main() {
     );
 
     // ---- training error with the HMatrix weights --------------------------
-    let pred = h.matvec(&alpha_h);
+    let pred = h.matvec(&alpha_h).expect("matvec");
     let mse: f64 = pred
         .iter()
         .zip(&targets)

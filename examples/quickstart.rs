@@ -29,7 +29,7 @@ fn main() {
 
     // ---- inspector: compression + structure analysis + code generation ----
     let t0 = Instant::now();
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("inspector");
     let inspect_time = t0.elapsed();
     let t = &h.timings;
     println!("\ninspector: {:.3} s", inspect_time.as_secs_f64());
@@ -57,7 +57,7 @@ fn main() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
     let w = Matrix::random_uniform(n, q, &mut rng);
     let t0 = Instant::now();
-    let y = h.matmul(&w);
+    let y = h.matmul(&w).expect("matmul");
     let eval_time = t0.elapsed();
     let gflops = h.flops(q) as f64 / eval_time.as_secs_f64() / 1e9;
     println!(
@@ -68,7 +68,7 @@ fn main() {
 
     // ---- accuracy check against the exact product -------------------------
     let wq = Matrix::random_uniform(n, 8, &mut rng);
-    let acc = h.overall_accuracy(&points, &wq);
+    let acc = h.overall_accuracy(&points, &wq).expect("accuracy probe");
     println!(
         "\noverall accuracy eps_f = {acc:.2e} (bacc = {:.0e})",
         h.bacc

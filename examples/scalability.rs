@@ -65,14 +65,14 @@ fn main() {
         let (t_matrox, t_gofmm) = pool.install(|| {
             // Inspector inside the pool so `p` matches the thread count.
             let params = MatRoxParams::h2b().with_partitions(nt);
-            let h = inspector(&points, &kernel, &params);
+            let h = inspector(&points, &kernel, &params).expect("inspector");
             let opts = if nt == 1 {
                 ExecOptions::sequential()
             } else {
                 ExecOptions::from_plan(&h.plan)
             };
             let t0 = Instant::now();
-            let _ = h.matmul_with(&w, &opts);
+            let _ = h.matmul_with(&w, &opts).expect("matmul");
             let t_matrox = t0.elapsed().as_secs_f64();
 
             let tree = ClusterTree::build(&points, params.partition, params.leaf_size, params.seed);

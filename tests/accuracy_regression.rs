@@ -50,10 +50,10 @@ fn measure(structure: Structure, bacc: f64) -> f64 {
         bacc,
         ..MatRoxParams::default()
     };
-    let h = inspector(&pts, &kernel, &params);
+    let h = inspector(&pts, &kernel, &params).expect("inspector");
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let w = Matrix::random_uniform(N, Q, &mut rng);
-    h.overall_accuracy(&pts, &w)
+    h.overall_accuracy(&pts, &w).expect("accuracy probe")
 }
 
 #[test]

@@ -37,8 +37,8 @@ fn hmatrix_matches_dense_product_on_all_structures() {
             ..MatRoxParams::default()
         }
         .with_leaf_size(64);
-        let h = inspector(&points, &kernel, &params);
-        let y = h.matmul(&w);
+        let h = inspector(&points, &kernel, &params).expect("inspector");
+        let y = h.matmul(&w).expect("matmul");
         let err = relative_error(&y, &exact);
         assert!(err < 5e-2, "{} structure: error {err}", structure.name());
     }
@@ -70,13 +70,13 @@ fn all_evaluation_strategies_agree_exactly() {
     let y_ref = reference_evaluate(&c, &tree, &htree, &w);
 
     // MatRox executor through the public API.
-    let p1 = inspector_p1(&points, &kernel, &params);
-    let h = inspector_p2(&points, &p1, &kernel, 1e-6);
+    let p1 = inspector_p1(&points, &kernel, &params).expect("inspector p1");
+    let h = inspector_p2(&points, &p1, &kernel, 1e-6).expect("inspector p2");
     // Note: p1/p2 rebuild compression internally with the same inputs, so the
     // result must agree with the reference built above to the compression
     // accuracy (not bit-exactly, because sampling RNG streams are identical
     // but rayon summation order differs).
-    let y_matrox = h.matmul(&w);
+    let y_matrox = h.matmul(&w).expect("matmul");
     assert!(relative_error(&y_matrox, &y_ref) < 1e-10);
 
     // Baselines over the same compression object.
@@ -129,11 +129,14 @@ fn executor_ablations_are_numerically_identical_through_public_api() {
     let n = 1024;
     let points = generate(DatasetId::Higgs, n, 1);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-    let h = inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(64));
+    let h =
+        inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(64)).expect("inspector");
     let w = rhs(n, 4, 7);
-    let seq = h.matmul_with(&w, &ExecOptions::sequential());
-    let full = h.matmul_with(&w, &ExecOptions::full());
-    let plan = h.matmul(&w);
+    let seq = h
+        .matmul_with(&w, &ExecOptions::sequential())
+        .expect("matmul");
+    let full = h.matmul_with(&w, &ExecOptions::full()).expect("matmul");
+    let plan = h.matmul(&w).expect("matmul");
     assert!(relative_error(&full, &seq) < 1e-12);
     assert!(relative_error(&plan, &seq) < 1e-12);
 }
@@ -143,7 +146,7 @@ fn compression_ratio_exceeds_one_at_moderate_size() {
     let n = 4096;
     let points = generate(DatasetId::Grid, n, 2);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-    let h = inspector(&points, &kernel, &MatRoxParams::hss());
+    let h = inspector(&points, &kernel, &MatRoxParams::hss()).expect("inspector");
     assert!(
         h.compression_ratio() > 2.0,
         "compression ratio {} too small at N = {n}",
@@ -156,11 +159,17 @@ fn serialization_roundtrip_through_facade() {
     let n = 512;
     let points = generate(DatasetId::Pen, n, 9);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
-    let h = inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+    let h =
+        inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(32)).expect("inspector");
     let bytes = matrox::core::to_bytes(&h);
     let h2 = matrox::core::from_bytes(bytes).unwrap();
     let w = rhs(n, 2, 11);
-    assert!(relative_error(&h2.matmul(&w), &h.matmul(&w)) < 1e-14);
+    assert!(
+        relative_error(
+            &h2.matmul(&w).expect("matmul"),
+            &h.matmul(&w).expect("matmul")
+        ) < 1e-14
+    );
 }
 
 #[test]
@@ -169,13 +178,13 @@ fn inspector_reuse_changes_accuracy_without_p1() {
     let points = generate(DatasetId::Dino, n, 6);
     let kernel = Kernel::smash_default();
     let params = MatRoxParams::smash_setting().with_leaf_size(64);
-    let p1 = inspector_p1(&points, &kernel, &params);
+    let p1 = inspector_p1(&points, &kernel, &params).expect("inspector p1");
     let w = rhs(n, 4, 13);
     let exact = dense_kernel_matmul(&points, &kernel, &w);
     let mut errors = Vec::new();
     for bacc in [1e-2, 1e-5] {
-        let h = inspector_p2(&points, &p1, &kernel, bacc);
-        errors.push(relative_error(&h.matmul(&w), &exact));
+        let h = inspector_p2(&points, &p1, &kernel, bacc).expect("inspector p2");
+        errors.push(relative_error(&h.matmul(&w).expect("matmul"), &exact));
     }
     assert!(
         errors[1] <= errors[0],
@@ -188,16 +197,17 @@ fn q_column_counts_from_one_to_many_work() {
     let n = 512;
     let points = generate(DatasetId::Random, n, 8);
     let kernel = Kernel::Gaussian { bandwidth: 1.0 };
-    let h = inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(32));
+    let h =
+        inspector(&points, &kernel, &MatRoxParams::h2b().with_leaf_size(32)).expect("inspector");
     for q in [1usize, 3, 17, 64] {
         let w = rhs(n, q, q as u64);
-        let y = h.matmul(&w);
+        let y = h.matmul(&w).expect("matmul");
         assert_eq!(y.shape(), (n, q));
     }
     // matvec helper agrees with Q = 1 matmul
     let w = rhs(n, 1, 99);
-    let y1 = h.matmul(&w);
-    let yv = h.matvec(w.as_slice());
+    let y1 = h.matmul(&w).expect("matmul");
+    let yv = h.matvec(w.as_slice()).expect("matvec");
     assert_eq!(yv.len(), n);
     for (i, &yvi) in yv.iter().enumerate() {
         assert!((y1.get(i, 0) - yvi).abs() < 1e-12);
@@ -213,9 +223,13 @@ fn dense_baseline_matches_hmatrix_within_accuracy() {
         &points,
         &kernel,
         &MatRoxParams::h2b().with_bacc(1e-7).with_leaf_size(64),
-    );
+    )
+    .expect("inspector");
     let dense = DenseBaseline::new(&points, kernel);
     let w = rhs(n, 4, 17);
-    let err = relative_error(&h.matmul(&w), &dense.evaluate_assembled(&w));
+    let err = relative_error(
+        &h.matmul(&w).expect("matmul"),
+        &dense.evaluate_assembled(&w),
+    );
     assert!(err < 1e-2, "error vs dense {err}");
 }

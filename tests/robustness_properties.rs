@@ -1,0 +1,112 @@
+//! Property-based robustness tests: poisoned inputs (NaN/Inf in a
+//! right-hand side or a point set) must surface as
+//! [`MatroxError::InvalidInput`] — never a panic, never a silently wrong
+//! answer — and a rejected request must leave the session in a state where
+//! the next clean call returns bit-for-bit the same result it would have
+//! without the rejection.
+
+use matrox::core::MatroxError;
+use matrox::{generate, inspector, DatasetId, EvalSession, Kernel, MatRoxParams, Matrix, PointSet};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const N: usize = 128;
+const Q: usize = 4;
+
+/// One session + its clean-baseline answer, built once: session
+/// construction dominates the per-case cost and the properties under test
+/// are about the session's behavior *after* construction.
+fn shared_session() -> &'static (EvalSession, Matrix) {
+    static SESSION: OnceLock<(EvalSession, Matrix)> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        let points = generate(DatasetId::Grid, N, 0);
+        let kernel = Kernel::Gaussian { bandwidth: 2.0 };
+        let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+        let session = EvalSession::build(&points, &kernel, &params).expect("session build");
+        let w = clean_rhs(1.0);
+        let baseline = session.evaluate(&w).expect("baseline evaluate");
+        (session, baseline)
+    })
+}
+
+fn clean_rhs(scale: f64) -> Matrix {
+    let mut w = Matrix::zeros(N, Q);
+    for i in 0..N {
+        for j in 0..Q {
+            w.set(i, j, scale * ((i + 1) as f64) / ((j + 2) as f64));
+        }
+    }
+    w
+}
+
+fn arb_poison() -> impl Strategy<Value = f64> {
+    (0usize..3).prop_map(|k| match k {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        _ => f64::NEG_INFINITY,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A single poisoned RHS entry, anywhere, is rejected as InvalidInput
+    /// and the very next clean evaluation is bitwise identical to the
+    /// pre-rejection baseline.
+    #[test]
+    fn poisoned_rhs_is_rejected_and_does_not_poison_the_session(
+        row in 0usize..N,
+        col in 0usize..Q,
+        poison in arb_poison(),
+    ) {
+        let (session, baseline) = shared_session();
+        let mut w = clean_rhs(1.0);
+        w.set(row, col, poison);
+        let err = session.evaluate(&w).expect_err("poisoned RHS must be rejected");
+        prop_assert!(
+            matches!(err, MatroxError::InvalidInput(_)),
+            "wrong error for poisoned RHS: {err:?}"
+        );
+        let again = session.evaluate(&clean_rhs(1.0)).expect("clean evaluate");
+        prop_assert_eq!(again.as_slice(), baseline.as_slice());
+    }
+
+    /// A wrong-shaped RHS is rejected the same way.
+    #[test]
+    fn mis_shaped_rhs_is_rejected(
+        rows in (1usize..256).prop_map(|r| if r == N { N + 1 } else { r }),
+    ) {
+        let (session, baseline) = shared_session();
+        let err = session
+            .evaluate(&Matrix::filled(rows, Q, 1.0))
+            .expect_err("mis-shaped RHS must be rejected");
+        prop_assert!(matches!(err, MatroxError::InvalidInput(_)));
+        let again = session.evaluate(&clean_rhs(1.0)).expect("clean evaluate");
+        prop_assert_eq!(again.as_slice(), baseline.as_slice());
+    }
+
+    /// A point set with one poisoned coordinate is rejected by the
+    /// inspector (and therefore by session construction) as InvalidInput,
+    /// and inspecting the clean twin of the same set still succeeds.
+    #[test]
+    fn poisoned_point_sets_are_rejected_by_the_inspector(
+        n in 16usize..96,
+        dim in 1usize..4,
+        index_seed in 0usize..4096,
+        poison in arb_poison(),
+    ) {
+        let kernel = Kernel::Gaussian { bandwidth: 2.0 };
+        let params = MatRoxParams::h2b().with_bacc(1e-4).with_leaf_size(16);
+        let mut coords: Vec<f64> = (0..n * dim).map(|i| (i % 17) as f64 * 0.25).collect();
+        inspector(&PointSet::new(dim, coords.clone()), &kernel, &params)
+            .expect("clean point set must inspect");
+        let poison_at = index_seed % coords.len();
+        coords[poison_at] = poison;
+        let err = inspector(&PointSet::new(dim, coords), &kernel, &params)
+            .expect_err("poisoned point set must be rejected");
+        prop_assert!(
+            matches!(err, MatroxError::InvalidInput(_)),
+            "wrong error for poisoned points: {err:?}"
+        );
+    }
+}

@@ -25,13 +25,13 @@ use matrox_bench::solve_setting;
 fn acceptance_at(n: usize) {
     let points = generate(DatasetId::Grid, n, 0);
     let (kernel, params) = solve_setting(n, 1e-7);
-    let h = inspector(&points, &kernel, &params);
+    let h = inspector(&points, &kernel, &params).expect("inspector");
     let fh = h
         .factorize()
         .expect("HSS SPD kernel-ridge matrix must factor");
 
     let b = Matrix::from_fn(n, 1, |i, _| ((i % 17) as f64 - 8.0) * 0.25);
-    let x = fh.solve_matrix(&b);
+    let x = fh.solve_matrix(&b).expect("solve");
 
     // (1) residual against the exact kernel matrix.
     let residual = fh.relative_residual(&points, &x, &b);
@@ -63,6 +63,7 @@ fn acceptance_at(n: usize) {
                 .factorize_with(&ExecOptions::full())
                 .expect("factor under pool");
             f.solve_matrix_with(&b, &ExecOptions::full())
+                .expect("solve")
         });
         runs.push(xi);
     }
