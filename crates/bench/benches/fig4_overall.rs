@@ -18,14 +18,14 @@ fn bench_fig4(c: &mut Criterion) {
 
     // Inspector cost (paid once, independent of Q).
     group.bench_function("matrox_inspector", |b| {
-        b.iter(|| build_hmatrix(dataset, n, structure, 1e-5).1)
+        b.iter(|| build_hmatrix(dataset, n, structure, 1e-5).expect("build").1)
     });
     group.bench_function("gofmm_compression", |b| {
         b.iter(|| build_baseline(&points, dataset, structure, 1e-5).compression)
     });
 
     // Executor cost for growing Q (this is what amortizes the inspector).
-    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5).expect("build");
     let setup = build_baseline(&points, dataset, structure, 1e-5);
     for q in [1usize, 64, 256] {
         let w = random_w(n, q, q as u64);

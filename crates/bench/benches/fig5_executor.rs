@@ -13,7 +13,7 @@ fn bench_structure(c: &mut Criterion, dataset: DatasetId, structure: Structure, 
     let n = 1024;
     let q = 128;
     let points = generate(dataset, n, 0);
-    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5).expect("build");
     let setup = build_baseline(&points, dataset, structure, 1e-5);
     let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);
     let w = random_w(n, q, 3);

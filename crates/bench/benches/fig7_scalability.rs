@@ -12,13 +12,13 @@ use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 
 fn bench_fig7(c: &mut Criterion) {
-    println!("{}", pool_self_check().report());
+    println!("{}", pool_self_check().expect("pool self-check").report());
     let n = 2048;
     let q = 128;
     let dataset = DatasetId::Covtype;
     let structure = Structure::h2b();
     let points = generate(dataset, n, 0);
-    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5);
+    let (_, h) = build_hmatrix(dataset, n, structure, 1e-5).expect("build");
     let setup = build_baseline(&points, dataset, structure, 1e-5);
     let w = random_w(n, q, 11);
 

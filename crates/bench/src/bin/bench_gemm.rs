@@ -27,7 +27,7 @@ use matrox_bench::{
     json_f64, json_opt, pool_banner, self_check_json, solve_setting, time_best, write_bench_json,
     HarnessArgs,
 };
-use matrox_core::{inspector, EvalSession, MatRoxParams};
+use matrox_core::{inspector, EvalSession, MatRoxParams, MatroxError};
 use matrox_linalg::{
     frobenius_norm, gemm_seq, simd_available, GemmOp, KernelChoice, KernelDispatch, Matrix,
 };
@@ -174,25 +174,27 @@ fn measure(disp: KernelDispatch, s: &Shape) -> (f64, f64) {
 
 /// Executor-level delta: one session per kernel choice over the same plan
 /// inputs; returns (eval seconds, session) so the caller can diff outputs.
-fn exec_session(n: usize, choice: KernelChoice) -> EvalSession {
+fn exec_session(n: usize, choice: KernelChoice) -> Result<EvalSession, MatroxError> {
     let pts = generate(DatasetId::Grid, n, 17);
     let kernel = Kernel::Gaussian { bandwidth: 5.0 };
     let params = MatRoxParams::h2b().with_bacc(1e-5).with_kernel(choice);
-    EvalSession::build(&pts, &kernel, &params).expect("harness inputs")
+    EvalSession::build(&pts, &kernel, &params)
 }
 
 /// `--probe solve` subprocess body: factor + solve under the process-wide
 /// kernel selection, one JSON line on stdout.
-fn solve_probe(n: usize) {
+fn solve_probe(n: usize) -> Result<(), MatroxError> {
     let (kernel, params) = solve_setting(n, 1e-7);
     let pts = generate(DatasetId::Grid, n, 17);
-    let h = inspector(&pts, &kernel, &params).expect("harness inputs");
-    let (f, factor_s) = time_best(|| h.factorize().expect("SPD solve setting must factor"), 2);
+    let h = inspector(&pts, &kernel, &params)?;
+    let (f, factor_s) = time_best(|| h.factorize(), 2);
+    let f = f?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
     let b = Matrix::random_uniform(n, 8, &mut rng);
-    let (x, solve_s) = time_best(|| f.solve_matrix(&b).expect("solve"), 2);
+    let (x, solve_s) = time_best(|| f.solve_matrix(&b), 2);
+    let x = x?;
     // Residual against the compressed operator (cheap, kernel-sensitive).
-    let mut r = h.matmul(&x).expect("matmul");
+    let mut r = h.matmul(&x)?;
     r.sub_assign(&b);
     let residual = frobenius_norm(&r) / frobenius_norm(&b);
     println!(
@@ -202,6 +204,7 @@ fn solve_probe(n: usize) {
         json_f64(solve_s),
         json_f64(residual)
     );
+    Ok(())
 }
 
 /// Run this binary again as a solve probe under `MATROX_KERNEL=<kernel>`.
@@ -223,13 +226,12 @@ fn run_solve_probe(n: usize, kernel: &str) -> Option<(f64, f64, f64)> {
     ))
 }
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(1024, 64);
     if args.str_flag("--probe").as_deref() == Some("solve") {
-        solve_probe(args.n);
-        return;
+        return solve_probe(args.n);
     }
-    let check = pool_banner();
+    let check = pool_banner()?;
     let auto = KernelDispatch::global();
     let simd = simd_available();
     println!(
@@ -299,11 +301,13 @@ fn main() {
     println!("\n---- executor delta (N = {n}, Q = {q}, H2-b, grid) ----");
     let mut rng = rand::rngs::StdRng::seed_from_u64(29);
     let w = Matrix::random_uniform(n, q, &mut rng);
-    let s_scalar = exec_session(n, KernelChoice::Scalar);
-    let (y_scalar, exec_scalar_s) = time_best(|| s_scalar.evaluate(&w).expect("evaluate"), 3);
+    let s_scalar = exec_session(n, KernelChoice::Scalar)?;
+    let (y_scalar, exec_scalar_s) = time_best(|| s_scalar.evaluate(&w), 3);
+    let y_scalar = y_scalar?;
     let (exec_simd_s, exec_rel_err, exec_speedup) = if simd {
-        let s_simd = exec_session(n, KernelChoice::Avx2);
-        let (y_simd, t) = time_best(|| s_simd.evaluate(&w).expect("evaluate"), 3);
+        let s_simd = exec_session(n, KernelChoice::Avx2)?;
+        let (y_simd, t) = time_best(|| s_simd.evaluate(&w), 3);
+        let y_simd = y_simd?;
         let mut diff = y_simd.clone();
         diff.sub_assign(&y_scalar);
         let rel = frobenius_norm(&diff) / frobenius_norm(&y_scalar);
@@ -332,8 +336,9 @@ fn main() {
         println!("scalar: factor {fs:.4}s solve {ss:.4}s residual {rs:.2e}");
         if let Some((fv, sv, rv)) = solve_simd {
             println!("avx2:   factor {fv:.4}s solve {sv:.4}s residual {rv:.2e}");
-            solve_speedup = Some((fs + ss) / (fv + sv));
-            println!("factor+solve speedup: {:.2}x", solve_speedup.unwrap());
+            let sp = (fs + ss) / (fv + sv);
+            solve_speedup = Some(sp);
+            println!("factor+solve speedup: {sp:.2}x");
         }
     } else {
         println!("solve probe unavailable (subprocess failed)");
@@ -363,4 +368,5 @@ fn main() {
         sc = self_check_json(&check),
     );
     write_bench_json("BENCH_gemm.json", &json);
+    Ok(())
 }

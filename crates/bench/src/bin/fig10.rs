@@ -13,12 +13,12 @@
 //! ```
 
 use matrox_bench::*;
-use matrox_core::{inspector_p1, inspector_p2};
+use matrox_core::{inspector_p1, inspector_p2, MatroxError};
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
     let datasets = if args.datasets.is_empty() {
         DatasetId::all().to_vec()
@@ -53,16 +53,16 @@ fn main() {
 
         // MatRox with reuse: p1 once, p2 + executor per bacc.
         let t0 = Instant::now();
-        let p1 = inspector_p1(&points, &kernel, &params).expect("harness inputs");
+        let p1 = inspector_p1(&points, &kernel, &params)?;
         let p1_time = t0.elapsed().as_secs_f64();
         let mut p2_sum = 0.0;
         let mut exec_sum = 0.0;
         for &bacc in &baccs {
             let t0 = Instant::now();
-            let h = inspector_p2(&points, &p1, &kernel, bacc).expect("harness inputs");
+            let h = inspector_p2(&points, &p1, &kernel, bacc)?;
             p2_sum += t0.elapsed().as_secs_f64();
             let t0 = Instant::now();
-            let _ = h.matmul(&w).expect("matmul");
+            h.matmul(&w)?;
             exec_sum += t0.elapsed().as_secs_f64();
         }
         let matrox_total = p1_time + p2_sum + exec_sum;
@@ -96,4 +96,5 @@ fn main() {
     println!(
         "\naverage speedup of MatRox-with-reuse over full re-compression: {avg:.2}x (paper: 2.21x avg, up to 2.64x)"
     );
+    Ok(())
 }

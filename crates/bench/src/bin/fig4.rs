@@ -27,7 +27,7 @@
 //! ```
 
 use matrox_bench::*;
-use matrox_core::EvalSession;
+use matrox_core::{EvalSession, MatroxError};
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 use std::fmt::Write as _;
@@ -55,9 +55,9 @@ struct Sweep {
     amortization_ratio: f64,
 }
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(DEFAULT_N, 64);
-    let check = pool_banner();
+    let check = pool_banner()?;
     let datasets = if args.datasets.is_empty() {
         vec![
             DatasetId::Higgs,
@@ -73,8 +73,10 @@ fn main() {
     // power of two.
     let q_max = args.q.max(1);
     let mut qs = vec![1usize];
-    while qs.last().unwrap() * 2 < q_max {
-        qs.push(qs.last().unwrap() * 2);
+    let mut next = 2usize;
+    while next < q_max {
+        qs.push(next);
+        next *= 2;
     }
     if q_max > 1 {
         qs.push(q_max);
@@ -104,7 +106,7 @@ fn main() {
             let params = params_for(structure).with_bacc(1e-5);
 
             // MatRox: inspector runs once; the session serves every Q below.
-            let session = EvalSession::build(&points, &kernel, &params).expect("harness inputs");
+            let session = EvalSession::build(&points, &kernel, &params)?;
             let inspect_s = session.stats().inspect_seconds;
             // GOFMM stand-in: compression runs once, evaluations reuse it
             // through the same batched multi-RHS entry point.
@@ -116,7 +118,8 @@ fn main() {
             let mut break_even_q_vs_reinspect = None;
             for &q in &qs {
                 let w = random_w(args.n, q, q as u64);
-                let (_, eval_s) = time_best(|| session.evaluate(&w).expect("evaluate"), 1);
+                let (y, eval_s) = time_best(|| session.evaluate(&w), 1);
+                y?;
                 let (_, gofmm_eval_s) =
                     time_best(|| gofmm.evaluate_batch(&w, session.panel_width()), 1);
                 let per_query_s = eval_s / q as f64;
@@ -158,30 +161,31 @@ fn main() {
             // One batched evaluate(W) with q = 16 vs 16 sequential matvecs on
             // the same session; results must be bitwise identical.
             let w16 = random_w(args.n, 16, 1234);
-            let (y_batched, batch16_batched_s) =
-                time_best(|| session.evaluate(&w16).expect("evaluate"), 2);
-            let matvec_pass = || {
+            let (y_batched, batch16_batched_s) = time_best(|| session.evaluate(&w16), 2);
+            let y_batched = y_batched?;
+            let matvec_pass = || -> Result<Vec<f64>, MatroxError> {
                 let mut out = vec![0.0f64; args.n * 16];
                 for j in 0..16 {
                     let col: Vec<f64> = (0..args.n).map(|i| w16.get(i, j)).collect();
-                    let y = session.evaluate_vec(&col).expect("evaluate");
+                    let y = session.evaluate_vec(&col)?;
                     for i in 0..args.n {
                         out[i * 16 + j] = y[i];
                     }
                 }
-                out
+                Ok(out)
             };
             let (y_cols, batch16_matvecs_s) = time_best(matvec_pass, 2);
+            let y_cols = y_cols?;
             let batch16_bitwise = y_batched
                 .as_slice()
                 .iter()
                 .zip(&y_cols)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
 
-            let q_max = *qs.last().unwrap();
-            let last = rows.last().unwrap();
-            let q1_total = inspect_s + rows[0].eval_s;
-            let amortization_ratio = last.amortized_per_query_s / q1_total;
+            let q_max = qs.last().copied().unwrap_or(1);
+            let last_amortized = rows.last().map_or(0.0, |r| r.amortized_per_query_s);
+            let q1_total = inspect_s + rows.first().map_or(0.0, |r| r.eval_s);
+            let amortization_ratio = last_amortized / q1_total;
             println!(
                 "  -> inspect {:.3}s once (panel width {}), break-even Q vs re-inspection: {}, \
                  vs GOFMM: {}; amortized/q at Q={} is {:.3}x the Q=1 total; batch-16 {:.2}x vs matvecs ({})",
@@ -218,6 +222,7 @@ fn main() {
 
     let json = render_json(&check, args.n, &sweeps);
     write_bench_json("BENCH_fig4.json", &json);
+    Ok(())
 }
 
 /// Wrap the baseline setup in its batched evaluator (compress once,

@@ -14,11 +14,12 @@
 
 use matrox_baselines::{GofmmEvaluator, StrumpackEvaluator};
 use matrox_bench::*;
+use matrox_core::MatroxError;
 use matrox_exec::ExecOptions;
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
     let datasets = if args.datasets.is_empty() {
         DatasetId::all().to_vec()
@@ -46,11 +47,7 @@ fn main() {
         );
         for &dataset in &datasets {
             let points = generate(dataset, args.n, 0);
-            let (_, h) = {
-                let (p, h) = build_hmatrix(dataset, args.n, structure, 1e-5);
-                (p, h)
-            };
-            let _ = &points;
+            let (_, h) = build_hmatrix(dataset, args.n, structure, 1e-5)?;
             let w = random_w(args.n, args.q, 9);
             let flops = h.flops(args.q);
 
@@ -67,10 +64,14 @@ fn main() {
             };
             let full = ExecOptions::full();
 
-            let (_, t_seq) = time_best(|| h.matmul_with(&w, &seq), 1);
-            let (_, t_coarsen) = time_best(|| h.matmul_with(&w, &coarsen), 1);
-            let (_, t_block) = time_best(|| h.matmul_with(&w, &block), 1);
-            let (_, t_full) = time_best(|| h.matmul_with(&w, &full), 1);
+            let (y, t_seq) = time_best(|| h.matmul_with(&w, &seq), 1);
+            y?;
+            let (y, t_coarsen) = time_best(|| h.matmul_with(&w, &coarsen), 1);
+            y?;
+            let (y, t_block) = time_best(|| h.matmul_with(&w, &block), 1);
+            y?;
+            let (y, t_full) = time_best(|| h.matmul_with(&w, &full), 1);
+            y?;
 
             // Tree-based baselines over the same structure.
             let setup = build_baseline(&points, dataset, structure, 1e-5);
@@ -103,4 +104,5 @@ fn main() {
     println!("\nNote: '+block' also enables coarsening so the bars are cumulative like the");
     println!("paper's; for HSS block lowering is never activated by codegen (near");
     println!("interactions never exceed the block threshold), so '+block' ~= '+coarsen'.");
+    Ok(())
 }

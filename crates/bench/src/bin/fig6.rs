@@ -25,6 +25,7 @@ use matrox_bench::*;
 use matrox_cachesim::{CacheHierarchy, Trace};
 use matrox_codegen::EvalPlan;
 use matrox_compress::Compression;
+use matrox_core::MatroxError;
 use matrox_points::{generate, DatasetId};
 use matrox_tree::{ClusterTree, HTree, Structure};
 
@@ -192,7 +193,7 @@ fn tree_based_trace(
     t
 }
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(DEFAULT_N, DEFAULT_Q);
     let datasets = if args.datasets.is_empty() {
         DatasetId::all().to_vec()
@@ -214,10 +215,11 @@ fn main() {
     for structure in [Structure::Hss, Structure::h2b()] {
         for &dataset in &datasets {
             let points = generate(dataset, args.n, 0);
-            let (_, h) = build_hmatrix(dataset, args.n, structure, 1e-5);
+            let (_, h) = build_hmatrix(dataset, args.n, structure, 1e-5)?;
             let setup = build_baseline(&points, dataset, structure, 1e-5);
             let w = random_w(args.n, args.q, 13);
-            let (_, t_matrox) = time_best(|| h.matmul(&w), 1);
+            let (y, t_matrox) = time_best(|| h.matmul(&w), 1);
+            y?;
             let (_, t_gofmm) = time_best(|| gofmm_evaluate(&setup, &w), 1);
             let speedup = t_gofmm / t_matrox;
 
@@ -245,4 +247,5 @@ fn main() {
     }
     let r2 = r_squared(&ratios, &speedups);
     println!("\nR^2 between speedup and memory-access-latency improvement: {r2:.2} (paper: 0.81)");
+    Ok(())
 }

@@ -23,7 +23,7 @@
 
 use matrox_baselines::{GofmmEvaluator, SmashEvaluator, StrumpackEvaluator};
 use matrox_bench::*;
-use matrox_core::inspector;
+use matrox_core::{inspector, MatroxError};
 use matrox_exec::ExecOptions;
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
@@ -43,9 +43,9 @@ struct Sweep {
     rows: Vec<SweepRow>,
 }
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(4096, DEFAULT_Q);
-    let check = pool_banner();
+    let check = pool_banner()?;
     let datasets = if args.datasets.is_empty() {
         vec![DatasetId::Covtype, DatasetId::Unit]
     } else {
@@ -55,10 +55,12 @@ fn main() {
         .map(|t| t.get())
         .unwrap_or(4);
     let mut threads = vec![1usize];
-    while threads.last().unwrap() * 2 <= max_threads {
-        threads.push(threads.last().unwrap() * 2);
+    let mut next = 2usize;
+    while next <= max_threads {
+        threads.push(next);
+        next *= 2;
     }
-    if *threads.last().unwrap() != max_threads {
+    if threads.last().copied() != Some(max_threads) {
         threads.push(max_threads);
     }
 
@@ -99,16 +101,17 @@ fn main() {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(nt)
                 .build()
-                .unwrap();
-            let row = pool.install(|| {
+                .map_err(|e| MatroxError::PoolPanic(format!("thread pool build failed: {e}")))?;
+            let row = pool.install(|| -> Result<_, MatroxError> {
                 let params = params_for(structure).with_partitions(nt);
-                let h = inspector(&points, &kernel, &params).expect("harness inputs");
+                let h = inspector(&points, &kernel, &params)?;
                 let opts = if nt == 1 {
                     ExecOptions::sequential()
                 } else {
                     ExecOptions::from_plan(&h.plan)
                 };
-                let (_, t_matrox) = time_best(|| h.matmul_with(&w, &opts).expect("matmul"), 1);
+                let (y, t_matrox) = time_best(|| h.matmul_with(&w, &opts), 1);
+                y?;
 
                 let setup = build_baseline(&points, dataset, structure, 1e-5);
                 let gofmm = GofmmEvaluator::new(&setup.tree, &setup.htree, &setup.compression);
@@ -166,12 +169,14 @@ fn main() {
                     )
                     .1
                 });
-                (t_matrox, t_gofmm, t_strum, t_smash)
-            });
+                Ok((t_matrox, t_gofmm, t_strum, t_smash))
+            })?;
             if nt == 1 {
                 base = Some(row);
             }
-            let b = base.as_ref().unwrap();
+            // The sweep starts at 1 thread, so `base` is always set by now;
+            // fall back to the row itself (speedup 1.0) if that ever changes.
+            let b = base.unwrap_or(row);
             let fmt_opt = |t: Option<f64>, b: Option<f64>| match (t, b) {
                 (Some(t), Some(b)) => format!("{t:>11.3} {:>8.2}", b / t),
                 _ => format!("{:>11} {:>8}", "n/a", "-"),
@@ -198,6 +203,7 @@ fn main() {
 
     let json = render_json(&check, args.n, args.q, &sweeps);
     write_bench_json("BENCH_fig7.json", &json);
+    Ok(())
 }
 
 /// Hand-rolled JSON (no serde in the offline vendor set).  Schema:

@@ -11,11 +11,11 @@
 //! ```
 
 use matrox_bench::*;
-use matrox_core::{inspector_p1, inspector_p2};
+use matrox_core::{inspector_p1, inspector_p2, MatroxError};
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(1024, 16);
     let datasets = if args.datasets.is_empty() {
         DatasetId::all().to_vec()
@@ -40,12 +40,12 @@ fn main() {
         let points = generate(dataset, args.n, 0);
         let kernel = kernel_for(dataset);
         let params = params_for(Structure::h2b());
-        let p1 = inspector_p1(&points, &kernel, &params).expect("harness inputs");
+        let p1 = inspector_p1(&points, &kernel, &params)?;
         let w = random_w(args.n, args.q, 31);
         print!("{:<12}", dataset.name());
         for &bacc in &baccs {
-            let h = inspector_p2(&points, &p1, &kernel, bacc).expect("harness inputs");
-            let eps = h.overall_accuracy(&points, &w).expect("accuracy probe");
+            let h = inspector_p2(&points, &p1, &kernel, bacc)?;
+            let eps = h.overall_accuracy(&points, &w)?;
             if bacc == 1e-3 {
                 total += 1;
                 if eps > 1e-3 {
@@ -60,4 +60,5 @@ fn main() {
         "\nAt bacc = 1e-3, {not_reached}/{total} datasets do not reach an overall accuracy of 1e-3"
     );
     println!("(the paper reports more than 50% — this motivates accuracy retuning).");
+    Ok(())
 }

@@ -23,8 +23,10 @@
 //! ```
 
 use matrox_baselines::DenseCholeskyBaseline;
-use matrox_bench::{json_f64, json_opt, solve_setting, time_best, write_bench_json, HarnessArgs};
-use matrox_core::inspector;
+use matrox_bench::{
+    doubling_sweep, json_f64, json_opt, solve_setting, time_best, write_bench_json, HarnessArgs,
+};
+use matrox_core::{inspector, MatroxError};
 use matrox_linalg::{frobenius_norm, Matrix};
 use matrox_points::{generate, DatasetId};
 use std::fmt::Write as _;
@@ -44,17 +46,14 @@ struct SolveRow {
     dense_diff: Option<f64>,
 }
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     let args = HarnessArgs::parse(4096, 16);
     let n_max = args.n;
     let q = args.q;
     let dense_max = args.usize_flag("--dense-max", 2048);
     let bacc = 1e-7;
 
-    let mut ns = vec![512usize];
-    while ns.last().unwrap() * 2 <= n_max {
-        ns.push(ns.last().unwrap() * 2);
-    }
+    let ns = doubling_sweep(512, n_max);
 
     println!(
         "==== fig_solve: HSS ULV factor + solve, kernel-ridge Gaussian on grid (bacc = {bacc:e}, Q = {q}) ===="
@@ -78,26 +77,25 @@ fn main() {
         let points = generate(DatasetId::Grid, n, 0);
         let (kernel, params) = solve_setting(n, bacc);
 
-        let (h, t_insp) = time_best(
-            || inspector(&points, &kernel, &params).expect("harness inputs"),
-            1,
-        );
-        let (fh, t_factor) = time_best(|| h.factorize().expect("factor"), 1);
+        let (h, t_insp) = time_best(|| inspector(&points, &kernel, &params), 1);
+        let h = h?;
+        let (fh, t_factor) = time_best(|| h.factorize(), 1);
+        let fh = fh?;
 
         let b1: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) * 0.25).collect();
-        let (x1, t_solve1) = time_best(|| fh.solve(&b1).expect("solve"), 2);
+        let (x1, t_solve1) = time_best(|| fh.solve(&b1), 2);
+        let x1 = x1?;
         let bq = matrox_bench::random_w(n, q, 7);
-        let (_, t_solveq) = time_best(|| fh.solve_matrix(&bq).expect("solve"), 1);
+        let (yq, t_solveq) = time_best(|| fh.solve_matrix(&bq), 1);
+        yq?;
 
         let x1m = Matrix::from_vec(n, 1, x1.clone());
         let b1m = Matrix::from_vec(n, 1, b1.clone());
         let residual = fh.relative_residual(&points, &x1m, &b1m);
 
         let (dense_factor_s, dense_solve_s, dense_diff) = if n <= dense_max {
-            let (baseline, t_dfac) = time_best(
-                || DenseCholeskyBaseline::new(&points, &kernel).expect("dense SPD"),
-                1,
-            );
+            let (baseline, t_dfac) = time_best(|| DenseCholeskyBaseline::new(&points, &kernel), 1);
+            let baseline = baseline?;
             let (xd, t_dsol) = time_best(|| baseline.solve(&b1), 2);
             let mut diff = Matrix::from_vec(n, 1, xd);
             diff.sub_assign(&x1m);
@@ -141,6 +139,7 @@ fn main() {
 
     let json = render_json(q, bacc, &rows);
     write_bench_json("BENCH_solve.json", &json);
+    Ok(())
 }
 
 /// Hand-rolled JSON (no serde in the offline vendor set).  Schema:

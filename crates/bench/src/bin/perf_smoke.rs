@@ -17,7 +17,8 @@
 //! ```bash
 //! cargo run -p matrox-bench --release --bin perf_smoke -- \
 //!     [--fig4 BENCH_fig4.json] [--solve BENCH_solve.json] \
-//!     [--gemm BENCH_gemm.json] [--thresholds crates/bench/thresholds.json]
+//!     [--gemm BENCH_gemm.json] [--serve BENCH_serve.json] \
+//!     [--thresholds crates/bench/thresholds.json]
 //! ```
 
 use matrox_bench::{json_lookup_bool, json_lookup_number, HarnessArgs};
@@ -117,6 +118,9 @@ fn main() {
     let gemm_path = args
         .str_flag("--gemm")
         .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let serve_path = args
+        .str_flag("--serve")
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
     let thresholds_path = args
         .str_flag("--thresholds")
         .unwrap_or_else(|| "crates/bench/thresholds.json".to_string());
@@ -125,6 +129,7 @@ fn main() {
     let fig4 = read(&fig4_path);
     let solve = read(&solve_path);
     let gemm = read(&gemm_path);
+    let serve = read(&serve_path);
     let must = |key: &str| -> f64 {
         json_lookup_number(&thresholds, key).unwrap_or_else(|| {
             eprintln!("perf_smoke: threshold key '{key}' missing from {thresholds_path}");
@@ -209,6 +214,39 @@ fn main() {
     } else {
         println!("  skip gemm.*_speedup: host reports no SIMD kernel (scalar fallback only)");
     }
+
+    println!("serve_load ({serve_path}):");
+    // Machine-independent: one coalesced width-B evaluation must beat B
+    // width-1 evaluations by a healthy margin (the whole point of the
+    // serving layer), and the coalescer must actually form batches.
+    gate.ratio_above(
+        "serve.coalescing_throughput",
+        json_lookup_number(&serve, "serve_throughput_ratio"),
+        must("serve_min_throughput_ratio"),
+    );
+    gate.ratio_above(
+        "serve.mean_batch_width",
+        json_lookup_number(&serve, "serve_mean_batch_width"),
+        must("serve_min_mean_batch_width"),
+    );
+    // Open-loop tail latency must stay within a sane multiple of the median
+    // (a runaway queue shows up here first).
+    gate.ratio_below(
+        "serve.p99_p50",
+        json_lookup_number(&serve, "serve_p99_p50_ratio"),
+        must("serve_max_p99_p50_ratio"),
+    );
+    // The tiny-budget phase must actually exercise LRU eviction.
+    gate.ratio_above(
+        "serve.evictions",
+        json_lookup_number(&serve, "serve_evictions"),
+        must("serve_min_evictions"),
+    );
+    gate.check(
+        "serve.bitwise_identity",
+        json_lookup_bool(&serve, "serve_bitwise") == Some(true),
+        "coalesced replies vs direct single-query evaluation".into(),
+    );
 
     println!(
         "\n{} checks, {} failure(s)",

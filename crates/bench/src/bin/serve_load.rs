@@ -1,0 +1,291 @@
+//! Load generator for the `matrox-serve` reactor -> `BENCH_serve.json`.
+//!
+//! Four phases, each against its own server so the counters stay
+//! attributable:
+//!
+//! 1. **Bitwise** — a coalesced burst is compared column-by-column against
+//!    per-query reference evaluations (`serve_bitwise`).
+//! 2. **Closed-loop throughput** — the same burst through a width-1 server
+//!    (coalescing disabled) and a coalescing server; the QPS ratio is the
+//!    serving-layer restatement of the paper's batched-executor amortization
+//!    (`serve_throughput_ratio`, `serve_mean_batch_width`).
+//! 3. **Open-loop latency** — queries paced at half the measured coalesced
+//!    capacity across `--tenants` tenants and a two-model mix; reactor-side
+//!    latencies give p50/p95/p99 (`serve_p99_p50_ratio`).
+//! 4. **Eviction** — three models under a budget that can hold only two
+//!    exercise the registry's LRU path (`serve_evictions`).
+//!
+//! The submission side is deliberately single-threaded: `ServeHandle::query`
+//! never blocks, so one thread can put a whole burst in flight and the
+//! reactor's coalescing queues see the same concurrency a fleet of clients
+//! would produce.
+//!
+//! Flags: `--n` (problem size), `--tenants`, `--burst` (closed-loop
+//! queries), `--open-queries`.  The `MATROX_SERVE_*` knobs (KNOBS.md) feed
+//! the base [`ServeConfig`] exactly as they would a real serving process.
+
+use matrox_bench::{json_f64, pool_banner, write_bench_json, HarnessArgs};
+use matrox_core::{inspector, save, EvalSession, MatRoxParams, MatroxError};
+use matrox_points::{generate, DatasetId, Kernel};
+use matrox_serve::{Model, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn matvec_session(n: usize, seed: u64, bandwidth: f64) -> Result<EvalSession, MatroxError> {
+    let points = generate(DatasetId::Grid, n, seed);
+    let kernel = Kernel::Gaussian { bandwidth };
+    let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+    EvalSession::build(&points, &kernel, &params)
+}
+
+/// Deterministic, query-distinct right-hand side.
+fn rhs(n: usize, j: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 31 + j * 7 + 1) as f64).sin())
+        .collect()
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Nearest-rank percentile over an already-sorted slice (`NaN` when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted
+        .get(idx.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(f64::NAN)
+}
+
+/// Phase 1: a coalesced burst must be bitwise identical to per-query
+/// reference evaluations on a private session.
+fn bitwise_phase(session: &EvalSession, n: usize) -> Result<bool, MatroxError> {
+    let width = ServeConfig::from_env().max_batch.max(2);
+    let server = Server::spawn(
+        ServeConfig::from_env()
+            .with_max_batch(width)
+            .with_coalesce_window(Duration::from_millis(100)),
+    )?;
+    let handle = server.handle();
+    handle.insert_model("m", Model::Matvec(Arc::new(session.clone())))?;
+
+    let pending: Vec<_> = (0..width)
+        .map(|j| handle.query("m", "t", rhs(n, j)))
+        .collect();
+    let mut all_bitwise = true;
+    let mut max_width = 0usize;
+    for (j, p) in pending.into_iter().enumerate() {
+        let reply = p.wait()?;
+        let expected = session.evaluate_vec(&rhs(n, j))?;
+        all_bitwise &= bitwise_eq(&reply.y, &expected);
+        max_width = max_width.max(reply.batch_width);
+    }
+    println!(
+        "bitwise: {} columns, coalesced width {}, identical = {}",
+        width, max_width, all_bitwise
+    );
+    Ok(all_bitwise && max_width > 1)
+}
+
+/// Time a closed-loop burst of `burst` queries through a server with the
+/// given config; returns (qps, mean coalesced batch width).
+fn closed_loop(
+    session: &EvalSession,
+    n: usize,
+    burst: usize,
+    cfg: ServeConfig,
+) -> Result<(f64, f64), MatroxError> {
+    let server = Server::spawn(cfg)?;
+    let handle = server.handle();
+    handle.insert_model("m", Model::Matvec(Arc::new(session.clone())))?;
+    // Warm the dispatch path so neither run pays first-touch costs.
+    handle.query_wait("m", "warm", rhs(n, 0))?;
+
+    let t0 = Instant::now();
+    let pending: Vec<_> = (0..burst)
+        .map(|j| handle.query("m", "t", rhs(n, j)))
+        .collect();
+    for p in pending {
+        p.wait()?;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = server.shutdown()?;
+    let t = stats.tenant("t").copied().unwrap_or_default();
+    Ok((burst as f64 / elapsed.max(1e-12), t.mean_batch_width()))
+}
+
+/// Phase 3: open-loop paced submission across tenants and a two-model mix;
+/// returns reactor-side latencies (seconds) plus the achieved mean width.
+fn open_loop(
+    sessions: &[EvalSession],
+    n: usize,
+    tenants: usize,
+    queries: usize,
+    target_qps: f64,
+) -> Result<(Vec<f64>, f64), MatroxError> {
+    let server = Server::spawn(ServeConfig::from_env())?;
+    let handle = server.handle();
+    for (i, s) in sessions.iter().enumerate() {
+        handle.insert_model(&format!("m{i}"), Model::Matvec(Arc::new(s.clone())))?;
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / target_qps.max(1.0));
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let due = start + interval * i as u32;
+        let now = Instant::now();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        let model = format!("m{}", i % sessions.len());
+        let tenant = format!("tenant-{}", i % tenants.max(1));
+        pending.push(handle.query(&model, &tenant, rhs(n, i)));
+    }
+    handle.flush()?;
+    let mut latencies: Vec<f64> = Vec::with_capacity(queries);
+    for p in pending {
+        latencies.push(p.wait()?.latency().as_secs_f64());
+    }
+    let stats = server.shutdown()?;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok((latencies, stats.totals().mean_batch_width()))
+}
+
+/// Phase 4: three models under a two-model budget -> LRU evictions and
+/// transparent reloads.  Returns (evictions, loads, budget, resident).
+fn eviction_phase(n: usize) -> Result<(u64, u64, usize, usize), MatroxError> {
+    let dir = std::env::temp_dir().join(format!("matrox-serve-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(MatroxError::Io)?;
+
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for (i, seed) in [41u64, 42, 43].iter().enumerate() {
+        let points = generate(DatasetId::Grid, n, *seed);
+        let kernel = Kernel::Gaussian {
+            bandwidth: 1.5 + i as f64 * 0.5,
+        };
+        let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+        let h = inspector(&points, &kernel, &params)?;
+        sizes.push(h.plan.storage_bytes());
+        let path = dir.join(format!("model-{i}.cds"));
+        save(&h, &path)?;
+        paths.push(path);
+    }
+
+    // Any two models fit, all three never do: registering the third must
+    // evict the LRU resident, and querying the evicted id must reload it.
+    let total: usize = sizes.iter().sum();
+    let smallest = sizes.iter().copied().min().unwrap_or(0);
+    let budget = total - smallest / 2;
+    let server = Server::spawn(
+        ServeConfig::from_env()
+            .with_max_batch(1)
+            .with_memory_budget_bytes(budget),
+    )?;
+    let handle = server.handle();
+    for (i, p) in paths.iter().enumerate() {
+        handle.load_model(&format!("model-{i}"), p.clone())?;
+    }
+    for i in 0..paths.len() {
+        handle.query_wait(&format!("model-{i}"), "t", rhs(n, i))?;
+    }
+    let stats = server.shutdown()?;
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((
+        stats.registry.evictions,
+        stats.registry.loads,
+        budget,
+        stats.registry.resident_bytes,
+    ))
+}
+
+fn main() -> Result<(), MatroxError> {
+    let args = HarnessArgs::parse(256, 1);
+    let n = args.n;
+    let tenants = args.usize_flag("--tenants", 4);
+    let burst = args.usize_flag("--burst", 256);
+    let open_queries = args.usize_flag("--open-queries", 384);
+    let check = pool_banner()?;
+    println!(
+        "serve_load: N = {n}, tenants = {tenants}, burst = {burst}, open-loop {open_queries} queries"
+    );
+
+    let session = matvec_session(n, 11, 2.0)?;
+    let session_b = matvec_session(n, 12, 2.5)?;
+
+    // Phase 1: coalescing must be bitwise-invisible.
+    let serve_bitwise = bitwise_phase(&session, n)?;
+
+    // Phase 2: closed-loop saturation, width 1 vs coalesced.
+    let base = ServeConfig::from_env();
+    let (width1_qps, _) = closed_loop(&session, n, burst, base.with_max_batch(1))?;
+    let (coalesced_qps, mean_batch_width) = closed_loop(
+        &session,
+        n,
+        burst,
+        base.with_coalesce_window(Duration::from_millis(2)),
+    )?;
+    let throughput_ratio = coalesced_qps / width1_qps.max(1e-12);
+    println!(
+        "closed loop: width-1 {width1_qps:.0} qps, coalesced {coalesced_qps:.0} qps \
+         ({throughput_ratio:.2}x, mean width {mean_batch_width:.1})"
+    );
+
+    // Phase 3: open loop at half the measured *width-1* capacity — paced
+    // traffic spread over tenants rarely coalesces, so that is the capacity
+    // it actually sees; staying under it keeps latency = window + service
+    // instead of backlog.
+    let target_qps = (width1_qps * 0.5).clamp(200.0, 20_000.0);
+    let sessions = [session, session_b];
+    let (latencies, open_width) = open_loop(&sessions, n, tenants, open_queries, target_qps)?;
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let p99_p50 = p99 / p50.max(1e-12);
+    println!(
+        "open loop: target {target_qps:.0} qps, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms \
+         (p99/p50 {p99_p50:.1}, mean width {open_width:.2})",
+        p50 * 1e3,
+        p95 * 1e3,
+        p99 * 1e3
+    );
+
+    // Phase 4: LRU eviction under a deliberately tight budget.
+    let (evictions, loads, budget, resident) = eviction_phase(n)?;
+    println!(
+        "eviction: budget {budget} B, resident {resident} B, {evictions} evictions, {loads} loads"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"n\": {n},\n  \"tenants\": {tenants},\n  \
+         \"threads\": {threads},\n  \"closed_loop_queries\": {burst},\n  \
+         \"serve_bitwise\": {serve_bitwise},\n  \"width1_qps\": {width1},\n  \
+         \"coalesced_qps\": {coalesced},\n  \"serve_throughput_ratio\": {ratio},\n  \
+         \"serve_mean_batch_width\": {width},\n  \"open_loop\": {{\"target_qps\": {target}, \
+         \"queries\": {open_queries}, \"p50_ms\": {p50ms}, \"p95_ms\": {p95ms}, \
+         \"p99_ms\": {p99ms}, \"achieved_mean_width\": {ow}}},\n  \
+         \"serve_p99_p50_ratio\": {p99p50},\n  \"eviction\": {{\"models\": 3, \
+         \"budget_bytes\": {budget}, \"resident_bytes\": {resident}, \"loads\": {loads}}},\n  \
+         \"serve_evictions\": {evictions}\n}}\n",
+        threads = check.configured_threads,
+        width1 = json_f64(width1_qps),
+        coalesced = json_f64(coalesced_qps),
+        ratio = json_f64(throughput_ratio),
+        width = json_f64(mean_batch_width),
+        target = json_f64(target_qps),
+        p50ms = json_f64(p50 * 1e3),
+        p95ms = json_f64(p95 * 1e3),
+        p99ms = json_f64(p99 * 1e3),
+        ow = json_f64(open_width),
+        p99p50 = json_f64(p99_p50),
+    );
+    write_bench_json("BENCH_serve.json", &json);
+    Ok(())
+}

@@ -8,9 +8,10 @@
 //! cargo run -p matrox-bench --release --bin table1
 //! ```
 
+use matrox_core::MatroxError;
 use matrox_points::{generate, TABLE1};
 
-fn main() {
+fn main() -> Result<(), MatroxError> {
     println!("Table 1: datasets (paper values vs. synthetic stand-ins)\n");
     println!(
         "{:<4} {:<10} {:>9} {:>5} | {:>9} {:>5} {:>12} {:>12}",
@@ -47,4 +48,5 @@ fn main() {
     }
     println!("\nN is scaled down (paper: 11k-102k) so the exact K*W reference products");
     println!("used by the accuracy experiments stay tractable; every harness accepts --n.");
+    Ok(())
 }

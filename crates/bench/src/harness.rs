@@ -7,6 +7,7 @@
 //! scaffolding.
 
 use crate::{pool_self_check, PoolSelfCheck};
+use matrox_core::MatroxError;
 use matrox_points::DatasetId;
 
 /// Parsed `--n`, `--q`, `--datasets` overrides plus the raw argument list
@@ -67,8 +68,11 @@ impl HarnessArgs {
 /// width, 1-vs-N timing, and the oversubscription warning when parallel
 /// speedup is absent despite configured threads).  Returns the check so
 /// harnesses can embed it in their JSON output.
-pub fn pool_banner() -> PoolSelfCheck {
-    let check = pool_self_check();
+///
+/// # Errors
+/// Propagates [`pool_self_check`]'s pool-construction failure.
+pub fn pool_banner() -> Result<PoolSelfCheck, MatroxError> {
+    let check = pool_self_check()?;
     println!("{}", check.report());
     if check.speedup < 1.1 && check.configured_threads > 1 {
         println!(
@@ -77,7 +81,7 @@ pub fn pool_banner() -> PoolSelfCheck {
             check.configured_threads
         );
     }
-    check
+    Ok(check)
 }
 
 /// Render the self-check as the standard `"self_check"` JSON object value.

@@ -18,7 +18,7 @@ use matrox_baselines::GofmmEvaluator;
 use matrox_cachesim::Trace;
 use matrox_codegen::EvalPlan;
 use matrox_compress::{compress, Compression, CompressionParams};
-use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, MatRoxParams};
+use matrox_core::{inspector, inspector_p1, inspector_p2, HMatrix, MatRoxParams, MatroxError};
 use matrox_linalg::Matrix;
 use matrox_points::{generate, DatasetId, Kernel, PointSet};
 use matrox_sampling::sample_nodes;
@@ -88,18 +88,44 @@ pub fn solve_setting(n: usize, bacc: f64) -> (Kernel, MatRoxParams) {
     (kernel, params)
 }
 
+/// Doubling size sweep `start, 2*start, 4*start, ...` capped at `cap`.
+/// Total for every input: a cap below the start yields `[cap]` (run the
+/// size the caller asked for rather than a larger one), and zeros are
+/// clamped to 1 — the result is never empty, so sweep loops can use
+/// `sweep.last()` without a panic path.
+pub fn doubling_sweep(start: usize, cap: usize) -> Vec<usize> {
+    let start = start.max(1);
+    let cap = cap.max(1);
+    if cap < start {
+        return vec![cap];
+    }
+    let mut ns = vec![start];
+    let mut next = start.checked_mul(2);
+    while let Some(v) = next {
+        if v > cap {
+            break;
+        }
+        ns.push(v);
+        next = v.checked_mul(2);
+    }
+    ns
+}
+
 /// Generate a dataset and compress it with MatRox, returning both.
+///
+/// # Errors
+/// Propagates the inspector's [`MatroxError`] (bad points/parameters).
 pub fn build_hmatrix(
     dataset: DatasetId,
     n: usize,
     structure: Structure,
     bacc: f64,
-) -> (PointSet, HMatrix) {
+) -> Result<(PointSet, HMatrix), MatroxError> {
     let points = generate(dataset, n, 0);
     let kernel = kernel_for(dataset);
     let params = params_for(structure).with_bacc(bacc);
-    let h = inspector(&points, &kernel, &params).expect("harness inputs are clean");
-    (points, h)
+    let h = inspector(&points, &kernel, &params)?;
+    Ok((points, h))
 }
 
 /// Everything the tree-based baselines need, built from the same settings the
@@ -198,20 +224,28 @@ fn calibration_task(seed: usize) -> f64 {
 /// pool width and speedup.  This replaces the old hard-coded "the vendored
 /// rayon stub is sequential" banners — the harness now *checks* instead of
 /// asserting a stale fact.
-pub fn pool_self_check() -> PoolSelfCheck {
+///
+/// # Errors
+/// [`MatroxError::PoolPanic`] when the calibration pools cannot be built
+/// (thread spawn refused by the OS).
+pub fn pool_self_check() -> Result<PoolSelfCheck, MatroxError> {
     let configured = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
     let tasks = configured * 8;
 
-    let pool_n = rayon::ThreadPoolBuilder::new()
-        .num_threads(configured)
-        .build()
-        .expect("self-check: failed to build full-width pool");
-    let pool_1 = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("self-check: failed to build 1-thread pool");
+    let pool = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| {
+                MatroxError::PoolPanic(format!(
+                    "self-check: failed to build {threads}-thread pool: {e}"
+                ))
+            })
+    };
+    let pool_n = pool(configured)?;
+    let pool_1 = pool(1)?;
 
     // Observed width: collect the distinct worker thread ids that execute
     // the region's tasks.  With 8 items per worker the bridge's default
@@ -247,13 +281,13 @@ pub fn pool_self_check() -> PoolSelfCheck {
     };
     let t1 = region(&pool_1);
     let tn = region(&pool_n);
-    PoolSelfCheck {
+    Ok(PoolSelfCheck {
         configured_threads: configured,
         observed_width,
         t1,
         tn,
         speedup: if tn > 0.0 { t1 / tn } else { 1.0 },
-    }
+    })
 }
 
 /// Time a closure, returning `(result, seconds)` for the best of `reps` runs.
@@ -400,21 +434,24 @@ pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// Run a MatRox p1+p2 inspection and return `(HMatrix, p1 seconds, p2 seconds)`.
+///
+/// # Errors
+/// Propagates the inspector's [`MatroxError`].
 pub fn inspect_split(
     points: &PointSet,
     dataset: DatasetId,
     structure: Structure,
     bacc: f64,
-) -> (HMatrix, f64, f64) {
+) -> Result<(HMatrix, f64, f64), MatroxError> {
     let kernel = kernel_for(dataset);
     let params = params_for(structure).with_bacc(bacc);
     let t0 = Instant::now();
-    let p1 = inspector_p1(points, &kernel, &params).expect("harness inputs are clean");
+    let p1 = inspector_p1(points, &kernel, &params)?;
     let p1_time = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let h = inspector_p2(points, &p1, &kernel, bacc).expect("harness inputs are clean");
+    let h = inspector_p2(points, &p1, &kernel, bacc)?;
     let p2_time = t0.elapsed().as_secs_f64();
-    (h, p1_time, p2_time)
+    Ok((h, p1_time, p2_time))
 }
 
 #[cfg(test)]
@@ -436,8 +473,22 @@ mod tests {
     }
 
     #[test]
+    fn doubling_sweep_is_total() {
+        assert_eq!(doubling_sweep(512, 4096), vec![512, 1024, 2048, 4096]);
+        assert_eq!(doubling_sweep(512, 4095), vec![512, 1024, 2048]);
+        assert_eq!(doubling_sweep(512, 512), vec![512]);
+        // Cap below the start: run the requested size, don't panic and
+        // don't silently run a larger problem than asked for.
+        assert_eq!(doubling_sweep(512, 100), vec![100]);
+        // Degenerate inputs are clamped, never empty.
+        assert_eq!(doubling_sweep(0, 0), vec![1]);
+        assert_eq!(doubling_sweep(0, 4), vec![1, 2, 4]);
+        assert!(!doubling_sweep(usize::MAX, usize::MAX).is_empty());
+    }
+
+    #[test]
     fn harness_pipeline_smoke_test() {
-        let (points, h) = build_hmatrix(DatasetId::Unit, 512, Structure::Hss, 1e-4);
+        let (points, h) = build_hmatrix(DatasetId::Unit, 512, Structure::Hss, 1e-4).expect("build");
         let w = random_w(points.len(), 4, 1);
         let y = h.matmul(&w).expect("matmul");
         assert_eq!(y.shape(), (512, 4));

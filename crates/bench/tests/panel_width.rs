@@ -18,7 +18,7 @@ fn hierarchy() -> CacheHierarchy {
 #[test]
 fn chosen_panel_width_is_no_worse_than_full_q_walk() {
     for structure in [Structure::Hss, Structure::h2b()] {
-        let (_, h) = build_hmatrix(DatasetId::Grid, 1024, structure, 1e-5);
+        let (_, h) = build_hmatrix(DatasetId::Grid, 1024, structure, 1e-5).expect("build");
         let q = 256;
         let chosen = choose_panel_width(&h.plan, DEFAULT_L2_BYTES);
         assert!((8..=256).contains(&chosen));
@@ -40,7 +40,7 @@ fn panel_blocking_beats_full_q_when_panels_thrash() {
     // A deliberately small budget makes full-Q panels thrash; the heuristic
     // must react by shrinking the panel, and the shrunken walk must be
     // strictly better under the matching (tiny) hierarchy.
-    let (_, h) = build_hmatrix(DatasetId::Grid, 1024, Structure::h2b(), 1e-5);
+    let (_, h) = build_hmatrix(DatasetId::Grid, 1024, Structure::h2b(), 1e-5).expect("build");
     let small_budget = 64 * 1024;
     let chosen = choose_panel_width(&h.plan, small_budget);
     assert!(

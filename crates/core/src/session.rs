@@ -63,6 +63,17 @@ pub struct EvalSession {
     ridge_attempts: AtomicU64,
 }
 
+// The serving layer (`matrox-serve`) hands one session per model to a
+// reactor thread while callers hold `Arc` clones for stats snapshots, so the
+// `&self` evaluate contract above must come with thread-shareability.  Hold
+// that guarantee at compile time: if a future field loses `Send + Sync`
+// (e.g. an `Rc` or a raw pointer without the wrapper types' auto traits),
+// this fails to build rather than failing the serving crate downstream.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<EvalSession>();
+};
+
 impl Clone for EvalSession {
     fn clone(&self) -> Self {
         let stats = self.stats();

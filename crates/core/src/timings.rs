@@ -129,6 +129,17 @@ impl SessionStats {
             self.eval_seconds / self.queries as f64
         }
     }
+
+    /// Mean right-hand-side columns per `evaluate` call — the coalescing
+    /// width a serving layer achieved on this session.  `0.0` before the
+    /// first evaluation.
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.evaluations as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +188,8 @@ mod tests {
         assert!((s.total_seconds() - 12.0).abs() < 1e-12);
         assert!((s.amortized_per_query() - 0.12).abs() < 1e-12);
         assert!((s.eval_per_query() - 0.02).abs() < 1e-12);
+        assert!((s.mean_batch_width() - 50.0).abs() < 1e-12);
+        assert_eq!(SessionStats::default().mean_batch_width(), 0.0);
         // More queries on the same plan only ever lower the amortized cost
         // (eval time grows at the marginal rate, inspection is sunk).
         let before = s.amortized_per_query();

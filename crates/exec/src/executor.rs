@@ -84,21 +84,57 @@ pub struct ExecOptions {
     pub kernel: KernelChoice,
 }
 
+/// Parse a positive-integer tuning knob from an environment variable's raw
+/// value.  `Ok(None)` means the variable is unset and the automatic choice
+/// applies; `Ok(Some(v))` is an explicit override; `Err` carries the message
+/// for the one-time stderr warning.  Unparseable values, zero, and non-UTF-8
+/// are all rejected loudly — a typo'd knob silently falling back to auto is
+/// indistinguishable from the knob working, which is how mis-tuned
+/// deployments happen.  Mirrors the `MATROX_KERNEL` policy (warn once, fall
+/// back to auto) rather than failing the request: knobs tune performance,
+/// never correctness, so a bad value should not take a serving process down.
+pub fn parse_positive_knob(
+    name: &str,
+    value: Result<String, std::env::VarError>,
+) -> Result<Option<usize>, String> {
+    match value {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("{name}: {e}; using auto")),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => Err(format!(
+                "{name}: '{raw}' must be a positive integer; using auto"
+            )),
+            Ok(v) => Ok(Some(v)),
+            Err(e) => Err(format!("{name}: cannot parse '{raw}': {e}; using auto")),
+        },
+    }
+}
+
+/// Read a positive-integer env knob, warning on stderr (once per process per
+/// knob, via the caller's `OnceLock`) when the value is invalid.  Returns
+/// `None` for unset or rejected values.
+fn env_knob(name: &str) -> Option<usize> {
+    match parse_positive_knob(name, std::env::var(name)) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            None
+        }
+    }
+}
+
 /// Resolve the effective grain for the executor's parallel loops: an explicit
 /// per-call setting wins, then the `MATROX_GRAIN` environment variable, then
 /// auto (1, letting the pool's width-scaled heuristic decide).  Public so the
-/// factor/solve sweeps (`matrox-factor`) honor the same knob.
+/// factor/solve sweeps (`matrox-factor`) honor the same knob.  Invalid or
+/// zero `MATROX_GRAIN` values are rejected with a one-time stderr warning
+/// (see [`parse_positive_knob`]).
 pub fn effective_grain(opts: &ExecOptions) -> usize {
     if opts.grain > 0 {
         return opts.grain;
     }
     static ENV_GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let env = *ENV_GRAIN.get_or_init(|| {
-        std::env::var("MATROX_GRAIN")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(0)
-    });
+    let env = *ENV_GRAIN.get_or_init(|| env_knob("MATROX_GRAIN").unwrap_or(0));
     env.max(1)
 }
 
@@ -201,18 +237,14 @@ pub fn choose_panel_width(plan: &EvalPlan, l2_bytes: usize) -> usize {
 
 /// Resolve the effective panel width: an explicit per-call setting wins, then
 /// the `MATROX_PANEL` environment variable, then [`choose_panel_width`] with
-/// the default L2 budget.
+/// the default L2 budget.  Invalid or zero `MATROX_PANEL` values are rejected
+/// with a one-time stderr warning (see [`parse_positive_knob`]).
 pub fn effective_panel_width(opts: &ExecOptions, plan: &EvalPlan) -> usize {
     if opts.panel_width > 0 {
         return opts.panel_width;
     }
     static ENV_PANEL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let env = *ENV_PANEL.get_or_init(|| {
-        std::env::var("MATROX_PANEL")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(0)
-    });
+    let env = *ENV_PANEL.get_or_init(|| env_knob("MATROX_PANEL").unwrap_or(0));
     if env > 0 {
         return env;
     }
@@ -1164,6 +1196,33 @@ mod tests {
             y_exact,
             w,
         }
+    }
+
+    #[test]
+    fn positive_knob_parsing_is_loud_about_garbage() {
+        let ok = |s: &str| parse_positive_knob("MATROX_PANEL", Ok(s.to_string()));
+        // Unset: auto, no complaint.
+        assert_eq!(
+            parse_positive_knob("MATROX_PANEL", Err(std::env::VarError::NotPresent)),
+            Ok(None)
+        );
+        // Valid positive values (whitespace tolerated) are explicit overrides.
+        assert_eq!(ok("64"), Ok(Some(64)));
+        assert_eq!(ok(" 8\n"), Ok(Some(8)));
+        // Zero, garbage, negatives, and empty strings are rejected with a
+        // message naming the knob — never silently treated as "auto".
+        for bad in ["0", "abc", "-4", "", "12q", "1.5"] {
+            let err = ok(bad).expect_err(bad);
+            assert!(err.contains("MATROX_PANEL"), "message names knob: {err}");
+            assert!(err.contains("using auto"), "message states fallback: {err}");
+        }
+        // Non-UTF-8 values are rejected too.
+        let err = parse_positive_knob(
+            "MATROX_GRAIN",
+            Err(std::env::VarError::NotUnicode("\u{fffd}".into())),
+        )
+        .expect_err("non-unicode");
+        assert!(err.contains("MATROX_GRAIN"), "message names knob: {err}");
     }
 
     #[test]

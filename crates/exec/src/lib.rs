@@ -14,6 +14,6 @@ pub mod executor;
 
 pub use executor::{
     choose_panel_width, effective_grain, effective_panel_width, execute, execute_prepared,
-    ExecOptions, PreparedExec, DEFAULT_L2_BYTES,
+    parse_positive_knob, ExecOptions, PreparedExec, DEFAULT_L2_BYTES,
 };
 pub use matrox_linalg::{KernelChoice, KernelDispatch};

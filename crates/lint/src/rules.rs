@@ -13,7 +13,8 @@
 //!    workspace-lints reach).
 //! 3. [`concurrency_confinement`] — ad-hoc synchronization (`Mutex`,
 //!    `Atomic*`, `thread::spawn`, …) is confined to the vendored pool and
-//!    an audited allowlist; everything else must route concurrency through
+//!    an audited allowlist (with a separate, stricter allowlist for
+//!    service threads); everything else must route concurrency through
 //!    `matrox-rayon`.
 //! 4. [`knob_manifest`] — every `MATROX_*` / `RAYON_*` env knob the source
 //!    mentions is registered in `KNOBS.md` and documented in `README.md`.
@@ -22,10 +23,12 @@
 //!    summaries agree, so a renamed metric fails the build instead of
 //!    silently skipping the perf gate.
 //! 6. [`unwrap_ban`] — non-test library code in the fault-tolerant core
-//!    (`crates/{core,exec,factor}/src/`) may not `.unwrap()`/`.expect()`:
-//!    public entry points return `MatroxError`/`FactorError` instead.  The
-//!    audited exceptions (internal invariants the type system cannot see)
-//!    live on an allowlist and each site carries an `INVARIANT:` comment.
+//!    and the layers that sit on it
+//!    (`crates/{bench,core,exec,factor,serve}/src/`) may not
+//!    `.unwrap()`/`.expect()`: public entry points return
+//!    `MatroxError`/`FactorError` instead.  The audited exceptions
+//!    (internal invariants the type system cannot see) live on an
+//!    allowlist and each site carries an `INVARIANT:` comment.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -65,6 +68,12 @@ pub struct Config {
     /// Non-vendor files allowed to use ad-hoc synchronization primitives;
     /// each must carry a `CONCURRENCY:` justification comment.
     pub concurrency_allowlist: Vec<String>,
+    /// Non-vendor files allowed to call `thread::spawn` / `thread::Builder`
+    /// (long-lived service threads that cannot come from the rayon pool,
+    /// e.g. the serve reactor).  Each must carry a `CONCURRENCY:`
+    /// justification comment; worker-style parallelism still belongs to
+    /// matrox-rayon.
+    pub thread_spawn_allowlist: Vec<String>,
     /// Path prefixes exempt from the concurrency rule (the pool itself and
     /// the other vendored stand-ins).
     pub concurrency_exempt_prefixes: Vec<String>,
@@ -112,12 +121,22 @@ impl Config {
                 // Allocation counter inside the counting test allocator.
                 "crates/core/tests/corruption_fuzz.rs".into(),
                 "crates/exec/tests/alloc_free.rs".into(),
+                // Serving reactor: mpsc request/reply channels are its whole
+                // concurrency surface (one thread owns all mutable state).
+                "crates/serve/src/server.rs".into(),
+            ],
+            thread_spawn_allowlist: vec![
+                // The serve reactor is a long-lived named service thread,
+                // not a parallel worker; the pool cannot host it.
+                "crates/serve/src/server.rs".into(),
             ],
             concurrency_exempt_prefixes: vec!["vendor/".into()],
             unwrap_ban_prefixes: vec![
+                "crates/bench/src/".into(),
                 "crates/core/src/".into(),
                 "crates/exec/src/".into(),
                 "crates/factor/src/".into(),
+                "crates/serve/src/".into(),
             ],
             unwrap_allowlist: vec![
                 // Prepared-executor sweeps: children/rank-offset invariants
@@ -247,8 +266,9 @@ fn is_banned_sync_ident(ident: &str) -> bool {
 
 /// Ad-hoc synchronization is confined to the vendored pool and the audited
 /// allowlist; `thread::spawn` / `thread::Builder` are banned outside vendor
-/// entirely (worker threads must come from `matrox-rayon`). Allowlisted
-/// files must carry a `CONCURRENCY:` justification comment.
+/// except for the audited service-thread allowlist (worker threads must
+/// come from `matrox-rayon`). Allowlisted files must carry a
+/// `CONCURRENCY:` justification comment.
 pub fn concurrency_confinement(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for f in files {
@@ -260,26 +280,34 @@ pub fn concurrency_confinement(files: &[SourceFile], cfg: &Config) -> Vec<Diagno
             continue;
         }
         let allowed = cfg.concurrency_allowlist.iter().any(|a| a == &f.path);
+        let spawn_allowed = cfg.thread_spawn_allowlist.iter().any(|a| a == &f.path);
         let justified = f.tokens.iter().any(
             |t| matches!(&t.kind, TokenKind::Comment { text, .. } if text.contains("CONCURRENCY:")),
         );
         let mut hits = 0usize;
+        let mut spawn_hits = 0usize;
         for (i, t) in f.tokens.iter().enumerate() {
             let TokenKind::Ident(ident) = &t.kind else {
                 continue;
             };
-            // `thread::spawn` / `thread::Builder`: banned with no allowlist
-            // escape — OS threads are the pool's monopoly.
+            // `thread::spawn` / `thread::Builder`: OS threads are the
+            // pool's monopoly, except for audited long-lived service
+            // threads (`thread_spawn_allowlist`).
             if (ident == "spawn" || ident == "Builder") && path_prefix_is_thread(&f.tokens, i) {
-                diags.push(Diagnostic {
-                    path: f.path.clone(),
-                    line: t.line,
-                    rule: "concurrency",
-                    message: format!(
-                        "`thread::{ident}` outside the vendored pool; route parallelism \
-                         through matrox-rayon (join / par_iter / ThreadPool)"
-                    ),
-                });
+                spawn_hits += 1;
+                if !spawn_allowed {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: t.line,
+                        rule: "concurrency",
+                        message: format!(
+                            "`thread::{ident}` outside the vendored pool; route parallelism \
+                             through matrox-rayon (join / par_iter / ThreadPool), or \
+                             allowlist an audited service thread with a CONCURRENCY: \
+                             justification ({DESIGN_POINTER})"
+                        ),
+                    });
+                }
                 continue;
             }
             if is_banned_sync_ident(ident) {
@@ -299,7 +327,7 @@ pub fn concurrency_confinement(files: &[SourceFile], cfg: &Config) -> Vec<Diagno
                 }
             }
         }
-        if allowed && hits > 0 && !justified {
+        if (allowed && hits > 0 || spawn_allowed && spawn_hits > 0) && !justified {
             diags.push(Diagnostic {
                 path: f.path.clone(),
                 line: 1,
@@ -316,6 +344,16 @@ pub fn concurrency_confinement(files: &[SourceFile], cfg: &Config) -> Vec<Diagno
                 rule: "concurrency",
                 message: "allowlisted for ad-hoc synchronization but uses none; remove it \
                           from the allowlist (crates/lint/src/rules.rs)"
+                    .into(),
+            });
+        }
+        if spawn_allowed && spawn_hits == 0 {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: 1,
+                rule: "concurrency",
+                message: "allowlisted for thread::spawn/Builder but spawns no threads; \
+                          remove it from the allowlist (crates/lint/src/rules.rs)"
                     .into(),
             });
         }

@@ -66,6 +66,7 @@ fn empty_config() -> Config {
     Config {
         unsafe_allowlist: vec![],
         concurrency_allowlist: vec![],
+        thread_spawn_allowlist: vec![],
         concurrency_exempt_prefixes: vec!["vendor/".into()],
         unwrap_ban_prefixes: vec![],
         unwrap_allowlist: vec![],
@@ -215,6 +216,43 @@ fn concurrency_rejects_thread_spawn_even_when_allowlisted() {
         &rules::concurrency_confinement(&files, &cfg),
         "concurrency",
         "thread-spawn fixture",
+    );
+}
+
+#[test]
+fn concurrency_accepts_spawn_allowlisted_service_thread() {
+    let mut cfg = empty_config();
+    cfg.thread_spawn_allowlist = vec!["pass_spawn_allowlisted.rs".into()];
+    let files = [load("concurrency/pass_spawn_allowlisted.rs")];
+    assert_clean(
+        &rules::concurrency_confinement(&files, &cfg),
+        "spawn-allowlisted fixture",
+    );
+}
+
+#[test]
+fn concurrency_spawn_allowlist_requires_justification_comment() {
+    // Same spawn site as the passing fixture, but no CONCURRENCY: comment:
+    // the allowlist entry alone is not enough.
+    let mut cfg = empty_config();
+    cfg.thread_spawn_allowlist = vec!["fail_spawn_no_justification.rs".into()];
+    let files = [load("concurrency/fail_spawn_no_justification.rs")];
+    assert_fails(
+        &rules::concurrency_confinement(&files, &cfg),
+        "concurrency",
+        "spawn-allowlisted-without-justification fixture",
+    );
+}
+
+#[test]
+fn concurrency_flags_stale_spawn_allowlist_entries() {
+    let mut cfg = empty_config();
+    cfg.thread_spawn_allowlist = vec!["fail_spawn_stale_allowlist.rs".into()];
+    let files = [load("concurrency/fail_spawn_stale_allowlist.rs")];
+    assert_fails(
+        &rules::concurrency_confinement(&files, &cfg),
+        "concurrency",
+        "stale spawn-allowlist entry",
     );
 }
 
@@ -503,7 +541,10 @@ fn every_fixture_is_referenced() {
         "concurrency/pass_allowlisted_with_comment.rs",
         "concurrency/pass_plain_code.rs",
         "concurrency/fail_mutex_unlisted.rs",
+        "concurrency/pass_spawn_allowlisted.rs",
         "concurrency/fail_spawn.rs",
+        "concurrency/fail_spawn_no_justification.rs",
+        "concurrency/fail_spawn_stale_allowlist.rs",
         "concurrency/fail_missing_justification.rs",
         "concurrency/fail_stale_allowlist.rs",
         "knob_manifest/KNOBS.md",

@@ -1,0 +1,6 @@
+pub fn start() -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("service".to_string())
+        .spawn(|| {})
+        .expect("spawn")
+}

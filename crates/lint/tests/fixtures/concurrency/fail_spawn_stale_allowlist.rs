@@ -1,0 +1,5 @@
+// CONCURRENCY: stale justification — this file once spawned a service
+// thread but no longer does, so its spawn-allowlist entry must go.
+pub fn nothing_threaded() -> usize {
+    40 + 2
+}

@@ -1,0 +1,9 @@
+// CONCURRENCY: a long-lived named service thread owning all mutable
+// state; clients only touch channel endpoints.  The rayon pool cannot
+// host a thread that must outlive any one scoped region.
+pub fn start() -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("service".to_string())
+        .spawn(|| {})
+        .expect("spawn")
+}

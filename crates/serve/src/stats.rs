@@ -1,0 +1,148 @@
+//! Serving-layer statistics: per-tenant queueing/serving accumulators plus
+//! the registry and session counters they ride on.
+
+use crate::registry::RegistryStats;
+use matrox_core::SessionStats;
+
+/// Accumulated serving counters for one tenant.  All durations are
+/// reactor-side (stamped when the query is enqueued and when its batch is
+/// dispatched/finished), so a slow client draining replies does not inflate
+/// another tenant's numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantStats {
+    /// Queries answered (successfully or not).
+    pub queries: u64,
+    /// Coalesced evaluations dispatched on this tenant's behalf.  Batch
+    /// retries after a failure count once per retried query.
+    pub batches: u64,
+    /// Total time queries spent waiting in a coalescing queue.
+    pub queue_wait_seconds: f64,
+    /// Total time spent inside evaluate/solve calls for this tenant's
+    /// batches (each query in a batch is charged the full batch service
+    /// time — that is the latency it observed).
+    pub service_seconds: f64,
+    /// Queries answered with an error.
+    pub errors: u64,
+    /// Errors that were contained panics (`MatroxError::PoolPanic`): an
+    /// internal invariant blew up, the session boundary caught it, and only
+    /// the offending query failed.
+    pub contained_panics: u64,
+    /// Queries re-evaluated individually after their coalesced batch
+    /// failed; the retry isolates the poisoned column so its co-batched
+    /// neighbors still succeed.
+    pub retried_queries: u64,
+}
+
+impl TenantStats {
+    /// Mean coalesced batch width this tenant achieved (`0.0` before the
+    /// first batch).  Width 1 means coalescing never found companions.
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean queue wait per query (`0.0` before the first query).
+    pub fn mean_queue_wait_seconds(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.queue_wait_seconds / self.queries as f64
+        }
+    }
+
+    /// Mean in-evaluator service time per query (`0.0` before the first
+    /// query).
+    pub fn mean_service_seconds(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.service_seconds / self.queries as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything the server counts.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Per-tenant serving counters, sorted by tenant id.
+    pub tenants: Vec<(String, TenantStats)>,
+    /// Registry occupancy and load/eviction history.
+    pub registry: RegistryStats,
+    /// Sum of the resident matvec sessions' stats (inspector/executor cost,
+    /// invalid-input / contained-panic / ridge counters).
+    pub sessions: SessionStats,
+}
+
+impl ServerStats {
+    /// Look up one tenant's counters.
+    pub fn tenant(&self, id: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|(t, _)| t == id).map(|(_, s)| s)
+    }
+
+    /// Totals across tenants.
+    pub fn totals(&self) -> TenantStats {
+        let mut t = TenantStats::default();
+        for (_, s) in &self.tenants {
+            t.queries += s.queries;
+            t.batches += s.batches;
+            t.queue_wait_seconds += s.queue_wait_seconds;
+            t.service_seconds += s.service_seconds;
+            t.errors += s.errors;
+            t.contained_panics += s.contained_panics;
+            t.retried_queries += s.retried_queries;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_means_are_total_over_count() {
+        let t = TenantStats {
+            queries: 20,
+            batches: 4,
+            queue_wait_seconds: 2.0,
+            service_seconds: 5.0,
+            ..Default::default()
+        };
+        assert!((t.mean_batch_width() - 5.0).abs() < 1e-12);
+        assert!((t.mean_queue_wait_seconds() - 0.1).abs() < 1e-12);
+        assert!((t.mean_service_seconds() - 0.25).abs() < 1e-12);
+        let empty = TenantStats::default();
+        assert_eq!(empty.mean_batch_width(), 0.0);
+        assert_eq!(empty.mean_queue_wait_seconds(), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_tenants() {
+        let a = TenantStats {
+            queries: 3,
+            batches: 1,
+            errors: 1,
+            ..Default::default()
+        };
+        let b = TenantStats {
+            queries: 5,
+            batches: 2,
+            contained_panics: 1,
+            ..Default::default()
+        };
+        let s = ServerStats {
+            tenants: vec![("a".into(), a), ("b".into(), b)],
+            ..Default::default()
+        };
+        let t = s.totals();
+        assert_eq!(t.queries, 8);
+        assert_eq!(t.batches, 3);
+        assert_eq!(t.errors, 1);
+        assert_eq!(t.contained_panics, 1);
+        assert_eq!(s.tenant("b").map(|x| x.queries), Some(5));
+        assert!(s.tenant("zzz").is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault-injection leg: one tenant's contained panic must never poison
+//! another tenant's in-flight batch.
+//!
+//! Lives in its own integration-test binary (its own process) because the
+//! failpoint registry is process-global: arming `eval-panic` here must not
+//! race the other serving tests' evaluations.  The CI fault-injection job
+//! also runs this binary with `MATROX_FAILPOINT=eval-panic` exported, which
+//! [`arm_eval_panic`] detects — both arming paths cover the same contract.
+
+use matrox_core::{failpoint, EvalSession, MatRoxParams, MatroxError};
+use matrox_points::{generate, DatasetId, Kernel};
+use matrox_serve::{Model, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rhs(n: usize, j: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 13 + j * 5 + 1) as f64).cos())
+        .collect()
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Arm `eval-panic` for exactly `shots` firings.  When the CI leg already
+/// armed it through `MATROX_FAILPOINT=eval-panic` (unbounded), re-arm
+/// programmatically so the test controls the shot count either way.
+fn arm_eval_panic(shots: u64) {
+    failpoint::set(failpoint::names::EVAL_PANIC, shots);
+}
+
+#[test]
+fn contained_panic_never_poisons_another_tenants_batch() {
+    let n = 128;
+    let points = generate(DatasetId::Grid, n, 17);
+    let kernel = Kernel::Gaussian { bandwidth: 2.0 };
+    let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+    let session = EvalSession::build(&points, &kernel, &params).expect("clean inputs");
+    let reference = session.clone();
+
+    let server = Server::spawn(
+        ServeConfig::default()
+            .with_max_batch(2)
+            .with_coalesce_window(Duration::from_millis(50)),
+    )
+    .expect("spawn");
+    let handle = server.handle();
+    handle
+        .insert_model("m", Model::Matvec(Arc::new(session)))
+        .expect("insert");
+
+    // Two shots: tenant A's width-2 batch panics (shot 1), A's first
+    // individual retry panics again (shot 2), A's second retry is clean.
+    // Tenant B's batch — in flight at the same time, against the same
+    // shared session — must be completely untouched.
+    arm_eval_panic(2);
+
+    // Interleave the submissions; batches never mix tenants, and tenant
+    // A's queue flushes first (its first query arrived first).
+    let a0 = handle.query("m", "tenant-a", rhs(n, 0));
+    let b0 = handle.query("m", "tenant-b", rhs(n, 10));
+    let a1 = handle.query("m", "tenant-a", rhs(n, 1));
+    let b1 = handle.query("m", "tenant-b", rhs(n, 11));
+
+    // Tenant A: exactly one query eats the contained panic, the other is
+    // served by the per-query retry.
+    let ra = [a0.wait(), a1.wait()];
+    let panics = ra
+        .iter()
+        .filter(|r| matches!(r, Err(MatroxError::PoolPanic(_))))
+        .count();
+    let served = ra.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(panics, 1, "one retry eats the second shot: {ra:?}");
+    assert_eq!(served, 1, "the clean retry still answers: {ra:?}");
+
+    // Tenant B: both served, bitwise identical to direct evaluation.
+    for (p, j) in [(b0, 10), (b1, 11)] {
+        let reply = p.wait().expect("tenant B unaffected");
+        let expected = reference.evaluate_vec(&rhs(n, j)).expect("reference");
+        assert!(
+            bitwise_eq(&reply.y, &expected),
+            "tenant B column {j} differs"
+        );
+    }
+
+    // The session is not poisoned: the next query serves cleanly.
+    failpoint::clear(failpoint::names::EVAL_PANIC);
+    let reply = handle
+        .query_wait("m", "tenant-a", rhs(n, 2))
+        .expect("session usable after contained panics");
+    let expected = reference.evaluate_vec(&rhs(n, 2)).expect("reference");
+    assert!(bitwise_eq(&reply.y, &expected));
+
+    let stats = server.shutdown().expect("shutdown");
+    let a = stats.tenant("tenant-a").expect("tenant A recorded");
+    let b = stats.tenant("tenant-b").expect("tenant B recorded");
+    assert_eq!(a.errors, 1);
+    assert_eq!(a.contained_panics, 1);
+    assert_eq!(a.retried_queries, 2, "A's whole failed batch was retried");
+    assert_eq!(b.errors, 0, "tenant B saw no failure at all");
+    assert_eq!(b.contained_panics, 0);
+    assert_eq!(b.retried_queries, 0, "tenant B's batch never failed");
+    assert_eq!(
+        stats.sessions.contained_panics, 2,
+        "batch shot + retry shot"
+    );
+}

@@ -38,7 +38,12 @@ fn main() {
     // Measured self-check (observed pool width + 1-vs-N timing of a
     // trivially parallel region) so the header shows what the pool actually
     // delivers on this host instead of assuming it.
-    println!("{}\n", matrox_bench::pool_self_check().report());
+    println!(
+        "{}\n",
+        matrox_bench::pool_self_check()
+            .expect("pool self-check")
+            .report()
+    );
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
     let w = Matrix::random_uniform(n, q, &mut rng);
