@@ -1,0 +1,342 @@
+//! Load generator for the `matrox-serve` network front-end -> `BENCH_net.json`.
+//!
+//! Four phases, each against its own server + front-end pair so the
+//! counters stay attributable:
+//!
+//! 1. **Bitwise** — a pipelined burst over TCP is compared column-by-column
+//!    against reference evaluations on the same session (`net_bitwise`):
+//!    framing, admission, and the socket path must be invisible to the math.
+//! 2. **Closed-loop throughput** — the same burst through the in-process
+//!    [`ServeHandle`](matrox_serve::server::ServeHandle) and over the wire, both
+//!    fully pipelined against an
+//!    identically configured reactor; the QPS ratio prices the epoll +
+//!    framing overhead (`net_throughput_ratio`).
+//! 3. **Open-loop latency** — queries paced at half the measured wire
+//!    capacity, replies drained concurrently with `try_recv`;
+//!    client-observed latencies give p50/p95/p99 (`net_p99_p50_ratio`).
+//! 4. **Overload** — a burst against a front-end whose dispatch queue holds
+//!    only 8 requests while the reactor sits on a long coalescing window:
+//!    the surplus must come back as explicit `Overloaded` shed responses,
+//!    not queue growth (`net_shed_fraction`).
+//!
+//! The client side is deliberately single-threaded: `NetClient::send` never
+//! blocks on the reply, so one thread can put a whole burst on the wire and
+//! the front-end sees the same concurrency a fleet of clients would produce.
+//!
+//! Flags: `--n` (problem size), `--burst` (closed-loop queries),
+//! `--open-queries`, `--flood` (overload-phase queries).  The
+//! `MATROX_SERVE_*` and `MATROX_NET_*` knobs (KNOBS.md) feed the base
+//! configs exactly as they would a real serving process.
+
+use matrox_bench::{json_f64, pool_banner, write_bench_json, HarnessArgs};
+use matrox_core::{EvalSession, MatRoxParams, MatroxError};
+use matrox_points::{generate, DatasetId, Kernel};
+use matrox_serve::proto::Request;
+use matrox_serve::{Model, NetClient, NetConfig, NetServer, ServeConfig, Server};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn matvec_session(n: usize, seed: u64, bandwidth: f64) -> Result<EvalSession, MatroxError> {
+    let points = generate(DatasetId::Grid, n, seed);
+    let kernel = Kernel::Gaussian { bandwidth };
+    let params = MatRoxParams::h2b().with_bacc(1e-5).with_leaf_size(32);
+    EvalSession::build(&points, &kernel, &params)
+}
+
+/// Deterministic, query-distinct right-hand side.
+fn rhs(n: usize, j: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 31 + j * 7 + 1) as f64).sin())
+        .collect()
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Nearest-rank percentile over an already-sorted slice (`NaN` when empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted
+        .get(idx.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(f64::NAN)
+}
+
+/// Spawn a reactor with one resident matvec model plus its net front-end.
+fn serve_net(
+    session: &EvalSession,
+    serve: ServeConfig,
+    net: NetConfig,
+) -> Result<(Server, NetServer), MatroxError> {
+    let server = Server::spawn(serve)?;
+    server
+        .handle()
+        .insert_model("m", Model::Matvec(Arc::new(session.clone())))?;
+    let net = NetServer::spawn(server.handle(), net)?;
+    Ok((server, net))
+}
+
+fn query(n: usize, j: usize) -> Request {
+    Request::Query {
+        model: "m".to_string(),
+        tenant: "t".to_string(),
+        rhs: rhs(n, j),
+    }
+}
+
+/// Phase 1: a pipelined TCP burst must be bitwise identical to reference
+/// evaluations on a private session.
+fn bitwise_phase(session: &EvalSession, n: usize) -> Result<bool, MatroxError> {
+    let width = ServeConfig::from_env().max_batch.max(2);
+    let (server, net) = serve_net(
+        session,
+        ServeConfig::from_env()
+            .with_max_batch(width)
+            .with_coalesce_window(Duration::from_millis(100)),
+        NetConfig::from_env(),
+    )?;
+    let mut client = NetClient::connect(net.addr())?;
+    let corrs: Vec<u64> = (0..width)
+        .map(|j| client.send(&query(n, j)))
+        .collect::<Result<_, _>>()?;
+    let mut all_bitwise = true;
+    let mut max_width = 0usize;
+    for (j, corr) in corrs.into_iter().enumerate() {
+        let reply = client.recv(corr)?.into_query_result()?;
+        let expected = session.evaluate_vec(&rhs(n, j))?;
+        all_bitwise &= bitwise_eq(&reply.y, &expected);
+        max_width = max_width.max(reply.batch_width);
+    }
+    net.shutdown()?;
+    server.shutdown()?;
+    println!(
+        "bitwise: {} columns over TCP, coalesced width {}, identical = {}",
+        width, max_width, all_bitwise
+    );
+    Ok(all_bitwise && max_width > 1)
+}
+
+/// Time a fully pipelined closed-loop burst through the in-process handle.
+fn closed_loop_inproc(
+    session: &EvalSession,
+    n: usize,
+    burst: usize,
+    cfg: ServeConfig,
+) -> Result<f64, MatroxError> {
+    let server = Server::spawn(cfg)?;
+    let handle = server.handle();
+    handle.insert_model("m", Model::Matvec(Arc::new(session.clone())))?;
+    handle.query_wait("m", "warm", rhs(n, 0))?;
+
+    let t0 = Instant::now();
+    let pending: Vec<_> = (0..burst)
+        .map(|j| handle.query("m", "t", rhs(n, j)))
+        .collect();
+    for p in pending {
+        p.wait()?;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown()?;
+    Ok(burst as f64 / elapsed.max(1e-12))
+}
+
+/// Time the same burst over TCP, pipelined on one connection.  The
+/// admission caps are raised to the burst size so the ratio prices the
+/// wire, not the shed path (phase 4 measures that separately).
+fn closed_loop_wire(
+    session: &EvalSession,
+    n: usize,
+    burst: usize,
+    cfg: ServeConfig,
+) -> Result<f64, MatroxError> {
+    let (server, net) = serve_net(
+        session,
+        cfg,
+        NetConfig::from_env()
+            .with_max_inflight_per_conn(burst)
+            .with_max_inflight_per_tenant(burst)
+            .with_max_inflight_total(burst),
+    )?;
+    let mut client = NetClient::connect(net.addr())?;
+    let warm = client.send(&query(n, 0))?;
+    client.recv(warm)?.into_query_result()?;
+
+    let t0 = Instant::now();
+    let corrs: Vec<u64> = (0..burst)
+        .map(|j| client.send(&query(n, j)))
+        .collect::<Result<_, _>>()?;
+    for corr in corrs {
+        client.recv(corr)?.into_query_result()?;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    net.shutdown()?;
+    server.shutdown()?;
+    Ok(burst as f64 / elapsed.max(1e-12))
+}
+
+/// Phase 3: open-loop paced submission over TCP, replies drained with
+/// `try_recv` between sends; returns sorted client-observed latencies.
+fn open_loop_wire(
+    session: &EvalSession,
+    n: usize,
+    queries: usize,
+    target_qps: f64,
+) -> Result<Vec<f64>, MatroxError> {
+    let (server, net) = serve_net(
+        session,
+        ServeConfig::from_env(),
+        NetConfig::from_env()
+            .with_max_inflight_per_conn(queries)
+            .with_max_inflight_per_tenant(queries)
+            .with_max_inflight_total(queries),
+    )?;
+    let mut client = NetClient::connect(net.addr())?;
+
+    let interval = Duration::from_secs_f64(1.0 / target_qps.max(1.0));
+    let start = Instant::now();
+    let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(queries);
+    let mut latencies: Vec<f64> = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let due = start + interval * i as u32;
+        let now = Instant::now();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        let corr = client.send(&query(n, i))?;
+        sent_at.insert(corr, Instant::now());
+        while let Some((corr, resp)) = client.try_recv()? {
+            resp.into_query_result()?;
+            if let Some(t) = sent_at.remove(&corr) {
+                latencies.push(t.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let outstanding: Vec<u64> = sent_at.keys().copied().collect();
+    for corr in outstanding {
+        client.recv(corr)?.into_query_result()?;
+        if let Some(t) = sent_at.remove(&corr) {
+            latencies.push(t.elapsed().as_secs_f64());
+        }
+    }
+    net.shutdown()?;
+    server.shutdown()?;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(latencies)
+}
+
+/// Phase 4: a burst against an 8-deep dispatch queue while the reactor sits
+/// on a long coalescing window.  Returns (served, shed) — everything else
+/// would be silent queue growth, which is exactly what the cap forbids.
+fn overload_phase(
+    session: &EvalSession,
+    n: usize,
+    flood: usize,
+) -> Result<(u64, u64), MatroxError> {
+    let cap = 8;
+    let (server, net) = serve_net(
+        session,
+        ServeConfig::from_env()
+            .with_max_batch(flood.max(2))
+            .with_coalesce_window(Duration::from_millis(50)),
+        NetConfig::from_env()
+            .with_max_inflight_per_conn(flood)
+            .with_max_inflight_total(cap),
+    )?;
+    let mut client = NetClient::connect(net.addr())?;
+    let corrs: Vec<u64> = (0..flood)
+        .map(|j| client.send(&query(n, j)))
+        .collect::<Result<_, _>>()?;
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for corr in corrs {
+        match client.recv(corr)?.into_query_result() {
+            Ok(_) => served += 1,
+            Err(MatroxError::Overloaded(_)) => shed += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    let stats = net.shutdown()?;
+    server.shutdown()?;
+    assert_eq!(stats.shed, shed, "client and server agree on shed count");
+    Ok((served, shed))
+}
+
+fn main() -> Result<(), MatroxError> {
+    let args = HarnessArgs::parse(256, 1);
+    let n = args.n;
+    let burst = args.usize_flag("--burst", 256);
+    let open_queries = args.usize_flag("--open-queries", 384);
+    let flood = args.usize_flag("--flood", 128);
+    let check = pool_banner()?;
+    println!(
+        "net_load: N = {n}, burst = {burst}, open-loop {open_queries} queries, flood = {flood}"
+    );
+
+    let session = matvec_session(n, 11, 2.0)?;
+
+    // Phase 1: the wire must be bitwise-invisible.
+    let net_bitwise = bitwise_phase(&session, n)?;
+
+    // Phase 2: identical pipelined bursts, in-process vs over TCP.
+    let cfg = ServeConfig::from_env().with_coalesce_window(Duration::from_millis(2));
+    let inproc_qps = closed_loop_inproc(&session, n, burst, cfg)?;
+    let wire_qps = closed_loop_wire(&session, n, burst, cfg)?;
+    let throughput_ratio = wire_qps / inproc_qps.max(1e-12);
+    println!(
+        "closed loop: in-process {inproc_qps:.0} qps, wire {wire_qps:.0} qps \
+         ({throughput_ratio:.2}x of in-process)"
+    );
+
+    // Phase 3: open loop at half the measured wire capacity — staying under
+    // saturation keeps latency = window + service instead of backlog.
+    let target_qps = (wire_qps * 0.5).clamp(200.0, 20_000.0);
+    let latencies = open_loop_wire(&session, n, open_queries, target_qps)?;
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    let p99_p50 = p99 / p50.max(1e-12);
+    println!(
+        "open loop: target {target_qps:.0} qps, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms \
+         (p99/p50 {p99_p50:.1})",
+        p50 * 1e3,
+        p95 * 1e3,
+        p99 * 1e3
+    );
+
+    // Phase 4: the bounded dispatch queue must shed the surplus explicitly.
+    let (served, shed) = overload_phase(&session, n, flood)?;
+    let shed_fraction = shed as f64 / flood.max(1) as f64;
+    println!(
+        "overload: {flood} queries vs an 8-deep queue -> {served} served, {shed} shed \
+         ({:.0}% shed)",
+        shed_fraction * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_load\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \
+         \"closed_loop_queries\": {burst},\n  \"net_bitwise\": {net_bitwise},\n  \
+         \"inproc_qps\": {inproc},\n  \"wire_qps\": {wire},\n  \
+         \"net_throughput_ratio\": {ratio},\n  \"open_loop\": {{\"target_qps\": {target}, \
+         \"queries\": {open_queries}, \"p50_ms\": {p50ms}, \"p95_ms\": {p95ms}, \
+         \"p99_ms\": {p99ms}}},\n  \"net_p99_p50_ratio\": {p99p50},\n  \
+         \"overload\": {{\"flood\": {flood}, \"served\": {served}, \"shed\": {shed}}},\n  \
+         \"net_shed_fraction\": {shedfrac}\n}}\n",
+        threads = check.configured_threads,
+        inproc = json_f64(inproc_qps),
+        wire = json_f64(wire_qps),
+        ratio = json_f64(throughput_ratio),
+        target = json_f64(target_qps),
+        p50ms = json_f64(p50 * 1e3),
+        p95ms = json_f64(p95 * 1e3),
+        p99ms = json_f64(p99 * 1e3),
+        p99p50 = json_f64(p99_p50),
+        shedfrac = json_f64(shed_fraction),
+    );
+    write_bench_json("BENCH_net.json", &json);
+    Ok(())
+}

@@ -18,7 +18,7 @@
 //! cargo run -p matrox-bench --release --bin perf_smoke -- \
 //!     [--fig4 BENCH_fig4.json] [--solve BENCH_solve.json] \
 //!     [--gemm BENCH_gemm.json] [--serve BENCH_serve.json] \
-//!     [--thresholds crates/bench/thresholds.json]
+//!     [--net BENCH_net.json] [--thresholds crates/bench/thresholds.json]
 //! ```
 
 use matrox_bench::{json_lookup_bool, json_lookup_number, HarnessArgs};
@@ -121,6 +121,9 @@ fn main() {
     let serve_path = args
         .str_flag("--serve")
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let net_path = args
+        .str_flag("--net")
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
     let thresholds_path = args
         .str_flag("--thresholds")
         .unwrap_or_else(|| "crates/bench/thresholds.json".to_string());
@@ -130,6 +133,7 @@ fn main() {
     let solve = read(&solve_path);
     let gemm = read(&gemm_path);
     let serve = read(&serve_path);
+    let net = read(&net_path);
     let must = |key: &str| -> f64 {
         json_lookup_number(&thresholds, key).unwrap_or_else(|| {
             eprintln!("perf_smoke: threshold key '{key}' missing from {thresholds_path}");
@@ -246,6 +250,36 @@ fn main() {
         "serve.bitwise_identity",
         json_lookup_bool(&serve, "serve_bitwise") == Some(true),
         "coalesced replies vs direct single-query evaluation".into(),
+    );
+
+    println!("net_load ({net_path}):");
+    // The epoll + framing path may tax a fully pipelined closed loop, but
+    // only so much — below this bound the front-end, not the math, is the
+    // bottleneck.
+    gate.ratio_above(
+        "net.throughput_vs_inprocess",
+        json_lookup_number(&net, "net_throughput_ratio"),
+        must("net_min_throughput_ratio"),
+    );
+    // Open-loop tail latency over the wire: a runaway socket backlog or a
+    // stalled event loop shows up here first.
+    gate.ratio_below(
+        "net.p99_p50",
+        json_lookup_number(&net, "net_p99_p50_ratio"),
+        must("net_max_p99_p50_ratio"),
+    );
+    // The overload phase floods a deliberately tiny dispatch queue: the
+    // surplus must come back as explicit Overloaded responses (bounded
+    // queue + load-shed), not be absorbed into silent buffering.
+    gate.ratio_above(
+        "net.shed_under_overload",
+        json_lookup_number(&net, "net_shed_fraction"),
+        must("net_min_shed_under_overload"),
+    );
+    gate.check(
+        "net.bitwise_identity",
+        json_lookup_bool(&net, "net_bitwise") == Some(true),
+        "TCP replies vs direct single-query evaluation".into(),
     );
 
     println!(

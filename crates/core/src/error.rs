@@ -45,6 +45,10 @@ pub enum MatroxError {
     /// A worker job panicked inside the evaluation pool; the panic was
     /// contained at the session boundary and the payload preserved here.
     PoolPanic(String),
+    /// A serving front-end shed the request under load (admission caps hit,
+    /// dispatch queue full, or latency budget expired while queued).  The
+    /// request was never evaluated; retrying after backoff is safe.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for MatroxError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for MatroxError {
             MatroxError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             MatroxError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
             MatroxError::PoolPanic(m) => write!(f, "evaluation pool job panicked: {m}"),
+            MatroxError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

@@ -97,6 +97,7 @@ pub mod inspector;
 pub mod io;
 pub mod session;
 pub mod timings;
+pub mod wire;
 
 pub use config::MatRoxParams;
 pub use error::MatroxError;
@@ -110,3 +111,4 @@ pub use matrox_factor::FactorError;
 pub use matrox_linalg::{KernelChoice, KernelDispatch};
 pub use session::EvalSession;
 pub use timings::{FactorTimings, InspectorTimings, SessionStats};
+pub use wire::{WireReader, WireWriter};

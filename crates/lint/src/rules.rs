@@ -103,6 +103,12 @@ impl Config {
                 "crates/exec/tests/alloc_free.rs".into(),
                 // AVX2+FMA packed GEMM microkernel (raw-pointer tiles).
                 "crates/linalg/src/kernel/avx2.rs".into(),
+                // Audited epoll FFI for the serving network front-end: the
+                // only unsafe code in matrox-serve (crate is deny(unsafe)).
+                "crates/serve/src/net/epoll.rs".into(),
+                // Counting global allocator pinning the protocol-fuzz
+                // bounded-allocation property.
+                "crates/serve/tests/proto_fuzz.rs".into(),
                 // Work-stealing pool: stack-job handoff and worker TLS.
                 "vendor/rayon/src/job.rs".into(),
                 "vendor/rayon/src/lib.rs".into(),
@@ -121,11 +127,20 @@ impl Config {
                 // Allocation counter inside the counting test allocator.
                 "crates/core/tests/corruption_fuzz.rs".into(),
                 "crates/exec/tests/alloc_free.rs".into(),
+                // Network event loop: one thread owns every connection; the
+                // only shared state is a shutdown AtomicBool flag.
+                "crates/serve/src/net.rs".into(),
                 // Serving reactor: mpsc request/reply channels are its whole
                 // concurrency surface (one thread owns all mutable state).
                 "crates/serve/src/server.rs".into(),
+                // Allocation high-water mark inside the protocol-fuzz
+                // counting test allocator.
+                "crates/serve/tests/proto_fuzz.rs".into(),
             ],
             thread_spawn_allowlist: vec![
+                // The epoll event loop is a long-lived named service thread,
+                // not a parallel worker; the pool cannot host it.
+                "crates/serve/src/net.rs".into(),
                 // The serve reactor is a long-lived named service thread,
                 // not a parallel worker; the pool cannot host it.
                 "crates/serve/src/server.rs".into(),

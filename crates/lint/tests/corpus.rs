@@ -110,6 +110,18 @@ fn unsafe_allowlist_flags_stale_entries() {
 }
 
 #[test]
+fn unsafe_allowlist_accepts_audited_ffi_module() {
+    // The epoll-front-end idiom: an `extern "C"` declaration block plus
+    // SAFETY-commented call sites, allowlisted — clean under both the
+    // allowlist rule and the safety-comment rule.
+    let mut cfg = empty_config();
+    cfg.unsafe_allowlist = vec!["pass_ffi_module.rs".into()];
+    let files = [load("unsafe_allowlist/pass_ffi_module.rs")];
+    assert_clean(&rules::unsafe_allowlist(&files, &cfg), "FFI fixture");
+    assert_clean(&rules::safety_comments(&files), "FFI fixture comments");
+}
+
+#[test]
 fn unsafe_allowlist_ignores_strings_and_comments() {
     // Not allowlisted, yet clean: the keyword only appears inside string
     // literals, raw strings and comments, which the lexer must hide.
@@ -533,6 +545,7 @@ fn every_fixture_is_referenced() {
         "unsafe_allowlist/fail_unlisted.rs",
         "unsafe_allowlist/fail_stale_allowlist.rs",
         "unsafe_allowlist/pass_unsafe_in_string.rs",
+        "unsafe_allowlist/pass_ffi_module.rs",
         "safety_comments/pass_block_comment.rs",
         "safety_comments/pass_unsafe_fn_doc.rs",
         "safety_comments/pass_let_unsafe.rs",

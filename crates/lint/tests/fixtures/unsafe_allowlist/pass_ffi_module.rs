@@ -1,0 +1,14 @@
+//! Fixture: an audited FFI module in the epoll-front-end idiom — an
+//! `extern "C"` declaration block plus SAFETY-commented call sites must be
+//! clean under both the unsafe allowlist and the safety-comment rule when
+//! the (test) config allowlists this path.
+
+extern "C" {
+    fn close(fd: i32) -> i32;
+}
+
+pub fn close_fd(fd: i32) -> i32 {
+    // SAFETY: the kernel validates fds — a stale one is EBADF, not UB
+    // (fixture pretext mirroring the audited epoll module).
+    unsafe { close(fd) }
+}

@@ -9,7 +9,8 @@
 //! each asking for one right-hand side at a time — so this crate closes the
 //! gap with **request coalescing**: concurrently-arriving single-query
 //! requests against the same model are gathered into one RHS panel and fed
-//! through the model's shared [`EvalSession`] in a single panel-blocked
+//! through the model's shared [`EvalSession`](matrox_core::EvalSession) in a
+//! single panel-blocked
 //! evaluation.  The executor's determinism contract (output is bitwise
 //! independent of panel grouping) is what makes this safe: a coalesced
 //! response is bitwise identical to the response the query would have
@@ -68,14 +69,23 @@
 //! # Ok::<(), matrox_core::MatroxError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll FFI module (`net::epoll`) opts
+// back in with a file-level `#![allow(unsafe_code)]` and is tracked by the
+// matrox-lint unsafe allowlist; everything else in the crate stays safe.
+#![deny(unsafe_code)]
 
+pub mod client;
+pub mod net;
+pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
+pub use client::NetClient;
+pub use net::{NetConfig, NetServer, NetStats};
+pub use proto::{ErrorKind, Request, Response};
 pub use registry::{Model, ModelRegistry, RegistryStats};
-pub use server::{Op, PendingQuery, QueryReply, ServeHandle, Server};
+pub use server::{Op, PendingQuery, PendingResponse, QueryReply, ServeHandle, Server};
 pub use stats::{ServerStats, TenantStats};
 
 use std::time::Duration;

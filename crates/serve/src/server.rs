@@ -11,6 +11,7 @@
 //! still belongs to the executor's rayon pool; the reactor only decides
 //! *what* to evaluate together.
 
+use crate::proto::{Request, Response};
 use crate::registry::{Model, ModelRegistry};
 use crate::stats::{ServerStats, TenantStats};
 use crate::ServeConfig;
@@ -19,7 +20,7 @@ use matrox_linalg::Matrix;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
 /// The operation a query asks of its model.
@@ -92,11 +93,99 @@ enum Msg {
     Shutdown,
 }
 
+/// The response the reactor produces for a dropped channel: the submitter
+/// gets a clean protocol-level error instead of a hang.
+fn reactor_gone() -> Response {
+    Response::from_error(&MatroxError::PoolPanic(
+        "serve reactor is shut down".to_string(),
+    ))
+}
+
+#[derive(Debug)]
+enum PendingInner {
+    Query(Receiver<Result<QueryReply, MatroxError>>),
+    Ack(Receiver<Result<(), MatroxError>>),
+    Stats(Receiver<ServerStats>),
+    Flush(Receiver<()>),
+    /// Already answered at submit time (reactor gone); `None` after
+    /// [`PendingResponse::try_take`] hands it out.
+    Ready(Option<Response>),
+}
+
+/// A ticket for one submitted [`Request`]: the single pending-reply type
+/// every submission path returns, in-process or wire.  Redeem it blocking
+/// with [`wait`](PendingResponse::wait) or poll it with
+/// [`try_take`](PendingResponse::try_take) (what the network event loop
+/// does between epoll wakeups).  Dropping it abandons the answer; the
+/// reactor still serves the request.
+#[derive(Debug)]
+pub struct PendingResponse {
+    inner: PendingInner,
+}
+
+impl PendingResponse {
+    fn ready(resp: Response) -> Self {
+        PendingResponse {
+            inner: PendingInner::Ready(Some(resp)),
+        }
+    }
+
+    /// Block until the response arrives.  Never fails: a vanished reactor
+    /// becomes a [`Response::Error`] of kind `PoolPanic`.
+    pub fn wait(self) -> Response {
+        match self.inner {
+            PendingInner::Query(rx) => match rx.recv() {
+                Ok(r) => Response::from_query_result(r),
+                Err(_) => reactor_gone(),
+            },
+            PendingInner::Ack(rx) => match rx.recv() {
+                Ok(Ok(())) => Response::Done,
+                Ok(Err(e)) => Response::from_error(&e),
+                Err(_) => reactor_gone(),
+            },
+            PendingInner::Stats(rx) => match rx.recv() {
+                Ok(s) => Response::Stats(s),
+                Err(_) => reactor_gone(),
+            },
+            PendingInner::Flush(rx) => match rx.recv() {
+                Ok(()) => Response::Done,
+                Err(_) => reactor_gone(),
+            },
+            PendingInner::Ready(resp) => resp.unwrap_or_else(reactor_gone),
+        }
+    }
+
+    /// Non-blocking poll: `Some(response)` once the reactor has answered,
+    /// `None` while the request is still in flight.  After the response has
+    /// been taken once, subsequent polls return `None`.
+    pub fn try_take(&mut self) -> Option<Response> {
+        fn poll<T>(rx: &Receiver<T>, ok: impl FnOnce(T) -> Response) -> Option<Response> {
+            match rx.try_recv() {
+                Ok(v) => Some(ok(v)),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(reactor_gone()),
+            }
+        }
+        match &mut self.inner {
+            PendingInner::Query(rx) => poll(rx, Response::from_query_result),
+            PendingInner::Ack(rx) => poll(rx, |r| match r {
+                Ok(()) => Response::Done,
+                Err(e) => Response::from_error(&e),
+            }),
+            PendingInner::Stats(rx) => poll(rx, Response::Stats),
+            PendingInner::Flush(rx) => poll(rx, |()| Response::Done),
+            PendingInner::Ready(resp) => resp.take(),
+        }
+    }
+}
+
 /// A ticket for one submitted query; redeem it with [`PendingQuery::wait`].
 /// Dropping it abandons the answer (the reactor still serves the batch).
+/// This is the ergonomic layer over [`PendingResponse`] for callers that
+/// know they submitted a query and want a [`QueryReply`] back.
 #[derive(Debug)]
 pub struct PendingQuery {
-    rx: Receiver<Result<QueryReply, MatroxError>>,
+    inner: PendingResponse,
 }
 
 impl PendingQuery {
@@ -107,12 +196,7 @@ impl PendingQuery {
     /// [`MatroxError::PoolPanic`], ...), or [`MatroxError::PoolPanic`] if
     /// the reactor went away before answering.
     pub fn wait(self) -> Result<QueryReply, MatroxError> {
-        match self.rx.recv() {
-            Ok(r) => r,
-            Err(_) => Err(MatroxError::PoolPanic(
-                "serve reactor disconnected before replying".to_string(),
-            )),
-        }
+        self.inner.wait().into_query_result()
     }
 }
 
@@ -123,17 +207,76 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
+    /// Submit one protocol [`Request`] and get a [`PendingResponse`] ticket
+    /// back immediately.  This is the single entry point every submission
+    /// path funnels through — the ergonomic methods below and the network
+    /// front-end are thin adapters over it, so an in-process call and a
+    /// socket frame exercise exactly the same server surface.
+    pub fn submit(&self, req: Request) -> PendingResponse {
+        match req {
+            Request::Query { model, tenant, rhs } => {
+                self.submit_query(model, tenant, Op::Matvec, rhs)
+            }
+            Request::Solve { model, tenant, rhs } => {
+                self.submit_query(model, tenant, Op::Solve, rhs)
+            }
+            Request::LoadModel { id, path } => {
+                let (reply, rx) = channel();
+                match self.tx.send(Msg::LoadPath {
+                    id,
+                    path: PathBuf::from(path),
+                    reply,
+                }) {
+                    Ok(()) => PendingResponse {
+                        inner: PendingInner::Ack(rx),
+                    },
+                    Err(_) => PendingResponse::ready(reactor_gone()),
+                }
+            }
+            Request::Stats => {
+                let (reply, rx) = channel();
+                match self.tx.send(Msg::Stats { reply }) {
+                    Ok(()) => PendingResponse {
+                        inner: PendingInner::Stats(rx),
+                    },
+                    Err(_) => PendingResponse::ready(reactor_gone()),
+                }
+            }
+            Request::Flush => {
+                let (reply, rx) = channel();
+                match self.tx.send(Msg::Flush { reply }) {
+                    Ok(()) => PendingResponse {
+                        inner: PendingInner::Flush(rx),
+                    },
+                    Err(_) => PendingResponse::ready(reactor_gone()),
+                }
+            }
+        }
+    }
+
     /// Submit a matvec query (`y = K~ w`) for `model` on behalf of
     /// `tenant`; returns immediately.  Queries submitted concurrently for
     /// the same `(model, tenant)` pair coalesce into one evaluation.
     pub fn query(&self, model: &str, tenant: &str, rhs: Vec<f64>) -> PendingQuery {
-        self.submit(model, tenant, Op::Matvec, rhs)
+        PendingQuery {
+            inner: self.submit(Request::Query {
+                model: model.to_string(),
+                tenant: tenant.to_string(),
+                rhs,
+            }),
+        }
     }
 
     /// Submit a solve query (`K~ x = b`); same coalescing contract as
     /// [`query`](ServeHandle::query).
     pub fn solve(&self, model: &str, tenant: &str, rhs: Vec<f64>) -> PendingQuery {
-        self.submit(model, tenant, Op::Solve, rhs)
+        PendingQuery {
+            inner: self.submit(Request::Solve {
+                model: model.to_string(),
+                tenant: tenant.to_string(),
+                rhs,
+            }),
+        }
     }
 
     /// [`query`](ServeHandle::query) and wait for the answer.
@@ -149,26 +292,30 @@ impl ServeHandle {
         self.query(model, tenant, rhs).wait()
     }
 
-    fn submit(&self, model: &str, tenant: &str, op: Op, rhs: Vec<f64>) -> PendingQuery {
+    fn submit_query(
+        &self,
+        model: String,
+        tenant: String,
+        op: Op,
+        rhs: Vec<f64>,
+    ) -> PendingResponse {
         let (reply, rx) = channel();
         let msg = Msg::Query(QueryMsg {
-            model: model.to_string(),
-            tenant: tenant.to_string(),
+            model,
+            tenant,
             op,
             rhs,
             enqueued: Instant::now(),
             reply,
         });
-        if let Err(send_err) = self.tx.send(msg) {
+        if self.tx.send(msg).is_err() {
             // Reactor already gone: answer the ticket ourselves so `wait`
             // reports a clean error instead of a hung channel.
-            if let Msg::Query(q) = send_err.0 {
-                let _ = q.reply.send(Err(MatroxError::PoolPanic(
-                    "serve reactor is shut down".to_string(),
-                )));
-            }
+            return PendingResponse::ready(reactor_gone());
         }
-        PendingQuery { rx }
+        PendingResponse {
+            inner: PendingInner::Query(rx),
+        }
     }
 
     /// Load a model file (either on-disk format) and register it under
@@ -179,31 +326,32 @@ impl ServeHandle {
     /// Reader errors verbatim; [`MatroxError::PoolPanic`] if the reactor is
     /// gone.
     pub fn load_model(&self, id: &str, path: impl Into<PathBuf>) -> Result<(), MatroxError> {
-        let (reply, rx) = channel();
-        self.roundtrip(
-            Msg::LoadPath {
-                id: id.to_string(),
-                path: path.into(),
-                reply,
-            },
-            rx,
-        )?
+        self.submit(Request::LoadModel {
+            id: id.to_string(),
+            path: path.into().to_string_lossy().into_owned(),
+        })
+        .wait()
+        .into_ack_result()
     }
 
     /// Register an in-memory model under `id`, blocking until resident.
+    /// This is the one operation with no [`Request`] form: an in-memory
+    /// [`Model`] cannot cross a process boundary, so it stays a native
+    /// in-process call.
     ///
     /// # Errors
     /// [`MatroxError::PoolPanic`] if the reactor is gone.
     pub fn insert_model(&self, id: &str, model: Model) -> Result<(), MatroxError> {
+        let gone = || MatroxError::PoolPanic("serve reactor is shut down".to_string());
         let (reply, rx) = channel();
-        self.roundtrip(
-            Msg::Insert {
+        self.tx
+            .send(Msg::Insert {
                 id: id.to_string(),
                 model,
                 reply,
-            },
-            rx,
-        )
+            })
+            .map_err(|_| gone())?;
+        rx.recv().map_err(|_| gone())
     }
 
     /// Snapshot the server's statistics.
@@ -211,8 +359,7 @@ impl ServeHandle {
     /// # Errors
     /// [`MatroxError::PoolPanic`] if the reactor is gone.
     pub fn stats(&self) -> Result<ServerStats, MatroxError> {
-        let (reply, rx) = channel();
-        self.roundtrip(Msg::Stats { reply }, rx)
+        self.submit(Request::Stats).wait().into_stats_result()
     }
 
     /// Barrier: dispatch every queued query immediately (ignoring the
@@ -222,14 +369,7 @@ impl ServeHandle {
     /// # Errors
     /// [`MatroxError::PoolPanic`] if the reactor is gone.
     pub fn flush(&self) -> Result<(), MatroxError> {
-        let (reply, rx) = channel();
-        self.roundtrip(Msg::Flush { reply }, rx)
-    }
-
-    fn roundtrip<T>(&self, msg: Msg, rx: Receiver<T>) -> Result<T, MatroxError> {
-        let gone = || MatroxError::PoolPanic("serve reactor is shut down".to_string());
-        self.tx.send(msg).map_err(|_| gone())?;
-        rx.recv().map_err(|_| gone())
+        self.submit(Request::Flush).wait().into_ack_result()
     }
 }
 
@@ -622,6 +762,7 @@ fn clone_error(e: &MatroxError) -> MatroxError {
         MatroxError::InvalidInput(m) => MatroxError::InvalidInput(m.clone()),
         MatroxError::PlanMismatch(m) => MatroxError::PlanMismatch(m.clone()),
         MatroxError::PoolPanic(m) => MatroxError::PoolPanic(m.clone()),
+        MatroxError::Overloaded(m) => MatroxError::Overloaded(m.clone()),
     }
 }
 

@@ -65,7 +65,7 @@ impl TenantStats {
 }
 
 /// A point-in-time snapshot of everything the server counts.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServerStats {
     /// Per-tenant serving counters, sorted by tenant id.
     pub tenants: Vec<(String, TenantStats)>,
