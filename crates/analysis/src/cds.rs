@@ -14,10 +14,18 @@
 //! optimization (the loop-structure half is in `matrox-codegen` /
 //! `matrox-exec`).
 
+//! Packing runs on the work-stealing pool with fixed combination order:
+//! a sequential pass lays out every entry's offset (in blockset/coarsenset
+//! order, exactly as before), the value buffer is pre-allocated, and the
+//! copies land in disjoint `&mut` slices carved per entry — so the packed
+//! bytes are bitwise identical at every pool width and grain.
+
 use crate::blocking::BlockSet;
 use crate::coarsen::CoarsenSet;
 use matrox_compress::Compression;
+use matrox_linalg::knobs::resolve_grain;
 use matrox_tree::ClusterTree;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Placement of one stored submatrix inside a CDS value buffer.
@@ -248,11 +256,37 @@ pub fn build_cds(
     far_blockset: &BlockSet,
     coarsenset: &CoarsenSet,
 ) -> Cds {
+    build_cds_with_grain(
+        tree,
+        compression,
+        near_blockset,
+        far_blockset,
+        coarsenset,
+        0,
+    )
+}
+
+/// [`build_cds`] with an explicit grain (minimum copy tasks per parallel
+/// work item; `0` = auto / the `MATROX_GRAIN` env knob).  Grain only changes
+/// copy chunking, never the packed bytes.
+pub fn build_cds_with_grain(
+    tree: &ClusterTree,
+    compression: &Compression,
+    near_blockset: &BlockSet,
+    far_blockset: &BlockSet,
+    coarsenset: &CoarsenSet,
+    grain: usize,
+) -> Cds {
     let n_nodes = tree.num_nodes();
+    let grain = resolve_grain(grain);
 
     // ---- generators in coarsenset order --------------------------------
-    let mut gen_values: Vec<f64> = Vec::new();
+    // Sequential layout pass: assign every stored node its dense offsets in
+    // coarsenset order (V then U contiguously), then copy the payloads in
+    // parallel into disjoint per-node slices of the pre-sized buffer.
     let mut generators = vec![GeneratorEntry::absent(); n_nodes];
+    let mut stored: Vec<usize> = Vec::new();
+    let mut gen_total = 0usize;
     for cl in &coarsenset.levels {
         for part in cl {
             for &id in part {
@@ -261,18 +295,36 @@ pub fn build_cds(
                     continue;
                 }
                 let (rows, cols) = basis.v.shape();
-                let v_offset = gen_values.len();
-                gen_values.extend_from_slice(basis.v.as_slice());
-                let u_offset = gen_values.len();
-                gen_values.extend_from_slice(basis.u.as_slice());
                 generators[id] = GeneratorEntry {
-                    v_offset,
-                    u_offset,
+                    v_offset: gen_total,
+                    u_offset: gen_total + rows * cols,
                     rows,
                     cols,
                 };
+                stored.push(id);
+                gen_total += 2 * rows * cols;
             }
         }
+    }
+    let mut gen_values = vec![0.0f64; gen_total];
+    {
+        let mut slots: Vec<(usize, &mut [f64])> = Vec::with_capacity(stored.len());
+        let mut rest: &mut [f64] = &mut gen_values;
+        for &id in &stored {
+            let g = &generators[id];
+            let (chunk, tail) = rest.split_at_mut(2 * g.rows * g.cols);
+            slots.push((id, chunk));
+            rest = tail;
+        }
+        slots
+            .into_par_iter()
+            .with_min_len(grain)
+            .for_each(|(id, chunk)| {
+                let basis = &compression.bases[id];
+                let half = basis.v.len();
+                chunk[..half].copy_from_slice(basis.v.as_slice());
+                chunk[half..].copy_from_slice(basis.u.as_slice());
+            });
     }
 
     // ---- near blocks in blockset order ----------------------------------
@@ -281,7 +333,7 @@ pub fn build_cds(
         .iter()
         .map(|((i, j), m)| ((*i, *j), m))
         .collect();
-    let (d_values, d_entries, d_groups) = pack_blocks(near_blockset, &near_map);
+    let (d_values, d_entries, d_groups) = pack_blocks(near_blockset, &near_map, grain);
 
     // ---- far blocks in blockset order ------------------------------------
     let far_map: HashMap<(usize, usize), &matrox_linalg::Matrix> = compression
@@ -289,7 +341,7 @@ pub fn build_cds(
         .iter()
         .map(|((i, j), m)| ((*i, *j), m))
         .collect();
-    let (b_values, b_entries, b_groups) = pack_blocks(far_blockset, &far_map);
+    let (b_values, b_entries, b_groups) = pack_blocks(far_blockset, &far_map, grain);
 
     Cds {
         gen_values,
@@ -305,22 +357,22 @@ pub fn build_cds(
 }
 
 /// Pack the blocks referenced by a blockset into a flat buffer, preserving
-/// the blockset iteration order.
+/// the blockset iteration order.  Offsets are laid out sequentially; the
+/// copies run in parallel into disjoint per-entry slices.
 fn pack_blocks(
     blockset: &BlockSet,
     blocks: &HashMap<(usize, usize), &matrox_linalg::Matrix>,
+    grain: usize,
 ) -> (Vec<f64>, Vec<CdsBlockEntry>, Vec<GroupRange>) {
-    let mut values = Vec::new();
     let mut entries = Vec::new();
     let mut groups = Vec::with_capacity(blockset.groups.len());
+    let mut offset = 0usize;
     for group in &blockset.groups {
         let start = entries.len();
         for &(i, j) in group {
             let m = blocks
                 .get(&(i, j))
                 .unwrap_or_else(|| panic!("blockset references missing block ({i},{j})"));
-            let offset = values.len();
-            values.extend_from_slice(m.as_slice());
             entries.push(CdsBlockEntry {
                 target: i,
                 source: j,
@@ -328,11 +380,28 @@ fn pack_blocks(
                 rows: m.rows(),
                 cols: m.cols(),
             });
+            offset += m.len();
         }
         groups.push(GroupRange {
             start,
             end: entries.len(),
         });
+    }
+    let mut values = vec![0.0f64; offset];
+    {
+        let mut slots: Vec<&mut [f64]> = Vec::with_capacity(entries.len());
+        let mut rest: &mut [f64] = &mut values;
+        for e in &entries {
+            let (chunk, tail) = rest.split_at_mut(e.rows * e.cols);
+            slots.push(chunk);
+            rest = tail;
+        }
+        let work: Vec<(&CdsBlockEntry, &mut [f64])> = entries.iter().zip(slots).collect();
+        work.into_par_iter()
+            .with_min_len(grain)
+            .for_each(|(e, chunk)| {
+                chunk.copy_from_slice(blocks[&(e.target, e.source)].as_slice());
+            });
     }
     (values, entries, groups)
 }

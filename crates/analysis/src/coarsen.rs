@@ -77,10 +77,13 @@ pub struct CoarsenParams {
 
 impl Default for CoarsenParams {
     fn default() -> Self {
-        CoarsenParams {
-            p: rayon::current_num_threads().max(1),
-            agg: 2,
-        }
+        // `p` feeds the coarsened level sets that are serialized into the
+        // plan, so the default must be a fixed constant: deriving it from
+        // the pool width would make the same inputs produce different plan
+        // bytes at different widths, breaking the inspector's determinism
+        // contract.  Fixed at the paper's reference socket width; callers
+        // tune it per machine explicitly.
+        CoarsenParams { p: 8, agg: 2 }
     }
 }
 

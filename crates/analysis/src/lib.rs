@@ -20,5 +20,7 @@ pub mod cds;
 pub mod coarsen;
 
 pub use blocking::{build_blockset, BlockSet};
-pub use cds::{build_cds, BlockExtent, Cds, CdsBlockEntry, GeneratorEntry, GroupRange};
+pub use cds::{
+    build_cds, build_cds_with_grain, BlockExtent, Cds, CdsBlockEntry, GeneratorEntry, GroupRange,
+};
 pub use coarsen::{build_coarsenset, CoarsenParams, CoarsenSet};

@@ -27,7 +27,7 @@
 //! ```
 
 use matrox_bench::*;
-use matrox_core::{EvalSession, MatroxError};
+use matrox_core::{EvalSession, InspectTimings, MatroxError};
 use matrox_points::{generate, DatasetId};
 use matrox_tree::Structure;
 use std::fmt::Write as _;
@@ -44,6 +44,8 @@ struct Sweep {
     dataset: String,
     structure: String,
     inspect_s: f64,
+    inspect_phases: InspectTimings,
+    inspect_over_exec: f64,
     panel_width: usize,
     gofmm_compress_s: f64,
     rows: Vec<SweepRow>,
@@ -186,6 +188,11 @@ fn main() -> Result<(), MatroxError> {
             let last_amortized = rows.last().map_or(0.0, |r| r.amortized_per_query_s);
             let q1_total = inspect_s + rows.first().map_or(0.0, |r| r.eval_s);
             let amortization_ratio = last_amortized / q1_total;
+            // Inspector cost relative to one batched evaluation at the largest
+            // swept Q: the "how many executor passes does one inspection cost"
+            // figure gated by `fig4_max_inspect_over_exec`.
+            let inspect_phases = session.stats().inspect_phases;
+            let inspect_over_exec = inspect_s / rows.last().map_or(1.0, |r| r.eval_s.max(1e-12));
             println!(
                 "  -> inspect {:.3}s once (panel width {}), break-even Q vs re-inspection: {}, \
                  vs GOFMM: {}; amortized/q at Q={} is {:.3}x the Q=1 total; batch-16 {:.2}x vs matvecs ({})",
@@ -202,11 +209,23 @@ fn main() -> Result<(), MatroxError> {
                     "MISMATCH"
                 }
             );
+            println!(
+                "     inspect phases: partition {:.3}s, sample {:.3}s, compress {:.3}s, \
+                 assemble {:.3}s; inspect / exec(Q={}) = {:.2}",
+                inspect_phases.partition_seconds,
+                inspect_phases.sample_seconds,
+                inspect_phases.compress_seconds,
+                inspect_phases.assemble_seconds,
+                q_max,
+                inspect_over_exec
+            );
 
             sweeps.push(Sweep {
                 dataset: dataset.name().to_string(),
                 structure: structure.name().to_string(),
                 inspect_s,
+                inspect_phases,
+                inspect_over_exec,
                 panel_width: session.panel_width(),
                 gofmm_compress_s: setup.compression_time,
                 rows,
@@ -247,10 +266,17 @@ fn render_json(check: &matrox_bench::PoolSelfCheck, n: usize, sweeps: &[Sweep]) 
         let _ = writeln!(
             out,
             "    {{\"dataset\": \"{}\", \"structure\": \"{}\", \"inspect_s\": {}, \
+             \"inspect_phases\": {{\"partition_s\": {}, \"sample_s\": {}, \
+             \"compress_s\": {}, \"assemble_s\": {}}}, \"inspect_over_exec\": {}, \
              \"panel_width\": {}, \"gofmm_compress_s\": {}, \"rows\": [",
             s.dataset,
             s.structure,
             json_f64(s.inspect_s),
+            json_f64(s.inspect_phases.partition_seconds),
+            json_f64(s.inspect_phases.sample_seconds),
+            json_f64(s.inspect_phases.compress_seconds),
+            json_f64(s.inspect_phases.assemble_seconds),
+            json_f64(s.inspect_over_exec),
             s.panel_width,
             json_f64(s.gofmm_compress_s)
         );
@@ -298,14 +324,19 @@ fn render_json(check: &matrox_bench::PoolSelfCheck, n: usize, sweeps: &[Sweep]) 
         .iter()
         .map(|s| s.amortization_ratio)
         .fold(0.0f64, f64::max);
+    let max_inspect_over_exec = sweeps
+        .iter()
+        .map(|s| s.inspect_over_exec)
+        .fold(0.0f64, f64::max);
     let all_bitwise = sweeps.iter().all(|s| s.batch16_bitwise);
     let _ = writeln!(
         out,
         "  \"summary\": {{\"max_per_query_s\": {}, \"min_batch16_speedup\": {}, \
-         \"max_amortization_ratio\": {}, \"all_bitwise\": {}}}",
+         \"max_amortization_ratio\": {}, \"max_inspect_over_exec\": {}, \"all_bitwise\": {}}}",
         json_f64(max_per_query),
         json_f64(min_batch16),
         json_f64(max_amort),
+        json_f64(max_inspect_over_exec),
         all_bitwise
     );
     out.push_str("}\n");

@@ -166,6 +166,11 @@ fn main() {
         json_lookup_number(&fig4, "max_amortization_ratio"),
         must("fig4_max_amortization_ratio"),
     );
+    gate.ratio_below(
+        "fig4.inspect_over_exec",
+        json_lookup_number(&fig4, "max_inspect_over_exec"),
+        must("fig4_max_inspect_over_exec"),
+    );
     gate.check(
         "fig4.batched_bitwise_identity",
         json_lookup_bool(&fig4, "all_bitwise") == Some(true),

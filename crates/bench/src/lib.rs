@@ -164,6 +164,7 @@ pub fn build_baseline(
         &CompressionParams {
             bacc,
             max_rank: params.max_rank,
+            grain: params.grain,
         },
     );
     BaselineSetup {

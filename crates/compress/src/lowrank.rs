@@ -17,7 +17,8 @@
 //! * dense near blocks `D_{i,j}` and low-rank coupling blocks
 //!   `B_{i,j} = K(skel_i, skel_j)`.
 
-use matrox_linalg::{row_id, Matrix};
+use matrox_linalg::knobs::resolve_grain;
+use matrox_linalg::{failpoint, row_id, Matrix};
 use matrox_points::{kernel_block, Kernel, PointSet};
 use matrox_sampling::SamplingInfo;
 use matrox_tree::{ClusterTree, HTree};
@@ -31,6 +32,11 @@ pub struct CompressionParams {
     pub bacc: f64,
     /// Hard cap on the submatrix rank (the paper's "maximum rank = 256").
     pub max_rank: usize,
+    /// Minimum nodes/blocks per parallel compression task; `0` = auto (the
+    /// `MATROX_GRAIN` env knob, then 1).  Chunking only — every node's
+    /// basis is a pure function of the inputs, so the output never depends
+    /// on this knob or the pool width.
+    pub grain: usize,
 }
 
 impl Default for CompressionParams {
@@ -38,6 +44,7 @@ impl Default for CompressionParams {
         CompressionParams {
             bacc: 1e-5,
             max_rank: 256,
+            grain: 0,
         }
     }
 }
@@ -122,6 +129,7 @@ pub fn compress(
     params: &CompressionParams,
 ) -> Compression {
     let n_nodes = tree.num_nodes();
+    let grain = resolve_grain(params.grain);
     let mut bases: Vec<NodeBasis> = vec![NodeBasis::empty(); n_nodes];
 
     // Does any node need a basis at all?  Only nodes that participate in far
@@ -136,7 +144,11 @@ pub fn compress(
         let level_nodes = tree.nodes_at_level(level);
         let level_bases: Vec<(usize, NodeBasis)> = level_nodes
             .par_iter()
+            .with_min_len(grain)
             .map(|&id| {
+                if failpoint::should_fire(failpoint::names::COMPRESS_PANIC) {
+                    panic!("injected failpoint `{}`", failpoint::names::COMPRESS_PANIC);
+                }
                 let node = &tree.nodes[id];
                 let samples = &sampling.samples[id];
                 if samples.is_empty() {
@@ -183,6 +195,7 @@ pub fn compress(
     let near_pairs = htree.near_pairs();
     let near_blocks: Vec<((usize, usize), Matrix)> = near_pairs
         .par_iter()
+        .with_min_len(grain)
         .map(|&(i, j)| {
             let block = kernel_block(points, kernel, tree.indices(i), tree.indices(j));
             ((i, j), block)
@@ -193,6 +206,7 @@ pub fn compress(
     let far_pairs = htree.far_pairs();
     let far_blocks: Vec<((usize, usize), Matrix)> = far_pairs
         .par_iter()
+        .with_min_len(grain)
         .map(|&(i, j)| {
             let block = kernel_block(points, kernel, &bases[i].skeleton, &bases[j].skeleton);
             ((i, j), block)
@@ -238,6 +252,7 @@ mod tests {
         let params = CompressionParams {
             bacc: 1e-5,
             max_rank: 16,
+            grain: 0,
         };
         let c = compress(&pts, &tree, &htree, &kernel, &sampling, &params);
         for (id, b) in c.bases.iter().enumerate() {
@@ -351,6 +366,7 @@ mod tests {
             &CompressionParams {
                 bacc: 1e-2,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let tight = compress(
@@ -362,6 +378,7 @@ mod tests {
             &CompressionParams {
                 bacc: 1e-8,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let sl: usize = loose.sranks.iter().sum();
@@ -382,6 +399,7 @@ mod tests {
             &CompressionParams {
                 bacc: 1e-5,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let ratio = c.compression_ratio(pts.len());

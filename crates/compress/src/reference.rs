@@ -194,6 +194,7 @@ mod tests {
             &CompressionParams {
                 bacc,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);

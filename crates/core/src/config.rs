@@ -53,6 +53,12 @@ pub struct MatRoxParams {
     /// for a fixed selection results are bitwise reproducible across
     /// thread counts and panel widths.
     pub kernel: KernelChoice,
+    /// Minimum work items per parallel task across the inspector's parallel
+    /// phases (tree partitioning, kNN, sampling, compression, CDS packing);
+    /// `0` = auto (the `MATROX_GRAIN` env knob, then 1).  Like
+    /// `panel_width`, grain only changes task chunking: the inspector output
+    /// is bitwise independent of it and of the pool width.
+    pub grain: usize,
 }
 
 impl Default for MatRoxParams {
@@ -66,14 +72,18 @@ impl Default for MatRoxParams {
             max_rank: 256,
             near_blocksize: 2,
             far_blocksize: 4,
-            coarsen: CoarsenParams {
-                p: rayon::current_num_threads().max(1),
-                agg: 2,
-            },
+            // `p` is a *plan* parameter: it shapes the coarsened level sets
+            // that end up in the CDS, so it must never be derived from the
+            // pool width at hand or the same inputs would produce different
+            // plan bytes on different machines (or across the determinism
+            // suite's width sweep).  Fixed at the paper's reference socket
+            // width; tune per machine with `with_partitions`.
+            coarsen: CoarsenParams { p: 8, agg: 2 },
             codegen: CodegenParams::default(),
             seed: 0,
             panel_width: 0,
             kernel: KernelChoice::Auto,
+            grain: 0,
         }
     }
 }
@@ -134,6 +144,13 @@ impl MatRoxParams {
         self.kernel = kernel;
         self
     }
+
+    /// Builder-style override of the inspector's parallel grain
+    /// (see [`MatRoxParams::grain`]).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +168,11 @@ mod tests {
         assert_eq!(p.sampling.sampling_size, 32);
         assert_eq!(p.panel_width, 0, "panel width defaults to auto");
         assert_eq!(p.kernel, KernelChoice::Auto, "kernel defaults to auto");
+        assert_eq!(p.grain, 0, "grain defaults to auto");
+        assert_eq!(
+            p.coarsen.p, 8,
+            "coarsening p is a fixed plan parameter, never the pool width"
+        );
     }
 
     #[test]

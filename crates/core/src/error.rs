@@ -22,6 +22,19 @@ use crate::io::IoError;
 use matrox_factor::FactorError;
 use matrox_linalg::NotPositiveDefinite;
 
+/// Render a `catch_unwind` payload as the human-readable panic message.
+/// Shared by every containment boundary in the crate (the session's
+/// evaluation wrapper and the inspector's parallel phases).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Unified error type returned by every public MatRox entry point.
 #[derive(Debug)]
 pub enum MatroxError {

@@ -9,18 +9,51 @@
 //! (low-rank approximation, coarsening, CDS construction).  When only the
 //! kernel or `bacc` change, re-running p2 alone reuses all of p1's work —
 //! this is what Figure 10 measures.
+//!
+//! Every phase with per-node or per-block parallelism (tree partitioning,
+//! kNN, sampling, compression, CDS packing) runs on the work-stealing pool
+//! with fixed combination order, so the inspector output — CDS bytes, ranks,
+//! permutations, the serialized image — is bitwise identical at every pool
+//! width and grain (see DESIGN.md, "Parallel inspector").  Both phases run
+//! inside a `catch_unwind` boundary: a panic on a pool worker surfaces as
+//! [`MatroxError::PoolPanic`] instead of unwinding into the caller, and the
+//! next clean inspection is unaffected.
 
 use crate::config::MatRoxParams;
-use crate::error::MatroxError;
+use crate::error::{panic_message, MatroxError};
 use crate::hmatrix::HMatrix;
 use crate::timings::InspectorTimings;
-use matrox_analysis::{build_blockset, build_cds, build_coarsenset, BlockSet};
+use matrox_analysis::{build_blockset, build_cds_with_grain, build_coarsenset, BlockSet};
 use matrox_codegen::generate_plan;
 use matrox_compress::{compress, CompressionParams};
 use matrox_points::{Kernel, PointSet};
-use matrox_sampling::{sample_nodes, SamplingInfo};
+use matrox_sampling::{sample_nodes, SamplingInfo, SamplingParams};
 use matrox_tree::{ClusterTree, HTree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// Run one inspector phase inside a `catch_unwind` containment boundary.
+/// AssertUnwindSafe is sound because the closures only read their inputs
+/// and any partially-built output is dropped with the unwind.
+fn contain<T>(f: impl FnOnce() -> Result<T, MatroxError>) -> Result<T, MatroxError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(MatroxError::PoolPanic(panic_message(payload))),
+    }
+}
+
+/// Resolve the effective sampling parameters: a sub-parameter grain of 0
+/// inherits the top-level [`MatRoxParams::grain`].
+fn effective_sampling(params: &MatRoxParams) -> SamplingParams {
+    let mut sp = params.sampling;
+    if sp.grain == 0 {
+        sp.grain = params.grain;
+    }
+    if sp.knn.grain == 0 {
+        sp.knn.grain = params.grain;
+    }
+    sp
+}
 
 /// Output of inspector-p1: everything that does not depend on the kernel
 /// parameters or the requested accuracy.
@@ -111,34 +144,43 @@ pub fn inspector_p1(
     params: &MatRoxParams,
 ) -> Result<InspectorP1, MatroxError> {
     screen_inspector_inputs(points, kernel, params)?;
-    let mut timings = InspectorTimings::default();
+    contain(|| {
+        let mut timings = InspectorTimings::default();
 
-    let t0 = Instant::now();
-    let tree = ClusterTree::build(points, params.partition, params.leaf_size, params.seed);
-    timings.tree_construction = t0.elapsed();
+        let t0 = Instant::now();
+        let tree = ClusterTree::build_with_grain(
+            points,
+            params.partition,
+            params.leaf_size,
+            params.seed,
+            params.grain,
+        );
+        timings.tree_construction = t0.elapsed();
 
-    let t0 = Instant::now();
-    let htree = HTree::build(&tree, params.structure);
-    timings.interaction = t0.elapsed();
+        let t0 = Instant::now();
+        let htree = HTree::build(&tree, params.structure);
+        timings.interaction = t0.elapsed();
 
-    let t0 = Instant::now();
-    let sampling = sample_nodes(points, &tree, kernel, &params.sampling);
-    timings.sampling = t0.elapsed();
+        let t0 = Instant::now();
+        let sampling = sample_nodes(points, &tree, kernel, &effective_sampling(params));
+        timings.sampling = t0.elapsed();
 
-    let t0 = Instant::now();
-    let near_blockset =
-        build_blockset(&htree.near_pairs(), tree.num_nodes(), params.near_blocksize);
-    let far_blockset = build_blockset(&htree.far_pairs(), tree.num_nodes(), params.far_blocksize);
-    timings.blocking = t0.elapsed();
+        let t0 = Instant::now();
+        let near_blockset =
+            build_blockset(&htree.near_pairs(), tree.num_nodes(), params.near_blocksize);
+        let far_blockset =
+            build_blockset(&htree.far_pairs(), tree.num_nodes(), params.far_blocksize);
+        timings.blocking = t0.elapsed();
 
-    Ok(InspectorP1 {
-        tree,
-        htree,
-        sampling,
-        near_blockset,
-        far_blockset,
-        params: *params,
-        timings,
+        Ok(InspectorP1 {
+            tree,
+            htree,
+            sampling,
+            near_blockset,
+            far_blockset,
+            params: *params,
+            timings,
+        })
     })
 }
 
@@ -165,58 +207,62 @@ pub fn inspector_p2(
             points.len()
         )));
     }
-    let mut timings = p1.timings;
-    let params = &p1.params;
+    contain(|| {
+        let mut timings = p1.timings;
+        let params = &p1.params;
 
-    let t0 = Instant::now();
-    let compression = compress(
-        points,
-        &p1.tree,
-        &p1.htree,
-        kernel,
-        &p1.sampling,
-        &CompressionParams {
+        let t0 = Instant::now();
+        let compression = compress(
+            points,
+            &p1.tree,
+            &p1.htree,
+            kernel,
+            &p1.sampling,
+            &CompressionParams {
+                bacc,
+                max_rank: params.max_rank,
+                grain: params.grain,
+            },
+        );
+        timings.low_rank = t0.elapsed();
+
+        let t0 = Instant::now();
+        let coarsenset = build_coarsenset(&p1.tree, &compression.sranks, &params.coarsen);
+        timings.coarsening = t0.elapsed();
+
+        let t0 = Instant::now();
+        let cds = build_cds_with_grain(
+            &p1.tree,
+            &compression,
+            &p1.near_blockset,
+            &p1.far_blockset,
+            &coarsenset,
+            params.grain,
+        );
+        timings.cds = t0.elapsed();
+
+        let t0 = Instant::now();
+        let plan = generate_plan(
+            p1.near_blockset.clone(),
+            p1.far_blockset.clone(),
+            coarsenset,
+            cds,
+            p1.tree.height,
+            p1.tree.leaves().len(),
+            &params.codegen,
+        );
+        timings.codegen = t0.elapsed();
+
+        Ok(HMatrix {
+            tree: p1.tree.clone(),
+            plan,
+            structure: params.structure,
+            kernel: *kernel,
             bacc,
-            max_rank: params.max_rank,
-        },
-    );
-    timings.low_rank = t0.elapsed();
-
-    let t0 = Instant::now();
-    let coarsenset = build_coarsenset(&p1.tree, &compression.sranks, &params.coarsen);
-    timings.coarsening = t0.elapsed();
-
-    let t0 = Instant::now();
-    let cds = build_cds(
-        &p1.tree,
-        &compression,
-        &p1.near_blockset,
-        &p1.far_blockset,
-        &coarsenset,
-    );
-    timings.cds = t0.elapsed();
-
-    let t0 = Instant::now();
-    let plan = generate_plan(
-        p1.near_blockset.clone(),
-        p1.far_blockset.clone(),
-        coarsenset,
-        cds,
-        p1.tree.height,
-        p1.tree.leaves().len(),
-        &params.codegen,
-    );
-    timings.codegen = t0.elapsed();
-
-    Ok(HMatrix {
-        tree: p1.tree.clone(),
-        plan,
-        structure: params.structure,
-        kernel: *kernel,
-        bacc,
-        timings,
-        panel_width: params.panel_width,
-        gemm_kernel: params.kernel,
+            timings,
+            panel_width: params.panel_width,
+            gemm_kernel: params.kernel,
+        })
     })
 }
 

@@ -91,7 +91,6 @@
 
 pub mod config;
 pub mod error;
-pub mod failpoint;
 pub mod hmatrix;
 pub mod inspector;
 pub mod io;
@@ -108,7 +107,11 @@ pub use io::{
     to_bytes_factored, IoError,
 };
 pub use matrox_factor::FactorError;
+/// Deterministic fault-injection harness (re-exported from `matrox_linalg`,
+/// where it lives so lower layers like `matrox-compress` can host injection
+/// sites; the registry, knob format and API are unchanged).
+pub use matrox_linalg::failpoint;
 pub use matrox_linalg::{KernelChoice, KernelDispatch};
 pub use session::EvalSession;
-pub use timings::{FactorTimings, InspectorTimings, SessionStats};
+pub use timings::{FactorTimings, InspectTimings, InspectorTimings, SessionStats};
 pub use wire::{WireReader, WireWriter};

@@ -17,7 +17,7 @@
 //! (Figure 4's measure) without instrumenting their own loops.
 
 use crate::config::MatRoxParams;
-use crate::error::MatroxError;
+use crate::error::{panic_message, MatroxError};
 use crate::failpoint;
 use crate::hmatrix::{FactoredHMatrix, HMatrix};
 use crate::inspector::inspector;
@@ -31,17 +31,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 // shared session never contend on a lock in the hot path.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-
-/// Render a `catch_unwind` payload as the human-readable panic message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
 
 /// A compressed kernel matrix prepared for repeated batched evaluation.
 ///
@@ -278,6 +267,7 @@ impl EvalSession {
             invalid_inputs: self.invalid_inputs.load(Ordering::Relaxed),
             contained_panics: self.contained_panics.load(Ordering::Relaxed),
             ridge_attempts: self.ridge_attempts.load(Ordering::Relaxed) as u32,
+            inspect_phases: self.hmatrix.timings.phases(),
         }
     }
 }

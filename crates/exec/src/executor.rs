@@ -84,58 +84,24 @@ pub struct ExecOptions {
     pub kernel: KernelChoice,
 }
 
-/// Parse a positive-integer tuning knob from an environment variable's raw
-/// value.  `Ok(None)` means the variable is unset and the automatic choice
-/// applies; `Ok(Some(v))` is an explicit override; `Err` carries the message
-/// for the one-time stderr warning.  Unparseable values, zero, and non-UTF-8
-/// are all rejected loudly — a typo'd knob silently falling back to auto is
-/// indistinguishable from the knob working, which is how mis-tuned
-/// deployments happen.  Mirrors the `MATROX_KERNEL` policy (warn once, fall
-/// back to auto) rather than failing the request: knobs tune performance,
-/// never correctness, so a bad value should not take a serving process down.
-pub fn parse_positive_knob(
-    name: &str,
-    value: Result<String, std::env::VarError>,
-) -> Result<Option<usize>, String> {
-    match value {
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("{name}: {e}; using auto")),
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(0) => Err(format!(
-                "{name}: '{raw}' must be a positive integer; using auto"
-            )),
-            Ok(v) => Ok(Some(v)),
-            Err(e) => Err(format!("{name}: cannot parse '{raw}': {e}; using auto")),
-        },
-    }
-}
+/// Shared positive-integer knob parsing, re-exported from
+/// [`matrox_linalg::knobs`] where it moved so the parallel inspector phases
+/// (tree partitioning, sampling, compression, CDS assembly) can honor the
+/// same env-knob policy without depending on this crate.
+pub use matrox_linalg::knobs::parse_positive_knob;
 
-/// Read a positive-integer env knob, warning on stderr (once per process per
-/// knob, via the caller's `OnceLock`) when the value is invalid.  Returns
-/// `None` for unset or rejected values.
-fn env_knob(name: &str) -> Option<usize> {
-    match parse_positive_knob(name, std::env::var(name)) {
-        Ok(v) => v,
-        Err(msg) => {
-            eprintln!("{msg}");
-            None
-        }
-    }
-}
+use matrox_linalg::knobs::{env_knob, resolve_grain};
 
 /// Resolve the effective grain for the executor's parallel loops: an explicit
 /// per-call setting wins, then the `MATROX_GRAIN` environment variable, then
 /// auto (1, letting the pool's width-scaled heuristic decide).  Public so the
 /// factor/solve sweeps (`matrox-factor`) honor the same knob.  Invalid or
 /// zero `MATROX_GRAIN` values are rejected with a one-time stderr warning
-/// (see [`parse_positive_knob`]).
+/// (see [`parse_positive_knob`]).  Thin wrapper over
+/// [`matrox_linalg::knobs::resolve_grain`], which the inspector phases call
+/// with their own explicit grain.
 pub fn effective_grain(opts: &ExecOptions) -> usize {
-    if opts.grain > 0 {
-        return opts.grain;
-    }
-    static ENV_GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let env = *ENV_GRAIN.get_or_init(|| env_knob("MATROX_GRAIN").unwrap_or(0));
-    env.max(1)
+    resolve_grain(opts.grain)
 }
 
 impl ExecOptions {
@@ -1170,6 +1136,7 @@ mod tests {
             &CompressionParams {
                 bacc: 1e-7,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
@@ -1398,6 +1365,7 @@ mod tests {
                 &CompressionParams {
                     bacc,
                     max_rank: 256,
+                    grain: 0,
                 },
             );
             let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);

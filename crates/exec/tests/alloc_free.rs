@@ -7,7 +7,7 @@
 //! with a counter and asserts that an evaluation spanning many panels
 //! performs exactly as many allocations as one spanning a single panel.
 
-use matrox_analysis::{build_blockset, build_cds, build_coarsenset, CoarsenParams};
+use matrox_analysis::{build_blockset, build_cds_with_grain, build_coarsenset, CoarsenParams};
 use matrox_codegen::{generate_plan, CodegenParams, EvalPlan};
 use matrox_compress::{compress, CompressionParams};
 use matrox_exec::{execute_prepared, ExecOptions, PreparedExec};
@@ -64,6 +64,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static COUNTER: CountingAlloc = CountingAlloc;
 
 fn fixture(n: usize) -> (ClusterTree, EvalPlan) {
+    fixture_with_grain(n, 0)
+}
+
+/// The same fixture with an explicit CDS packing grain, so the suite can
+/// pin that a plan packed by the parallel inspector (grain 1: every slot a
+/// separate pool job) drives the executor exactly like the auto-grain one.
+fn fixture_with_grain(n: usize, grain: usize) -> (ClusterTree, EvalPlan) {
     let pts = generate(DatasetId::Grid, n, 77);
     let kernel = Kernel::Gaussian { bandwidth: 1.0 };
     let tree = ClusterTree::build(&pts, PartitionMethod::Auto, 32, 0);
@@ -78,12 +85,13 @@ fn fixture(n: usize) -> (ClusterTree, EvalPlan) {
         &CompressionParams {
             bacc: 1e-6,
             max_rank: 256,
+            grain: 0,
         },
     );
     let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);
     let far = build_blockset(&htree.far_pairs(), tree.num_nodes(), 4);
     let cs = build_coarsenset(&tree, &c.sranks, &CoarsenParams { p: 4, agg: 2 });
-    let cds = build_cds(&tree, &c, &near, &far, &cs);
+    let cds = build_cds_with_grain(&tree, &c, &near, &far, &cs, grain);
     let plan = generate_plan(
         near,
         far,
@@ -147,4 +155,55 @@ fn sequential_panel_loop_is_allocation_free() {
 #[test]
 fn parallel_panel_loop_is_allocation_free() {
     check(ExecOptions::full(), 8);
+}
+
+/// A plan whose CDS was packed with grain 1 (every slot its own pool job —
+/// the parallel inspector's worst case) must be byte-identical to the
+/// auto-grain plan, and the executor prepared on it must evaluate to the
+/// same bits with the same allocation count.
+#[test]
+fn grain_one_packed_plan_is_bitwise_identical_and_allocation_free() {
+    const N: usize = if cfg!(miri) { 64 } else { 256 };
+    const PANEL: usize = 16;
+    let (tree, plan) = fixture(N);
+    let (tree_g, plan_g) = fixture_with_grain(N, 1);
+    assert_eq!(tree.perm, tree_g.perm, "packing grain perturbed the tree");
+    let bits = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    assert!(
+        bits(&plan.cds.gen_values, &plan_g.cds.gen_values),
+        "grain-1 packing changed the generator buffer"
+    );
+    assert!(
+        bits(&plan.cds.d_values, &plan_g.cds.d_values),
+        "grain-1 packing changed the near-block buffer"
+    );
+    assert!(
+        bits(&plan.cds.b_values, &plan_g.cds.b_values),
+        "grain-1 packing changed the coupling-block buffer"
+    );
+
+    let opts = ExecOptions::full().with_panel_width(PANEL);
+    let prep = PreparedExec::new(&plan, &tree, &opts);
+    let prep_g = PreparedExec::new(&plan_g, &tree_g, &opts);
+    let w = rhs(N, 2 * PANEL, 5);
+    for _ in 0..2 {
+        let _ = execute_prepared(&plan, &tree, &prep, &w);
+        let _ = execute_prepared(&plan_g, &tree_g, &prep_g, &w);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let y = execute_prepared(&plan, &tree, &prep, &w);
+    let mid = ALLOCS.load(Ordering::Relaxed);
+    let y_g = execute_prepared(&plan_g, &tree_g, &prep_g, &w);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(
+        bits(y.as_slice(), y_g.as_slice()),
+        "executor output diverged on the grain-1 packed plan"
+    );
+    assert_eq!(
+        mid - before,
+        after - mid,
+        "allocation count diverged on the grain-1 packed plan"
+    );
 }

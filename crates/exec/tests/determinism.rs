@@ -38,6 +38,7 @@ fn fixture(
         &CompressionParams {
             bacc: 1e-7,
             max_rank: 256,
+            grain: 0,
         },
     );
     let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);

@@ -343,6 +343,7 @@ mod tests {
             &CompressionParams {
                 bacc: 1e-9,
                 max_rank: 256,
+                grain: 0,
             },
         );
         let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);

@@ -57,6 +57,7 @@ fn build_plan(pts: &PointSet, kernel: &Kernel, bacc: f64) -> (ClusterTree, EvalP
         &CompressionParams {
             bacc,
             max_rank: 256,
+            grain: 0,
         },
     );
     let near = build_blockset(&htree.near_pairs(), tree.num_nodes(), 2);

@@ -2,8 +2,9 @@
 //!
 //! A *failpoint* is a named site in the library where a fault can be forced
 //! on demand: a Cholesky breakdown during factorization, a NaN poisoning the
-//! evaluation output, a panic inside a pool job, a truncated or byte-flipped
-//! model stream during [`load`](crate::load).  Production code paths call
+//! evaluation output, a panic inside a pool job or a parallel compression
+//! task, a truncated or byte-flipped model stream during `matrox_core::load`.
+//! Production code paths call
 //! [`should_fire`] at these sites; when the failpoint is armed the site
 //! injects its fault, otherwise the call is a cheap hash-map miss behind a
 //! short critical section.
@@ -44,6 +45,12 @@ pub mod names {
     /// Panics inside a pool job during `EvalSession::evaluate`, exercising
     /// the `catch_unwind` containment boundary (`PoolPanic`).
     pub const EVAL_PANIC: &str = "eval-panic";
+    /// Panics inside a parallel per-node low-rank compression task
+    /// (`matrox_compress::compress`), exercising the inspector's
+    /// `catch_unwind` containment boundary (`PoolPanic`): the panic must
+    /// propagate off the worker and surface as an error, never hang the
+    /// pool or poison later inspections.
+    pub const COMPRESS_PANIC: &str = "compress-panic";
     /// Truncates the byte stream read by `load`/`load_factored` to half its
     /// length, exercising the hardened reader's truncation handling.
     pub const IO_TRUNCATE: &str = "io-truncate";

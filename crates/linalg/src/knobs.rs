@@ -1,0 +1,94 @@
+//! Shared tuning-knob plumbing: positive-integer env knobs and the grain
+//! resolution every parallel loop in the workspace uses.
+//!
+//! The executor introduced the policy (an explicit per-call setting wins,
+//! then the `MATROX_GRAIN` environment variable, then auto); the parallel
+//! inspector phases — tree partitioning, sampling, compression, CDS
+//! assembly — honor exactly the same knob, so this module lives at the
+//! bottom of the crate graph where all of them can reach it.
+//! `matrox-exec` re-exports these functions to keep its public API.
+//!
+//! Grain is a pure performance knob: it changes how work is chunked across
+//! pool workers, never what any loop computes.  Every consumer writes its
+//! per-item outputs to pre-sized slots, so results are bitwise identical
+//! for every grain (and every pool width).
+
+/// Parse a positive-integer tuning knob from an environment variable's raw
+/// value.  `Ok(None)` means the variable is unset and the automatic choice
+/// applies; `Ok(Some(v))` is an explicit override; `Err` carries the message
+/// for the one-time stderr warning.  Unparseable values, zero, and non-UTF-8
+/// are all rejected loudly — a typo'd knob silently falling back to auto is
+/// indistinguishable from the knob working, which is how mis-tuned
+/// deployments happen.  Mirrors the `MATROX_KERNEL` policy (warn once, fall
+/// back to auto) rather than failing the request: knobs tune performance,
+/// never correctness, so a bad value should not take a serving process down.
+pub fn parse_positive_knob(
+    name: &str,
+    value: Result<String, std::env::VarError>,
+) -> Result<Option<usize>, String> {
+    match value {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("{name}: {e}; using auto")),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => Err(format!(
+                "{name}: '{raw}' must be a positive integer; using auto"
+            )),
+            Ok(v) => Ok(Some(v)),
+            Err(e) => Err(format!("{name}: cannot parse '{raw}': {e}; using auto")),
+        },
+    }
+}
+
+/// Read a positive-integer env knob, warning on stderr when the value is
+/// invalid.  Returns `None` for unset or rejected values.  Callers cache the
+/// result (the two call sites below each sit behind a `OnceLock`) so the
+/// warning fires at most once per process per knob.
+pub fn env_knob(name: &str) -> Option<usize> {
+    match parse_positive_knob(name, std::env::var(name)) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            None
+        }
+    }
+}
+
+/// Resolve the effective grain (minimum work items per parallel task) for a
+/// parallel loop: an explicit setting wins, then the `MATROX_GRAIN`
+/// environment variable, then auto (1, letting the pool's width-scaled
+/// heuristic decide).  Used by the executor's phase loops, the factor/solve
+/// sweeps, and every parallel inspector phase, so one knob tunes the whole
+/// pipeline.  Invalid or zero `MATROX_GRAIN` values are rejected with a
+/// one-time stderr warning (see [`parse_positive_knob`]).
+pub fn resolve_grain(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    static ENV_GRAIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let env = *ENV_GRAIN.get_or_init(|| env_knob("MATROX_GRAIN").unwrap_or(0));
+    env.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_positives_and_rejects_garbage() {
+        let ok = |s: &str| parse_positive_knob("MATROX_GRAIN", Ok(s.to_string()));
+        assert_eq!(ok("4"), Ok(Some(4)));
+        assert_eq!(ok(" 16 "), Ok(Some(16)));
+        assert_eq!(
+            parse_positive_knob("MATROX_GRAIN", Err(std::env::VarError::NotPresent)),
+            Ok(None)
+        );
+        assert!(ok("0").is_err());
+        assert!(ok("abc").is_err());
+    }
+
+    #[test]
+    fn explicit_grain_wins_over_auto() {
+        assert_eq!(resolve_grain(7), 7);
+        assert!(resolve_grain(0) >= 1);
+    }
+}

@@ -57,9 +57,11 @@
 //! ```
 
 pub mod chol;
+pub mod failpoint;
 pub mod gemm;
 pub mod id;
 pub mod kernel;
+pub mod knobs;
 pub mod lu;
 pub mod matrix;
 pub mod norms;

@@ -120,13 +120,16 @@ impl Config {
                 // GOFMM baseline: per-node Mutex accumulation cells.
                 "crates/baselines/src/gofmm.rs".into(),
                 // Failpoint registry: process-global Mutex'd map shared with
-                // pool workers.
-                "crates/core/src/failpoint.rs".into(),
+                // pool workers (lives in linalg so compression sites reach it).
+                "crates/linalg/src/failpoint.rs".into(),
                 // EvalSession statistics counters (monotonic AtomicU64s).
                 "crates/core/src/session.rs".into(),
                 // Allocation counter inside the counting test allocator.
                 "crates/core/tests/corruption_fuzz.rs".into(),
                 "crates/exec/tests/alloc_free.rs".into(),
+                // Pool-stress suite: a Mutex serializing two test functions
+                // around the process-global failpoint registry.
+                "crates/core/tests/pool_stress.rs".into(),
                 // Network event loop: one thread owns every connection; the
                 // only shared state is a shutdown AtomicBool flag.
                 "crates/serve/src/net.rs".into(),

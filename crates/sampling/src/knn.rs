@@ -6,10 +6,26 @@
 //! citing Dasgupta & Freund).  Exact k-NN would be `O(N^2 d)`; the RP-tree
 //! approach builds a handful of randomized trees, restricts candidate pairs
 //! to RP-tree leaves, and keeps the best `k` candidates per point.
+//!
+//! Both phases run on the work-stealing pool and are bitwise deterministic
+//! across pool widths:
+//!
+//! * **Tree construction** parallelizes *across* trees.  Every tree draws
+//!   its projection directions from its own RNG seeded by `(seed, tree
+//!   index)`, so tree `t` is a pure function of the inputs no matter which
+//!   worker builds it or in what order.
+//! * **Neighbour search** parallelizes *across points*.  Each point gathers
+//!   candidates from its own leaf in every tree in fixed tree order, then
+//!   ranks them by `(distance, index)` — the index tie-break makes the
+//!   result independent of gathering order even for equidistant candidates.
+//!   Each point's list lands in its own pre-sized output slot; there is no
+//!   shared candidate accumulation anywhere.
 
+use matrox_linalg::knobs::resolve_grain;
 use matrox_points::PointSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Parameters for the approximate k-NN search.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +38,10 @@ pub struct KnnParams {
     pub leaf_cap: usize,
     /// RNG seed for the random projection directions.
     pub seed: u64,
+    /// Minimum points per parallel search task; `0` = auto (the
+    /// `MATROX_GRAIN` env knob, then 1).  Chunking only — never changes the
+    /// neighbour lists.
+    pub grain: usize,
 }
 
 impl Default for KnnParams {
@@ -31,87 +51,109 @@ impl Default for KnnParams {
             num_trees: 4,
             leaf_cap: 96,
             seed: 0x5eed,
+            grain: 0,
         }
+    }
+}
+
+/// One built random-projection tree: the permuted point indices plus the
+/// leaf partition over them, and for every point the leaf it landed in.
+struct RpTree {
+    /// Point indices, permuted so each leaf is a contiguous range.
+    idx: Vec<usize>,
+    /// `(start, end)` ranges into `idx`, one per leaf.
+    leaves: Vec<(usize, usize)>,
+    /// `leaf_of[point] = leaf index` in `leaves`.
+    leaf_of: Vec<usize>,
+}
+
+/// Build one RP-tree deterministically from `(points, seed, tree index)`.
+fn build_rp_tree(points: &PointSet, leaf_bound: usize, seed: u64, tree: usize) -> RpTree {
+    let n = points.len();
+    let dim = points.dim();
+    // Per-tree RNG: directions depend only on the tree index, never on
+    // which worker builds the tree or when.
+    let mut rng = StdRng::seed_from_u64(seed ^ (tree as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut leaves: Vec<(usize, usize)> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(0, n)];
+    // In-place recursive partitioning of `idx` along random directions.
+    while let Some((start, end)) = stack.pop() {
+        let len = end - start;
+        if len <= leaf_bound {
+            leaves.push((start, end));
+            continue;
+        }
+        // Random unit-ish direction.
+        let dir: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mid = start + len / 2;
+        idx[start..end].select_nth_unstable_by(len / 2, |&a, &b| {
+            let pa: f64 = points.point(a).iter().zip(&dir).map(|(x, d)| x * d).sum();
+            let pb: f64 = points.point(b).iter().zip(&dir).map(|(x, d)| x * d).sum();
+            pa.partial_cmp(&pb).unwrap()
+        });
+        stack.push((start, mid));
+        stack.push((mid, end));
+    }
+    let mut leaf_of = vec![0usize; n];
+    for (l, &(s, e)) in leaves.iter().enumerate() {
+        for &p in &idx[s..e] {
+            leaf_of[p] = l;
+        }
+    }
+    RpTree {
+        idx,
+        leaves,
+        leaf_of,
     }
 }
 
 /// Approximate k-nearest neighbours of every point.
 ///
 /// Returns, for each point `i`, up to `params.k` neighbour indices sorted by
-/// increasing distance (never containing `i` itself).
+/// increasing distance (never containing `i` itself).  The output is a pure
+/// function of `(points, params)` — bitwise identical at every pool width
+/// and grain.
 pub fn approximate_knn(points: &PointSet, params: &KnnParams) -> Vec<Vec<usize>> {
     let n = points.len();
     if n <= 1 {
         return vec![Vec::new(); n];
     }
     let k = params.k.min(n - 1);
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let grain = resolve_grain(params.grain);
+    let leaf_bound = params.leaf_cap.max(2 * k).max(4);
 
-    // Candidate neighbour sets, grown tree by tree.
-    let mut best: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+    // Phase 1: build the trees, one parallel task per tree.
+    let trees: Vec<RpTree> = (0..params.num_trees.max(1))
+        .into_par_iter()
+        .map(|t| build_rp_tree(points, leaf_bound, params.seed, t))
+        .collect();
 
-    for _tree in 0..params.num_trees.max(1) {
-        let mut idx: Vec<usize> = (0..n).collect();
-        let mut stack: Vec<(usize, usize)> = vec![(0, n)];
-        // In-place recursive partitioning of `idx` along random directions.
-        while let Some((start, end)) = stack.pop() {
-            let len = end - start;
-            if len <= params.leaf_cap.max(2 * k).max(4) {
-                score_leaf(points, &idx[start..end], k, &mut best);
-                continue;
-            }
-            // Random unit-ish direction.
-            let dim = points.dim();
-            let dir: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let mid = start + len / 2;
-            idx[start..end].select_nth_unstable_by(len / 2, |&a, &b| {
-                let pa: f64 = points.point(a).iter().zip(&dir).map(|(x, d)| x * d).sum();
-                let pb: f64 = points.point(b).iter().zip(&dir).map(|(x, d)| x * d).sum();
-                pa.partial_cmp(&pb).unwrap()
-            });
-            stack.push((start, mid));
-            stack.push((mid, end));
-        }
-    }
-
-    // Finalize: sort by distance, dedup, truncate to k.
-    best.into_iter()
-        .map(|mut cands| {
-            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            let mut out = Vec::with_capacity(k);
-            let mut seen = std::collections::HashSet::new();
-            for (_, j) in cands {
-                if seen.insert(j) {
-                    out.push(j);
-                    if out.len() == k {
-                        break;
+    // Phase 2: per-point candidate gathering and ranking, one output slot
+    // per point.  Trees are visited in fixed order and ties rank by index,
+    // so the schedule cannot influence the lists.
+    let mut knn: Vec<Vec<usize>> = vec![Vec::new(); n];
+    knn.par_iter_mut()
+        .enumerate()
+        .with_min_len(grain)
+        .for_each(|(i, out)| {
+            let mut cands: Vec<(f64, usize)> = Vec::with_capacity(trees.len() * leaf_bound);
+            for tree in &trees {
+                let (s, e) = tree.leaves[tree.leaf_of[i]];
+                for &j in &tree.idx[s..e] {
+                    if j != i {
+                        cands.push((points.dist2(i, j), j));
                     }
                 }
             }
-            out
-        })
-        .collect()
-}
-
-/// Brute-force candidate scoring inside one RP-tree leaf.
-fn score_leaf(points: &PointSet, leaf: &[usize], k: usize, best: &mut [Vec<(f64, usize)>]) {
-    for (a, &i) in leaf.iter().enumerate() {
-        for &j in &leaf[a + 1..] {
-            let d = points.dist2(i, j);
-            push_candidate(&mut best[i], d, j, 3 * k);
-            push_candidate(&mut best[j], d, i, 3 * k);
-        }
-    }
-}
-
-/// Keep the candidate list bounded: append and, when it grows past `cap`,
-/// retain only the closest `cap` entries.
-fn push_candidate(list: &mut Vec<(f64, usize)>, dist: f64, idx: usize, cap: usize) {
-    list.push((dist, idx));
-    if list.len() > 2 * cap {
-        list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        list.truncate(cap);
-    }
+            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            // The same pair found via different trees yields the identical
+            // (distance, index) entry, so after the sort duplicates are
+            // adjacent and a plain dedup removes them all.
+            cands.dedup();
+            out.extend(cands.into_iter().take(k).map(|(_, j)| j));
+        });
+    knn
 }
 
 /// Exact k-nearest neighbours (quadratic); used by tests to measure the
@@ -166,6 +208,7 @@ mod tests {
                 num_trees: 6,
                 leaf_cap: 64,
                 seed: 3,
+                grain: 0,
             },
         );
         let exact = exact_knn(&pts, k);
@@ -207,5 +250,28 @@ mod tests {
             },
         );
         assert!(knn.iter().all(|l| l.len() == 16));
+    }
+
+    #[test]
+    fn grain_never_changes_the_lists() {
+        let pts = generate(DatasetId::Random, 257, 9);
+        let base = approximate_knn(
+            &pts,
+            &KnnParams {
+                k: 12,
+                ..Default::default()
+            },
+        );
+        for grain in [1, 7, 1024] {
+            let other = approximate_knn(
+                &pts,
+                &KnnParams {
+                    k: 12,
+                    grain,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(base, other, "grain {grain}");
+        }
     }
 }

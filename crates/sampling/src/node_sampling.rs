@@ -27,6 +27,11 @@ pub struct SamplingParams {
     pub uniform_samples: usize,
     /// RNG seed for the uniform far samples.
     pub seed: u64,
+    /// Minimum nodes per parallel sampling task; `0` = auto (the
+    /// `MATROX_GRAIN` env knob, then 1).  Chunking only — each node's
+    /// samples come from its own `(seed, id)` RNG, so the output never
+    /// depends on this knob or the pool width.
+    pub grain: usize,
 }
 
 impl Default for SamplingParams {
@@ -36,6 +41,7 @@ impl Default for SamplingParams {
             sampling_size: 32,
             uniform_samples: 32,
             seed: 0xa11ce,
+            grain: 0,
         }
     }
 }
@@ -81,6 +87,7 @@ pub fn sample_nodes(
     let samples: Vec<Vec<usize>> = tree
         .nodes
         .par_iter()
+        .with_min_len(matrox_linalg::knobs::resolve_grain(params.grain))
         .map(|node| {
             let mut rng = StdRng::seed_from_u64(
                 params.seed ^ (node.id as u64).wrapping_mul(0x9e3779b97f4a7c15),

@@ -582,6 +582,10 @@ mod tests {
                 invalid_inputs: 1,
                 contained_panics: 0,
                 ridge_attempts: 2,
+                // Phase breakdown is session-local diagnostics; the wire
+                // format deliberately omits it, so the fixture keeps it
+                // default for the bitwise round-trip comparison.
+                inspect_phases: Default::default(),
             },
         }
     }

@@ -14,10 +14,22 @@
 //! indices, so a node's index set is a slice — no per-node allocation.  Nodes
 //! are numbered in breadth-first order with the root as node 0, matching the
 //! numbering used in Figure 1 of the paper.
+//!
+//! Construction is **level-parallel on the work-stealing pool**: all nodes of
+//! one level own disjoint ranges of the permutation, so their splits are
+//! independent tasks.  The build is bitwise deterministic across pool widths
+//! and grains: each task writes its result into a pre-sized slot (no
+//! order-dependent accumulation), node ids are assigned in a sequential
+//! fixed-order pass after every level's splits complete, and the two-means
+//! seed selection draws from a *per-node* RNG
+//! (`seed ^ node_id * 0x9e3779b97f4a7c15`) instead of a shared stream whose
+//! consumption order would depend on scheduling.
 
+use matrox_linalg::knobs::resolve_grain;
 use matrox_points::PointSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Which partitioning algorithm to use when splitting a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,14 +106,47 @@ pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
     pos
 }
 
+/// One frontier entry awaiting its split: `(node_id, start, end, level)`.
+type FrontierNode = (usize, usize, usize, usize);
+
+/// Outcome of one node's parallel split task: the split position plus the
+/// geometry of both halves, written into a slot indexed by the node's
+/// position in the level's frontier (fixed combination order).
+struct SplitResult {
+    node_id: usize,
+    start: usize,
+    mid: usize,
+    end: usize,
+    level: usize,
+    left_geom: (Vec<f64>, f64),
+    right_geom: (Vec<f64>, f64),
+}
+
 impl ClusterTree {
     /// Build a cluster tree over `points` with the given partitioning method
     /// and leaf size.  `seed` makes the two-means splits deterministic.
+    ///
+    /// Splits within a level run in parallel on the work-stealing pool; the
+    /// result is bitwise identical at every pool width and grain (see the
+    /// module docs for the determinism contract).
     pub fn build(
         points: &PointSet,
         method: PartitionMethod,
         leaf_size: usize,
         seed: u64,
+    ) -> ClusterTree {
+        Self::build_with_grain(points, method, leaf_size, seed, 0)
+    }
+
+    /// [`build`](ClusterTree::build) with an explicit grain (minimum split
+    /// tasks per parallel work item; `0` = auto / the `MATROX_GRAIN` env
+    /// knob).  Grain only changes task chunking, never the tree.
+    pub fn build_with_grain(
+        points: &PointSet,
+        method: PartitionMethod,
+        leaf_size: usize,
+        seed: u64,
+        grain: usize,
     ) -> ClusterTree {
         assert!(leaf_size >= 1, "leaf_size must be at least 1");
         assert!(!points.is_empty(), "cannot build a tree over zero points");
@@ -115,18 +160,9 @@ impl ClusterTree {
             }
             m => m,
         };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let grain = resolve_grain(grain);
         let mut perm: Vec<usize> = (0..points.len()).collect();
         let mut nodes: Vec<TreeNode> = Vec::new();
-
-        // Breadth-first construction with an explicit queue so node ids come
-        // out in BFS order (root = 0), matching the paper's numbering.
-        struct Pending {
-            node_id: usize,
-            start: usize,
-            end: usize,
-            level: usize,
-        }
 
         let root_geom = node_geometry(points, &perm[0..points.len()]);
         nodes.push(TreeNode {
@@ -139,78 +175,112 @@ impl ClusterTree {
             centroid: root_geom.0,
             diameter: root_geom.1,
         });
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(Pending {
-            node_id: 0,
-            start: 0,
-            end: points.len(),
-            level: 0,
-        });
+
+        // Level-by-level construction.  The frontier holds the nodes of the
+        // current level in id order (which is also ascending range order, so
+        // the disjoint-slice carving below works by construction); nodes
+        // small enough to stay leaves are dropped from it up front.
+        let mut frontier: Vec<FrontierNode> = vec![(0, 0, points.len(), 0)];
         let mut height = 0;
 
-        while let Some(p) = queue.pop_front() {
-            let count = p.end - p.start;
-            if count <= leaf_size {
-                continue; // stays a leaf
+        while !frontier.is_empty() {
+            let splittable: Vec<FrontierNode> = frontier
+                .drain(..)
+                .filter(|&(_, start, end, _)| end - start > leaf_size)
+                .collect();
+            if splittable.is_empty() {
+                break;
             }
-            // Partition perm[start..end] in place into two halves.
-            let mid = {
-                let slice = &mut perm[p.start..p.end];
-                let local_mid = match method {
-                    PartitionMethod::KdTree => kd_split(points, slice),
-                    PartitionMethod::TwoMeans => two_means_split(points, slice, &mut rng),
-                    PartitionMethod::Auto => unreachable!(),
-                };
-                p.start + local_mid
-            };
-            // Guard against degenerate splits (all points identical).
-            let mid = if mid == p.start || mid == p.end {
-                p.start + count / 2
-            } else {
-                mid
-            };
 
-            let left_id = nodes.len();
-            let right_id = nodes.len() + 1;
-            let child_level = p.level + 1;
-            height = height.max(child_level);
+            // Carve one disjoint `&mut` slice of the permutation per
+            // splittable node.  Ranges are disjoint and ascending, so
+            // repeated `split_at_mut` hands every task its own slice with no
+            // aliasing and no locking.
+            let mut slices: Vec<&mut [usize]> = Vec::with_capacity(splittable.len());
+            let mut rest: &mut [usize] = &mut perm;
+            let mut consumed = 0usize;
+            for &(_, start, end, _) in &splittable {
+                let (_, tail) = rest.split_at_mut(start - consumed);
+                let (slice, tail) = tail.split_at_mut(end - start);
+                slices.push(slice);
+                rest = tail;
+                consumed = end;
+            }
 
-            let lgeom = node_geometry(points, &perm[p.start..mid]);
-            nodes.push(TreeNode {
-                id: left_id,
-                parent: Some(p.node_id),
-                children: None,
-                level: child_level,
-                start: p.start,
-                end: mid,
-                centroid: lgeom.0,
-                diameter: lgeom.1,
-            });
-            let rgeom = node_geometry(points, &perm[mid..p.end]);
-            nodes.push(TreeNode {
-                id: right_id,
-                parent: Some(p.node_id),
-                children: None,
-                level: child_level,
-                start: mid,
-                end: p.end,
-                centroid: rgeom.0,
-                diameter: rgeom.1,
-            });
-            nodes[p.node_id].children = Some((left_id, right_id));
+            // Parallel phase: split every node's slice and compute both
+            // children's geometry.  `collect` preserves input order, so the
+            // results land in frontier order — a pre-sized slot per node.
+            let work: Vec<(FrontierNode, &mut [usize])> =
+                splittable.into_iter().zip(slices).collect();
+            let results: Vec<SplitResult> = work
+                .into_par_iter()
+                .with_min_len(grain)
+                .map(|((node_id, start, end, level), slice)| {
+                    let count = end - start;
+                    let local_mid = match method {
+                        PartitionMethod::KdTree => kd_split(points, slice),
+                        PartitionMethod::TwoMeans => {
+                            // Per-node RNG: the split is a pure function of
+                            // (points, seed, node id), independent of the
+                            // order sibling tasks run in.
+                            let mut rng = StdRng::seed_from_u64(
+                                seed ^ (node_id as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                            );
+                            two_means_split(points, slice, &mut rng)
+                        }
+                        PartitionMethod::Auto => unreachable!(),
+                    };
+                    // Guard against degenerate splits (all points identical).
+                    let local_mid = if local_mid == 0 || local_mid == count {
+                        count / 2
+                    } else {
+                        local_mid
+                    };
+                    let mid = start + local_mid;
+                    SplitResult {
+                        node_id,
+                        start,
+                        mid,
+                        end,
+                        level,
+                        left_geom: node_geometry(points, &slice[..local_mid]),
+                        right_geom: node_geometry(points, &slice[local_mid..]),
+                    }
+                })
+                .collect();
 
-            queue.push_back(Pending {
-                node_id: left_id,
-                start: p.start,
-                end: mid,
-                level: child_level,
-            });
-            queue.push_back(Pending {
-                node_id: right_id,
-                start: mid,
-                end: p.end,
-                level: child_level,
-            });
+            // Sequential phase: assign child ids in frontier order, exactly
+            // reproducing the classic BFS numbering (root = 0, siblings
+            // adjacent, levels non-decreasing with id).
+            for r in results {
+                let left_id = nodes.len();
+                let right_id = nodes.len() + 1;
+                let child_level = r.level + 1;
+                height = height.max(child_level);
+                nodes.push(TreeNode {
+                    id: left_id,
+                    parent: Some(r.node_id),
+                    children: None,
+                    level: child_level,
+                    start: r.start,
+                    end: r.mid,
+                    centroid: r.left_geom.0,
+                    diameter: r.left_geom.1,
+                });
+                nodes.push(TreeNode {
+                    id: right_id,
+                    parent: Some(r.node_id),
+                    children: None,
+                    level: child_level,
+                    start: r.mid,
+                    end: r.end,
+                    centroid: r.right_geom.0,
+                    diameter: r.right_geom.1,
+                });
+                nodes[r.node_id].children = Some((left_id, right_id));
+                frontier.push((left_id, r.start, r.mid, child_level));
+                frontier.push((right_id, r.mid, r.end, child_level));
+            }
         }
 
         let pos = invert_permutation(&perm);

@@ -82,6 +82,7 @@ fn main() {
         &CompressionParams {
             bacc: params.bacc,
             max_rank: params.max_rank,
+            grain: 0,
         },
     );
 
@@ -110,6 +111,7 @@ fn main() {
         &CompressionParams {
             bacc: params.bacc,
             max_rank: params.max_rank,
+            grain: 0,
         },
     );
     let strumpack = StrumpackEvaluator::new(&tree, &htree_hss, &c_hss).expect("HSS");

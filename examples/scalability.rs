@@ -92,6 +92,7 @@ fn main() {
                 &CompressionParams {
                     bacc: params.bacc,
                     max_rank: params.max_rank,
+                    grain: 0,
                 },
             );
             let gofmm = GofmmEvaluator::new(&tree, &htree, &c);

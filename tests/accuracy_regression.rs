@@ -11,10 +11,11 @@
 //! magnitude regressions.  The pipeline is deterministic at fixed seeds, so
 //! on any one platform the measured values are exactly reproducible.
 
-use matrox::core::{inspector, MatRoxParams};
+use matrox::core::{inspector, HMatrix, MatRoxParams};
 use matrox::linalg::Matrix;
-use matrox::points::{generate, DatasetId, Kernel};
+use matrox::points::{generate, DatasetId, Kernel, PointSet};
 use matrox::tree::Structure;
+use proptest::prelude::*;
 use rand::SeedableRng;
 
 const N: usize = 1024;
@@ -56,6 +57,16 @@ fn measure(structure: Structure, bacc: f64) -> f64 {
     h.overall_accuracy(&pts, &w).expect("accuracy probe")
 }
 
+/// The golden measurement inside an explicitly sized pool: the parallel
+/// inspector must reproduce the table's numbers at every width.
+fn measure_at_width(structure: Structure, bacc: f64, threads: usize) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| measure(structure, bacc))
+}
+
 #[test]
 fn overall_accuracy_stays_within_golden_bounds() {
     for g in goldens() {
@@ -88,6 +99,89 @@ fn tighter_bacc_strictly_improves_golden_accuracy() {
             tight < loose,
             "{}: bacc 1e-7 (eps {tight:.3e}) not better than 1e-3 (eps {loose:.3e})",
             structure.name()
+        );
+    }
+}
+
+/// Parallel-inspector rows of the golden table: one representative golden
+/// per structure, re-measured at pool widths 1/2/4.  The parallel inspector
+/// must stay inside the golden bound at every width *and* reproduce the
+/// width-1 measurement to the bit — accuracy must not merely stay similar
+/// across schedules, it must not move at all.
+#[test]
+fn golden_accuracy_is_bitwise_identical_across_pool_widths() {
+    for g in goldens().into_iter().filter(|g| g.bacc == 1e-3) {
+        let reference = measure_at_width(g.structure, g.bacc, 1);
+        assert!(
+            reference <= g.max_eps,
+            "{} at 1 thread: eps_f = {reference:.3e} exceeds golden bound {:.1e}",
+            g.name,
+            g.max_eps
+        );
+        for threads in [2usize, 4] {
+            let eps = measure_at_width(g.structure, g.bacc, threads);
+            assert_eq!(
+                eps.to_bits(),
+                reference.to_bits(),
+                "{} at {threads} threads: eps_f = {eps:.17e} differs from \
+                 width-1 measurement {reference:.17e}",
+                g.name
+            );
+        }
+    }
+}
+
+/// Strategy: a jittered 2-D grid — regular spacing perturbed per coordinate,
+/// the adversarial middle ground between the clean lattice the goldens use
+/// and fully random clouds (near-duplicate points, uneven cluster sizes).
+fn arb_jittered_grid() -> impl Strategy<Value = PointSet> {
+    (6usize..13).prop_flat_map(|side| {
+        let n = side * side;
+        proptest::collection::vec(-0.45f64..0.45, n * 2).prop_map(move |jitter| {
+            let mut coords = Vec::with_capacity(n * 2);
+            for i in 0..side {
+                for j in 0..side {
+                    let at = (i * side + j) * 2;
+                    coords.push(i as f64 + jitter[at]);
+                    coords.push(j as f64 + jitter[at + 1]);
+                }
+            }
+            PointSet::new(2, coords)
+        })
+    })
+}
+
+fn total_srank(h: &HMatrix) -> usize {
+    h.plan.cds.sranks.iter().sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel inspector on arbitrary jittered grids: never panics,
+    /// honors the accuracy bound, and tightening `bacc` never drops ranks.
+    #[test]
+    fn inspector_handles_jittered_grids(pts in arb_jittered_grid()) {
+        let kernel = Kernel::Gaussian { bandwidth: 1.0 };
+        let params = MatRoxParams::h2b().with_bacc(1e-4).with_leaf_size(16);
+        let h = inspector(&pts, &kernel, &params)
+            .expect("inspector must not fail on a jittered grid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let w = Matrix::random_uniform(pts.len(), 2, &mut rng);
+        let eps = h.overall_accuracy(&pts, &w).expect("accuracy probe");
+        prop_assert!(
+            eps <= 1e-2,
+            "eps_f = {eps:.3e} blows the 1e-2 bound at bacc 1e-4"
+        );
+        // Rank monotonicity: a tighter block accuracy may only keep or grow
+        // the skeletons the sampler selects.
+        let tight = inspector(&pts, &kernel, &params.with_bacc(1e-8))
+            .expect("inspector at tight bacc");
+        prop_assert!(
+            total_srank(&tight) >= total_srank(&h),
+            "total srank fell from {} (bacc 1e-4) to {} (bacc 1e-8)",
+            total_srank(&h),
+            total_srank(&tight)
         );
     }
 }

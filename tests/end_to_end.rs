@@ -64,6 +64,7 @@ fn all_evaluation_strategies_agree_exactly() {
         &CompressionParams {
             bacc: 1e-6,
             max_rank: 256,
+            grain: 0,
         },
     );
     let w = rhs(n, 4, 2);
@@ -116,6 +117,7 @@ fn strumpack_baseline_agrees_on_hss() {
         &CompressionParams {
             bacc: 1e-6,
             max_rank: 256,
+            grain: 0,
         },
     );
     let w = rhs(n, 3, 5);
